@@ -1,0 +1,21 @@
+"""Shared helpers for the per-table/per-figure benchmark harnesses.
+
+Every harness regenerates one artifact from the paper's evaluation section,
+prints the rows/series the paper reports alongside the paper's own numbers,
+and asserts the *shape* (ordering, rough factors, ceilings).  Absolute
+numbers come from the calibrated simulator, not the authors' testbed — see
+EXPERIMENTS.md for the side-by-side record.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+from repro.reporting import print_table  # noqa: F401  (fixture export)
+
+
+@pytest.fixture
+def table_printer():
+    """Fixture alias for :func:`print_table`."""
+    return print_table

@@ -1,0 +1,51 @@
+"""Extension experiment: ZeRO-Infinity's NVMe tier.
+
+The paper's evaluation runs ZeRO-Infinity in CPU-offload-only mode for fair
+comparison (§5.1); the full system can additionally spill optimizer states
+to node-local NVMe (§2.2).  This harness measures the trade that tier
+makes on a GH200: far larger trainable models at a fraction of the
+throughput, because every optimizer step streams 24 bytes/param through
+the drive.
+"""
+
+import pytest
+
+from repro.systems import ZeROInfinity
+from repro.training import gh200_cluster, throughput_sweep
+from benchmarks.conftest import print_table
+
+
+def measure():
+    scale = {
+        mode: ZeROInfinity(nvme=(mode == "nvme")).max_model_billions(
+            gh200_cluster(1)
+        )
+        for mode in ("cpu", "nvme")
+    }
+    rows = throughput_sweep(
+        ["zero_infinity", "zero_infinity_nvme"], [5, 25],
+        n_superchips=1, global_batch=8,
+    )
+    tput = {}
+    for r in rows:
+        tput.setdefault(r["system"], {})[r["model_billions"]] = r["tflops"]
+    return scale, tput
+
+
+def test_ext_zero_infinity_nvme_tradeoff(benchmark):
+    scale, tput = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print_table(
+        "Extension — ZeRO-Infinity NVMe tier (single superchip)",
+        ["mode", "max model (B)", "TFLOPS @5B", "TFLOPS @25B"],
+        [
+            ["CPU offload", scale["cpu"], tput["zero_infinity"][5],
+             tput["zero_infinity"][25]],
+            ["+NVMe states", scale["nvme"], tput["zero_infinity_nvme"][5],
+             tput["zero_infinity_nvme"][25]],
+        ],
+    )
+    # capacity more than doubles...
+    assert scale["nvme"] >= 2 * scale["cpu"]
+    # ...at a large throughput cost (the drive gates the optimizer step)
+    assert tput["zero_infinity_nvme"][5] < 0.5 * tput["zero_infinity"][5]
+    assert tput["zero_infinity_nvme"][25] < 0.5 * tput["zero_infinity"][25]

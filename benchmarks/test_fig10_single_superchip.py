@@ -1,0 +1,69 @@
+"""Fig. 10: single-superchip training throughput, batch size 8.
+
+Regenerates the per-system TFLOPS series over model sizes, with the
+paper-reported behaviours asserted: SuperOffload beats every baseline
+(including GPU-only DDP), lands ~2x ZeRO-Offload, ZeRO-Infinity stays
+below ~50 TFLOPS, FSDP-Offload below ~15 TFLOPS.
+"""
+
+import pytest
+
+from repro.training import throughput_sweep
+from benchmarks.conftest import print_table
+
+SYSTEMS = ["ddp", "zero_offload", "zero_infinity", "fsdp_offload",
+           "superoffload"]
+SIZES = [1, 2, 3, 4, 5, 6, 8, 10, 13, 15, 20, 25]
+
+
+def sweep():
+    return throughput_sweep(SYSTEMS, SIZES, n_superchips=1, global_batch=8)
+
+
+def pivot(rows):
+    out = {}
+    for r in rows:
+        out.setdefault(r["model_billions"], {})[r["system"]] = r["tflops"]
+    return out
+
+
+def test_fig10_single_superchip_throughput(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = pivot(rows)
+    print_table(
+        "Fig. 10 — single superchip TFLOPS (batch 8)",
+        ["model"] + SYSTEMS,
+        [[f"{size}B"] + [table[size][s] for s in SYSTEMS] for size in SIZES],
+    )
+    for size in SIZES:
+        so = table[size]["superoffload"]
+        assert so is not None, f"SuperOffload OOM at {size}B"
+        for other in SYSTEMS[:-1]:
+            t = table[size][other]
+            if t is not None:
+                assert so > t, (size, other)
+    # headline factors
+    ratios = [
+        table[s]["superoffload"] / table[s]["zero_offload"]
+        for s in SIZES if table[s]["zero_offload"] is not None
+    ]
+    assert max(ratios) >= 1.8            # "up to 2.5x"
+    assert sum(ratios) / len(ratios) >= 1.5  # "2x on average"
+    assert all(
+        table[s]["zero_infinity"] is None or table[s]["zero_infinity"] < 55
+        for s in SIZES
+    )
+    assert all(
+        table[s]["fsdp_offload"] is None or table[s]["fsdp_offload"] < 16
+        for s in SIZES
+    )
+    # feasibility frontier: DDP dies above 3.5B; ZeRO-Offload above 15B.
+    assert table[4]["ddp"] is None
+    assert table[20]["zero_offload"] is None
+    assert table[25]["superoffload"] is not None
+    # DDP advantage claim: SuperOffload up to ~67% over DDP where DDP runs
+    ddp_ratios = [
+        table[s]["superoffload"] / table[s]["ddp"]
+        for s in SIZES if table[s]["ddp"] is not None
+    ]
+    assert max(ddp_ratios) > 1.2

@@ -1,0 +1,69 @@
+"""Fig. 11: multi-superchip throughput — 4 GPUs (batch 16) and 16 GPUs
+(batch 128), per-GPU TFLOPS.
+
+The multi-chip cluster is Slingshot-connected NVL2 pairs (§5.1), so every
+system pays inter-node collectives; the asserted shape is SuperOffload's
+lead over the ZeRO family and its ability to reach 50B/200B while the
+others OOM.
+"""
+
+import pytest
+
+from repro.training import throughput_sweep
+from benchmarks.conftest import print_table
+
+SYSTEMS = ["megatron", "zero2", "zero3", "zero_offload", "superoffload"]
+CASES = (
+    (4, 16, [5, 10, 15, 20, 30, 50]),
+    (16, 128, [10, 20, 50, 80, 150, 200]),
+)
+
+
+def sweep():
+    out = {}
+    for n, batch, sizes in CASES:
+        out[n] = throughput_sweep(SYSTEMS, sizes, n_superchips=n,
+                                  global_batch=batch)
+    return out
+
+
+def pivot(rows):
+    out = {}
+    for r in rows:
+        out.setdefault(r["model_billions"], {})[r["system"]] = r["tflops"]
+    return out
+
+
+def test_fig11_multi_superchip_throughput(benchmark):
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for n, batch, sizes in CASES:
+        table = pivot(results[n])
+        print_table(
+            f"Fig. 11 — {n} superchips, batch {batch} (per-GPU TFLOPS)",
+            ["model"] + SYSTEMS,
+            [[f"{s}B"] + [table[s][sys] for sys in SYSTEMS] for s in sizes],
+        )
+    four = pivot(results[4])
+    sixteen = pivot(results[16])
+    # SuperOffload leads the ZeRO family wherever both run.
+    for table, sizes in ((four, CASES[0][2]), (sixteen, CASES[1][2])):
+        for size in sizes:
+            so = table[size]["superoffload"]
+            if so is None:
+                continue
+            for other in ("zero2", "zero3", "zero_offload"):
+                t = table[size][other]
+                if t is not None:
+                    assert so >= 0.95 * t, (size, other)
+    # scale frontier: SuperOffload alone reaches 50B on 4 and 200B on 16.
+    assert four[50]["superoffload"] is not None
+    assert all(four[50][s] is None for s in ("zero2", "zero3", "zero_offload"))
+    assert sixteen[200]["superoffload"] is not None
+    assert sixteen[200]["zero_offload"] is None
+    # ZeRO-Offload gap: paper reports ~2.5x average; network-bound multi-
+    # node collectives compress it in our model — require a clear win.
+    gaps = [
+        four[s]["superoffload"] / four[s]["zero_offload"]
+        for s in CASES[0][2] if four[s]["zero_offload"] is not None
+    ]
+    assert max(gaps) > 1.1

@@ -1,0 +1,75 @@
+"""Fig. 12: supported sequence lengths and MFU — Ulysses vs
+SuperOffload-Ulysses (13B and 30B on 4 and 8 superchips).
+
+Paper claims reproduced: SuperOffload-Ulysses trains ~8x longer sequences,
+reaches 1M tokens for the 13B model on 8 superchips, and sustains ~55% MFU
+there.
+"""
+
+import pytest
+
+from repro.models.config import MODEL_CONFIG_TABLE
+from repro.systems import RunSetting, build_all_systems, max_sequence_tokens
+from repro.training.cluster import gh200_cluster
+from benchmarks.conftest import print_table
+
+
+def sweep():
+    systems = build_all_systems()
+    rows = []
+    for n in (4, 8):
+        cluster = gh200_cluster(n)
+        for billions in (13, 30):
+            cfg = MODEL_CONFIG_TABLE[billions]
+            proto = RunSetting(cfg, cluster, global_batch=1, seq=n * 1024)
+            for name in ("ulysses", "superoffload_ulysses"):
+                system = systems[name]
+                max_seq = max_sequence_tokens(system, proto)
+                mfu = None
+                if max_seq:
+                    setting = RunSetting(cfg, cluster, global_batch=1,
+                                         seq=max_seq)
+                    mfu = system.best_estimate(setting).mfu
+                rows.append(
+                    {
+                        "n": n,
+                        "model": f"{billions}B",
+                        "system": name,
+                        "max_seq_k": max_seq // 1024 if max_seq else 0,
+                        "mfu": mfu,
+                    }
+                )
+    return rows
+
+
+def test_fig12_sequence_length_and_mfu(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "Fig. 12 — max sequence length and MFU",
+        ["chips", "model", "system", "max seq (K tokens)", "MFU"],
+        [[r["n"], r["model"], r["system"], r["max_seq_k"], r["mfu"]]
+         for r in rows],
+    )
+    def find(n, model, system):
+        return next(r for r in rows
+                    if r["n"] == n and r["model"] == model
+                    and r["system"] == system)
+
+    # 13B on 8 superchips: 1M tokens at ~55% MFU (§5.3).
+    headline = find(8, "13B", "superoffload_ulysses")
+    assert headline["max_seq_k"] >= 1024
+    assert headline["mfu"] == pytest.approx(0.55, abs=0.06)
+    # 8x longer than vanilla Ulysses.
+    vanilla = find(8, "13B", "ulysses")
+    assert headline["max_seq_k"] >= 8 * max(1, vanilla["max_seq_k"])
+    # SuperOffload-Ulysses dominates everywhere, including where vanilla
+    # cannot train at all (30B).
+    for n in (4, 8):
+        for model in ("13B", "30B"):
+            so = find(n, model, "superoffload_ulysses")
+            va = find(n, model, "ulysses")
+            assert so["max_seq_k"] > va["max_seq_k"]
+    assert find(8, "30B", "ulysses")["max_seq_k"] == 0  # model states OOM
+    # where both run, SuperOffload-Ulysses has the higher MFU.
+    v8 = find(8, "13B", "ulysses")
+    assert headline["mfu"] > v8["mfu"]

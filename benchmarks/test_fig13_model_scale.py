@@ -1,0 +1,52 @@
+"""Fig. 13: the largest model trainable on 1, 4, and 16 superchips.
+
+Regenerates the per-system feasibility frontier by probing every Appendix-A
+configuration against each system's memory model (micro-batch 1, with or
+without activation checkpointing).
+"""
+
+import pytest
+
+from repro.training import max_model_table
+from benchmarks.conftest import print_table
+
+SYSTEMS = ["ddp", "megatron", "zero2", "zero3", "zero_offload",
+           "zero_infinity", "fsdp_offload", "superoffload"]
+
+# Paper values (Fig. 13), in billions; None where the figure omits a bar.
+PAPER = {
+    ("ddp", 1): 3.5, ("ddp", 4): 3.5, ("ddp", 16): 3.5,
+    ("zero_offload", 1): 15, ("zero_offload", 4): 20, ("zero_offload", 16): 20,
+    ("zero_infinity", 1): 25,
+    ("superoffload", 1): 25, ("superoffload", 4): 50,
+    ("superoffload", 16): 200,
+}
+
+
+def sweep():
+    return max_model_table(SYSTEMS, [1, 4, 16])
+
+
+def test_fig13_model_scale(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = {(r["system"], r["n_superchips"]): r["max_model_billions"]
+             for r in rows}
+    print_table(
+        "Fig. 13 — largest trainable model (billions of parameters)",
+        ["system", "1 superchip", "4 superchips", "16 superchips", "paper(1/4/16)"],
+        [
+            [s, table[(s, 1)], table[(s, 4)], table[(s, 16)],
+             "/".join(str(PAPER.get((s, n), "-")) for n in (1, 4, 16))]
+            for s in SYSTEMS
+        ],
+    )
+    # exact matches on the paper's headline bars
+    for key, expected in PAPER.items():
+        assert table[key] == expected, key
+    # orderings the figure shows
+    for n in (1, 4, 16):
+        assert table[("superoffload", n)] >= table[("zero_offload", n)]
+        assert table[("zero_offload", n)] > table[("ddp", n)]
+    # the §5.4 multipliers on 16 superchips
+    assert table[("superoffload", 16)] / table[("ddp", 16)] == pytest.approx(57, rel=0.05)
+    assert table[("superoffload", 16)] / table[("zero_offload", 16)] == 10

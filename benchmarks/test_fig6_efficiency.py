@@ -1,0 +1,49 @@
+"""Fig. 6: weight-flow efficiency (eqs. 1-3) vs bandwidth and batch size.
+
+The paper's analysis: even at the theoretical 450 GB/s uni-directional C2C
+peak, batch size must reach 4 (seq 1024) before streaming FP16 weights can
+hide behind forward compute at >60% efficiency.
+"""
+
+import pytest
+
+from repro.core.policy import weight_flow_efficiency
+from repro.hardware.registry import HOPPER_H100
+from benchmarks.conftest import print_table
+
+GBPS = 1e9
+BANDWIDTHS = [32, 64, 128, 256, 450, 900]
+BATCHES = [1, 2, 4, 8, 16, 32]
+
+
+def sweep():
+    peak = HOPPER_H100.achievable_flops
+    psi = int(5e9)
+    grid = {}
+    for bw in BANDWIDTHS:
+        for bsz in BATCHES:
+            grid[(bw, bsz)] = weight_flow_efficiency(
+                psi, bsz, 1024, bw * GBPS, peak
+            )
+    return grid
+
+
+def test_fig6_efficiency_surface(benchmark):
+    grid = benchmark(sweep)
+    rows = []
+    for bw in BANDWIDTHS:
+        rows.append([f"{bw} GB/s"] + [grid[(bw, b)] for b in BATCHES])
+    print_table(
+        "Fig. 6 — efficiency of weight streaming (seq=1024)",
+        ["bandwidth \\ batch"] + [str(b) for b in BATCHES],
+        rows,
+    )
+    # paper's anchor: 450 GB/s needs batch >= 4 for >= 60%
+    assert grid[(450, 4)] >= 0.60
+    assert grid[(450, 2)] < grid[(450, 4)]
+    # PCIe-gen4 (paper Table 1: 32-64 GB/s) never crosses 50% at batch <= 4
+    assert grid[(32, 4)] < 0.5
+    # monotone in both axes
+    for bw in BANDWIDTHS:
+        series = [grid[(bw, b)] for b in BATCHES]
+        assert series == sorted(series)

@@ -1,0 +1,35 @@
+"""Fig. 7: GH200 C2C bandwidth vs tensor size.
+
+Regenerates the saturating bandwidth curve: ~50 GB/s at 1 MB, saturation
+around 64 MB — the measurement behind SuperOffload's 64 MB bucket size.
+"""
+
+import pytest
+
+from repro.hardware.registry import c2c_bandwidth_model
+from benchmarks.conftest import print_table
+
+MiB = 1024**2
+SIZES = [2**k * MiB for k in range(-4, 11)]  # 64 KB .. 1 GB
+
+
+def sweep():
+    model = c2c_bandwidth_model()
+    return model.sweep([max(1, int(s)) for s in SIZES])
+
+
+def test_fig7_bandwidth_curve(benchmark):
+    series = benchmark(sweep)
+    print_table(
+        "Fig. 7 — C2C effective bandwidth vs message size",
+        ["size (MiB)", "GB/s (pinned)"],
+        [[f"{s / MiB:.3f}", bw] for s, bw in series],
+    )
+    by_size = dict(series)
+    assert 30 <= by_size[1 * MiB] <= 80        # "as low as 50 GB/s"
+    assert by_size[64 * MiB] >= 0.85 * 450      # saturation knee at 64 MB
+    gains = [b / a for (_, a), (_, b) in zip(series, series[1:])]
+    # diminishing returns beyond the knee
+    assert gains[-1] < 1.05
+    model = c2c_bandwidth_model()
+    assert 32 * MiB <= model.saturation_size(0.9) <= 128 * MiB

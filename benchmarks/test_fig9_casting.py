@@ -1,0 +1,36 @@
+"""Fig. 9: casting-path cost comparison on the superchip.
+
+Regenerates the cast_gpu<->move_fp32 vs cast_cpu<->move_fp16 timing series
+(§4.5): the CPU path costs ~2x across the 256 MB - 2 GB range despite
+moving half the bytes.
+"""
+
+import pytest
+
+from repro.hardware.casting import CastingModel
+from repro.hardware.registry import GRACE_CPU, HOPPER_H100, c2c_bandwidth_model
+from benchmarks.conftest import print_table
+
+MiB = 1024**2
+SIZES = [2**k * MiB for k in range(4, 12)]  # 16 MB .. 2 GB (fp32 payloads)
+
+
+def sweep():
+    model = CastingModel(HOPPER_H100, GRACE_CPU, c2c_bandwidth_model())
+    return model.sweep(SIZES)
+
+
+def test_fig9_casting_costs(benchmark):
+    rows = benchmark(sweep)
+    print_table(
+        "Fig. 9 — casting strategy cost (paper: CPU path ~2x slower)",
+        ["fp32 size (MiB)", "cast-GPU/move-fp32 (ms)",
+         "cast-CPU/move-fp16 (ms)", "ratio"],
+        [[r["fp32_bytes"] // MiB, r["cast_gpu_move_fp32_ms"],
+          r["cast_cpu_move_fp16_ms"], r["cpu_over_gpu_ratio"]] for r in rows],
+    )
+    paper_range = [r for r in rows if 256 * MiB <= r["fp32_bytes"] <= 2048 * MiB]
+    for r in paper_range:
+        assert 1.6 <= r["cpu_over_gpu_ratio"] <= 3.0
+    # the GPU path wins across the whole sweep on GH200
+    assert all(r["cpu_over_gpu_ratio"] > 1 for r in rows)

@@ -1,0 +1,35 @@
+"""Table 1: GPU-node architecture comparison.
+
+Regenerates the paper's hardware table from the registry, including the
+derived GPU/CPU FLOPS ratio that motivates §4.3.
+"""
+
+import pytest
+
+from repro.hardware import node_comparison_rows
+from benchmarks.conftest import print_table
+
+PAPER_RATIOS = {"DGX-2": 60.39, "DGX-A100": 135.65, "GH": 330.0}
+
+
+def build_rows():
+    return node_comparison_rows()
+
+
+def test_table1_node_comparison(benchmark):
+    rows = benchmark(build_rows)
+    print_table(
+        "Table 1 — node architecture comparison",
+        ["arch", "CPU BW (GB/s)", "C<->GPU BW (GB/s)", "CPU cores",
+         "CPU TFLOPS", "GPU TFLOPS", "GPU/CPU ratio"],
+        [
+            [r["arch"], r["cpu_bw_gbps"], r["cpu_gpu_bw_gbps"], r["cpu_cores"],
+             r["cpu_tflops"], r["gpu_tflops"], r["gpu_cpu_flops_ratio"]]
+            for r in rows
+        ],
+    )
+    ratios = {r["arch"]: r["gpu_cpu_flops_ratio"] for r in rows}
+    for arch, expected in PAPER_RATIOS.items():
+        assert ratios[arch] == pytest.approx(expected, rel=0.01)
+    # the superchip's compute gap is ~5.5x the DGX-2's (§4.3's argument)
+    assert ratios["GH"] / ratios["DGX-2"] > 5

@@ -1,0 +1,100 @@
+"""Table 3: Adam latency — PT-CPU vs CPU-Adam vs GraceAdam.
+
+Two parts:
+
+1. the *calibrated latency model* regenerating the paper's Grace numbers
+   at 1/2/4/8 B parameters, and
+2. a *real* pytest-benchmark micro-benchmark of the three numpy
+   implementations at reduced scale, demonstrating the structural effect
+   the paper exploits: the unfused per-tensor reference (PT-CPU's memory
+   pattern) loses to the fused flat-buffer designs on this machine too.
+"""
+
+import numpy as np
+import pytest
+
+from repro.optim import (
+    AdamConfig,
+    CPUAdam,
+    GraceAdam,
+    ReferenceAdam,
+    adam_latency_table,
+)
+from repro.optim.kernels import paper_table3_reference
+from benchmarks.conftest import print_table
+
+N_PARAMS = 2_000_000
+
+
+def make_setup(cls, **kwargs):
+    rng = np.random.default_rng(0)
+    params = {
+        f"p{i}": rng.standard_normal(N_PARAMS // 8).astype(np.float32)
+        for i in range(8)
+    }
+    opt = cls(params, AdamConfig(lr=1e-3), **kwargs)
+    grads = {k: rng.standard_normal(v.shape).astype(np.float32)
+             for k, v in params.items()}
+    return opt, grads
+
+
+def test_table3_latency_model(benchmark):
+    """The calibrated model vs the paper's measured seconds."""
+    ours = benchmark(adam_latency_table)
+    paper = paper_table3_reference()
+    print_table(
+        "Table 3 — Adam latency (s), model vs paper",
+        ["params", "PT-CPU (ours/paper)", "CPU-Adam (ours/paper)",
+         "GraceAdam (ours/paper)", "speedup vs PT", "vs CPU-Adam"],
+        [
+            [f"{o['params_billion']:g}B",
+             f"{o['pt_cpu']:.3f}/{p['pt_cpu']:.3f}",
+             f"{o['cpu_adam']:.3f}/{p['cpu_adam']:.3f}",
+             f"{o['grace_adam']:.3f}/{p['grace_adam']:.3f}",
+             o["speedup_vs_pt"], o["speedup_vs_cpu_adam"]]
+            for o, p in zip(ours, paper)
+        ],
+    )
+    for o, p in zip(ours, paper):
+        for kernel in ("pt_cpu", "cpu_adam", "grace_adam"):
+            assert o[kernel] == pytest.approx(p[kernel], rel=0.20)
+        assert o["speedup_vs_pt"] > 3.0
+
+
+@pytest.mark.parametrize("impl", ["reference", "cpu_adam", "grace_adam"])
+def test_table3_real_step_benchmark(benchmark, impl):
+    """Wall-clock numpy benchmark of one optimizer step (2M params)."""
+    if impl == "reference":
+        opt, grads = make_setup(ReferenceAdam)
+    elif impl == "cpu_adam":
+        opt, grads = make_setup(CPUAdam)
+    else:
+        opt, grads = make_setup(GraceAdam, tile_size=16384)
+    benchmark(opt.step, grads)
+
+
+def test_real_fused_beats_unfused(benchmark):
+    """Structural sanity on this machine: GraceAdam's tiled fused in-place
+    walk beats the out-of-place per-tensor pattern (PT-CPU's memory
+    behaviour) in real wall time too.  (CPUAdam's wall time here is not
+    representative: its per-step flat<->tensor mirroring, kept for API
+    parity, is pure Python-side overhead a C kernel would not pay.)"""
+    import time
+
+    ref, ref_grads = make_setup(ReferenceAdam)
+    grace, grace_grads = make_setup(GraceAdam, tile_size=16384)
+
+    def time_steps(opt, grads, n=5):
+        opt.step(grads)  # warm
+        t0 = time.perf_counter()
+        for _ in range(n):
+            opt.step(grads)
+        return (time.perf_counter() - t0) / n
+
+    t_ref = benchmark.pedantic(
+        lambda: time_steps(ref, ref_grads), rounds=1, iterations=1
+    )
+    t_grace = time_steps(grace, grace_grads)
+    print(f"\nreal step times: unfused reference={t_ref*1e3:.1f} ms, "
+          f"tiled GraceAdam={t_grace*1e3:.1f} ms")
+    assert t_grace < t_ref * 1.1  # the fused tiled walk never loses

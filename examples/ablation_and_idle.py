@@ -1,0 +1,67 @@
+"""Ablation study and GPU-idle analysis (Table 2, Figs. 4 & 15).
+
+Walks SuperOffload's optimizations in the paper's cumulative order —
+GraceAdam, superchip-aware casting, speculation-then-validation, and
+bucketization repartitioning — reporting simulated throughput after each,
+then contrasts the GPU idle profile of ZeRO-Offload (Fig. 4) with
+SuperOffload (Fig. 15) on the same workload.
+
+Run:  python examples/ablation_and_idle.py
+"""
+
+from __future__ import annotations
+
+from repro.models.config import MODEL_CONFIG_TABLE
+from repro.systems import RunSetting, SuperOffloadSystem, ZeROOffload
+from repro.training import ablation_table, gh200_cluster
+
+PAPER_TABLE2 = [116.20, 128.23, 144.49, 209.36, 238.92]
+
+
+def table2() -> None:
+    print("=== Table 2: optimization breakdown (5B model, batch 8) ===")
+    rows = ablation_table()
+    print(f"{'configuration':>15} {'TFLOPS (ours)':>14} {'TFLOPS (paper)':>15}"
+          f" {'gain':>7}")
+    prev = None
+    for row, paper in zip(rows, PAPER_TABLE2):
+        gain = f"+{(row['tflops'] / prev - 1) * 100:.1f}%" if prev else "-"
+        print(f"{row['row']:>15} {row['tflops']:>14.1f} {paper:>15.1f} "
+              f"{gain:>7}")
+        prev = row["tflops"]
+    total = rows[-1]["tflops"] / rows[0]["tflops"]
+    print(f"\ncumulative speedup: {total:.2f}x (paper: 2.06x); "
+          "STV is the dominant contribution in both.")
+
+
+def idle_profile() -> None:
+    print("\n=== Figs. 4 & 15: GPU idle time on the same workload ===")
+    setting = RunSetting(
+        MODEL_CONFIG_TABLE[5], gh200_cluster(1), global_batch=8
+    )
+    for system in (ZeROOffload(), SuperOffloadSystem()):
+        est = system.best_estimate(setting)
+        window = est.steady_window
+        gpu_idle = est.gpu_idle_fraction()
+        cpu_busy = est.trace.utilization("cpu", window)
+        print(f"\n{system.display_name}: iter {est.iter_time * 1e3:.0f} ms, "
+              f"{est.tflops_per_gpu:.0f} TFLOPS")
+        print(f"  GPU idle: {gpu_idle:6.1%}   CPU busy: {cpu_busy:6.1%}")
+        by_cat = est.trace.time_by_category("gpu")
+        total = sum(by_cat.values())
+        for category, seconds in sorted(by_cat.items()):
+            print(f"  gpu time in {category:10s}: {seconds / total:6.1%}")
+    print(
+        "\npaper: ZeRO-Offload leaves the Hopper GPU idle 40-50% per "
+        "iteration (Fig. 4); SuperOffload eliminates the idle periods "
+        "(Fig. 15)."
+    )
+
+
+def main() -> None:
+    table2()
+    idle_profile()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+"""Multi-superchip scaling with ZeRO-style data parallelism (§4.7, §5.2,
+§5.4).
+
+Three parts:
+
+1. **Numeric**: ZeRO-sharded Adam across simulated ranks reproduces the
+   unsharded update exactly (the §4.7 partition-before-offload invariant).
+2. **Throughput** (Fig. 11): per-GPU TFLOPS for Megatron / ZeRO-2 / ZeRO-3 /
+   ZeRO-Offload / SuperOffload on 4 and 16 superchips.
+3. **Model scale** (Fig. 13): the largest trainable model per system.
+
+Run:  python examples/multi_superchip_scaling.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optim import AdamConfig, GraceAdam
+from repro.parallel import ZeroShardedAdam
+from repro.training import max_model_table, throughput_sweep
+
+
+def numeric_zero_demo() -> None:
+    print("=== ZeRO sharding numeric equivalence ===")
+    rng = np.random.default_rng(0)
+    params = {"w": rng.standard_normal(1000).astype(np.float32),
+              "b": rng.standard_normal(17).astype(np.float32)}
+    world = 4
+
+    reference = GraceAdam({k: v.copy() for k, v in params.items()},
+                          AdamConfig(lr=1e-2))
+    sharded = ZeroShardedAdam({k: v.copy() for k, v in params.items()},
+                              world_size=world, config=AdamConfig(lr=1e-2))
+    for _ in range(5):
+        per_rank = [
+            {k: rng.standard_normal(v.shape).astype(np.float32)
+             for k, v in params.items()}
+            for _ in range(world)
+        ]
+        total = {k: sum(g[k] for g in per_rank) for k in params}
+        reference.step(
+            {k: (v / np.float32(world)).astype(np.float32)
+             for k, v in total.items()}
+        )
+        sharded.step(per_rank)
+    err = max(float(np.abs(reference.params[k] - sharded.params[k]).max())
+              for k in params)
+    print(f"{world}-rank ZeRO-sharded Adam vs unsharded after 5 steps: "
+          f"max |diff| = {err:.2e}")
+    print(f"optimizer state per rank: "
+          f"{sharded.optimizer_state_bytes_per_rank():,} bytes "
+          f"(1/{world} of the unsharded footprint)\n")
+
+
+SYSTEMS = ["megatron", "zero2", "zero3", "zero_offload", "superoffload"]
+
+
+def fig11_throughput() -> None:
+    print("=== Fig. 11: multi-superchip throughput (per-GPU TFLOPS) ===")
+    for n_chips, batch, sizes in ((4, 16, [5, 10, 20, 50]),
+                                  (16, 128, [20, 50, 80, 200])):
+        rows = throughput_sweep(SYSTEMS, sizes, n_superchips=n_chips,
+                                global_batch=batch)
+        print(f"\n{n_chips} superchips, global batch {batch}:")
+        print(f"{'model':>7} " + "".join(f"{s:>14}" for s in SYSTEMS))
+        table = {}
+        for r in rows:
+            table.setdefault(r["model_billions"], {})[r["system"]] = r["tflops"]
+        for size in sizes:
+            cells = "".join(
+                f"{table[size][s]:>14.1f}" if table[size][s] is not None
+                else f"{'OOM':>14}"
+                for s in SYSTEMS
+            )
+            print(f"{size:>6}B {cells}")
+
+
+def fig13_model_scale() -> None:
+    print("\n=== Fig. 13: largest trainable model (billions) ===")
+    rows = max_model_table(SYSTEMS + ["ddp"], [1, 4, 16])
+    table = {}
+    for r in rows:
+        table.setdefault(r["system"], {})[r["n_superchips"]] = (
+            r["max_model_billions"]
+        )
+    print(f"{'system':>14} {'1 chip':>8} {'4 chips':>8} {'16 chips':>9}")
+    for system, row in table.items():
+        print(f"{system:>14} {row[1]:>8g} {row[4]:>8g} {row[16]:>9g}")
+    print(
+        "\npaper headlines: SuperOffload trains 25B on one superchip "
+        "(7x DDP), 50B on four, and 200B on sixteen (57x DDP, 10x "
+        "ZeRO-Offload)."
+    )
+
+
+def main() -> None:
+    numeric_zero_demo()
+    fig11_throughput()
+    fig13_model_scale()
+
+
+if __name__ == "__main__":
+    main()

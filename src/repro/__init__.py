@@ -1,0 +1,33 @@
+"""SuperOffload reproduction: superchip-centric offloading for large-scale
+LLM training (ASPLOS 2026).
+
+Two interlocking halves:
+
+* the **numeric substrate** — real numpy computation for everything
+  algorithmic (mixed precision, the Adam family, speculation-then-
+  validation, ZeRO sharding, Ulysses sequence parallelism); and
+* the **performance simulator** — calibrated GH200 hardware models plus a
+  deterministic task-graph simulator that regenerates every table and
+  figure of the paper's evaluation for SuperOffload and all baselines.
+
+Start with :func:`repro.core.init` (the paper's Fig. 1 API) for training,
+:mod:`repro.training` for the experiment drivers, or ``python -m repro``
+to regenerate any artifact from the shell.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "core",
+    "data",
+    "hardware",
+    "models",
+    "numeric",
+    "optim",
+    "parallel",
+    "reporting",
+    "sim",
+    "systems",
+    "tensors",
+    "training",
+]

@@ -1,0 +1,336 @@
+"""Command-line interface: regenerate any paper artifact from a shell.
+
+Usage::
+
+    python -m repro list                 # available artifacts
+    python -m repro fig10                # single-superchip throughput
+    python -m repro table2               # the ablation breakdown
+    python -m repro fig12 --chips 8      # Ulysses sequence lengths
+    python -m repro all                  # everything (slow)
+
+Every command prints the same table its benchmark harness asserts on; the
+heavier sweeps accept ``--quick`` to trim the model-size grid.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+from repro.reporting import print_table
+
+
+def _cmd_table1(args: argparse.Namespace) -> None:
+    from repro.hardware import node_comparison_rows
+
+    rows = node_comparison_rows()
+    print_table(
+        "Table 1 — node architecture comparison",
+        ["arch", "CPU BW", "C<->GPU BW", "cores", "CPU TF", "GPU TF", "ratio"],
+        [[r["arch"], r["cpu_bw_gbps"], r["cpu_gpu_bw_gbps"], r["cpu_cores"],
+          r["cpu_tflops"], r["gpu_tflops"], r["gpu_cpu_flops_ratio"]]
+         for r in rows],
+    )
+
+
+def _cmd_fig4(args: argparse.Namespace) -> None:
+    from repro.models.config import MODEL_CONFIG_TABLE
+    from repro.systems import RunSetting, ZeROOffload
+    from repro.training.cluster import gh200_cluster
+
+    rows = []
+    for billions in (5, 15):
+        setting = RunSetting(
+            MODEL_CONFIG_TABLE[billions], gh200_cluster(1), global_batch=8
+        )
+        est = ZeROOffload().best_estimate(setting)
+        rows.append([f"{billions}B", 100 * est.gpu_idle_fraction(),
+                     est.iter_time])
+    print_table(
+        "Fig. 4 — ZeRO-Offload GPU idle time (paper: 40-50%)",
+        ["model", "GPU idle %", "iter (s)"],
+        rows,
+    )
+
+
+def _cmd_fig6(args: argparse.Namespace) -> None:
+    from repro.core.policy import weight_flow_efficiency
+    from repro.hardware.registry import HOPPER_H100
+
+    batches = [1, 2, 4, 8, 16, 32]
+    rows = []
+    for bw in (32, 64, 128, 256, 450, 900):
+        rows.append([f"{bw} GB/s"] + [
+            weight_flow_efficiency(int(5e9), b, 1024, bw * 1e9,
+                                   HOPPER_H100.achievable_flops)
+            for b in batches
+        ])
+    print_table(
+        "Fig. 6 — weight-flow efficiency (eqs. 1-3, seq 1024)",
+        ["bandwidth \\ batch"] + [str(b) for b in batches],
+        rows,
+    )
+
+
+def _cmd_fig7(args: argparse.Namespace) -> None:
+    from repro.hardware.registry import c2c_bandwidth_model
+
+    MiB = 1024**2
+    model = c2c_bandwidth_model()
+    rows = [[f"{s / MiB:g} MiB", bw]
+            for s, bw in model.sweep([2**k * MiB for k in range(0, 11)])]
+    print_table("Fig. 7 — C2C bandwidth vs message size",
+                ["size", "GB/s"], rows)
+
+
+def _cmd_fig9(args: argparse.Namespace) -> None:
+    from repro.hardware.casting import CastingModel
+    from repro.hardware.registry import (
+        GRACE_CPU, HOPPER_H100, c2c_bandwidth_model,
+    )
+
+    MiB = 1024**2
+    model = CastingModel(HOPPER_H100, GRACE_CPU, c2c_bandwidth_model())
+    rows = [[r["fp32_bytes"] // MiB, r["cast_gpu_move_fp32_ms"],
+             r["cast_cpu_move_fp16_ms"], r["cpu_over_gpu_ratio"]]
+            for r in model.sweep([2**k * MiB for k in range(4, 12)])]
+    print_table(
+        "Fig. 9 — casting path cost (paper: CPU path ~2x)",
+        ["fp32 MiB", "GPU path (ms)", "CPU path (ms)", "ratio"], rows,
+    )
+
+
+def _cmd_fig10(args: argparse.Namespace) -> None:
+    from repro.training import throughput_sweep
+
+    systems = ["ddp", "zero_offload", "zero_infinity", "fsdp_offload",
+               "superoffload"]
+    sizes = [1, 3, 5] if args.quick else [1, 2, 3, 4, 5, 6, 8, 10, 13, 15,
+                                          20, 25]
+    rows = throughput_sweep(systems, sizes, 1, 8)
+    table: Dict[float, Dict[str, float | None]] = {}
+    for r in rows:
+        table.setdefault(r["model_billions"], {})[r["system"]] = r["tflops"]
+    print_table(
+        "Fig. 10 — single superchip TFLOPS (batch 8)",
+        ["model"] + systems,
+        [[f"{s}B"] + [table[s][sys] for sys in systems] for s in sizes],
+    )
+
+
+def _cmd_fig11(args: argparse.Namespace) -> None:
+    from repro.training import throughput_sweep
+
+    systems = ["megatron", "zero2", "zero3", "zero_offload", "superoffload"]
+    cases = ((4, 16, [5, 10, 20, 50]), (16, 128, [20, 50, 80, 200]))
+    if args.quick:
+        cases = ((4, 16, [5, 20]),)
+    for n, batch, sizes in cases:
+        rows = throughput_sweep(systems, sizes, n, batch)
+        table: Dict[float, Dict[str, float | None]] = {}
+        for r in rows:
+            table.setdefault(r["model_billions"], {})[r["system"]] = r["tflops"]
+        print_table(
+            f"Fig. 11 — {n} superchips, batch {batch} (per-GPU TFLOPS)",
+            ["model"] + systems,
+            [[f"{s}B"] + [table[s][sys] for sys in systems] for s in sizes],
+        )
+
+
+def _cmd_fig12(args: argparse.Namespace) -> None:
+    from repro.models.config import MODEL_CONFIG_TABLE
+    from repro.systems import RunSetting, build_all_systems, max_sequence_tokens
+    from repro.training.cluster import gh200_cluster
+
+    systems = build_all_systems()
+    chips = [args.chips] if args.chips else [4, 8]
+    rows = []
+    for n in chips:
+        cluster = gh200_cluster(n)
+        for billions in (13, 30):
+            config = MODEL_CONFIG_TABLE[billions]
+            proto = RunSetting(config, cluster, global_batch=1, seq=n * 1024)
+            for name in ("ulysses", "superoffload_ulysses"):
+                system = systems[name]
+                max_seq = max_sequence_tokens(system, proto)
+                mfu = None
+                if max_seq:
+                    est = system.best_estimate(
+                        RunSetting(config, cluster, global_batch=1,
+                                   seq=max_seq)
+                    )
+                    mfu = est.mfu
+                rows.append([n, f"{billions}B", name,
+                             f"{max_seq // 1024}K" if max_seq else None, mfu])
+    print_table(
+        "Fig. 12 — max sequence length and MFU",
+        ["chips", "model", "system", "max seq", "MFU"], rows,
+    )
+
+
+def _cmd_fig13(args: argparse.Namespace) -> None:
+    from repro.training import max_model_table
+
+    systems = ["ddp", "megatron", "zero2", "zero3", "zero_offload",
+               "zero_infinity", "fsdp_offload", "superoffload"]
+    rows = max_model_table(systems, [1, 4, 16])
+    table: Dict[str, Dict[int, float]] = {}
+    for r in rows:
+        table.setdefault(r["system"], {})[r["n_superchips"]] = (
+            r["max_model_billions"]
+        )
+    print_table(
+        "Fig. 13 — largest trainable model (billions)",
+        ["system", "1 chip", "4 chips", "16 chips"],
+        [[s, table[s][1], table[s][4], table[s][16]] for s in systems],
+    )
+
+
+def _cmd_table2(args: argparse.Namespace) -> None:
+    from repro.training import ablation_table
+
+    rows = ablation_table()
+    paper = [116.20, 128.23, 144.49, 209.36, 238.92]
+    print_table(
+        "Table 2 — optimization breakdown (5B, batch 8)",
+        ["configuration", "TFLOPS (ours)", "TFLOPS (paper)"],
+        [[r["row"], r["tflops"], p] for r, p in zip(rows, paper)],
+    )
+
+
+def _cmd_table3(args: argparse.Namespace) -> None:
+    from repro.optim import adam_latency_table
+    from repro.optim.kernels import paper_table3_reference
+
+    ours = adam_latency_table()
+    paper = paper_table3_reference()
+    print_table(
+        "Table 3 — Adam latency (s), ours/paper",
+        ["params", "PT-CPU", "CPU-Adam", "GraceAdam"],
+        [[f"{o['params_billion']:g}B",
+          f"{o['pt_cpu']:.3f}/{p['pt_cpu']:.3f}",
+          f"{o['cpu_adam']:.3f}/{p['cpu_adam']:.3f}",
+          f"{o['grace_adam']:.3f}/{p['grace_adam']:.3f}"]
+         for o, p in zip(ours, paper)],
+    )
+
+
+def _cmd_fig14(args: argparse.Namespace) -> None:
+    import numpy as np
+
+    from repro.training import InstabilityInjector, STVTrainer
+
+    total = 120 if args.quick else 300
+    warmup = total // 5
+    trainer = STVTrainer(
+        batch=8,
+        injector=InstabilityInjector(warmup_iters=warmup,
+                                     spike_probability=0.35,
+                                     spike_scale=80.0,
+                                     overflow_probability=0.1, seed=0),
+        seed=1,
+    )
+    record = trainer.run(total)
+    step = total // 10
+    print_table(
+        "Fig. 14 — loss and rollbacks during STV training",
+        ["iterations", "mean loss", "rollbacks"],
+        [[f"{i * step}-{(i + 1) * step}",
+          float(np.mean(record.losses[i * step:(i + 1) * step])),
+          sum(i * step <= r < (i + 1) * step
+              for r in record.rollback_iterations)]
+         for i in range(10)],
+    )
+    print(f"rollback rate: warm-up {record.rollback_rate(0, warmup):.1%}, "
+          f"after {record.rollback_rate(warmup):.2%}")
+
+
+def _cmd_fig15(args: argparse.Namespace) -> None:
+    from repro.models.config import MODEL_CONFIG_TABLE
+    from repro.systems import RunSetting, SuperOffloadSystem, ZeROOffload
+    from repro.training.cluster import gh200_cluster
+
+    setting = RunSetting(MODEL_CONFIG_TABLE[5], gh200_cluster(1),
+                         global_batch=8)
+    rows = []
+    for system in (ZeROOffload(), SuperOffloadSystem()):
+        est = system.best_estimate(setting)
+        rows.append([system.display_name,
+                     100 * (1 - est.gpu_idle_fraction()),
+                     est.tflops_per_gpu])
+    print_table(
+        "Fig. 15 — GPU utilization (5B, batch 8)",
+        ["system", "GPU util %", "TFLOPS"], rows,
+    )
+
+
+def _cmd_timeline(args: argparse.Namespace) -> None:
+    from repro.models.config import MODEL_CONFIG_TABLE
+    from repro.sim.gantt import render_timeline
+    from repro.systems import RunSetting, SuperOffloadSystem, ZeROOffload
+    from repro.training.cluster import gh200_cluster
+
+    setting = RunSetting(MODEL_CONFIG_TABLE[5], gh200_cluster(1),
+                         global_batch=8)
+    for system in (ZeROOffload(), SuperOffloadSystem()):
+        est = system.best_estimate(setting)
+        print(f"\n--- {system.display_name} (steady-state iteration) ---")
+        print(render_timeline(est.trace, ["gpu", "d2h", "cpu", "h2d"],
+                              width=96, window=est.steady_window))
+
+
+COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
+    "table1": _cmd_table1,
+    "fig4": _cmd_fig4,
+    "fig6": _cmd_fig6,
+    "fig7": _cmd_fig7,
+    "fig9": _cmd_fig9,
+    "fig10": _cmd_fig10,
+    "fig11": _cmd_fig11,
+    "fig12": _cmd_fig12,
+    "fig13": _cmd_fig13,
+    "table2": _cmd_table2,
+    "table3": _cmd_table3,
+    "fig14": _cmd_fig14,
+    "fig15": _cmd_fig15,
+    "timeline": _cmd_timeline,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate SuperOffload paper artifacts.",
+    )
+    parser.add_argument(
+        "artifact",
+        choices=sorted(COMMANDS) + ["all", "list"],
+        help="which table/figure to regenerate ('all' runs everything)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="trim the heavier sweeps for a fast smoke run",
+    )
+    parser.add_argument(
+        "--chips", type=int, default=None,
+        help="restrict fig12 to one superchip count",
+    )
+    return parser
+
+
+def main(argv: List[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.artifact == "list":
+        print("available artifacts:", ", ".join(sorted(COMMANDS)), "| all")
+        return 0
+    names = sorted(COMMANDS) if args.artifact == "all" else [args.artifact]
+    for name in names:
+        COMMANDS[name](args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""SuperOffload core: the paper's primary contribution.
+
+* :mod:`repro.core.policy` — adaptive weight-stationary / weight-flow
+  offloading and the efficiency model of §4.2 (eqs. 1-3).
+* :mod:`repro.core.bucketization` — 64 MB bucketization and the
+  repartitioning that keeps the last buckets' optimizer on the GPU (§4.3,
+  eqs. 4-5, grid search).
+* :mod:`repro.core.stv` — speculation-then-validation with exact rollback
+  (§4.4), running for real on the numeric substrate.
+* :mod:`repro.core.casting` — superchip-aware casting decisions (§4.5).
+* :mod:`repro.core.engine` — the user-facing engine and the Fig. 1 style
+  ``init(model, optimizer)`` entry point, with the Table 2 feature flags.
+"""
+
+from repro.core.policy import (
+    AdaptiveOffloadPolicy,
+    OffloadDecision,
+    WeightPolicy,
+    weight_flow_efficiency,
+)
+from repro.core.bucketization import (
+    Bucket,
+    BucketPlan,
+    build_bucket_plan,
+    bucket_transfer_sizes,
+    grid_search_gpu_buckets,
+    repartition_headroom,
+)
+from repro.core.casting import CastDecision, choose_cast_path
+from repro.core.stv import StepReport, STVEngine, SynchronousEngine
+from repro.core.engine import SuperOffloadConfig, SuperOffloadEngine, init
+from repro.core.validator import BackgroundValidator, ValidationTicket
+from repro.core.weight_manager import FetchRecord, WeightFlowManager
+
+__all__ = [
+    "WeightPolicy",
+    "OffloadDecision",
+    "AdaptiveOffloadPolicy",
+    "weight_flow_efficiency",
+    "Bucket",
+    "BucketPlan",
+    "build_bucket_plan",
+    "bucket_transfer_sizes",
+    "grid_search_gpu_buckets",
+    "repartition_headroom",
+    "CastDecision",
+    "choose_cast_path",
+    "STVEngine",
+    "SynchronousEngine",
+    "StepReport",
+    "SuperOffloadConfig",
+    "SuperOffloadEngine",
+    "init",
+    "BackgroundValidator",
+    "ValidationTicket",
+    "WeightFlowManager",
+    "FetchRecord",
+]

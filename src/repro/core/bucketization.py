@@ -1,0 +1,181 @@
+"""Fine-grained bucketization and repartitioning (§4.3).
+
+Gradients and parameters are grouped into 64 MB buckets — the Fig. 7
+saturation size — so each transfer runs at full C2C bandwidth while staying
+fine-grained enough to overlap with backward compute.  The *repartitioning*
+insight: the last buckets produced by backward feed the *first* layers of
+the next forward, so their CPU round-trip (swap-out, Grace Adam, swap-in)
+cannot hide behind anything; SuperOffload instead keeps the optimizer
+states of the last ``n`` buckets on the GPU, with ``n`` bounded by eq. 4-5
+and picked by grid search over the simulated schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+from repro.models.config import ModelConfig
+from repro.models.estimators import param_count
+from repro.sim import calibration
+
+
+@dataclass(frozen=True)
+class Bucket:
+    """One gradient/parameter bucket.
+
+    Attributes:
+        index: position in backward-production order (0 = produced first,
+            i.e. the *deepest* layers' gradients).
+        n_params: parameters covered.
+        on_gpu: whether this bucket's optimizer states stay in HBM.
+    """
+
+    index: int
+    n_params: int
+    on_gpu: bool = False
+
+    @property
+    def grad_bytes_fp16(self) -> int:
+        return 2 * self.n_params
+
+    @property
+    def grad_bytes_fp32(self) -> int:
+        return 4 * self.n_params
+
+    @property
+    def optimizer_state_bytes(self) -> int:
+        return 12 * self.n_params
+
+
+@dataclass(frozen=True)
+class BucketPlan:
+    """A model's bucket decomposition.
+
+    Attributes:
+        buckets: in backward-production order.
+        bucket_bytes: the fp16 payload target per bucket.
+    """
+
+    buckets: Tuple[Bucket, ...]
+    bucket_bytes: int
+
+    @property
+    def n_buckets(self) -> int:
+        return len(self.buckets)
+
+    @property
+    def gpu_buckets(self) -> Tuple[Bucket, ...]:
+        """Buckets whose optimizer runs on the GPU (the repartitioned tail)."""
+        return tuple(b for b in self.buckets if b.on_gpu)
+
+    @property
+    def cpu_buckets(self) -> Tuple[Bucket, ...]:
+        return tuple(b for b in self.buckets if not b.on_gpu)
+
+    @property
+    def gpu_params(self) -> int:
+        return sum(b.n_params for b in self.gpu_buckets)
+
+    @property
+    def cpu_params(self) -> int:
+        return sum(b.n_params for b in self.cpu_buckets)
+
+    def gpu_optimizer_state_bytes(self) -> int:
+        """Extra HBM consumed by the repartitioned tail."""
+        return sum(b.optimizer_state_bytes for b in self.gpu_buckets)
+
+
+def build_bucket_plan(
+    config: ModelConfig,
+    bucket_bytes: int = calibration.BUCKET_BYTES,
+    n_gpu_buckets: int = 0,
+) -> BucketPlan:
+    """Partition a model's parameters into fp16 buckets of ``bucket_bytes``.
+
+    Args:
+        config: the model.
+        bucket_bytes: fp16 payload per bucket (64 MB default, Fig. 7).
+        n_gpu_buckets: how many of the *last-produced* buckets keep their
+            optimizer state on the GPU (§4.3 repartitioning).
+    """
+    if bucket_bytes < 2:
+        raise ValueError("bucket_bytes must hold at least one fp16 element")
+    psi = param_count(config)
+    per_bucket = bucket_bytes // 2  # fp16 elements
+    n_buckets = max(1, (psi + per_bucket - 1) // per_bucket)
+    if not 0 <= n_gpu_buckets <= n_buckets:
+        raise ValueError(
+            f"n_gpu_buckets {n_gpu_buckets} outside [0, {n_buckets}]"
+        )
+    buckets: List[Bucket] = []
+    remaining = psi
+    for i in range(n_buckets):
+        size = min(per_bucket, remaining)
+        # The last n_gpu_buckets produced (highest indices) stay on GPU.
+        on_gpu = i >= n_buckets - n_gpu_buckets
+        buckets.append(Bucket(index=i, n_params=size, on_gpu=on_gpu))
+        remaining -= size
+    return BucketPlan(buckets=tuple(buckets), bucket_bytes=bucket_bytes)
+
+
+def repartition_headroom(
+    move_grad_s: float,
+    step_cpu_s: float,
+    move_param_s: float,
+    bwd_per_bucket_s: float,
+    step_gpu_per_bucket_s: float,
+    n_gpu_buckets: int,
+) -> float:
+    """Eq. 4-5 slack: GPU-side work for ``n`` tail buckets minus the final
+    CPU bucket's exposed round-trip.
+
+    Positive slack means the last CPU bucket's (swap-out + Grace step +
+    swap-in) hides entirely behind the backward + GPU-step work of the ``n``
+    repartitioned buckets.
+    """
+    if n_gpu_buckets < 0:
+        raise ValueError("n_gpu_buckets must be non-negative")
+    lhs = move_grad_s + step_cpu_s + move_param_s
+    rhs = n_gpu_buckets * (bwd_per_bucket_s + step_gpu_per_bucket_s)
+    return rhs - lhs
+
+
+def grid_search_gpu_buckets(
+    n_buckets: int,
+    objective: Callable[[int], float],
+    max_gpu_buckets: int | None = None,
+) -> Tuple[int, float]:
+    """Grid search over the repartitioned tail size (§4.3).
+
+    Args:
+        n_buckets: total bucket count.
+        objective: ``n -> simulated iteration seconds`` (lower is better);
+            typically a closure over the schedule simulator.
+        max_gpu_buckets: cap from the HBM budget (each GPU bucket costs
+            12 bytes/param of optimizer state).
+
+    Returns:
+        (best_n, best_objective).
+    """
+    if n_buckets < 1:
+        raise ValueError("n_buckets must be >= 1")
+    hi = n_buckets if max_gpu_buckets is None else min(n_buckets, max_gpu_buckets)
+    best_n, best_val = 0, objective(0)
+    for n in range(1, hi + 1):
+        val = objective(n)
+        if val < best_val:
+            best_n, best_val = n, val
+    return best_n, best_val
+
+
+def bucket_transfer_sizes(plan: BucketPlan, fp32: bool) -> Sequence[int]:
+    """Per-bucket link payloads for the CPU-bound buckets.
+
+    Args:
+        plan: the bucket plan.
+        fp32: True under superchip-aware casting (§4.5 moves FP32),
+            False under the classic FP16 edge cut.
+    """
+    width = 4 if fp32 else 2
+    return [width * b.n_params for b in plan.cpu_buckets]

@@ -1,0 +1,68 @@
+"""Superchip-aware casting decision (§4.5).
+
+Wraps the hardware casting cost model into the per-bucket decision the
+engine makes: with SAC enabled, pick the cheaper of cast-on-GPU/move-FP32
+versus move-FP16/cast-on-CPU (on GH200 the FP32 path wins across the range
+the paper measures); with SAC disabled, always take the classic minimum-
+communication-volume FP16 path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.casting import CastingModel, CastPathCost
+
+
+@dataclass(frozen=True)
+class CastDecision:
+    """The per-bucket casting strategy.
+
+    Attributes:
+        path: the chosen :class:`CastPathCost`.
+        alternative: the rejected path (for reporting/ablations).
+        superchip_aware: whether the decision considered casting cost.
+    """
+
+    path: CastPathCost
+    alternative: CastPathCost
+    superchip_aware: bool
+
+    @property
+    def pinned_transfer(self) -> bool:
+        """FP32 DMA moves through pinned memory; the FP16 path bounces
+        through the unpinned temporary the paper observes (§4.5)."""
+        return self.path.path == "cast_gpu_move_fp32"
+
+    @property
+    def savings_seconds(self) -> float:
+        """Time saved versus the rejected path (>= 0 when aware)."""
+        return self.alternative.total - self.path.total
+
+
+def choose_cast_path(
+    fp32_bytes: int,
+    model: CastingModel,
+    superchip_aware: bool = True,
+) -> CastDecision:
+    """Pick the casting strategy for one bucket payload.
+
+    Args:
+        fp32_bytes: the bucket's FP32 payload size.
+        model: the superchip's casting cost model.
+        superchip_aware: False reproduces the PCIe-era greedy edge cut
+            (always move FP16), the Table 2 "Cast Optim. off" ablation.
+    """
+    if fp32_bytes <= 0:
+        raise ValueError("fp32_bytes must be positive")
+    gpu_path = model.cast_gpu_move_fp32(fp32_bytes)
+    cpu_path = model.cast_cpu_move_fp16(fp32_bytes)
+    if not superchip_aware:
+        return CastDecision(
+            path=cpu_path, alternative=gpu_path, superchip_aware=False
+        )
+    if gpu_path.total <= cpu_path.total:
+        return CastDecision(
+            path=gpu_path, alternative=cpu_path, superchip_aware=True
+        )
+    return CastDecision(path=cpu_path, alternative=gpu_path, superchip_aware=True)

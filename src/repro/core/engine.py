@@ -1,0 +1,206 @@
+"""The SuperOffload engine and its Fig. 1 style entry point.
+
+``init(model, optimizer_config)`` wraps a numeric model into a
+:class:`SuperOffloadEngine` with a few lines, mirroring the paper's
+DeepSpeed integration: the engine owns mixed precision, bucketization,
+speculation-then-validation, and the adaptive offload policy, and exposes
+``train_step`` as the whole training loop surface.
+
+The same :class:`SuperOffloadConfig` feature flags drive the performance
+model (:mod:`repro.systems.superoffload`), so the Table 2 ablation toggles
+one switch per row in both worlds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.stv import StepReport, STVEngine, SynchronousEngine
+from repro.numeric.transformer import TinyTransformer
+from repro.optim.adam import AdamConfig
+from repro.optim.implementations import AdamOptimizer, GraceAdam, ReferenceAdam
+from repro.optim.mixed_precision import LossScaler
+from repro.optim.rollback import RollbackStrategy
+
+
+@dataclass(frozen=True)
+class SuperOffloadConfig:
+    """Engine feature flags and knobs (Table 2's ablation axes).
+
+    Attributes:
+        grace_adam: use the SVE-style tiled optimizer (§4.6); off falls back
+            to the unfused reference implementation.
+        superchip_aware_casting: price casting per §4.5 (performance-model
+            effect; numerics are unchanged by where a cast runs).
+        stv: speculation-then-validation (§4.4); off uses the synchronous
+            STE ordering.
+        bucket_repartitioning: keep tail-bucket optimizer states on the GPU
+            (§4.3; performance-model effect).
+        n_buckets: bucket count for speculative stepping.
+        clip_norm: global gradient clipping threshold (None disables).
+        rollback: STV rollback mechanism.
+        adam: optimizer hyperparameters.
+        precision: low-precision training format, ``"fp16"`` (default,
+            dynamic loss scaling) or ``"bf16"`` (no scaling; the GH200's
+            native training dtype).
+    """
+
+    grace_adam: bool = True
+    superchip_aware_casting: bool = True
+    stv: bool = True
+    bucket_repartitioning: bool = True
+    n_buckets: int = 4
+    clip_norm: float | None = 1.0
+    rollback: RollbackStrategy = RollbackStrategy.SNAPSHOT
+    adam: AdamConfig = field(default_factory=AdamConfig)
+    precision: str = "fp16"
+
+    def __post_init__(self) -> None:
+        if self.n_buckets < 1:
+            raise ValueError("n_buckets must be >= 1")
+        if self.precision not in ("fp16", "bf16"):
+            raise ValueError("precision must be 'fp16' or 'bf16'")
+
+
+class SuperOffloadEngine:
+    """User-facing training engine over the numeric substrate.
+
+    Args:
+        model: the numpy transformer to train (its parameters become the
+            fp32 master copy).
+        config: feature flags and hyperparameters.
+        loss_scaler: optional externally-configured scaler.
+    """
+
+    def __init__(
+        self,
+        model: TinyTransformer,
+        config: SuperOffloadConfig | None = None,
+        loss_scaler: LossScaler | None = None,
+    ):
+        self.config = config or SuperOffloadConfig()
+        self.model = model
+        optimizer_cls = GraceAdam if self.config.grace_adam else ReferenceAdam
+        self.optimizer: AdamOptimizer = optimizer_cls(
+            model.params, self.config.adam
+        )
+        if self.config.stv:
+            self._inner: STVEngine | SynchronousEngine = STVEngine(
+                model,
+                self.optimizer,
+                clip_norm=self.config.clip_norm,
+                loss_scaler=loss_scaler,
+                n_buckets=self.config.n_buckets,
+                rollback=self.config.rollback,
+                precision=self.config.precision,
+            )
+        else:
+            self._inner = SynchronousEngine(
+                model,
+                self.optimizer,
+                clip_norm=self.config.clip_norm,
+                loss_scaler=loss_scaler,
+                precision=self.config.precision,
+            )
+        self.history: List[StepReport] = []
+
+    def train_step(
+        self, ids: np.ndarray, targets: np.ndarray, grad_accum: int = 1
+    ) -> StepReport:
+        """Run one full training iteration (forward, backward, optimize).
+
+        Args:
+            ids: token ids for the whole step batch.
+            targets: next-token targets.
+            grad_accum: split the batch into this many micro-batches and
+                accumulate gradients before the optimizer step (§5.2's
+                OOM-avoidance strategy 1).
+        """
+        report = self._inner.train_step(ids, targets, grad_accum)
+        self.history.append(report)
+        return report
+
+    @property
+    def iteration(self) -> int:
+        """Iterations completed."""
+        return self._inner.iteration
+
+    @property
+    def rollback_count(self) -> int:
+        """Total STV rollbacks so far (0 for the synchronous engine)."""
+        return getattr(self._inner, "rollback_count", 0)
+
+    @property
+    def loss_scale(self) -> float:
+        """The current dynamic loss scale."""
+        return self._inner.scaler.scale
+
+    def rollback_iterations(self) -> List[int]:
+        """Iteration indices where a rollback occurred (Fig. 14's red dots)."""
+        return [r.iteration for r in self.history if r.rolled_back]
+
+    def losses(self) -> List[float]:
+        """Loss curve over the recorded history."""
+        return [r.loss for r in self.history]
+
+    # ---- checkpointing --------------------------------------------------
+
+    def state_dict(self) -> Dict:
+        """Serializable training state for checkpoint/resume.
+
+        Captures the fp32 master weights, the optimizer moments and step
+        counts, the dynamic loss-scaler state, and the iteration counter —
+        everything needed for a bitwise-identical resume (the test suite
+        asserts resume == uninterrupted training).
+        """
+        inner = self._inner
+        return {
+            "master": {k: v.copy() for k, v in self.model.params.items()},
+            "optim_m": {k: s.m.copy() for k, s in self.optimizer.state.items()},
+            "optim_v": {k: s.v.copy() for k, s in self.optimizer.state.items()},
+            "optim_step": {k: s.step for k, s in self.optimizer.state.items()},
+            "scale": inner.scaler.scale,
+            "scaler_healthy_steps": inner.scaler._healthy_steps,
+            "iteration": inner.iteration,
+            "rollback_count": getattr(inner, "rollback_count", 0),
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        """Restore a :meth:`state_dict` checkpoint in place."""
+        required = {"master", "optim_m", "optim_v", "optim_step", "scale",
+                    "scaler_healthy_steps", "iteration"}
+        missing = required - set(state)
+        if missing:
+            raise KeyError(f"checkpoint missing keys: {sorted(missing)}")
+        for k, v in state["master"].items():
+            self.model.params[k][...] = v
+        for k, st in self.optimizer.state.items():
+            st.m[...] = state["optim_m"][k]
+            st.v[...] = state["optim_v"][k]
+            st.step = state["optim_step"][k]
+        inner = self._inner
+        inner.scaler.scale = state["scale"]
+        inner.scaler._healthy_steps = state["scaler_healthy_steps"]
+        inner.iteration = state["iteration"]
+        if hasattr(inner, "rollback_count"):
+            inner.rollback_count = state.get("rollback_count", 0)
+        inner.mp.sync_model_copy()
+
+
+def init(
+    model: TinyTransformer,
+    config: SuperOffloadConfig | None = None,
+) -> SuperOffloadEngine:
+    """Enable SuperOffload on a model with one call (the Fig. 1 API).
+
+    Example::
+
+        model = TinyTransformer(spec)
+        engine = superoffload.init(model)
+        for ids, targets in batches:
+            report = engine.train_step(ids, targets)
+    """
+    return SuperOffloadEngine(model, config)

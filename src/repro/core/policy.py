@@ -1,0 +1,161 @@
+"""Adaptive weight-stationary / weight-flow offloading (§4.2).
+
+The efficiency model (eqs. 1-3) asks whether streaming FP16 weights over
+the C2C link can hide behind forward compute; the adaptive policy then
+chooses per-scenario:
+
+* *weight-stationary* (ZeRO-Offload's choice) when the FP16 weights and the
+  activations of the desired micro-batch fit in HBM — no weight traffic.
+* *weight-flow* (ZeRO-Infinity's direction, done at saturating bucket
+  sizes) when activations crowd out the weights — e.g. long-context
+  post-training, where a 7B model's 112 GB of states meets 2 TB of
+  activations at 1M tokens — or when the model alone exceeds HBM.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.hardware.specs import DeviceSpec
+from repro.models.config import ModelConfig
+from repro.models.estimators import activation_bytes, param_count
+from repro.sim import calibration
+
+
+def weight_flow_efficiency(
+    params: int,
+    batch_size: int,
+    seq: int,
+    bandwidth: float,
+    peak_tp: float,
+) -> float:
+    """Eqs. 1-3: efficiency of overlapping weight streaming with forward.
+
+    Args:
+        params: parameter count Psi.
+        batch_size: micro-batch size.
+        seq: sequence length.
+        bandwidth: uni-directional CPU->GPU bandwidth, bytes/s.
+        peak_tp: achievable peak FLOP/s of the GPU.
+
+    Returns:
+        comp_time / (comp_time + comm_time) in (0, 1); the paper requires
+        > 0.5 for full overlap and prefers > 0.6 with latency headroom.
+    """
+    if min(params, batch_size, seq) <= 0 or bandwidth <= 0 or peak_tp <= 0:
+        raise ValueError("all arguments must be positive")
+    comp_time = 2.0 * batch_size * seq * params / peak_tp
+    comm_time = 2.0 * params / bandwidth  # FP16 weights cross at least once
+    return comp_time / (comp_time + comm_time)
+
+
+# The paper's viability threshold: >0.5 overlaps in theory, >0.6 leaves
+# headroom for latency and scheduling jitter.
+EFFICIENCY_THRESHOLD = 0.60
+
+
+class WeightPolicy(enum.Enum):
+    """Where the FP16 model weights live during training."""
+
+    STATIONARY = "weight-stationary"
+    FLOW = "weight-flow"
+
+
+@dataclass(frozen=True)
+class OffloadDecision:
+    """Outcome of the adaptive policy.
+
+    Attributes:
+        policy: chosen weight placement.
+        efficiency: eq. 3 value for the weight-flow alternative.
+        gpu_resident_bytes: modelled steady-state GPU footprint (weights
+            if stationary, plus activations and working buffers).
+        reason: human-readable justification (surfaced in engine logs).
+    """
+
+    policy: WeightPolicy
+    efficiency: float
+    gpu_resident_bytes: float
+    reason: str
+
+
+@dataclass(frozen=True)
+class AdaptiveOffloadPolicy:
+    """Chooses weight-stationary vs weight-flow for a training scenario.
+
+    Args:
+        gpu: the GPU device (capacity + achievable FLOP/s).
+        c2c_bandwidth: uni-directional C2C bandwidth, bytes/s.
+        reserved_bytes: GPU bytes not available to model state.
+    """
+
+    gpu: DeviceSpec
+    c2c_bandwidth: float
+    reserved_bytes: int = calibration.GPU_RESERVED_BYTES
+
+    def decide(
+        self,
+        config: ModelConfig,
+        micro_batch: int,
+        seq: int | None = None,
+        checkpointing: bool = False,
+        working_bytes: int = 4 * calibration.BUCKET_BYTES,
+    ) -> OffloadDecision:
+        """Pick the weight policy for one run configuration.
+
+        Args:
+            config: the model.
+            micro_batch: per-GPU micro-batch size.
+            seq: sequence length (model default when omitted).
+            checkpointing: whether activations are checkpointed.
+            working_bytes: bucket/staging buffers the engine keeps resident.
+        """
+        s = seq if seq is not None else config.seq
+        psi = param_count(config)
+        weights_fp16 = 2 * psi
+        acts = activation_bytes(
+            config, micro_batch, s, checkpointing=checkpointing,
+            flash_attention=s > 8192,
+        )
+        budget = self.gpu.mem_capacity - self.reserved_bytes
+        budget *= 1.0 - calibration.GPU_HEADROOM_FRACTION
+        efficiency = weight_flow_efficiency(
+            psi, micro_batch, s, self.c2c_bandwidth, self.gpu.achievable_flops
+        )
+        stationary_bytes = weights_fp16 + acts + working_bytes
+        if stationary_bytes <= budget:
+            return OffloadDecision(
+                policy=WeightPolicy.STATIONARY,
+                efficiency=efficiency,
+                gpu_resident_bytes=stationary_bytes,
+                reason=(
+                    "fp16 weights + activations fit in HBM; stationary "
+                    "weights avoid all weight traffic"
+                ),
+            )
+        # Weight-flow keeps only a working set: double-buffered layer
+        # weights plus the engine's bucket buffers.
+        layer_bytes = 2 * psi / config.n_layers
+        flow_bytes = 2 * layer_bytes + acts + working_bytes
+        return OffloadDecision(
+            policy=WeightPolicy.FLOW,
+            efficiency=efficiency,
+            gpu_resident_bytes=flow_bytes,
+            reason=(
+                "activations crowd out stationary weights; streaming "
+                f"weights at eq.3 efficiency {efficiency:.2f} "
+                + (
+                    "(>= threshold, fully overlapped)"
+                    if efficiency >= EFFICIENCY_THRESHOLD
+                    else "(below threshold, weight traffic partially exposed)"
+                )
+            ),
+        )
+
+    def flow_exposed_fraction(self, efficiency: float) -> float:
+        """Fraction of weight-streaming time left exposed on the critical
+        path when eq. 3 lands below the overlap threshold."""
+        if efficiency >= EFFICIENCY_THRESHOLD:
+            return 0.0
+        return 1.0 - efficiency / EFFICIENCY_THRESHOLD

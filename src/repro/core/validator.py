@@ -1,0 +1,112 @@
+"""Background gradient validation (§4.4's validation process).
+
+The paper implements validation as a separate process fed through a
+multiprocessing queue: while the GPU runs the next forward pass, the
+validator computes the global gradient norm and scans for NaN/Inf, and the
+engine consults the verdict afterwards.  This module provides that
+mechanism with a worker *thread* (numpy releases the GIL inside the norm
+reductions, so a thread gives the same concurrency without the fork
+overhead — and stays robust in sandboxed environments).
+
+:class:`BackgroundValidator` is deliberately engine-agnostic: callers
+submit ``(grads, clip_norm)`` jobs and either block on the ticket or poll
+it, mirroring the paper's queue protocol.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.optim.mixed_precision import GradientHealth, check_gradients
+
+Params = Dict[str, np.ndarray]
+
+
+@dataclass
+class ValidationTicket:
+    """Handle for one in-flight validation job."""
+
+    job_id: int
+    _event: threading.Event = field(default_factory=threading.Event)
+    _result: Optional[GradientHealth] = None
+    _error: Optional[BaseException] = None
+
+    def done(self) -> bool:
+        """Whether the verdict is available."""
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> GradientHealth:
+        """Block until the verdict arrives and return it.
+
+        Raises:
+            TimeoutError: the validator did not answer within ``timeout``.
+        """
+        if not self._event.wait(timeout):
+            raise TimeoutError(f"validation job {self.job_id} timed out")
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+
+class BackgroundValidator:
+    """A worker thread that validates gradients off the critical path.
+
+    Args:
+        daemon: mark the worker thread as a daemon (default True so an
+            abandoned validator never blocks interpreter exit).
+    """
+
+    def __init__(self, daemon: bool = True):
+        self._queue: "queue.Queue" = queue.Queue()
+        self._next_id = 0
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._run, name="stv-validator", daemon=daemon
+        )
+        self._thread.start()
+
+    def submit(self, grads: Params, clip_norm: float | None) -> ValidationTicket:
+        """Queue one validation job; returns immediately.
+
+        The gradients are *not* copied: the STV engine retains them until
+        the verdict anyway (it needs them for potential rollback), matching
+        the paper's zero-copy queue handoff.
+        """
+        if self._closed:
+            raise RuntimeError("validator has been closed")
+        ticket = ValidationTicket(self._next_id)
+        self._next_id += 1
+        self._queue.put((ticket, grads, clip_norm))
+        return ticket
+
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            ticket, grads, clip_norm = item
+            try:
+                ticket._result = check_gradients(grads, clip_norm)
+            except BaseException as exc:  # surfaced at result()
+                ticket._error = exc
+            finally:
+                ticket._event.set()
+
+    def close(self) -> None:
+        """Drain and stop the worker (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._queue.put(None)
+            self._thread.join(timeout=5)
+
+    def __enter__(self) -> "BackgroundValidator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

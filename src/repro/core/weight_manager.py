@@ -1,0 +1,167 @@
+"""Operational weight-flow manager (§4.2's weight-flow policy, running).
+
+The performance simulator prices weight streaming; this module *executes*
+it against the memory-pool substrate: layer weights live host-side, a
+bounded HBM working set holds the layers currently in flight, and a
+prefetch window pulls the next layers' weights through pinned staging
+buffers ahead of use.  The tests drive forward/backward layer orders
+through it and assert the §4.2 invariants — the HBM footprint never
+exceeds the configured working set, every layer's weights are resident
+when used, and eviction follows use order.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+from repro.tensors.errors import DeviceOutOfMemoryError
+from repro.tensors.memory import Allocation, MemoryPool
+from repro.tensors.pinned import PinnedBufferPool
+
+
+@dataclass(frozen=True)
+class FetchRecord:
+    """One host->device weight fetch performed by the manager."""
+
+    layer: int
+    nbytes: int
+    pinned: bool
+    prefetched: bool
+
+
+class WeightFlowManager:
+    """Streams per-layer weights through a bounded HBM working set.
+
+    Args:
+        layer_bytes: fp16 weight bytes per layer, in layer order.
+        gpu_pool: the HBM pool fetched weights are allocated from.
+        pinned_pool: page-locked staging buffers; fetches that cannot get
+            one fall back to pageable transfers (recorded per fetch — the
+            §4.5 penalty the schedule models price).
+        window: maximum layers resident at once (>= 2 for double
+            buffering).
+    """
+
+    def __init__(
+        self,
+        layer_bytes: Sequence[int],
+        gpu_pool: MemoryPool,
+        pinned_pool: PinnedBufferPool | None = None,
+        window: int = 2,
+    ):
+        if not layer_bytes:
+            raise ValueError("at least one layer required")
+        if any(b <= 0 for b in layer_bytes):
+            raise ValueError("layer sizes must be positive")
+        if window < 2:
+            raise ValueError("window must be >= 2 (double buffering)")
+        self.layer_bytes = list(layer_bytes)
+        self.gpu_pool = gpu_pool
+        self.pinned_pool = pinned_pool
+        self.window = window
+        self._resident: "OrderedDict[int, Allocation]" = OrderedDict()
+        self.fetches: List[FetchRecord] = []
+        self.evictions: List[int] = []
+        self.use_count = 0
+        self.hit_count = 0
+        self._last_used: Optional[int] = None
+
+    @property
+    def resident_layers(self) -> List[int]:
+        """Layers currently in HBM, oldest first."""
+        return list(self._resident)
+
+    def resident_bytes(self) -> int:
+        """HBM bytes the manager currently holds."""
+        return sum(a.nbytes for a in self._resident.values())
+
+    def _evict_oldest(self) -> None:
+        layer, alloc = self._resident.popitem(last=False)
+        alloc.free()
+        self.evictions.append(layer)
+
+    def _fetch(self, layer: int, prefetched: bool) -> None:
+        if layer in self._resident:
+            self._resident.move_to_end(layer)
+            return
+        while len(self._resident) >= self.window:
+            self._evict_oldest()
+        nbytes = self.layer_bytes[layer]
+        staging = (
+            self.pinned_pool.try_reserve(nbytes, f"stage.l{layer}")
+            if self.pinned_pool is not None
+            else None
+        )
+        try:
+            alloc = self.gpu_pool.allocate(nbytes, f"weights.l{layer}")
+        except DeviceOutOfMemoryError:
+            # shrink the working set and retry once — mirrors an engine
+            # dropping its prefetch depth under memory pressure
+            if not self._resident:
+                if staging is not None:
+                    self.pinned_pool.release(staging)
+                raise
+            self._evict_oldest()
+            alloc = self.gpu_pool.allocate(nbytes, f"weights.l{layer}")
+        self._resident[layer] = alloc
+        self.fetches.append(
+            FetchRecord(layer, nbytes, pinned=staging is not None,
+                        prefetched=prefetched)
+        )
+        if staging is not None:
+            # staging buffer is transient: released once the DMA lands
+            self.pinned_pool.release(staging)
+
+    def use(self, layer: int) -> None:
+        """Make ``layer`` resident (fetching if needed) and mark it used."""
+        if not 0 <= layer < len(self.layer_bytes):
+            raise IndexError(f"layer {layer} out of range")
+        self.use_count += 1
+        if layer in self._resident:
+            self.hit_count += 1
+        self._fetch(layer, prefetched=False)
+        self._last_used = layer
+
+    def prefetch(self, layer: int) -> None:
+        """Pull ``layer`` ahead of use, evicting already-consumed layers.
+
+        The most-recently-used layer is pinned (its compute may still be in
+        flight); anything older is dead weight the prefetcher may evict.
+        If nothing can be evicted the prefetch is skipped.
+        """
+        if not 0 <= layer < len(self.layer_bytes):
+            return
+        if layer in self._resident:
+            return
+        while len(self._resident) >= self.window:
+            oldest = next(iter(self._resident))
+            if oldest == self._last_used:
+                return  # nothing evictable; skip the prefetch
+            self._evict_oldest()
+        self._fetch(layer, prefetched=True)
+
+    def run_pass(self, order: Iterator[int] | Sequence[int]) -> None:
+        """Drive one forward or backward pass over ``order``.
+
+        For each used layer the next layer in the order is prefetched —
+        the double-buffered pipeline of §4.2's weight-flow policy.
+        """
+        sequence = list(order)
+        for i, layer in enumerate(sequence):
+            self.use(layer)
+            if i + 1 < len(sequence):
+                self.prefetch(sequence[i + 1])
+
+    def release_all(self) -> None:
+        """Drop every resident layer (end of training / policy switch)."""
+        while self._resident:
+            self._evict_oldest()
+
+    def hit_rate(self) -> float:
+        """Fraction of uses that found their layer already resident (the
+        prefetcher's effectiveness)."""
+        if self.use_count == 0:
+            return 0.0
+        return self.hit_count / self.use_count

@@ -1,0 +1,7 @@
+"""Synthetic training data: a Pile-like mixture corpus (§5.1 uses a subset
+of the Pile; we substitute a deterministic synthetic mixture with learnable
+structure so convergence experiments are meaningful offline)."""
+
+from repro.data.synthetic import SyntheticPile, SourceSpec, token_batches
+
+__all__ = ["SyntheticPile", "SourceSpec", "token_batches"]

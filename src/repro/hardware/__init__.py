@@ -1,0 +1,42 @@
+"""Hardware models for superchip and PCIe-era GPU nodes.
+
+Everything here is calibrated against the paper's published measurements:
+Table 1 (node architecture comparison), Fig. 7 (C2C bandwidth vs. tensor
+size), Fig. 9 (casting cost on Hopper vs. Grace), and the GH200 architecture
+overview (Fig. 2).  The models are consumed by the discrete-event simulator
+in :mod:`repro.sim` and by the placement policies in :mod:`repro.core`.
+"""
+
+from repro.hardware.bandwidth import BandwidthModel, LinkBandwidthTable
+from repro.hardware.casting import CastingModel, CastPathCost
+from repro.hardware.specs import DeviceSpec, LinkSpec, SuperchipSpec
+from repro.hardware.registry import (
+    DGX2,
+    DGX_A100,
+    GH200,
+    GH200_NVL2_NODE,
+    NODE_COMPARISON_TABLE,
+    gh200_superchip,
+    node_comparison_rows,
+)
+from repro.hardware.topology import ClusterTopology, NumaBinding, SuperchipNode
+
+__all__ = [
+    "DeviceSpec",
+    "LinkSpec",
+    "SuperchipSpec",
+    "BandwidthModel",
+    "LinkBandwidthTable",
+    "CastingModel",
+    "CastPathCost",
+    "DGX2",
+    "DGX_A100",
+    "GH200",
+    "GH200_NVL2_NODE",
+    "NODE_COMPARISON_TABLE",
+    "gh200_superchip",
+    "node_comparison_rows",
+    "SuperchipNode",
+    "ClusterTopology",
+    "NumaBinding",
+]

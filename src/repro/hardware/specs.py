@@ -1,0 +1,104 @@
+"""Device and interconnect specifications.
+
+Units are SI throughout: bytes, bytes/second, FLOP/second, seconds.
+Convenience constructors accept the GB/s / TFLOPS units the paper's Table 1
+uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+GB = 1024**3
+GBPS = 1e9  # vendors quote decimal GB/s for bandwidths
+TFLOPS = 1e12
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """A compute device (GPU or CPU) and its attached memory.
+
+    Attributes:
+        name: human-readable identifier, e.g. ``"H100"`` or ``"Grace"``.
+        kind: ``"gpu"`` or ``"cpu"``.
+        peak_flops: theoretical peak FLOP/s (tensor-core FP16/BF16 for GPUs).
+        achievable_fraction: fraction of :attr:`peak_flops` reachable by the
+            dense transformer kernels at large tile sizes.  The paper's
+            efficiency analysis (§4.2) explicitly uses the *achievable* peak
+            rather than the datasheet number.
+        mem_capacity: attached memory bytes (HBM for GPUs, DDR for CPUs).
+        mem_bandwidth: attached memory bandwidth, bytes/s.
+        cores: CPU core count (0 for GPUs).
+    """
+
+    name: str
+    kind: str
+    peak_flops: float
+    mem_capacity: int
+    mem_bandwidth: float
+    achievable_fraction: float = 0.7
+    cores: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("gpu", "cpu"):
+            raise ValueError(f"device kind must be 'gpu' or 'cpu', got {self.kind!r}")
+        if not 0 < self.achievable_fraction <= 1:
+            raise ValueError("achievable_fraction must be in (0, 1]")
+
+    @property
+    def achievable_flops(self) -> float:
+        """Achievable peak FLOP/s used by the efficiency model (eq. 1)."""
+        return self.peak_flops * self.achievable_fraction
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A point-to-point interconnect between two memories.
+
+    Attributes:
+        name: e.g. ``"nvlink-c2c"``, ``"pcie4-x16"``, ``"slingshot-11"``.
+        peak_bandwidth: peak *uni-directional* bandwidth, bytes/s.
+        latency: per-message fixed cost, seconds.  Together with the peak
+            bandwidth this produces the saturating effective-bandwidth curve
+            the paper measures in Fig. 7.
+        duplex: whether the two directions are independent channels.
+        pageable_fraction: fraction of peak achieved when the host endpoint
+            is pageable (unpinned) memory, forcing a bounce through a staging
+            copy (§4.5).
+    """
+
+    name: str
+    peak_bandwidth: float
+    latency: float = 10e-6
+    duplex: bool = True
+    pageable_fraction: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.peak_bandwidth <= 0:
+            raise ValueError("peak_bandwidth must be positive")
+        if not 0 < self.pageable_fraction <= 1:
+            raise ValueError("pageable_fraction must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class SuperchipSpec:
+    """A tightly coupled GPU+CPU package (one GH200, one MI300A, ...).
+
+    Attributes:
+        name: package name, e.g. ``"GH200"``.
+        gpu: the GPU die.
+        cpu: the CPU die.
+        c2c: the chip-to-chip interconnect between them.
+    """
+
+    name: str
+    gpu: DeviceSpec
+    cpu: DeviceSpec
+    c2c: LinkSpec
+
+    @property
+    def flops_ratio(self) -> float:
+        """GPU/CPU peak FLOPS ratio — the quantity the paper identifies as
+        the root of the bucketization imbalance (~330 on GH200 vs ~60 on
+        DGX-2, §4.3)."""
+        return self.gpu.peak_flops / self.cpu.peak_flops

@@ -1,0 +1,173 @@
+"""Node and cluster topologies, including NUMA binding (§4.7).
+
+A :class:`SuperchipNode` groups ``K`` superchips, each its own NUMA node.
+The launcher-level concern the paper raises — a training process scheduled
+onto cores of a *different* Grace CPU than the one paired with its GPU —
+is modelled by :class:`NumaBinding`: a mis-bound process pays the
+inter-superchip link for every GPU↔CPU transfer instead of NVLink-C2C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.hardware.bandwidth import BandwidthModel, LinkBandwidthTable
+from repro.hardware.specs import LinkSpec, SuperchipSpec
+from repro.tensors.memory import MemoryPool
+
+
+@dataclass
+class NumaBinding:
+    """Maps training processes (ranks) to CPU cores / NUMA nodes.
+
+    Args:
+        n_superchips: superchips in the node.
+        cores_per_cpu: cores on each Grace CPU.
+    """
+
+    n_superchips: int
+    cores_per_cpu: int
+    _assignment: Dict[int, int] = field(default_factory=dict)
+
+    def bind_affine(self) -> None:
+        """SuperOffload's policy: rank ``i`` pinned to superchip ``i``'s cores."""
+        self._assignment = {rank: rank for rank in range(self.n_superchips)}
+
+    def bind_random(self, seed: int = 0) -> None:
+        """A naive launcher: ranks land on arbitrary NUMA nodes.
+
+        Deterministic given ``seed`` (rotates the assignment), guaranteeing
+        at least one mis-bound rank for ``n_superchips > 1``.
+        """
+        shift = 1 + seed % max(1, self.n_superchips - 1)
+        self._assignment = {
+            rank: (rank + shift) % self.n_superchips
+            for rank in range(self.n_superchips)
+        }
+
+    def numa_node_of(self, rank: int) -> int:
+        """NUMA node whose cores run ``rank``'s CPU work."""
+        if rank not in self._assignment:
+            raise KeyError(f"rank {rank} has no binding; call bind_affine/bind_random")
+        return self._assignment[rank]
+
+    def core_range_of(self, rank: int) -> Tuple[int, int]:
+        """Half-open core index range assigned to ``rank``."""
+        node = self.numa_node_of(rank)
+        return node * self.cores_per_cpu, (node + 1) * self.cores_per_cpu
+
+    def is_colocated(self, rank: int) -> bool:
+        """Whether the rank's CPU cores sit on the same superchip as its GPU."""
+        return self.numa_node_of(rank) == rank
+
+
+class SuperchipNode:
+    """A K-way superchip node (e.g. a quad-GH200 or a GH200-NVL2 pair).
+
+    Each superchip contributes one GPU memory pool and one CPU memory pool;
+    GPUs within the node are connected by NVLink, and every GPU reaches its
+    *own* Grace CPU over NVLink-C2C.  Reaching a *remote* Grace CPU (the
+    mis-binding case) goes through the inter-superchip link.
+
+    Args:
+        chip: the superchip specification replicated K times.
+        n_superchips: K.
+        gpu_link: GPU↔GPU link inside the node.
+        inter_superchip_link: link used by mis-bound CPU traffic; defaults
+            to the GPU link (NVLink fabric) which is still far slower than
+            C2C for CPU traffic once protocol overheads are included.
+        gpu_reserved: bytes reserved on each GPU (context + framework).
+        cpu_reserved: bytes reserved on each CPU (OS + runtime).
+    """
+
+    def __init__(
+        self,
+        chip: SuperchipSpec,
+        n_superchips: int,
+        gpu_link: LinkSpec | None = None,
+        inter_superchip_link: LinkSpec | None = None,
+        gpu_reserved: int = 2 * 1024**3,
+        cpu_reserved: int = 8 * 1024**3,
+    ):
+        if n_superchips < 1:
+            raise ValueError("n_superchips must be >= 1")
+        self.chip = chip
+        self.n_superchips = n_superchips
+        self.links = LinkBandwidthTable()
+        self.c2c = self.links.register(chip.c2c)
+        if gpu_link is None:
+            gpu_link = LinkSpec("intra-node", chip.c2c.peak_bandwidth, latency=8e-6)
+        self.gpu_link = self.links.register(gpu_link)
+        if inter_superchip_link is None:
+            inter_superchip_link = LinkSpec(
+                "inter-superchip",
+                gpu_link.peak_bandwidth * 0.25,
+                latency=25e-6,
+            )
+        self.inter_superchip = self.links.register(inter_superchip_link)
+        self.gpu_pools = [
+            MemoryPool(f"gpu:{i}", chip.gpu.mem_capacity, reserved=gpu_reserved)
+            for i in range(n_superchips)
+        ]
+        self.cpu_pools = [
+            MemoryPool(f"cpu:{i}", chip.cpu.mem_capacity, reserved=cpu_reserved)
+            for i in range(n_superchips)
+        ]
+        self.numa = NumaBinding(n_superchips, chip.cpu.cores)
+        self.numa.bind_affine()
+
+    def host_link_for(self, rank: int) -> BandwidthModel:
+        """The link a rank's GPU↔CPU traffic actually uses, given binding."""
+        if self.numa.is_colocated(rank):
+            return self.c2c
+        return self.inter_superchip
+
+    def reset_memory(self) -> None:
+        """Fresh memory pools (used between feasibility probes)."""
+        for i, pool in enumerate(self.gpu_pools):
+            self.gpu_pools[i] = MemoryPool(
+                pool.device, pool.capacity, reserved=pool.reserved
+            )
+        for i, pool in enumerate(self.cpu_pools):
+            self.cpu_pools[i] = MemoryPool(
+                pool.device, pool.capacity, reserved=pool.reserved
+            )
+
+
+class ClusterTopology:
+    """Multiple superchip nodes joined by a network (Slingshot-11 in §5.1).
+
+    Args:
+        node: the per-node topology, replicated.
+        n_nodes: node count.
+        network: the inter-node link (per-NIC uni-directional bandwidth).
+    """
+
+    def __init__(self, node: SuperchipNode, n_nodes: int, network: LinkSpec):
+        if n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        self.node = node
+        self.n_nodes = n_nodes
+        self.network = BandwidthModel(network)
+
+    @property
+    def world_size(self) -> int:
+        """Total GPU (= superchip) count across the cluster."""
+        return self.node.n_superchips * self.n_nodes
+
+    def link_between(self, rank_a: int, rank_b: int) -> BandwidthModel:
+        """The link used by point-to-point traffic between two ranks."""
+        per_node = self.node.n_superchips
+        if rank_a // per_node == rank_b // per_node:
+            return self.node.gpu_link
+        return self.network
+
+    def slowest_link_bandwidth(self) -> float:
+        """Bottleneck uni-directional bandwidth for world-spanning collectives."""
+        if self.n_nodes == 1:
+            return self.node.gpu_link.link.peak_bandwidth
+        return min(
+            self.node.gpu_link.link.peak_bandwidth,
+            self.network.link.peak_bandwidth,
+        )

@@ -1,0 +1,36 @@
+"""Transformer model descriptions: the paper's Appendix-A configurations,
+parameter/FLOP/memory estimators, and the superchip-aware dataflow graph
+(SA-DFG, §4.1) that placement decisions are framed over."""
+
+from repro.models.config import (
+    MODEL_CONFIG_TABLE,
+    ModelConfig,
+    config_for_params,
+    list_config_sizes,
+)
+from repro.models.estimators import (
+    activation_bytes_per_token,
+    activation_bytes,
+    flops_per_token,
+    model_flops,
+    model_state_bytes,
+    param_count,
+)
+from repro.models.sadfg import SADFG, OpKind, build_training_sadfg, partition_cost
+
+__all__ = [
+    "ModelConfig",
+    "MODEL_CONFIG_TABLE",
+    "config_for_params",
+    "list_config_sizes",
+    "param_count",
+    "flops_per_token",
+    "model_flops",
+    "model_state_bytes",
+    "activation_bytes",
+    "activation_bytes_per_token",
+    "SADFG",
+    "OpKind",
+    "build_training_sadfg",
+    "partition_cost",
+]

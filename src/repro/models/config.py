@@ -1,0 +1,111 @@
+"""GPT/LLaMA-style transformer configurations (paper Appendix A, Table 4).
+
+The paper varies layer count and hidden size to hit each parameter budget;
+the table below is that Table 4 verbatim, with a 128-wide attention head and
+a GPT-2-style vocabulary filled in (the appendix leaves both implicit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+HEAD_DIM = 128
+DEFAULT_VOCAB = 50304
+DEFAULT_SEQ = 1024
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """A decoder-only transformer configuration.
+
+    Attributes:
+        name: label, e.g. ``"gpt-5b"``.
+        n_layers: transformer block count.
+        hidden: model width.
+        n_heads: attention heads (hidden / 128 by default).
+        vocab: vocabulary size.
+        seq: default training sequence length.
+    """
+
+    name: str
+    n_layers: int
+    hidden: int
+    n_heads: int
+    vocab: int = DEFAULT_VOCAB
+    seq: int = DEFAULT_SEQ
+
+    def __post_init__(self) -> None:
+        if self.n_layers < 1 or self.hidden < 1 or self.n_heads < 1:
+            raise ValueError("layers, hidden, and heads must be positive")
+        if self.hidden % self.n_heads != 0:
+            raise ValueError(
+                f"hidden {self.hidden} not divisible by heads {self.n_heads}"
+            )
+
+    @property
+    def head_dim(self) -> int:
+        """Per-head width."""
+        return self.hidden // self.n_heads
+
+    @property
+    def ffn_hidden(self) -> int:
+        """MLP inner width (4x, the GPT convention the appendix follows)."""
+        return 4 * self.hidden
+
+
+def _cfg(billions: float, n_layers: int, hidden: int) -> ModelConfig:
+    label = f"{billions:g}b"
+    return ModelConfig(
+        name=f"gpt-{label}",
+        n_layers=n_layers,
+        hidden=hidden,
+        n_heads=hidden // HEAD_DIM,
+    )
+
+
+# Appendix A, Table 4: "# params | # layer | hidden size".
+MODEL_CONFIG_TABLE: Dict[float, ModelConfig] = {
+    1: _cfg(1, 20, 2048),
+    2: _cfg(2, 40, 2048),
+    3: _cfg(3, 60, 2048),
+    3.5: _cfg(3.5, 70, 2048),  # DDP's single-GPU ceiling in Fig. 13
+    4: _cfg(4, 64, 2304),
+    5: _cfg(5, 44, 3072),
+    6: _cfg(6, 53, 3072),
+    8: _cfg(8, 72, 3072),
+    10: _cfg(10, 50, 4096),
+    11: _cfg(11, 55, 4096),
+    12: _cfg(12, 60, 4096),
+    13: _cfg(13, 65, 4096),
+    15: _cfg(15, 78, 4096),
+    20: _cfg(20, 25, 8192),
+    25: _cfg(25, 30, 8192),
+    30: _cfg(30, 36, 8192),  # used by the Fig. 12 Ulysses experiments
+    50: _cfg(50, 60, 8192),
+    60: _cfg(60, 75, 8192),
+    70: _cfg(70, 87, 8192),
+    80: _cfg(80, 100, 8192),
+    150: _cfg(150, 45, 16384),
+    175: _cfg(175, 53, 16384),  # the Fig. 14 GPT-175B run
+    200: _cfg(200, 60, 16384),
+}
+
+
+def config_for_params(billions: float) -> ModelConfig:
+    """The Appendix-A configuration closest to ``billions`` parameters.
+
+    Exact table entries are returned as-is; other targets pick the nearest
+    entry, mirroring how the paper snaps experiments to its config grid.
+    """
+    if billions <= 0:
+        raise ValueError("billions must be positive")
+    if billions in MODEL_CONFIG_TABLE:
+        return MODEL_CONFIG_TABLE[billions]
+    nearest = min(MODEL_CONFIG_TABLE, key=lambda b: abs(b - billions))
+    return MODEL_CONFIG_TABLE[nearest]
+
+
+def list_config_sizes() -> List[float]:
+    """All configured sizes, in billions, ascending."""
+    return sorted(MODEL_CONFIG_TABLE)

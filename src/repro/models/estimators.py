@@ -1,0 +1,167 @@
+"""Parameter, FLOP, and memory estimators.
+
+These are the standard transformer accounting identities the paper's
+analysis uses (§2.2: a model with Psi parameters consumes 16*Psi bytes of
+model states in mixed precision; §4.2: forward compute is ~2 * bsz * seq *
+params FLOPs), plus the Korthikanti-style activation-memory formula that
+decides when activation checkpointing or micro-batching is forced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.config import ModelConfig
+
+MIXED_PRECISION_STATE_BYTES_PER_PARAM = 16  # 2 fp16 param + 2 fp16 grad + 12 optim
+OPTIMIZER_STATE_BYTES_PER_PARAM = 12        # fp32 master + m + v
+
+
+def param_count(config: ModelConfig, include_embeddings: bool = False) -> int:
+    """Parameters in the transformer blocks (12 * L * h^2).
+
+    The appendix's configurations follow the 12*L*h^2 identity exactly (e.g.
+    20 layers x 2048 hidden = 1.007B), so embeddings are excluded by default
+    to match the paper's size labels.
+
+    Args:
+        config: the model.
+        include_embeddings: add the vocab*h embedding matrix.
+    """
+    core = 12 * config.n_layers * config.hidden**2
+    if include_embeddings:
+        core += config.vocab * config.hidden
+    return core
+
+
+def flops_per_token(config: ModelConfig, seq: int | None = None) -> float:
+    """Training FLOPs per token (forward + backward).
+
+    ``6 * params`` for the dense blocks plus the ``12 * L * h * s`` attention
+    score/value term (Megatron MFU accounting with causal masking).
+    """
+    s = seq if seq is not None else config.seq
+    if s < 1:
+        raise ValueError("sequence length must be positive")
+    dense = 6 * param_count(config)
+    attention = 12 * config.n_layers * config.hidden * s
+    return dense + attention
+
+
+def attention_flops_per_token(config: ModelConfig, seq: int | None = None) -> float:
+    """Just the O(seq) attention matmul term of :func:`flops_per_token`."""
+    s = seq if seq is not None else config.seq
+    return 12 * config.n_layers * config.hidden * s
+
+
+def model_flops(config: ModelConfig, tokens: int, seq: int | None = None) -> float:
+    """Total training FLOPs for ``tokens`` tokens at sequence length ``seq``."""
+    if tokens < 0:
+        raise ValueError("tokens must be non-negative")
+    return flops_per_token(config, seq) * tokens
+
+
+def model_state_bytes(config: ModelConfig) -> int:
+    """Mixed-precision model state footprint: 16 bytes per parameter (§2.2)."""
+    return MIXED_PRECISION_STATE_BYTES_PER_PARAM * param_count(config)
+
+
+def activation_bytes_per_token(
+    config: ModelConfig,
+    seq: int | None = None,
+    checkpointing: bool = False,
+    flash_attention: bool = False,
+) -> float:
+    """Activation bytes per token per *layer* (fp16 residency).
+
+    Without checkpointing this is the Korthikanti et al. per-layer formula
+    ``34*h + 5*heads*seq`` bytes per token (the second term is the
+    materialized attention matrix; flash attention removes it).  With full
+    checkpointing only the 2*h-byte layer-boundary input is stored.
+    """
+    s = seq if seq is not None else config.seq
+    if checkpointing:
+        return 2.0 * config.hidden
+    per_token = 34.0 * config.hidden
+    if not flash_attention:
+        per_token += 5.0 * config.n_heads * s
+    return per_token
+
+
+LOGITS_CHUNK_TOKENS = 16384
+
+
+def logits_bytes(config: ModelConfig, tokens: int) -> float:
+    """FP32 logits + softmax working memory at the LM head (~6 bytes/vocab
+    entry per token); a fixed cost every system pays on the GPU.  Long-
+    sequence training chunks the LM-head loss, capping the working set at
+    :data:`LOGITS_CHUNK_TOKENS` tokens."""
+    return 6.0 * config.vocab * min(tokens, LOGITS_CHUNK_TOKENS)
+
+
+def activation_bytes(
+    config: ModelConfig,
+    micro_batch: int,
+    seq: int | None = None,
+    checkpointing: bool = False,
+    flash_attention: bool = False,
+) -> float:
+    """Total activation residency for one micro-batch across all layers.
+
+    Includes the LM-head logits term and, under checkpointing, one layer's
+    full working set (the layer currently being recomputed).
+    """
+    if micro_batch < 1:
+        raise ValueError("micro_batch must be >= 1")
+    s = seq if seq is not None else config.seq
+    tokens = micro_batch * s
+    per_layer = activation_bytes_per_token(
+        config, s, checkpointing=checkpointing, flash_attention=flash_attention
+    )
+    total = per_layer * tokens * config.n_layers
+    if checkpointing:
+        working = activation_bytes_per_token(
+            config, s, checkpointing=False, flash_attention=flash_attention
+        )
+        total += working * tokens  # one live layer being recomputed
+    return total + logits_bytes(config, tokens)
+
+
+@dataclass(frozen=True)
+class MemoryBreakdown:
+    """A labelled memory accounting used in reports and tests."""
+
+    params_fp16: int
+    grads_fp16: int
+    optimizer_fp32: int
+    activations: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.params_fp16 + self.grads_fp16 + self.optimizer_fp32
+            + self.activations
+        )
+
+
+def mixed_precision_breakdown(
+    config: ModelConfig,
+    micro_batch: int,
+    seq: int | None = None,
+    checkpointing: bool = False,
+    flash_attention: bool = False,
+) -> MemoryBreakdown:
+    """Decompose the training footprint into the paper's §2.2 categories."""
+    psi = param_count(config)
+    return MemoryBreakdown(
+        params_fp16=2 * psi,
+        grads_fp16=2 * psi,
+        optimizer_fp32=OPTIMIZER_STATE_BYTES_PER_PARAM * psi,
+        activations=activation_bytes(
+            config,
+            micro_batch,
+            seq,
+            checkpointing=checkpointing,
+            flash_attention=flash_attention,
+        ),
+    )

@@ -1,0 +1,37 @@
+"""Real-computation substrate: a small numpy transformer with explicit
+backward passes, plus low-precision emulation helpers.
+
+Everything algorithmic in the paper — mixed-precision casting, Adam math,
+speculation-then-validation rollback, ZeRO sharding, Ulysses attention
+exchange — is exercised for real against this substrate at reduced scale.
+"""
+
+from repro.numeric.lowprec import to_fp16, from_fp16, to_bf16, cast_roundtrip_error
+from repro.numeric.layers import (
+    Dense,
+    Embedding,
+    LayerNorm,
+    cross_entropy,
+    gelu,
+    gelu_grad,
+    softmax,
+)
+from repro.numeric.attention import MultiHeadAttention
+from repro.numeric.transformer import TinyTransformer, TransformerParams
+
+__all__ = [
+    "to_fp16",
+    "from_fp16",
+    "to_bf16",
+    "cast_roundtrip_error",
+    "Dense",
+    "Embedding",
+    "LayerNorm",
+    "softmax",
+    "gelu",
+    "gelu_grad",
+    "cross_entropy",
+    "MultiHeadAttention",
+    "TinyTransformer",
+    "TransformerParams",
+]

@@ -1,0 +1,99 @@
+"""Causal multi-head self-attention with explicit backward.
+
+Exposes head-level entry points (:meth:`MultiHeadAttention.core_forward` /
+``core_backward``) so the Ulysses sequence-parallel implementation can run
+the identical attention math on all-to-all-exchanged shards and be tested
+for equivalence against the single-rank path (§4.7).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.numeric.layers import softmax
+
+
+class MultiHeadAttention:
+    """Functional causal attention for ``(batch, seq, hidden)`` inputs.
+
+    Args:
+        n_heads: number of attention heads; must divide the hidden size.
+    """
+
+    def __init__(self, n_heads: int):
+        if n_heads < 1:
+            raise ValueError("n_heads must be positive")
+        self.n_heads = n_heads
+
+    # -- head-level core (shared with Ulysses) ------------------------------
+
+    @staticmethod
+    def core_forward(
+        q: np.ndarray, k: np.ndarray, v: np.ndarray, causal: bool = True
+    ) -> Tuple[np.ndarray, Tuple]:
+        """Scaled dot-product attention over ``(batch, heads, seq, dim)``.
+
+        Returns the per-head context and the cache for ``core_backward``.
+        """
+        dim = q.shape[-1]
+        scores = q @ k.transpose(0, 1, 3, 2) / math.sqrt(dim)
+        if causal:
+            seq_q, seq_k = scores.shape[-2], scores.shape[-1]
+            mask = np.triu(np.ones((seq_q, seq_k), dtype=bool), k=1)
+            scores = np.where(mask, np.float32(-1e9), scores)
+        probs = softmax(scores, axis=-1)
+        context = probs @ v
+        return context, (q, k, v, probs, causal)
+
+    @staticmethod
+    def core_backward(
+        dcontext: np.ndarray, cache: Tuple
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Gradients w.r.t. q, k, v."""
+        q, k, v, probs, causal = cache
+        dim = q.shape[-1]
+        dv = probs.transpose(0, 1, 3, 2) @ dcontext
+        dprobs = dcontext @ v.transpose(0, 1, 3, 2)
+        # softmax backward: dS = P * (dP - sum(dP * P))
+        dscores = probs * (dprobs - np.sum(dprobs * probs, axis=-1, keepdims=True))
+        dscores = dscores / math.sqrt(dim)
+        dq = dscores @ k
+        dk = dscores.transpose(0, 1, 3, 2) @ q
+        return dq, dk, dv
+
+    # -- hidden-level wrappers ----------------------------------------------
+
+    def split_heads(self, x: np.ndarray) -> np.ndarray:
+        """``(b, s, h) -> (b, heads, s, h/heads)``."""
+        b, s, h = x.shape
+        if h % self.n_heads:
+            raise ValueError(f"hidden {h} not divisible by {self.n_heads} heads")
+        return x.reshape(b, s, self.n_heads, h // self.n_heads).transpose(0, 2, 1, 3)
+
+    def merge_heads(self, x: np.ndarray) -> np.ndarray:
+        """``(b, heads, s, d) -> (b, s, heads*d)``."""
+        b, n, s, d = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(b, s, n * d)
+
+    def forward(
+        self, qkv: np.ndarray, causal: bool = True
+    ) -> Tuple[np.ndarray, Tuple]:
+        """Attention over a fused ``(b, s, 3h)`` qkv projection output."""
+        h = qkv.shape[-1] // 3
+        q = self.split_heads(qkv[..., :h])
+        k = self.split_heads(qkv[..., h : 2 * h])
+        v = self.split_heads(qkv[..., 2 * h :])
+        context, cache = self.core_forward(q, k, v, causal)
+        return self.merge_heads(context), cache
+
+    def backward(self, dout: np.ndarray, cache: Tuple) -> np.ndarray:
+        """Gradient w.r.t. the fused qkv input."""
+        dcontext = self.split_heads(dout)
+        dq, dk, dv = self.core_backward(dcontext, cache)
+        return np.concatenate(
+            [self.merge_heads(dq), self.merge_heads(dk), self.merge_heads(dv)],
+            axis=-1,
+        )

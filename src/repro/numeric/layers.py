@@ -1,0 +1,131 @@
+"""Primitive layers with explicit forward/backward on numpy.
+
+Each forward returns ``(output, cache)``; each backward consumes the cache
+and the upstream gradient and returns input/parameter gradients.  The
+gradients are verified against central finite differences in the tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+Cache = Tuple
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / np.sum(e, axis=axis, keepdims=True)
+
+
+_GELU_C = math.sqrt(2.0 / math.pi)
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """GELU, tanh approximation (the GPT-2 variant)."""
+    return 0.5 * x * (1.0 + np.tanh(_GELU_C * (x + 0.044715 * x**3)))
+
+
+def gelu_grad(x: np.ndarray) -> np.ndarray:
+    """d gelu / dx for the tanh approximation."""
+    inner = _GELU_C * (x + 0.044715 * x**3)
+    tanh_inner = np.tanh(inner)
+    sech2 = 1.0 - tanh_inner**2
+    d_inner = _GELU_C * (1.0 + 3 * 0.044715 * x**2)
+    return 0.5 * (1.0 + tanh_inner) + 0.5 * x * sech2 * d_inner
+
+
+class Dense:
+    """Affine map ``y = x @ w + b`` over the trailing axis."""
+
+    @staticmethod
+    def forward(x: np.ndarray, w: np.ndarray, b: np.ndarray) -> Tuple[np.ndarray, Cache]:
+        y = x @ w + b
+        return y, (x, w)
+
+    @staticmethod
+    def backward(dy: np.ndarray, cache: Cache) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        x, w = cache
+        dx = dy @ w.T
+        flat_x = x.reshape(-1, x.shape[-1])
+        flat_dy = dy.reshape(-1, dy.shape[-1])
+        dw = flat_x.T @ flat_dy
+        db = flat_dy.sum(axis=0)
+        return dx, dw, db
+
+
+class LayerNorm:
+    """Layer normalization with learned gain/bias over the trailing axis."""
+
+    EPS = 1e-5
+
+    @staticmethod
+    def forward(x: np.ndarray, g: np.ndarray, b: np.ndarray) -> Tuple[np.ndarray, Cache]:
+        mu = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        inv = 1.0 / np.sqrt(var + LayerNorm.EPS)
+        xhat = (x - mu) * inv
+        return xhat * g + b, (xhat, inv, g)
+
+    @staticmethod
+    def backward(dy: np.ndarray, cache: Cache) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        xhat, inv, g = cache
+        n = xhat.shape[-1]
+        dg = (dy * xhat).reshape(-1, n).sum(axis=0)
+        db = dy.reshape(-1, n).sum(axis=0)
+        dxhat = dy * g
+        dx = inv * (
+            dxhat
+            - dxhat.mean(axis=-1, keepdims=True)
+            - xhat * (dxhat * xhat).mean(axis=-1, keepdims=True)
+        )
+        return dx, dg, db
+
+
+class Embedding:
+    """Token embedding lookup."""
+
+    @staticmethod
+    def forward(ids: np.ndarray, table: np.ndarray) -> Tuple[np.ndarray, Cache]:
+        if ids.min() < 0 or ids.max() >= table.shape[0]:
+            raise IndexError("token id out of vocabulary range")
+        return table[ids], (ids, table.shape)
+
+    @staticmethod
+    def backward(dy: np.ndarray, cache: Cache) -> np.ndarray:
+        ids, shape = cache
+        dtable = np.zeros(shape, dtype=dy.dtype)
+        np.add.at(dtable, ids.reshape(-1), dy.reshape(-1, dy.shape[-1]))
+        return dtable
+
+
+def cross_entropy(
+    logits: np.ndarray, targets: np.ndarray
+) -> Tuple[float, np.ndarray]:
+    """Mean token-level cross-entropy and its gradient w.r.t. logits.
+
+    Args:
+        logits: ``(..., vocab)`` unnormalized scores.
+        targets: integer class ids, shape ``logits.shape[:-1]``.
+
+    Returns:
+        (loss, dlogits) where dlogits already includes the 1/N mean factor.
+    """
+    vocab = logits.shape[-1]
+    flat = logits.reshape(-1, vocab).astype(np.float64)
+    ids = targets.reshape(-1)
+    if ids.shape[0] != flat.shape[0]:
+        raise ValueError("targets shape does not match logits")
+    shifted = flat - flat.max(axis=1, keepdims=True)
+    logsumexp = np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    logprobs = shifted - logsumexp
+    n = flat.shape[0]
+    loss = -float(logprobs[np.arange(n), ids].mean())
+    dflat = np.exp(logprobs)
+    dflat[np.arange(n), ids] -= 1.0
+    dflat /= n
+    return loss, dflat.reshape(logits.shape).astype(logits.dtype)

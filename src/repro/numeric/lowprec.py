@@ -1,0 +1,46 @@
+"""Low-precision emulation on numpy.
+
+FP16 is native in numpy; bfloat16 is emulated by truncating the fp32
+mantissa (round-to-nearest-even on the upper 16 bits), the same convention
+hardware uses.  These helpers are the numeric twin of the casting cost
+models in :mod:`repro.hardware.casting`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def to_fp16(x: np.ndarray) -> np.ndarray:
+    """Cast to IEEE fp16 (values beyond ~65504 overflow to inf, as on GPU)."""
+    with np.errstate(over="ignore"):
+        return np.asarray(x, dtype=np.float32).astype(np.float16)
+
+
+def from_fp16(x: np.ndarray) -> np.ndarray:
+    """Widen fp16 back to fp32 (exact)."""
+    return np.asarray(x, dtype=np.float16).astype(np.float32)
+
+
+def to_bf16(x: np.ndarray) -> np.ndarray:
+    """Round fp32 to bfloat16 precision, returned as fp32 storage.
+
+    Uses round-to-nearest-even on the top 16 bits of the fp32 encoding.
+    """
+    as_f32 = np.ascontiguousarray(x, dtype=np.float32)
+    bits = as_f32.view(np.uint32)
+    # round-to-nearest-even: add 0x7FFF + lsb of the surviving mantissa bit
+    lsb = (bits >> 16) & 1
+    rounded = (bits + 0x7FFF + lsb) & 0xFFFF0000
+    return rounded.view(np.float32).reshape(as_f32.shape).copy()
+
+
+def cast_roundtrip_error(x: np.ndarray, dtype: str = "fp16") -> float:
+    """Max absolute error of one fp32 -> low precision -> fp32 round trip."""
+    if dtype == "fp16":
+        back = from_fp16(to_fp16(x))
+    elif dtype == "bf16":
+        back = to_bf16(x)
+    else:
+        raise ValueError(f"unsupported low precision dtype {dtype!r}")
+    return float(np.max(np.abs(np.asarray(x, dtype=np.float32) - back)))

@@ -1,0 +1,269 @@
+"""The three Adam implementations of Table 3.
+
+All produce bit-identical fp32 updates (the unit tests assert this); they
+differ in *how* they traverse memory, mirroring the real designs:
+
+* :class:`ReferenceAdam` — PyTorch-native style ("PT-CPU"): a per-parameter
+  loop of unfused numpy expressions that allocates temporaries on every op.
+* :class:`CPUAdam` — DeepSpeed's x86 design: parameters flattened into one
+  contiguous buffer, updated with fused in-place vector operations.
+* :class:`GraceAdam` — the paper's ARM design (§4.6): the flat buffer walked
+  in cache-sized tiles with a runtime-chosen vector length (the numpy stand-
+  in for SVE's ``svcntw()`` length-agnostic loops), fused in-place math per
+  tile, and OpenMP-style tile partitioning across worker threads (modelled,
+  not spawned — numpy releases work at C speed already).
+
+Latency on actual Grace hardware is priced by
+:func:`repro.optim.kernels.adam_latency_seconds`, calibrated to Table 3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from repro.optim.adam import AdamConfig, AdamParamState, adam_invert
+
+Params = Dict[str, np.ndarray]
+Grads = Dict[str, np.ndarray]
+
+
+class AdamOptimizer:
+    """Base class: owns per-parameter state and the shared config.
+
+    Args:
+        params: name -> fp32 master weight array (updated in place).
+        config: AdamW hyperparameters.
+    """
+
+    kernel_name = "abstract"
+
+    def __init__(self, params: Params, config: AdamConfig | None = None):
+        if not params:
+            raise ValueError("optimizer needs at least one parameter")
+        for name, p in params.items():
+            if p.dtype != np.float32:
+                raise TypeError(f"master weight {name!r} must be fp32")
+        self.params = params
+        self.config = config or AdamConfig()
+        self.state: Dict[str, AdamParamState] = {
+            name: AdamParamState.zeros_like(p) for name, p in params.items()
+        }
+
+    @property
+    def step_count(self) -> int:
+        """Steps applied so far (uniform across parameters)."""
+        return next(iter(self.state.values())).step
+
+    def step(self, grads: Grads) -> None:
+        """Apply one update from fp32 gradients (in place).
+
+        ``grads`` may cover a *subset* of parameters — the bucket-wise
+        speculative stepping of §4.4 relies on this (CPUAdam is the
+        exception: its fused flat buffer requires the full set).
+        """
+        raise NotImplementedError
+
+    def invert_step(self, grads: Grads) -> None:
+        """Undo the most recent update given the gradients that produced it
+        (the in-place rollback primitive of §4.4)."""
+        for name, grad in grads.items():
+            adam_invert(self.params[name], grad, self.state[name], self.config)
+
+    def _check_grads(self, grads: Grads) -> None:
+        unknown = set(grads) - set(self.params)
+        if unknown:
+            raise KeyError(f"gradients for unknown parameters {sorted(unknown)}")
+        if not grads:
+            raise ValueError("step called with no gradients")
+
+
+class ReferenceAdam(AdamOptimizer):
+    """Unfused per-tensor Adam — the "PT-CPU" row of Table 3.
+
+    Deliberately written with out-of-place temporaries, the memory-traffic
+    pattern that makes the native implementation >3x slower on Grace.
+    """
+
+    kernel_name = "pt_cpu"
+
+    def step(self, grads: Grads) -> None:
+        self._check_grads(grads)
+        c = self.config
+        for name in grads:
+            param = self.params[name]
+            grad = np.asarray(grads[name], dtype=np.float32)
+            st = self.state[name]
+            st.step += 1
+            # Out-of-place expressions: every line allocates a temporary.
+            st.m = c.beta1 * st.m + (1 - c.beta1) * grad
+            st.v = c.beta2 * st.v + (1 - c.beta2) * grad * grad
+            if c.bias_correction:
+                bc1 = 1 - c.beta1**st.step
+                bc2 = 1 - c.beta2**st.step
+            else:
+                bc1 = bc2 = 1.0
+            m_hat = st.m / bc1
+            v_hat = st.v / bc2
+            update = m_hat / (np.sqrt(v_hat) + c.eps)
+            if c.weight_decay:
+                param *= 1.0 - c.lr * c.weight_decay
+            param -= c.lr * update
+
+
+class CPUAdam(AdamOptimizer):
+    """DeepSpeed-style fused flat-buffer Adam (the "CPU-Adam" row).
+
+    Flattens all parameters into one contiguous fp32 buffer once at
+    construction; each step is a handful of fused in-place passes over it.
+    """
+
+    kernel_name = "cpu_adam"
+
+    def __init__(self, params: Params, config: AdamConfig | None = None):
+        super().__init__(params, config)
+        self._layout: List[Tuple[str, int, int, Tuple[int, ...]]] = []
+        offset = 0
+        for name, p in params.items():
+            self._layout.append((name, offset, offset + p.size, p.shape))
+            offset += p.size
+        self._flat_p = np.concatenate([p.ravel() for p in params.values()])
+        self._flat_m = np.zeros(offset, dtype=np.float32)
+        self._flat_v = np.zeros(offset, dtype=np.float32)
+        self._flat_step = 0
+
+    def _flatten_grads(self, grads: Grads) -> np.ndarray:
+        self._check_grads(grads)
+        missing = set(self.params) - set(grads)
+        if missing:
+            raise KeyError(
+                "CPUAdam's fused flat buffer needs the full gradient set; "
+                f"missing {sorted(missing)}"
+            )
+        return np.concatenate(
+            [np.asarray(grads[name], dtype=np.float32).ravel()
+             for name, *_ in self._layout]
+        )
+
+    def _scatter_back(self) -> None:
+        for name, lo, hi, shape in self._layout:
+            self.params[name][...] = self._flat_p[lo:hi].reshape(shape)
+            self.state[name].m[...] = self._flat_m[lo:hi].reshape(shape)
+            self.state[name].v[...] = self._flat_v[lo:hi].reshape(shape)
+            self.state[name].step = self._flat_step
+
+    def step(self, grads: Grads) -> None:
+        g = self._flatten_grads(grads)
+        c = self.config
+        self._flat_step += 1
+        self._flat_m *= c.beta1
+        self._flat_m += (1 - c.beta1) * g
+        self._flat_v *= c.beta2
+        self._flat_v += (1 - c.beta2) * np.square(g)
+        bc1 = 1 - c.beta1**self._flat_step if c.bias_correction else 1.0
+        bc2 = 1 - c.beta2**self._flat_step if c.bias_correction else 1.0
+        denom = np.sqrt(self._flat_v / bc2)
+        denom += c.eps
+        if c.weight_decay:
+            self._flat_p *= 1.0 - c.lr * c.weight_decay
+        self._flat_p -= c.lr * ((self._flat_m / bc1) / denom)
+        self._scatter_back()
+
+    def invert_step(self, grads: Grads) -> None:
+        super().invert_step(grads)
+        # Keep the flat mirrors coherent with the per-tensor views.
+        for name, lo, hi, shape in self._layout:
+            self._flat_p[lo:hi] = self.params[name].ravel()
+            self._flat_m[lo:hi] = self.state[name].m.ravel()
+            self._flat_v[lo:hi] = self.state[name].v.ravel()
+        self._flat_step -= 1
+
+
+class GraceAdam(AdamOptimizer):
+    """Tiled, length-agnostic Adam for Grace (§4.6).
+
+    The update walks each parameter in ``tile_size``-element chunks sized to
+    the Grace L2 slice, applying the fused vector kernel per tile — the
+    numpy analogue of the SVE ``svld1/svmla/svsqrt`` pipeline with
+    ``svprfm`` prefetch.  ``vector_length`` is discovered at runtime
+    (``svcntw()``) and tiles are rounded to whole vectors.
+
+    Args:
+        params: name -> fp32 master weights.
+        config: hyperparameters.
+        tile_size: elements per cache tile (the paper's TILE constant).
+        vector_length: SVE vector width in fp32 lanes; tiles are rounded
+            down to a multiple of this to mirror whole-vector main loops.
+        n_threads: modelled OpenMP thread count (tiles are processed in
+            round-robin thread order; results are order-independent).
+    """
+
+    kernel_name = "grace_adam"
+
+    def __init__(
+        self,
+        params: Params,
+        config: AdamConfig | None = None,
+        tile_size: int = 16384,
+        vector_length: int = 16,
+        n_threads: int = 72,
+    ):
+        super().__init__(params, config)
+        if tile_size < 1 or vector_length < 1 or n_threads < 1:
+            raise ValueError("tile_size, vector_length, n_threads must be >= 1")
+        self.vector_length = vector_length
+        self.tile_size = max(vector_length, tile_size - tile_size % vector_length)
+        self.n_threads = n_threads
+
+    def _tiles(self, n: int) -> Iterable[Tuple[int, int]]:
+        for lo in range(0, n, self.tile_size):
+            yield lo, min(n, lo + self.tile_size)
+
+    def step(self, grads: Grads) -> None:
+        self._check_grads(grads)
+        c = self.config
+        for name in grads:
+            param = self.params[name]
+            st = self.state[name]
+            st.step += 1
+            bc1 = 1 - c.beta1**st.step if c.bias_correction else 1.0
+            bc2 = 1 - c.beta2**st.step if c.bias_correction else 1.0
+            flat_p = param.reshape(-1)
+            flat_g = np.asarray(grads[name], dtype=np.float32).reshape(-1)
+            flat_m = st.m.reshape(-1)
+            flat_v = st.v.reshape(-1)
+            for lo, hi in self._tiles(flat_p.size):
+                g = flat_g[lo:hi]
+                m = flat_m[lo:hi]
+                v = flat_v[lo:hi]
+                p = flat_p[lo:hi]
+                m *= c.beta1
+                m += (1 - c.beta1) * g          # svmla_f32_m
+                v *= c.beta2
+                v += (1 - c.beta2) * np.square(g)
+                denom = np.sqrt(v / bc2)        # svsqrt_f32_m
+                denom += c.eps
+                if c.weight_decay:
+                    p *= 1.0 - c.lr * c.weight_decay
+                p -= c.lr * ((m / bc1) / denom)
+
+
+_IMPLEMENTATIONS = {
+    "pt_cpu": ReferenceAdam,
+    "cpu_adam": CPUAdam,
+    "grace_adam": GraceAdam,
+}
+
+
+def make_optimizer(
+    kernel: str, params: Params, config: AdamConfig | None = None
+) -> AdamOptimizer:
+    """Construct an Adam implementation by its Table 3 kernel name."""
+    try:
+        cls = _IMPLEMENTATIONS[kernel]
+    except KeyError:
+        raise KeyError(
+            f"unknown Adam kernel {kernel!r}; known: {sorted(_IMPLEMENTATIONS)}"
+        ) from None
+    return cls(params, config)

@@ -1,0 +1,56 @@
+"""Optimizer latency models calibrated to the paper's Table 3.
+
+The step is memory-bandwidth bound on Grace; see
+:data:`repro.sim.calibration.ADAM_KERNEL_EFFICIENCY` for the calibration
+story.  These helpers express the model in optimizer terms for the
+Table 3 benchmark harness and the schedule builders.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.hardware.specs import DeviceSpec
+from repro.hardware.registry import GRACE_CPU
+from repro.sim.compute import ComputeModel
+
+
+def adam_latency_seconds(
+    n_params: int, kernel: str, cpu: DeviceSpec = GRACE_CPU
+) -> float:
+    """Modelled wall time of one Adam step over ``n_params`` on ``cpu``."""
+    return ComputeModel(cpu).adam_step_time(n_params, kernel)
+
+
+def adam_latency_table(
+    param_counts_billions: List[float] | None = None,
+    cpu: DeviceSpec = GRACE_CPU,
+) -> List[Dict[str, float]]:
+    """Regenerate Table 3: latency per implementation per model size.
+
+    Args:
+        param_counts_billions: rows to produce; defaults to the paper's
+            1/2/4/8 billion.
+        cpu: the CPU model (Grace by default).
+    """
+    sizes = param_counts_billions or [1, 2, 4, 8]
+    rows = []
+    for billions in sizes:
+        n = int(billions * 1e9)
+        row: Dict[str, float] = {"params_billion": billions}
+        for kernel in ("pt_cpu", "cpu_adam", "grace_adam"):
+            row[kernel] = adam_latency_seconds(n, kernel, cpu)
+        row["speedup_vs_pt"] = row["pt_cpu"] / row["grace_adam"]
+        row["speedup_vs_cpu_adam"] = row["cpu_adam"] / row["grace_adam"]
+        rows.append(row)
+    return rows
+
+
+def paper_table3_reference() -> List[Dict[str, float]]:
+    """The paper's measured Table 3 numbers, for comparison harnesses."""
+    return [
+        {"params_billion": 1, "pt_cpu": 0.289, "cpu_adam": 0.098, "grace_adam": 0.082},
+        {"params_billion": 2, "pt_cpu": 0.531, "cpu_adam": 0.198, "grace_adam": 0.160},
+        {"params_billion": 4, "pt_cpu": 0.958, "cpu_adam": 0.393, "grace_adam": 0.316},
+        {"params_billion": 8, "pt_cpu": 1.834, "cpu_adam": 0.769, "grace_adam": 0.608},
+    ]

@@ -1,0 +1,128 @@
+"""Rollback strategies for speculation-then-validation (§4.4).
+
+Two interchangeable implementations of "undo the speculative optimizer
+update":
+
+* :class:`SnapshotRollback` — copy the touched (p, m, v) before updating;
+  restore is a memcpy and bit-exact.  Costs one bucket of scratch memory.
+* :class:`AlgebraicRollback` — the paper's *in-place rollback*: reconstruct
+  the previous state from the retained gradients via the Adam inverse.  No
+  scratch memory; exact to a few fp32 ulps (and exactly convergent once the
+  corrected update is re-applied — see the STV tests).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict
+
+import numpy as np
+
+from repro.optim.implementations import AdamOptimizer
+
+Params = Dict[str, np.ndarray]
+
+
+class RollbackStrategy(enum.Enum):
+    """Which undo mechanism the STV engine uses."""
+
+    SNAPSHOT = "snapshot"
+    ALGEBRAIC = "algebraic"
+
+
+class SnapshotRollback:
+    """Bit-exact rollback via pre-update snapshots.
+
+    Args:
+        optimizer: the optimizer whose state is protected.
+    """
+
+    strategy = RollbackStrategy.SNAPSHOT
+
+    def __init__(self, optimizer: AdamOptimizer):
+        self._optimizer = optimizer
+        self._snapshot: dict | None = None
+
+    def capture(self, grads: Params) -> None:
+        """Record the current (p, m, v, step) for every gradient's parameter.
+
+        Must be called immediately *before* the speculative step.
+        """
+        self._snapshot = {
+            name: (
+                self._optimizer.params[name].copy(),
+                self._optimizer.state[name].m.copy(),
+                self._optimizer.state[name].v.copy(),
+                self._optimizer.state[name].step,
+            )
+            for name in grads
+        }
+
+    def rollback(self, grads: Params) -> None:
+        """Restore the captured state."""
+        if self._snapshot is None:
+            raise RuntimeError("rollback requested before capture")
+        for name in grads:
+            p, m, v, step = self._snapshot[name]
+            self._optimizer.params[name][...] = p
+            st = self._optimizer.state[name]
+            st.m[...] = m
+            st.v[...] = v
+            st.step = step
+        self._snapshot = None
+
+    def discard(self) -> None:
+        """Drop the snapshot once validation passes."""
+        self._snapshot = None
+
+    def scratch_bytes(self, grads: Params) -> int:
+        """Scratch memory a capture of ``grads`` would hold."""
+        return sum(3 * g.nbytes for g in grads.values())
+
+
+class AlgebraicRollback:
+    """In-place rollback via the Adam inverse (no snapshots).
+
+    The gradients of the speculative step are retained by the STV engine
+    anyway (the validator needs them for the global norm), so reversing is
+    pure recomputation.
+
+    Args:
+        optimizer: the optimizer whose update may be reversed.
+    """
+
+    strategy = RollbackStrategy.ALGEBRAIC
+
+    def __init__(self, optimizer: AdamOptimizer):
+        self._optimizer = optimizer
+        self._armed = False
+
+    def capture(self, grads: Params) -> None:
+        """No-op bookkeeping (kept for interface symmetry with snapshots)."""
+        self._armed = True
+
+    def rollback(self, grads: Params) -> None:
+        """Reverse the most recent step using the retained gradients."""
+        if not self._armed:
+            raise RuntimeError("rollback requested before capture")
+        self._optimizer.invert_step(grads)
+        self._armed = False
+
+    def discard(self) -> None:
+        """Validation passed; nothing to release."""
+        self._armed = False
+
+    def scratch_bytes(self, grads: Params) -> int:
+        """Algebraic rollback holds no scratch state."""
+        return 0
+
+
+def make_rollback(
+    strategy: RollbackStrategy, optimizer: AdamOptimizer
+) -> SnapshotRollback | AlgebraicRollback:
+    """Factory over :class:`RollbackStrategy`."""
+    if strategy is RollbackStrategy.SNAPSHOT:
+        return SnapshotRollback(optimizer)
+    if strategy is RollbackStrategy.ALGEBRAIC:
+        return AlgebraicRollback(optimizer)
+    raise ValueError(f"unknown rollback strategy {strategy!r}")

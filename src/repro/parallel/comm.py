@@ -1,0 +1,81 @@
+"""In-process simulated collectives.
+
+A :class:`SimProcessGroup` holds per-rank buffers and implements the
+collectives the training systems need.  Semantics match NCCL's (sum
+reductions, rank-ordered gathers); determinism is guaranteed by fixed
+reduction order.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+
+class SimProcessGroup:
+    """A simulated communicator over ``world_size`` ranks.
+
+    All methods take/return lists indexed by rank, making data placement
+    explicit in the caller — the tests read like little MPI programs.
+    """
+
+    def __init__(self, world_size: int):
+        if world_size < 1:
+            raise ValueError("world_size must be >= 1")
+        self.world_size = world_size
+
+    def _check(self, per_rank: Sequence[np.ndarray]) -> None:
+        if len(per_rank) != self.world_size:
+            raise ValueError(
+                f"expected {self.world_size} rank buffers, got {len(per_rank)}"
+            )
+
+    def all_reduce(self, per_rank: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """Sum across ranks; every rank receives the total."""
+        self._check(per_rank)
+        total = per_rank[0].copy()
+        for buf in per_rank[1:]:
+            total = total + buf
+        return [total.copy() for _ in range(self.world_size)]
+
+    def reduce_scatter(self, per_rank: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """Sum across ranks, then rank ``r`` keeps the r-th equal chunk.
+
+        Buffers must be flat with length divisible by the world size.
+        """
+        self._check(per_rank)
+        n = per_rank[0].size
+        if n % self.world_size:
+            raise ValueError("buffer length not divisible by world size")
+        total = self.all_reduce(per_rank)[0].reshape(-1)
+        chunk = n // self.world_size
+        return [
+            total[r * chunk : (r + 1) * chunk].copy()
+            for r in range(self.world_size)
+        ]
+
+    def all_gather(self, per_rank: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """Concatenate rank chunks; every rank receives the full buffer."""
+        self._check(per_rank)
+        full = np.concatenate([np.asarray(b).reshape(-1) for b in per_rank])
+        return [full.copy() for _ in range(self.world_size)]
+
+    def broadcast(self, buf: np.ndarray) -> List[np.ndarray]:
+        """Every rank receives a copy of ``buf``."""
+        return [buf.copy() for _ in range(self.world_size)]
+
+    def all_to_all(self, per_rank: Sequence[List[np.ndarray]]) -> List[List[np.ndarray]]:
+        """Transpose the (sender, receiver) matrix of buffers.
+
+        ``per_rank[s][r]`` is what sender ``s`` addresses to receiver ``r``;
+        the result's ``[r][s]`` is what receiver ``r`` got from sender ``s``.
+        """
+        self._check(per_rank)
+        for s, outbox in enumerate(per_rank):
+            if len(outbox) != self.world_size:
+                raise ValueError(f"rank {s} outbox has {len(outbox)} entries")
+        return [
+            [per_rank[s][r].copy() for s in range(self.world_size)]
+            for r in range(self.world_size)
+        ]

@@ -1,0 +1,47 @@
+"""Data-parallel helpers: batch sharding and gradient averaging."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.parallel.comm import SimProcessGroup
+
+Grads = Dict[str, np.ndarray]
+
+
+def shard_batch(
+    ids: np.ndarray, targets: np.ndarray, world_size: int
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Split a global batch across ranks along the batch dimension."""
+    if ids.shape[0] % world_size:
+        raise ValueError(
+            f"global batch {ids.shape[0]} not divisible by world {world_size}"
+        )
+    per = ids.shape[0] // world_size
+    return [
+        (ids[r * per : (r + 1) * per], targets[r * per : (r + 1) * per])
+        for r in range(world_size)
+    ]
+
+
+def average_gradients(
+    per_rank_grads: Sequence[Grads], group: SimProcessGroup
+) -> Grads:
+    """All-reduce-average gradients across data-parallel replicas.
+
+    Each rank computed gradients of the *mean* loss over its shard; with
+    equal shards the global gradient is the plain average.
+    """
+    if len(per_rank_grads) != group.world_size:
+        raise ValueError("one gradient dict per rank required")
+    names = list(per_rank_grads[0])
+    for grads in per_rank_grads[1:]:
+        if list(grads) != names:
+            raise ValueError("gradient keys differ across ranks")
+    averaged: Grads = {}
+    for name in names:
+        stacked = group.all_reduce([g[name] for g in per_rank_grads])[0]
+        averaged[name] = (stacked / group.world_size).astype(np.float32)
+    return averaged

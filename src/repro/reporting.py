@@ -1,0 +1,37 @@
+"""Plain-text table rendering shared by the CLI and benchmark harnesses."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_cell(value) -> str:
+    """Render one table cell (floats to 2 dp; None as OOM)."""
+    if value is None:
+        return "OOM"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(
+    title: str, headers: Sequence[str], rows: Iterable[Sequence]
+) -> str:
+    """Build an aligned text table."""
+    body = [[format_cell(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in body)) if body else len(h)
+        for i, h in enumerate(headers)
+    ]
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines = [f"\n=== {title} ===", header_line, "-" * len(header_line)]
+    for row in body:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(
+    title: str, headers: Sequence[str], rows: Iterable[Sequence]
+) -> None:
+    """Print an aligned text table to stdout."""
+    print(format_table(title, headers, rows))

@@ -1,0 +1,30 @@
+"""Deterministic discrete-event simulator for superchip training schedules.
+
+Schedules are DAGs of :class:`Task` objects bound to named serial
+:class:`Resource` streams (the GPU compute stream, the two C2C copy engine
+directions, the Grace CPU worker pool, the network).  The engine performs
+FIFO list scheduling — exactly how CUDA streams and a single-threaded
+optimizer process behave — and records a :class:`Trace` from which
+utilization, idle time (Figs. 4/15) and iteration latency fall out.
+"""
+
+from repro.sim.engine import ScheduleSimulator, Resource, Task
+from repro.sim.trace import Interval, Trace
+from repro.sim.compute import ComputeModel, gemm_efficiency
+from repro.sim.collectives import CollectiveModel
+from repro.sim import calibration
+from repro.sim.gantt import render_timeline, utilization_summary
+
+__all__ = [
+    "Task",
+    "Resource",
+    "ScheduleSimulator",
+    "Trace",
+    "Interval",
+    "ComputeModel",
+    "gemm_efficiency",
+    "CollectiveModel",
+    "calibration",
+    "render_timeline",
+    "utilization_summary",
+]

@@ -1,0 +1,106 @@
+"""Collective communication cost models.
+
+Standard bandwidth-optimal ring/pairwise algorithms over the cluster's
+bottleneck link: the multi-superchip experiments (§5.2, §5.3) are governed
+by all-reduce (DDP), reduce-scatter + all-gather (ZeRO), and all-to-all
+(Ulysses sequence parallelism) volumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.topology import ClusterTopology
+from repro.sim import calibration
+
+
+@dataclass(frozen=True)
+class CollectiveModel:
+    """Prices collectives over a cluster topology.
+
+    Args:
+        topology: the participating cluster.
+    """
+
+    topology: ClusterTopology
+    hierarchical: bool = True
+
+    def _bottleneck(self, participants: int | None = None) -> float:
+        """Effective per-rank bandwidth for a collective.
+
+        A collective confined to one node (``participants`` <= GPUs per
+        node) rides the intra-node fabric; anything wider is bottlenecked
+        by the inter-node network.
+        """
+        per_node = self.topology.node.n_superchips
+        if participants is not None and participants <= per_node:
+            link = self.topology.node.gpu_link.link.peak_bandwidth
+        else:
+            link = self.topology.slowest_link_bandwidth()
+        return link * calibration.COLLECTIVE_EFFICIENCY
+
+    def _reduction_time(self, nbytes: int, p: int, phases: int) -> float:
+        """Hierarchical (NCCL-style two-level) reduction cost.
+
+        With ``hierarchical`` enabled and a multi-node collective, the
+        intra-node phase reduces/gathers over NVLink and only the
+        inter-node phase (one rank per node, 1/K of the data each) crosses
+        the network — the standard NCCL tree/hierarchical-ring behaviour.
+        ``phases`` is 1 for reduce-scatter/all-gather and 2 for all-reduce.
+        """
+        per_node = self.topology.node.n_superchips
+        n_nodes = max(1, p // per_node) if p > per_node else 1
+        if not self.hierarchical or p <= per_node or n_nodes <= 1:
+            volume = phases * (p - 1) / p * nbytes
+            return calibration.COLLECTIVE_LATENCY + volume / self._bottleneck(p)
+        intra_bw = (self.topology.node.gpu_link.link.peak_bandwidth
+                    * calibration.COLLECTIVE_EFFICIENCY)
+        inter_bw = (self.topology.network.link.peak_bandwidth
+                    * calibration.COLLECTIVE_EFFICIENCY)
+        # intra-node phase over the full buffer, inter-node phase over the
+        # per-node shard; the two directions (scatter + gather) both occur
+        # for each `phase`.
+        intra = phases * (per_node - 1) / per_node * nbytes / intra_bw
+        inter = (phases * (n_nodes - 1) / n_nodes * (nbytes / per_node)
+                 / inter_bw)
+        return 2 * calibration.COLLECTIVE_LATENCY + intra + inter
+
+    def all_reduce(self, nbytes: int, participants: int | None = None) -> float:
+        """Ring all-reduce of ``nbytes`` per rank: 2(p-1)/p x volume."""
+        p = participants or self.topology.world_size
+        if p <= 1:
+            return 0.0
+        return self._reduction_time(nbytes, p, phases=2)
+
+    def reduce_scatter(self, nbytes: int, participants: int | None = None) -> float:
+        """Ring reduce-scatter of ``nbytes`` (full tensor size) per rank."""
+        p = participants or self.topology.world_size
+        if p <= 1:
+            return 0.0
+        return self._reduction_time(nbytes, p, phases=1)
+
+    def all_gather(self, nbytes: int, participants: int | None = None) -> float:
+        """Ring all-gather producing ``nbytes`` (full tensor size) per rank."""
+        p = participants or self.topology.world_size
+        if p <= 1:
+            return 0.0
+        return self._reduction_time(nbytes, p, phases=1)
+
+    def all_to_all(self, nbytes: int, participants: int | None = None) -> float:
+        """Pairwise all-to-all where each rank holds ``nbytes`` total.
+
+        Each rank sends (p-1)/p of its buffer; Ulysses issues this around
+        every attention block (§4.7).
+        """
+        p = participants or self.topology.world_size
+        if p <= 1:
+            return 0.0
+        volume = (p - 1) / p * nbytes
+        return calibration.COLLECTIVE_LATENCY + volume / self._bottleneck(p)
+
+    def broadcast(self, nbytes: int, participants: int | None = None) -> float:
+        """Tree/chain broadcast of ``nbytes``."""
+        p = participants or self.topology.world_size
+        if p <= 1:
+            return 0.0
+        return calibration.COLLECTIVE_LATENCY + nbytes / self._bottleneck(p)

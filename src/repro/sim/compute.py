@@ -1,0 +1,99 @@
+"""Compute-kernel timing models.
+
+Converts FLOP counts into simulated seconds for a given device, including
+the shape-dependent GEMM efficiency the paper's analysis leans on: small
+micro-batches (tokens) and small hidden sizes underfeed the tensor cores,
+which is exactly why activation-checkpointing-free large batches — enabled
+by offloading model states — win (§5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.specs import DeviceSpec
+from repro.sim import calibration
+
+
+def gemm_efficiency(
+    tokens: int,
+    hidden: int,
+    tokens_half: float = calibration.GEMM_TOKENS_HALF,
+    hidden_half: float = calibration.GEMM_HIDDEN_HALF,
+) -> float:
+    """Fraction of achievable peak sustained by transformer GEMMs.
+
+    A product of two saturating terms: one in tokens per micro-batch (the
+    GEMM M dimension) and one in hidden size (the N/K dimensions).
+
+    Args:
+        tokens: micro-batch size x sequence length.
+        hidden: model hidden dimension.
+    """
+    if tokens <= 0 or hidden <= 0:
+        raise ValueError("tokens and hidden must be positive")
+    return (tokens / (tokens + tokens_half)) * (hidden / (hidden + hidden_half))
+
+
+@dataclass(frozen=True)
+class ComputeModel:
+    """Prices compute kernels on one device.
+
+    Args:
+        device: the executing device.
+    """
+
+    device: DeviceSpec
+
+    def dense_time(self, flops: float, tokens: int, hidden: int) -> float:
+        """Seconds for ``flops`` of transformer GEMM work at a given shape."""
+        if flops < 0:
+            raise ValueError("flops must be non-negative")
+        eff = gemm_efficiency(tokens, hidden)
+        return flops / (self.device.achievable_flops * eff)
+
+    def attention_time(self, flops: float) -> float:
+        """Seconds for attention score/value matmuls.
+
+        Flash-style kernels keep the O(s^2) matmuls near the theoretical
+        peak (see :data:`repro.sim.calibration.ATTENTION_MFU`); this term
+        dominates the long-sequence Ulysses experiments (§5.3).
+        """
+        if flops < 0:
+            raise ValueError("flops must be non-negative")
+        return flops / (self.device.peak_flops * calibration.ATTENTION_MFU)
+
+    def adam_step_time(self, n_params: int, kernel: str) -> float:
+        """Seconds for an Adam step over ``n_params`` parameters.
+
+        Args:
+            n_params: parameters updated by this step.
+            kernel: one of the implementations in
+                :data:`repro.sim.calibration.ADAM_KERNEL_EFFICIENCY`, or
+                ``"gpu"`` for an on-GPU fused step.
+        """
+        if n_params < 0:
+            raise ValueError("n_params must be non-negative")
+        traffic = n_params * calibration.ADAM_BYTES_PER_PARAM
+        if kernel == "gpu":
+            if self.device.kind != "gpu":
+                raise ValueError("gpu Adam kernel priced on a non-GPU device")
+            return traffic / (
+                self.device.mem_bandwidth * calibration.ADAM_GPU_EFFICIENCY
+            )
+        try:
+            efficiency = calibration.ADAM_KERNEL_EFFICIENCY[kernel]
+        except KeyError:
+            raise KeyError(
+                f"unknown Adam kernel {kernel!r}; known: "
+                f"{sorted(calibration.ADAM_KERNEL_EFFICIENCY)} or 'gpu'"
+            ) from None
+        if self.device.kind != "cpu":
+            raise ValueError(f"CPU Adam kernel {kernel!r} priced on a GPU")
+        return traffic / (self.device.mem_bandwidth * efficiency)
+
+    def memcpy_time(self, nbytes: int) -> float:
+        """Seconds for an on-device copy of ``nbytes`` (read + write)."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return 2 * nbytes / self.device.mem_bandwidth

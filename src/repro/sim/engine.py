@@ -1,0 +1,151 @@
+"""Task-graph simulation engine.
+
+The engine executes a topologically ordered list of tasks.  Each task owns a
+duration, a resource, and dependencies; a task starts at the later of (a) the
+finish time of its last dependency and (b) the time its resource becomes
+free.  Within a resource, tasks run in submission order — the FIFO semantics
+of a CUDA stream, a copy engine, or a dedicated optimizer thread.
+
+This deliberately simple model is sufficient (and exact) for the static
+per-iteration schedules the offloading systems produce, and it is fully
+deterministic, which the tests rely on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.sim.trace import Interval, Trace
+
+_task_counter = itertools.count()
+
+
+@dataclass(eq=False)
+class Task:
+    """A unit of simulated work.
+
+    Attributes:
+        name: label recorded in the trace (e.g. ``"bwd.layer3"``).
+        resource: name of the serial resource the task occupies.
+        duration: seconds of occupancy.
+        deps: tasks that must finish before this one may start.
+        category: coarse label for aggregation (``"compute"``,
+            ``"transfer"``, ``"optimizer"``, ``"collective"``, ...).
+        earliest_start: optional wall-clock lower bound (used to model
+            externally-timed arrivals).
+    """
+
+    name: str
+    resource: str
+    duration: float
+    deps: Sequence["Task"] = field(default_factory=tuple)
+    category: str = "compute"
+    earliest_start: float = 0.0
+    start: Optional[float] = field(default=None, init=False)
+    finish: Optional[float] = field(default=None, init=False)
+    _uid: int = field(default_factory=lambda: next(_task_counter), init=False)
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError(f"task {self.name!r} has negative duration")
+
+    def done(self) -> bool:
+        """Whether the engine has scheduled this task."""
+        return self.finish is not None
+
+
+class Resource:
+    """A serial execution stream (FIFO)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.available_at = 0.0
+
+    def reset(self) -> None:
+        """Clear occupancy (used between independent simulations)."""
+        self.available_at = 0.0
+
+
+class ScheduleSimulator:
+    """Runs task graphs over a fixed set of resources.
+
+    Args:
+        resource_names: the streams available to schedules.  Tasks naming an
+            unregistered resource raise ``KeyError`` at run time — schedule
+            builders declare their streams explicitly.
+    """
+
+    def __init__(self, resource_names: Iterable[str]):
+        self.resources: Dict[str, Resource] = {
+            name: Resource(name) for name in resource_names
+        }
+        if not self.resources:
+            raise ValueError("simulator needs at least one resource")
+
+    def add_resource(self, name: str) -> None:
+        """Register an additional stream."""
+        self.resources.setdefault(name, Resource(name))
+
+    def run(self, tasks: Sequence[Task]) -> Trace:
+        """Execute ``tasks`` and return the resulting trace.
+
+        ``tasks`` must be topologically ordered (every dependency appears
+        before its dependents); this is validated and violations raise
+        ``ValueError``.  Task ``start``/``finish`` fields are filled in.
+        """
+        seen: set[int] = set()
+        trace = Trace()
+        for task in tasks:
+            for dep in task.deps:
+                if dep._uid not in seen:
+                    raise ValueError(
+                        f"task {task.name!r} depends on {dep.name!r}, which has "
+                        "not been scheduled yet (tasks must be topologically "
+                        "ordered)"
+                    )
+            if task._uid in seen:
+                raise ValueError(f"task {task.name!r} appears twice")
+            seen.add(task._uid)
+            try:
+                resource = self.resources[task.resource]
+            except KeyError:
+                raise KeyError(
+                    f"task {task.name!r} uses unregistered resource "
+                    f"{task.resource!r}; registered: {sorted(self.resources)}"
+                ) from None
+            ready = max(
+                (dep.finish for dep in task.deps),
+                default=0.0,
+            )
+            start = max(ready, resource.available_at, task.earliest_start)
+            task.start = start
+            task.finish = start + task.duration
+            resource.available_at = task.finish
+            trace.record(
+                Interval(
+                    resource=task.resource,
+                    name=task.name,
+                    category=task.category,
+                    start=start,
+                    finish=task.finish,
+                )
+            )
+        return trace
+
+    def reset(self) -> None:
+        """Free all resources for a fresh simulation."""
+        for resource in self.resources.values():
+            resource.reset()
+
+
+def chain(tasks: Sequence[Task]) -> List[Task]:
+    """Serialize ``tasks`` by adding each as a dependency of the next.
+
+    A convenience for schedule builders expressing strictly ordered phases.
+    Returns the same list for fluent use.
+    """
+    for prev, nxt in zip(tasks, tasks[1:]):
+        nxt.deps = tuple(nxt.deps) + (prev,)
+    return list(tasks)

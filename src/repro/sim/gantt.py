@@ -1,0 +1,82 @@
+"""ASCII timeline rendering of simulator traces.
+
+The paper communicates its scheduling arguments with timeline diagrams
+(Fig. 3's ZeRO-Offload gaps, Fig. 8's STV overlap); this renders the same
+view from a simulated trace so examples and debugging sessions can *see*
+the overlap structure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.sim.trace import Trace
+
+_CATEGORY_GLYPHS = {
+    "compute": "#",
+    "transfer": "~",
+    "optimizer": "U",
+    "collective": "=",
+    "cast": "c",
+}
+_IDLE = "."
+
+
+def category_glyph(category: str) -> str:
+    """Single-character glyph for a task category."""
+    return _CATEGORY_GLYPHS.get(category, "?")
+
+
+def render_timeline(
+    trace: Trace,
+    resources: Sequence[str] | None = None,
+    width: int = 100,
+    window: Tuple[float, float] | None = None,
+) -> str:
+    """Render one text row per resource over the given time window.
+
+    Each column is a time slice of ``(t1-t0)/width`` seconds showing the
+    category occupying the slice's midpoint (idle slices print ``.``).
+
+    Args:
+        trace: the simulated trace.
+        resources: rows to draw (all traced resources by default).
+        width: characters per row.
+        window: (t0, t1) view range; full makespan by default.
+    """
+    if width < 10:
+        raise ValueError("width must be at least 10")
+    t0, t1 = window if window is not None else (0.0, trace.makespan)
+    if t1 <= t0:
+        raise ValueError("window must have positive length")
+    rows = resources if resources is not None else trace.resources()
+    dt = (t1 - t0) / width
+    lines: List[str] = [
+        f"timeline {t0 * 1e3:.1f} ms .. {t1 * 1e3:.1f} ms "
+        f"({dt * 1e3:.2f} ms/char)   "
+        + "  ".join(f"{glyph}={cat}" for cat, glyph in _CATEGORY_GLYPHS.items())
+    ]
+    label_width = max((len(r) for r in rows), default=0)
+    for resource in rows:
+        intervals = trace.intervals_on(resource)
+        cells = []
+        for i in range(width):
+            mid = t0 + (i + 0.5) * dt
+            glyph = _IDLE
+            for iv in intervals:
+                if iv.start <= mid < iv.finish:
+                    glyph = category_glyph(iv.category)
+                    break
+            cells.append(glyph)
+        lines.append(f"{resource.rjust(label_width)} |{''.join(cells)}|")
+    return "\n".join(lines)
+
+
+def utilization_summary(
+    trace: Trace, window: Tuple[float, float] | None = None
+) -> Dict[str, float]:
+    """Per-resource busy fraction over the window (sorted by name)."""
+    return {
+        resource: trace.utilization(resource, window)
+        for resource in trace.resources()
+    }

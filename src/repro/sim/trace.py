@@ -1,0 +1,101 @@
+"""Execution traces and utilization accounting.
+
+The paper's idle-time figures (Fig. 4: 40–50% GPU idle under ZeRO-Offload;
+Fig. 15: near-zero idle under SuperOffload) are both resource-utilization
+queries over an iteration window; :class:`Trace` answers them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class Interval:
+    """One task occupancy on one resource."""
+
+    resource: str
+    name: str
+    category: str
+    start: float
+    finish: float
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.start
+
+
+class Trace:
+    """An append-only record of scheduled intervals."""
+
+    def __init__(self) -> None:
+        self.intervals: List[Interval] = []
+
+    def record(self, interval: Interval) -> None:
+        """Append one interval."""
+        self.intervals.append(interval)
+
+    @property
+    def makespan(self) -> float:
+        """Finish time of the last interval (0.0 for an empty trace)."""
+        return max((iv.finish for iv in self.intervals), default=0.0)
+
+    def intervals_on(self, resource: str) -> List[Interval]:
+        """Intervals on one resource, in start order."""
+        return sorted(
+            (iv for iv in self.intervals if iv.resource == resource),
+            key=lambda iv: iv.start,
+        )
+
+    def busy_time(
+        self, resource: str, window: Tuple[float, float] | None = None
+    ) -> float:
+        """Seconds the resource is occupied within ``window``.
+
+        Intervals on a serial resource never overlap, so the busy time is the
+        sum of clipped durations.
+        """
+        t0, t1 = window if window is not None else (0.0, self.makespan)
+        total = 0.0
+        for iv in self.intervals_on(resource):
+            lo, hi = max(iv.start, t0), min(iv.finish, t1)
+            if hi > lo:
+                total += hi - lo
+        return total
+
+    def utilization(
+        self, resource: str, window: Tuple[float, float] | None = None
+    ) -> float:
+        """Busy fraction of the resource over ``window`` (0 if empty window)."""
+        t0, t1 = window if window is not None else (0.0, self.makespan)
+        span = t1 - t0
+        if span <= 0:
+            return 0.0
+        return self.busy_time(resource, (t0, t1)) / span
+
+    def idle_fraction(
+        self, resource: str, window: Tuple[float, float] | None = None
+    ) -> float:
+        """1 − utilization: the quantity plotted in Figs. 4 and 15."""
+        return 1.0 - self.utilization(resource, window)
+
+    def idle_gaps(self, resource: str) -> List[Tuple[float, float]]:
+        """Maximal idle intervals between the first and last occupancy."""
+        ivs = self.intervals_on(resource)
+        gaps: List[Tuple[float, float]] = []
+        for prev, nxt in zip(ivs, ivs[1:]):
+            if nxt.start > prev.finish:
+                gaps.append((prev.finish, nxt.start))
+        return gaps
+
+    def time_by_category(self, resource: str) -> Dict[str, float]:
+        """Total busy seconds per category label on one resource."""
+        out: Dict[str, float] = {}
+        for iv in self.intervals_on(resource):
+            out[iv.category] = out.get(iv.category, 0.0) + iv.duration
+        return out
+
+    def resources(self) -> List[str]:
+        """Names of all resources that appear in the trace."""
+        return sorted({iv.resource for iv in self.intervals})

@@ -1,0 +1,74 @@
+"""Training-system performance models: SuperOffload and every baseline the
+paper evaluates against (Appendix B), all over the shared simulator."""
+
+from typing import Dict
+
+from repro.systems.base import (
+    ExecutionChoice,
+    InfeasibleError,
+    IterationEstimate,
+    RunSetting,
+    TrainingSystem,
+)
+from repro.systems.fsdp_offload import FSDPOffload
+from repro.systems.gpu_only import MegatronTP, PyTorchDDP, ZeRO2, ZeRO3
+from repro.systems.superoffload import SuperOffloadFeatures, SuperOffloadSystem
+from repro.systems.ulysses import (
+    SuperOffloadUlysses,
+    UlyssesSP,
+    max_sequence_tokens,
+)
+from repro.systems.zero_infinity import ZeROInfinity
+from repro.systems.zero_offload import ZeROOffload
+
+
+def build_all_systems() -> Dict[str, TrainingSystem]:
+    """Fresh instances of every registered system, keyed by name."""
+    systems = [
+        PyTorchDDP(),
+        MegatronTP(),
+        ZeRO2(),
+        ZeRO3(),
+        ZeROOffload(),
+        ZeROInfinity(),
+        ZeROInfinity(nvme=True),
+        FSDPOffload(),
+        SuperOffloadSystem(),
+        UlyssesSP(),
+        SuperOffloadUlysses(),
+    ]
+    return {s.name: s for s in systems}
+
+
+def get_system(name: str) -> TrainingSystem:
+    """Look up one system by registry name."""
+    systems = build_all_systems()
+    try:
+        return systems[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown system {name!r}; known: {sorted(systems)}"
+        ) from None
+
+
+__all__ = [
+    "RunSetting",
+    "ExecutionChoice",
+    "IterationEstimate",
+    "InfeasibleError",
+    "TrainingSystem",
+    "PyTorchDDP",
+    "MegatronTP",
+    "ZeRO2",
+    "ZeRO3",
+    "ZeROOffload",
+    "ZeROInfinity",
+    "FSDPOffload",
+    "SuperOffloadSystem",
+    "SuperOffloadFeatures",
+    "UlyssesSP",
+    "SuperOffloadUlysses",
+    "max_sequence_tokens",
+    "build_all_systems",
+    "get_system",
+]

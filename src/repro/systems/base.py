@@ -1,0 +1,383 @@
+"""Common machinery for the training-system performance models.
+
+Every system (PyTorch-DDP, Megatron, ZeRO-2/3, ZeRO-Offload, ZeRO-Infinity,
+FSDP-offload, SuperOffload, the Ulysses variants) implements the same
+interface: a per-rank memory model and a per-iteration task-graph builder.
+The base class turns those into throughput estimates (Figs. 10-12),
+max-model-scale searches (Fig. 13), and GPU-utilization traces (Figs. 4/15)
+by simulating three iterations and measuring the steady-state period.
+
+The execution-choice search mirrors the paper's methodology (§5.2): when the
+target batch does not fit, try (a) smaller micro-batches with gradient
+accumulation and (b) activation checkpointing with the largest fitting
+micro-batch, and report the better throughput.  Recompute FLOPs are excluded
+from effective TFLOPS, as the paper does.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.hardware.topology import ClusterTopology
+from repro.models.config import MODEL_CONFIG_TABLE, ModelConfig
+from repro.models.estimators import (
+    activation_bytes,
+    flops_per_token,
+    param_count,
+)
+from repro.sim import calibration
+from repro.sim.collectives import CollectiveModel
+from repro.sim.compute import ComputeModel
+from repro.sim.engine import ScheduleSimulator, Task
+from repro.sim.trace import Trace
+
+# "gpu" is the main compute stream; "gpu2" a side stream for small cast
+# kernels (engines run them on a separate CUDA stream so the compute FIFO
+# never stalls on a host round trip).
+RESOURCES = ("gpu", "gpu2", "d2h", "h2d", "cpu", "cpuval", "net")
+
+#: Number of simulated iterations; the first warms the pipeline.
+N_SIM_ITERS = 3
+
+#: Cap on schedule granularity: real bucket counts beyond this are merged
+#: for simulation speed (byte totals are preserved).
+MAX_SCHED_CHUNKS = 96
+
+
+@dataclass(frozen=True)
+class RunSetting:
+    """One experiment point.
+
+    Attributes:
+        config: the model.
+        cluster: hardware (world size = number of superchips/GPUs).
+        global_batch: total batch across all data-parallel ranks.
+        seq: training sequence length.
+    """
+
+    config: ModelConfig
+    cluster: ClusterTopology
+    global_batch: int
+    seq: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.global_batch < 1 or self.seq < 1:
+            raise ValueError("global_batch and seq must be positive")
+
+    @property
+    def world(self) -> int:
+        return self.cluster.world_size
+
+    @property
+    def psi(self) -> int:
+        return param_count(self.config)
+
+    @property
+    def flash_attention(self) -> bool:
+        """Long sequences force flash-style attention (no s^2 activations)."""
+        return self.seq > 8192
+
+
+@dataclass(frozen=True)
+class ExecutionChoice:
+    """How the global batch is executed on each rank.
+
+    Attributes:
+        micro_batch: per-rank micro-batch size.
+        grad_accum: accumulation steps (micro_batch * grad_accum * dp = batch).
+        checkpointing: full activation checkpointing.
+    """
+
+    micro_batch: int
+    grad_accum: int
+    checkpointing: bool
+
+    def __post_init__(self) -> None:
+        if self.micro_batch < 1 or self.grad_accum < 1:
+            raise ValueError("micro_batch and grad_accum must be positive")
+
+
+@dataclass(frozen=True)
+class IterationEstimate:
+    """A simulated steady-state training iteration.
+
+    Attributes:
+        system: system name.
+        setting: the experiment point.
+        choice: the execution choice used.
+        iter_time: steady-state seconds per iteration.
+        tflops_per_gpu: effective (recompute-excluded) TFLOPS per GPU.
+        mfu: fraction of the GPU's theoretical peak.
+        trace: full simulator trace (three iterations).
+        steady_window: (t0, t1) of the final simulated iteration, for
+            utilization queries.
+    """
+
+    system: str
+    setting: RunSetting
+    choice: ExecutionChoice
+    iter_time: float
+    tflops_per_gpu: float
+    mfu: float
+    trace: Trace
+    steady_window: Tuple[float, float]
+
+    def gpu_idle_fraction(self) -> float:
+        """GPU idle share within the steady-state window (Figs. 4/15)."""
+        return self.trace.idle_fraction("gpu", self.steady_window)
+
+
+class InfeasibleError(RuntimeError):
+    """Raised when no execution choice fits the hardware."""
+
+
+class TrainingSystem(abc.ABC):
+    """Interface of a training-system performance model.
+
+    Args:
+        name: registry key (e.g. ``"zero_offload"``).
+        display_name: label used in benchmark output.
+    """
+
+    #: whether the system can shard *data* across ranks (DP-style systems).
+    data_parallel = True
+    #: sequence-parallel systems divide the sequence, not the batch.
+    sequence_parallel = False
+
+    def __init__(self, name: str, display_name: str):
+        self.name = name
+        self.display_name = display_name
+
+    # ---- memory model -------------------------------------------------------
+
+    @abc.abstractmethod
+    def gpu_state_bytes(self, setting: RunSetting, choice: ExecutionChoice) -> float:
+        """Per-GPU resident bytes excluding activations."""
+
+    @abc.abstractmethod
+    def cpu_state_bytes(self, setting: RunSetting, choice: ExecutionChoice) -> float:
+        """Per-superchip CPU (host) resident bytes."""
+
+    def activation_state_bytes(
+        self, setting: RunSetting, choice: ExecutionChoice
+    ) -> float:
+        """Per-GPU activation residency (systems that shard activations
+        override)."""
+        return activation_bytes(
+            setting.config,
+            choice.micro_batch,
+            setting.seq,
+            checkpointing=choice.checkpointing,
+            flash_attention=setting.flash_attention,
+        )
+
+    def gpu_budget(self, setting: RunSetting) -> float:
+        """Usable HBM bytes per GPU."""
+        gpu = setting.cluster.node.chip.gpu
+        usable = gpu.mem_capacity - calibration.GPU_RESERVED_BYTES
+        return usable * (1.0 - calibration.GPU_HEADROOM_FRACTION)
+
+    def cpu_budget(self, setting: RunSetting) -> float:
+        """Usable host DRAM bytes per superchip."""
+        cpu = setting.cluster.node.chip.cpu
+        return cpu.mem_capacity - calibration.CPU_RESERVED_BYTES
+
+    def feasible(self, setting: RunSetting, choice: ExecutionChoice) -> bool:
+        """Whether the choice fits both memory budgets."""
+        gpu_total = self.gpu_state_bytes(setting, choice) + (
+            self.activation_state_bytes(setting, choice)
+        )
+        if gpu_total > self.gpu_budget(setting):
+            return False
+        return self.cpu_state_bytes(setting, choice) <= self.cpu_budget(setting)
+
+    # ---- schedule model -----------------------------------------------------
+
+    @abc.abstractmethod
+    def build_schedule(
+        self, setting: RunSetting, choice: ExecutionChoice, n_iters: int
+    ) -> List[Task]:
+        """Topologically ordered tasks for ``n_iters`` iterations.
+
+        Task names must be prefixed ``"it{k}."`` so the base class can
+        measure the steady-state period.
+        """
+
+    # ---- shared pricing helpers ---------------------------------------------
+
+    def _gpu_compute(self, setting: RunSetting) -> ComputeModel:
+        return ComputeModel(setting.cluster.node.chip.gpu)
+
+    def _cpu_compute(self, setting: RunSetting) -> ComputeModel:
+        return ComputeModel(setting.cluster.node.chip.cpu)
+
+    def _collectives(self, setting: RunSetting) -> CollectiveModel:
+        return CollectiveModel(setting.cluster)
+
+    def fwd_bwd_times(
+        self,
+        setting: RunSetting,
+        choice: ExecutionChoice,
+        shard: float = 1.0,
+        tokens_factor: float = 1.0,
+        hidden_factor: float = 1.0,
+    ) -> Tuple[float, float]:
+        """(forward, backward) seconds for ONE micro-batch on one GPU.
+
+        Args:
+            shard: fraction of the model FLOPs computed on this rank
+                (tensor / sequence parallel systems pass 1/N).
+            tokens_factor: fraction of the tokens this rank's GEMMs see
+                (sequence parallelism shrinks the M dimension).
+            hidden_factor: fraction of the hidden width this rank's GEMMs
+                see (tensor parallelism shrinks the N/K dimensions).
+
+        Sharding does not just divide FLOPs — it shrinks the GEMM shapes,
+        which lowers tensor-core efficiency; the factors feed the
+        efficiency curve.  Backward includes the checkpointing recompute
+        forward when enabled.
+        """
+        cfg = setting.config
+        tokens = choice.micro_batch * setting.seq
+        # Forward is one third of the fwd+bwd totals (6*psi dense and
+        # 12*L*h*s attention FLOPs per token, §4.2 / Megatron accounting).
+        dense = 2.0 * setting.psi * tokens * shard
+        attn = 4.0 * cfg.n_layers * cfg.hidden * setting.seq * tokens * shard
+        gpu = self._gpu_compute(setting)
+        eff_tokens = max(1, int(tokens * tokens_factor))
+        eff_hidden = max(1, int(cfg.hidden * hidden_factor))
+        fwd = gpu.dense_time(dense, eff_tokens, eff_hidden) + (
+            gpu.attention_time(attn)
+        )
+        bwd = 2.0 * fwd
+        if choice.checkpointing:
+            bwd += fwd  # recompute the forward during backward
+        return fwd, bwd
+
+    def effective_flops_per_iter_per_gpu(self, setting: RunSetting) -> float:
+        """Recompute-excluded FLOPs each GPU contributes per iteration."""
+        total = flops_per_token(setting.config, setting.seq) * (
+            setting.global_batch * setting.seq
+        )
+        return total / setting.world
+
+    # ---- estimation ---------------------------------------------------------
+
+    def estimate(
+        self, setting: RunSetting, choice: ExecutionChoice
+    ) -> IterationEstimate:
+        """Simulate the schedule and compute throughput metrics."""
+        if not self.feasible(setting, choice):
+            raise InfeasibleError(
+                f"{self.name}: {setting.config.name} with {choice} does not fit"
+            )
+        tasks = self.build_schedule(setting, choice, N_SIM_ITERS)
+        sim = ScheduleSimulator(RESOURCES)
+        trace = sim.run(tasks)
+        ends: Dict[int, float] = {}
+        starts: Dict[int, float] = {}
+        for task in tasks:
+            it = _iteration_of(task.name)
+            ends[it] = max(ends.get(it, 0.0), task.finish or 0.0)
+            starts[it] = min(starts.get(it, float("inf")), task.start or 0.0)
+        last = N_SIM_ITERS - 1
+        iter_time = (ends[last] - ends[0]) / max(1, last)
+        if iter_time <= 0:
+            raise RuntimeError(f"{self.name}: degenerate schedule (period <= 0)")
+        flops = self.effective_flops_per_iter_per_gpu(setting)
+        tflops = flops / iter_time / 1e12
+        peak = setting.cluster.node.chip.gpu.peak_flops / 1e12
+        window = (ends[last] - iter_time, ends[last])
+        return IterationEstimate(
+            system=self.name,
+            setting=setting,
+            choice=choice,
+            iter_time=iter_time,
+            tflops_per_gpu=tflops,
+            mfu=tflops / peak,
+            trace=trace,
+            steady_window=window,
+        )
+
+    def candidate_choices(self, setting: RunSetting) -> List[ExecutionChoice]:
+        """The paper's two OOM-avoidance strategies, over micro-batch sizes."""
+        dp = setting.world if self.data_parallel else 1
+        per_rank = max(1, setting.global_batch // dp)
+        choices: List[ExecutionChoice] = []
+        micro = per_rank
+        while micro >= 1:
+            accum = max(1, per_rank // micro)
+            choices.append(ExecutionChoice(micro, accum, checkpointing=False))
+            choices.append(ExecutionChoice(micro, accum, checkpointing=True))
+            if micro == 1:
+                break
+            micro //= 2
+        return choices
+
+    def best_estimate(self, setting: RunSetting) -> IterationEstimate:
+        """Highest-throughput feasible execution choice (paper §5.2 rule).
+
+        Raises:
+            InfeasibleError: nothing fits (the OOM bars of Figs. 10/11).
+        """
+        best: Optional[IterationEstimate] = None
+        for choice in self.candidate_choices(setting):
+            if not self.feasible(setting, choice):
+                continue
+            est = self.estimate(setting, choice)
+            if best is None or est.tflops_per_gpu > best.tflops_per_gpu:
+                best = est
+        if best is None:
+            raise InfeasibleError(
+                f"{self.name}: {setting.config.name} is out of memory at "
+                f"batch {setting.global_batch} on {setting.world} GPU(s)"
+            )
+        return best
+
+    def max_model_billions(
+        self,
+        cluster: ClusterTopology,
+        global_batch: int | None = None,
+        seq: int = 1024,
+    ) -> float:
+        """Largest Appendix-A model this system can train (Fig. 13).
+
+        Feasibility requires micro-batch 1 (checkpointed or not) to fit.
+        """
+        best = 0.0
+        for billions in sorted(MODEL_CONFIG_TABLE):
+            config = MODEL_CONFIG_TABLE[billions]
+            batch = global_batch if global_batch is not None else (
+                cluster.world_size if self.data_parallel else 1
+            )
+            setting = RunSetting(config, cluster, global_batch=batch, seq=seq)
+            for ckpt in (True, False):
+                choice = ExecutionChoice(1, max(1, batch // (
+                    cluster.world_size if self.data_parallel else 1
+                )), ckpt)
+                if self.feasible(setting, choice):
+                    best = max(best, billions)
+                    break
+        return best
+
+    # ---- schedule-building utilities ---------------------------------------
+
+    @staticmethod
+    def chunked(total: float, n: int) -> List[float]:
+        """Split a duration into ``n`` equal chunks."""
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        return [total / n] * n
+
+    @staticmethod
+    def sched_chunks(n_real: int) -> int:
+        """Scheduling granularity for ``n_real`` buckets (capped)."""
+        return max(1, min(n_real, MAX_SCHED_CHUNKS))
+
+
+def _iteration_of(task_name: str) -> int:
+    if not task_name.startswith("it"):
+        raise ValueError(f"task {task_name!r} missing iteration prefix")
+    return int(task_name[2 : task_name.index(".")])

@@ -1,0 +1,91 @@
+"""FSDP with CPU offload, performance model (Appendix B).
+
+PyTorch FSDP's CPU offload keeps FP32 shards host-side and moves each
+FlatParameter synchronously around its use — pageable transfers, a stream
+synchronization per module, and an optimizer step driven through PyTorch's
+native per-tensor CPU Adam.  The paper measures it under 15 TFLOPS on
+GH200 (§5.2), dominated by the unfused optimizer.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.sim import calibration
+from repro.sim.engine import Task
+from repro.systems.base import ExecutionChoice, RunSetting, TrainingSystem
+
+GiB = 1024**3
+
+
+class FSDPOffload(TrainingSystem):
+    """Fully Sharded Data Parallel + CPU offload."""
+
+    FLOW_BUFFER_BYTES = 3 * GiB
+
+    def __init__(self) -> None:
+        super().__init__("fsdp_offload", "FSDP-Offload")
+
+    def gpu_state_bytes(self, setting: RunSetting, choice: ExecutionChoice) -> float:
+        return self.FLOW_BUFFER_BYTES
+
+    def cpu_state_bytes(self, setting: RunSetting, choice: ExecutionChoice) -> float:
+        # fp32 params (4) + fp32 grads (4) + moments (8) + staging (2).
+        return 18 * setting.psi / setting.world
+
+    def _blocking_stream(self, nbytes: float, setting: RunSetting) -> float:
+        """Pageable, chunked, synchronized host<->device traffic."""
+        link = setting.cluster.node.c2c
+        chunk = calibration.FSDP_CHUNK_BYTES
+        n_chunks = max(1, int(nbytes // chunk))
+        return n_chunks * link.transfer_time(chunk, pinned=False)
+
+    def build_schedule(
+        self, setting: RunSetting, choice: ExecutionChoice, n_iters: int
+    ) -> List[Task]:
+        psi, n = setting.psi, setting.world
+        cfg = setting.config
+        cpu = self._cpu_compute(setting)
+        coll = self._collectives(setting)
+        fwd_t, bwd_t = self.fwd_bwd_times(setting, choice)
+
+        sync_t = calibration.FSDP_MODULE_SYNC_OVERHEAD * cfg.n_layers
+        # FP32 payloads: shard up for fwd and bwd, gradients back down.
+        fetch_t = self._blocking_stream(4 * psi / n, setting) + sync_t
+        gather_t = coll.all_gather(4 * psi)
+        grad_out = self._blocking_stream(4 * psi / n, setting) + sync_t
+        rs_t = coll.reduce_scatter(4 * psi)
+        step_t = cpu.adam_step_time(int(psi / n), "pt_cpu_per_tensor")
+
+        tasks: List[Task] = []
+        prev: List[Task] = []
+        for it in range(n_iters):
+            local_prev = list(prev)
+            last: Task | None = None
+            for a in range(choice.grad_accum):
+                f_up = Task(f"it{it}.fetch_fwd.m{a}", "h2d", fetch_t,
+                            deps=tuple(local_prev), category="transfer")
+                f_ag = Task(f"it{it}.gather_fwd.m{a}", "net", gather_t,
+                            deps=(f_up,), category="collective")
+                fwd = Task(f"it{it}.fwd.m{a}", "gpu",
+                           fwd_t + calibration.MICROBATCH_OVERHEAD,
+                           deps=(f_ag,), category="compute")
+                b_up = Task(f"it{it}.fetch_bwd.m{a}", "h2d", fetch_t,
+                            deps=(fwd,), category="transfer")
+                b_ag = Task(f"it{it}.gather_bwd.m{a}", "net", gather_t,
+                            deps=(b_up,), category="collective")
+                bwd = Task(f"it{it}.bwd.m{a}", "gpu", bwd_t,
+                           deps=(b_ag,), category="compute")
+                rs = Task(f"it{it}.rs.m{a}", "net", rs_t, deps=(bwd,),
+                          category="collective")
+                g_out = Task(f"it{it}.grad_d2h.m{a}", "d2h", grad_out,
+                             deps=(rs,), category="transfer")
+                tasks.extend([f_up, f_ag, fwd, b_up, b_ag, bwd, rs, g_out])
+                local_prev = [g_out]
+                last = g_out
+            assert last is not None
+            step = Task(f"it{it}.step", "cpu", step_t, deps=(last,),
+                        category="optimizer")
+            tasks.append(step)
+            prev = [step]
+        return tasks

@@ -1,0 +1,361 @@
+"""GPU-only baselines: PyTorch DDP, Megatron tensor parallelism, ZeRO-2 and
+ZeRO-3 (Appendix B descriptions).
+
+None of these touch host memory; their ceilings in Fig. 13 come entirely
+from HBM, and their throughput pays the optimizer step (and, for the
+sharded systems, parameter/gradient collectives) on the GPU critical path.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.models.estimators import activation_bytes
+from repro.sim import calibration
+from repro.sim.engine import Task
+from repro.systems.base import (
+    ExecutionChoice,
+    InfeasibleError,
+    RunSetting,
+    TrainingSystem,
+)
+
+GiB = 1024**3
+
+
+def _accum_loop(
+    system: TrainingSystem,
+    setting: RunSetting,
+    choice: ExecutionChoice,
+    it: int,
+    deps_head: List[Task],
+    shard: float = 1.0,
+    per_micro_extra: float = 0.0,
+    tokens_factor: float = 1.0,
+    hidden_factor: float = 1.0,
+) -> List[Task]:
+    """Forward+backward tasks for one iteration's accumulation loop.
+
+    Args:
+        deps_head: dependencies of the first forward (previous iteration's
+            parameter update).
+        shard: model fraction computed per rank (TP systems pass 1/degree).
+        per_micro_extra: exposed per-micro-batch communication seconds
+            (e.g. Megatron's activation all-reduces), appended serially.
+    """
+    fwd_t, bwd_t = system.fwd_bwd_times(
+        setting, choice, shard=shard,
+        tokens_factor=tokens_factor, hidden_factor=hidden_factor,
+    )
+    tasks: List[Task] = []
+    prev: List[Task] = list(deps_head)
+    for a in range(choice.grad_accum):
+        fwd = Task(
+            f"it{it}.fwd.m{a}", "gpu", fwd_t + calibration.MICROBATCH_OVERHEAD,
+            deps=tuple(prev), category="compute",
+        )
+        # Split backward so gradient communication can overlap its tail.
+        bwd_a = Task(f"it{it}.bwd.m{a}.a", "gpu", bwd_t / 2, deps=(fwd,),
+                     category="compute")
+        bwd_b = Task(f"it{it}.bwd.m{a}.b", "gpu", bwd_t / 2, deps=(bwd_a,),
+                     category="compute")
+        tasks.extend([fwd, bwd_a, bwd_b])
+        if per_micro_extra > 0:
+            comm = Task(
+                f"it{it}.tpcomm.m{a}", "net", per_micro_extra,
+                deps=(bwd_b,), category="collective",
+            )
+            tasks.append(comm)
+            prev = [comm]
+        else:
+            prev = [bwd_b]
+    return tasks
+
+
+class PyTorchDDP(TrainingSystem):
+    """Standard data parallelism: full replica + GPU optimizer.
+
+    Per-GPU footprint is the heaviest of any system: fp32 params/grads/
+    moments, AMP fp16 copies, and DDP's gradient buckets — ~24 bytes/param,
+    capping single-GPU scale at 3.5B on 96 GB (Fig. 13).
+    """
+
+    DDP_BYTES_PER_PARAM = 24
+
+    def __init__(self) -> None:
+        super().__init__("ddp", "PyTorch DDP")
+
+    def gpu_state_bytes(self, setting: RunSetting, choice: ExecutionChoice) -> float:
+        return self.DDP_BYTES_PER_PARAM * setting.psi
+
+    def cpu_state_bytes(self, setting: RunSetting, choice: ExecutionChoice) -> float:
+        return 0.0
+
+    def build_schedule(
+        self, setting: RunSetting, choice: ExecutionChoice, n_iters: int
+    ) -> List[Task]:
+        gpu = self._gpu_compute(setting)
+        coll = self._collectives(setting)
+        allreduce_t = coll.all_reduce(2 * setting.psi)
+        step_t = gpu.adam_step_time(setting.psi, "gpu")
+        tasks: List[Task] = []
+        prev_step: List[Task] = []
+        for it in range(n_iters):
+            body = _accum_loop(self, setting, choice, it, prev_step)
+            tasks.extend(body)
+            last_bwd = body[-1]
+            half_bwd = body[-2]
+            # DDP overlaps the all-reduce with the backward tail.
+            ar = Task(f"it{it}.allreduce", "net", allreduce_t,
+                      deps=(half_bwd,), category="collective")
+            step = Task(f"it{it}.step", "gpu", step_t,
+                        deps=(last_bwd, ar), category="optimizer")
+            tasks.extend([ar, step])
+            prev_step = [step]
+        return tasks
+
+
+class MegatronTP(TrainingSystem):
+    """Megatron-style tensor parallelism (optionally hybrid with DP).
+
+    The model (and activations) shard by the TP degree, but every layer's
+    forward and backward issue activation all-reduces — cheap over NVLink,
+    punishing over Slingshot.  When the world exceeds the TP degree, the
+    remaining factor runs data parallelism with a gradient all-reduce over
+    the TP-sharded parameters.  The degree is searched for best throughput,
+    as the paper does ("we use a MP degree that gives the best
+    performance"); feasibility uses the max degree (the scale frontier).
+    """
+
+    STATE_BYTES_PER_PARAM = 18  # 16 model states + fp16 working copies
+
+    def __init__(self, tp_degree: int | None = None) -> None:
+        super().__init__("megatron", "Megatron-LM (TP)")
+        self._fixed_tp = tp_degree
+
+    data_parallel = False  # the candidate-choice search sees the full batch
+
+    def _tp_degree(self, setting: RunSetting) -> int:
+        if self._fixed_tp is not None:
+            if setting.world % self._fixed_tp:
+                raise ValueError(
+                    f"tp degree {self._fixed_tp} does not divide world "
+                    f"{setting.world}"
+                )
+            return self._fixed_tp
+        return setting.world
+
+    def _dp_degree(self, setting: RunSetting) -> int:
+        return setting.world // self._tp_degree(setting)
+
+    def gpu_state_bytes(self, setting: RunSetting, choice: ExecutionChoice) -> float:
+        return self.STATE_BYTES_PER_PARAM * setting.psi / self._tp_degree(setting)
+
+    def cpu_state_bytes(self, setting: RunSetting, choice: ExecutionChoice) -> float:
+        return 0.0
+
+    def activation_state_bytes(
+        self, setting: RunSetting, choice: ExecutionChoice
+    ) -> float:
+        full = activation_bytes(
+            setting.config,
+            choice.micro_batch,
+            setting.seq,
+            checkpointing=choice.checkpointing,
+            flash_attention=setting.flash_attention,
+        )
+        return full / self._tp_degree(setting)
+
+    def candidate_choices(self, setting: RunSetting) -> List[ExecutionChoice]:
+        """Per-TP-group batch is the global batch divided by the DP factor."""
+        per_group = max(1, setting.global_batch // self._dp_degree(setting))
+        choices: List[ExecutionChoice] = []
+        micro = per_group
+        while micro >= 1:
+            accum = max(1, per_group // micro)
+            choices.append(ExecutionChoice(micro, accum, checkpointing=False))
+            choices.append(ExecutionChoice(micro, accum, checkpointing=True))
+            if micro == 1:
+                break
+            micro //= 2
+        return choices
+
+    def best_estimate(self, setting: RunSetting):
+        """Search the MP degree jointly with the execution choice."""
+        if self._fixed_tp is not None:
+            return super().best_estimate(setting)
+        best = None
+        last_error: Exception | None = None
+        tp = 1 if setting.world == 1 else 2
+        degrees = []
+        while tp <= setting.world:
+            if setting.world % tp == 0:
+                degrees.append(tp)
+            tp *= 2
+        if not degrees:
+            degrees = [setting.world]
+        for degree in degrees:
+            variant = MegatronTP(tp_degree=degree)
+            try:
+                est = variant.best_estimate(setting)
+            except InfeasibleError as exc:
+                last_error = exc
+                continue
+            if best is None or est.tflops_per_gpu > best.tflops_per_gpu:
+                best = est
+        if best is None:
+            raise last_error or InfeasibleError(
+                f"megatron: {setting.config.name} does not fit"
+            )
+        return best
+
+    def build_schedule(
+        self, setting: RunSetting, choice: ExecutionChoice, n_iters: int
+    ) -> List[Task]:
+        tp = self._tp_degree(setting)
+        dp = self._dp_degree(setting)
+        gpu = self._gpu_compute(setting)
+        # TP's per-layer activation all-reduces sit on the critical path of
+        # every layer; they are small, blocking, and cannot exploit NCCL's
+        # hierarchical pipelining the way bulk DP reductions do — price them
+        # over the flat bottleneck ring.
+        from repro.sim.collectives import CollectiveModel
+
+        tp_coll = CollectiveModel(setting.cluster, hierarchical=False)
+        dp_coll = self._collectives(setting)
+        cfg = setting.config
+        # Two activation all-reduces per layer per pass (fwd and bwd), fp16.
+        act_bytes = 2 * choice.micro_batch * setting.seq * cfg.hidden
+        per_layer = 2 * tp_coll.all_reduce(act_bytes, participants=tp)
+        per_micro_comm = per_layer * cfg.n_layers * 2 if tp > 1 else 0.0
+        # The DP replicas of one TP rank live in *different* nodes, so the
+        # gradient all-reduce is NIC-bound regardless of group size.
+        inter_bw = (setting.cluster.network.link.peak_bandwidth
+                    * calibration.COLLECTIVE_EFFICIENCY)
+        dp_ar_t = (
+            calibration.COLLECTIVE_LATENCY
+            + 2 * (dp - 1) / dp * (2 * setting.psi / tp) / inter_bw
+            if dp > 1 else 0.0
+        )
+        step_t = gpu.adam_step_time(int(setting.psi / tp), "gpu")
+        tasks: List[Task] = []
+        prev_step: List[Task] = []
+        for it in range(n_iters):
+            body = _accum_loop(
+                self, setting, choice, it, prev_step,
+                shard=1.0 / tp, per_micro_extra=per_micro_comm,
+                hidden_factor=1.0 / tp,
+            )
+            tasks.extend(body)
+            deps: List[Task] = [body[-1]]
+            if dp > 1:
+                ar = Task(f"it{it}.dp_allreduce", "net", dp_ar_t,
+                          deps=(body[-1],), category="collective")
+                tasks.append(ar)
+                deps = [ar]
+            step = Task(f"it{it}.step", "gpu", step_t,
+                        deps=tuple(deps), category="optimizer")
+            tasks.append(step)
+            prev_step = [step]
+        return tasks
+
+
+class ZeRO2(TrainingSystem):
+    """ZeRO stage 2: optimizer states and gradients sharded across DP ranks.
+
+    Each GPU still holds the full fp16 parameters plus a contiguous fp16
+    gradient buffer; the 12-bytes/param optimizer states divide by the
+    world size.
+    """
+
+    def __init__(self, name: str = "zero2", display: str = "ZeRO-2") -> None:
+        super().__init__(name, display)
+
+    def gpu_state_bytes(self, setting: RunSetting, choice: ExecutionChoice) -> float:
+        psi, n = setting.psi, setting.world
+        return 4 * psi + 12 * psi / n
+
+    def cpu_state_bytes(self, setting: RunSetting, choice: ExecutionChoice) -> float:
+        return 0.0
+
+    def build_schedule(
+        self, setting: RunSetting, choice: ExecutionChoice, n_iters: int
+    ) -> List[Task]:
+        gpu = self._gpu_compute(setting)
+        coll = self._collectives(setting)
+        psi, n = setting.psi, setting.world
+        rs_t = coll.reduce_scatter(2 * psi)
+        ag_t = coll.all_gather(2 * psi)
+        step_t = gpu.adam_step_time(int(psi / n), "gpu")
+        tasks: List[Task] = []
+        prev: List[Task] = []
+        for it in range(n_iters):
+            body = _accum_loop(self, setting, choice, it, prev)
+            tasks.extend(body)
+            rs = Task(f"it{it}.reduce_scatter", "net", rs_t,
+                      deps=(body[-2],), category="collective")
+            step = Task(f"it{it}.step", "gpu", step_t,
+                        deps=(body[-1], rs), category="optimizer")
+            ag = Task(f"it{it}.allgather", "net", ag_t,
+                      deps=(step,), category="collective")
+            tasks.extend([rs, step, ag])
+            prev = [ag]
+        return tasks
+
+
+class ZeRO3(TrainingSystem):
+    """ZeRO stage 3: parameters sharded too; gathered around each use.
+
+    Prefetch hides most of the gather latency; the live-parameter working
+    set (DeepSpeed's ``max_live_parameters``) plus reduce buckets bound the
+    extra HBM.
+    """
+
+    PREFETCH_OVERLAP = 0.7
+    LIVE_PARAM_BYTES = 3 * GiB  # gathered working set + reduce buckets
+
+    def __init__(self) -> None:
+        super().__init__("zero3", "ZeRO-3")
+
+    def gpu_state_bytes(self, setting: RunSetting, choice: ExecutionChoice) -> float:
+        psi, n = setting.psi, setting.world
+        return 16 * psi / n + self.LIVE_PARAM_BYTES
+
+    def cpu_state_bytes(self, setting: RunSetting, choice: ExecutionChoice) -> float:
+        return 0.0
+
+    def build_schedule(
+        self, setting: RunSetting, choice: ExecutionChoice, n_iters: int
+    ) -> List[Task]:
+        gpu = self._gpu_compute(setting)
+        coll = self._collectives(setting)
+        psi, n = setting.psi, setting.world
+        # Parameters are gathered for forward and again for backward, every
+        # micro-batch; prefetch overlaps most of it with compute.
+        gather_exposed = coll.all_gather(2 * psi) * (1 - self.PREFETCH_OVERLAP)
+        rs_t = coll.reduce_scatter(2 * psi)
+        step_t = gpu.adam_step_time(int(psi / n), "gpu")
+        tasks: List[Task] = []
+        prev: List[Task] = []
+        for it in range(n_iters):
+            fwd_t, bwd_t = self.fwd_bwd_times(setting, choice)
+            local_prev = list(prev)
+            for a in range(choice.grad_accum):
+                g_f = Task(f"it{it}.gather_fwd.m{a}", "net", gather_exposed,
+                           deps=tuple(local_prev), category="collective")
+                fwd = Task(f"it{it}.fwd.m{a}", "gpu",
+                           fwd_t + calibration.MICROBATCH_OVERHEAD,
+                           deps=(g_f,), category="compute")
+                g_b = Task(f"it{it}.gather_bwd.m{a}", "net", gather_exposed,
+                           deps=(fwd,), category="collective")
+                bwd = Task(f"it{it}.bwd.m{a}", "gpu", bwd_t,
+                           deps=(g_b,), category="compute")
+                tasks.extend([g_f, fwd, g_b, bwd])
+                local_prev = [bwd]
+            rs = Task(f"it{it}.reduce_scatter", "net", rs_t,
+                      deps=tuple(local_prev), category="collective")
+            step = Task(f"it{it}.step", "gpu", step_t,
+                        deps=(rs,), category="optimizer")
+            tasks.extend([rs, step])
+            prev = [step]
+        return tasks

@@ -1,0 +1,415 @@
+"""SuperOffload performance model (§4).
+
+The schedule realizes every §4 technique at bucket granularity and lets the
+discrete-event simulator discover the overlap:
+
+* adaptive weight policy (§4.2) — weight-flow adds per-chunk weight
+  streaming tasks when activations crowd out stationary weights;
+* 64 MB bucketization + repartitioning (§4.3) — the optimizer states of the
+  last ``n`` buckets stay on the GPU; ``n`` is grid-searched against the
+  simulated iteration period, bounded by free HBM;
+* speculation-then-validation (§4.4) — CPU steps fire per bucket as
+  gradients land (no global-norm gate), validation runs on its own CPU
+  stream, and the next forward waits only for the specific parameter bucket
+  it consumes;
+* superchip-aware casting (§4.5) — FP32 payloads over pinned DMA with
+  GPU-side casts, versus the FP16/pageable/CPU-cast path when disabled;
+* GraceAdam (§4.6) — the Table 3 kernel model.
+
+Each Table 2 ablation row is this class with one flag flipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.policy import AdaptiveOffloadPolicy, WeightPolicy
+from repro.sim import calibration
+from repro.sim.engine import ScheduleSimulator, Task
+from repro.systems.base import (
+    ExecutionChoice,
+    RESOURCES,
+    RunSetting,
+    TrainingSystem,
+)
+
+GiB = 1024**3
+
+
+@dataclass(frozen=True)
+class SuperOffloadFeatures:
+    """Performance-model feature flags (the Table 2 ablation axes)."""
+
+    grace_adam: bool = True
+    superchip_aware_casting: bool = True
+    stv: bool = True
+    bucket_repartitioning: bool = True
+
+
+@dataclass
+class _Plan:
+    """Resolved schedule parameters for one (setting, choice)."""
+
+    weight_policy: WeightPolicy
+    n_chunks: int
+    n_tail: int
+    fwd_t: float
+    bwd_t: float
+    d2h_t: float
+    h2d_t: float
+    cast_gpu_t: float
+    cpu_step_t: float
+    gpu_step_t: float
+    weight_fetch_t: float
+    rs_t: float
+    ag_t: float
+    norm_t: float
+
+
+class SuperOffloadSystem(TrainingSystem):
+    """The paper's system, as a simulator schedule builder.
+
+    Args:
+        features: ablation flags; defaults to everything on.
+        name: registry key override (ablation rows register variants).
+    """
+
+    TAIL_CANDIDATES = (0, 1, 2, 4, 8, 16, 32)
+
+    def __init__(
+        self,
+        features: SuperOffloadFeatures | None = None,
+        name: str = "superoffload",
+        display: str = "SuperOffload",
+    ) -> None:
+        super().__init__(name, display)
+        self.features = features or SuperOffloadFeatures()
+
+    # ---- memory model -------------------------------------------------------
+
+    def _policy(self, setting: RunSetting) -> AdaptiveOffloadPolicy:
+        chip = setting.cluster.node.chip
+        return AdaptiveOffloadPolicy(
+            gpu=chip.gpu, c2c_bandwidth=chip.c2c.peak_bandwidth
+        )
+
+    def _weight_policy(
+        self, setting: RunSetting, choice: ExecutionChoice
+    ) -> WeightPolicy:
+        decision = self._policy(setting).decide(
+            setting.config, choice.micro_batch, setting.seq,
+            checkpointing=choice.checkpointing,
+        )
+        return decision.policy
+
+    def gpu_state_bytes(self, setting: RunSetting, choice: ExecutionChoice) -> float:
+        psi, n = setting.psi, setting.world
+        buffers = 8 * calibration.BUCKET_BYTES  # staging ring
+        if self._weight_policy(setting, choice) is WeightPolicy.STATIONARY:
+            # fp16 weights resident; ZeRO-3-style partitioning divides them
+            # across ranks in multi-superchip mode (§4.7).
+            return 2 * psi / n + buffers
+        # Weight-flow: double-buffered layer weights only.
+        return 4 * psi / setting.config.n_layers + buffers
+
+    def cpu_state_bytes(self, setting: RunSetting, choice: ExecutionChoice) -> float:
+        # fp32 master/m/v (12) + fp16 weight copy (2) + pinned staging (2).
+        return 16 * setting.psi / setting.world
+
+    # ---- planning -----------------------------------------------------------
+
+    def _base_plan(self, setting: RunSetting, choice: ExecutionChoice) -> _Plan:
+        psi, n = setting.psi, setting.world
+        f = self.features
+        chip = setting.cluster.node.chip
+        # Rank 0's host link: NVLink-C2C under SuperOffload's affine NUMA
+        # binding, the slower inter-superchip path if the launcher misplaced
+        # the process (§4.7) — the NUMA-binding benchmark flips this.
+        link = setting.cluster.node.host_link_for(0)
+        gpu = self._gpu_compute(setting)
+        cpu = self._cpu_compute(setting)
+        coll = self._collectives(setting)
+        fwd_t, bwd_t = self.fwd_bwd_times(setting, choice)
+        weight_policy = self._weight_policy(setting, choice)
+
+        n_real = max(1, int(2 * psi // calibration.BUCKET_BYTES))
+        n_chunks = self.sched_chunks(n_real)
+        shard = psi / n
+        per_bucket = shard / n_chunks
+
+        if f.superchip_aware_casting:
+            payload = int(4 * per_bucket)
+            d2h_t = link.transfer_time(payload, pinned=True)
+            h2d_t = link.transfer_time(payload, pinned=True)
+            cast_gpu_t = 1.5 * payload / (chip.gpu.mem_bandwidth * 0.55)
+            cpu_cast_t = 0.0
+        else:
+            payload = int(2 * per_bucket)
+            d2h_t = link.transfer_time(payload, pinned=False)
+            h2d_t = link.transfer_time(payload, pinned=False)
+            cast_gpu_t = 0.0
+            cpu_cast_t = 2 * (1.5 * 4 * per_bucket / (chip.cpu.mem_bandwidth * 0.75))
+
+        kernel = "grace_adam" if f.grace_adam else "cpu_adam"
+        cpu_step_t = cpu.adam_step_time(int(per_bucket), kernel) + cpu_cast_t
+        gpu_step_t = gpu.adam_step_time(int(per_bucket), "gpu")
+        weight_fetch_t = (
+            link.transfer_time(int(2 * per_bucket), pinned=True)
+            if weight_policy is WeightPolicy.FLOW
+            else 0.0
+        )
+        rs_t = coll.reduce_scatter(int(2 * psi / n_chunks)) if n > 1 else 0.0
+        ag_t = coll.all_gather(int(2 * psi / n_chunks)) if n > 1 else 0.0
+        norm_t = 4 * shard / (chip.cpu.mem_bandwidth * 0.8)
+        return _Plan(
+            weight_policy=weight_policy,
+            n_chunks=n_chunks,
+            n_tail=0,
+            fwd_t=fwd_t,
+            bwd_t=bwd_t,
+            d2h_t=d2h_t,
+            h2d_t=h2d_t,
+            cast_gpu_t=cast_gpu_t,
+            cpu_step_t=cpu_step_t,
+            gpu_step_t=gpu_step_t,
+            weight_fetch_t=weight_fetch_t,
+            rs_t=rs_t,
+            ag_t=ag_t,
+            norm_t=norm_t,
+        )
+
+    def _max_tail(self, setting: RunSetting, choice: ExecutionChoice, plan: _Plan) -> int:
+        """Tail buckets whose 12-bytes/param optimizer states fit free HBM."""
+        free = self.gpu_budget(setting) - self.gpu_state_bytes(setting, choice) \
+            - self.activation_state_bytes(setting, choice)
+        per_bucket_state = 12 * (setting.psi / setting.world) / plan.n_chunks
+        if per_bucket_state <= 0 or free <= 0:
+            return 0
+        return max(0, min(plan.n_chunks, int(free // per_bucket_state)))
+
+    def plan(self, setting: RunSetting, choice: ExecutionChoice) -> _Plan:
+        """Resolve the full plan, grid-searching the repartitioned tail."""
+        plan = self._base_plan(setting, choice)
+        if not self.features.bucket_repartitioning or not self.features.stv:
+            # Repartitioning presupposes STV: under synchronize-then-execute
+            # the GPU waits on the global gate regardless of where the tail
+            # buckets' optimizer runs.
+            return plan
+        max_tail = self._max_tail(setting, choice, plan)
+        candidates = sorted(
+            {c for c in self.TAIL_CANDIDATES if c <= max_tail} | {0}
+        )
+        best_n, best_period = 0, None
+        for n_tail in candidates:
+            trial = _replace_tail(plan, n_tail)
+            period = self._simulated_period(setting, choice, trial)
+            if best_period is None or period < best_period:
+                best_n, best_period = n_tail, period
+        return _replace_tail(plan, best_n)
+
+    def _simulated_period(
+        self, setting: RunSetting, choice: ExecutionChoice, plan: _Plan
+    ) -> float:
+        tasks = self._build_from_plan(setting, choice, plan, n_iters=3)
+        sim = ScheduleSimulator(RESOURCES)
+        sim.run(tasks)
+        ends = {}
+        for t in tasks:
+            it = int(t.name[2 : t.name.index(".")])
+            ends[it] = max(ends.get(it, 0.0), t.finish or 0.0)
+        return (ends[2] - ends[0]) / 2
+
+    # ---- schedule -----------------------------------------------------------
+
+    def build_schedule(
+        self, setting: RunSetting, choice: ExecutionChoice, n_iters: int
+    ) -> List[Task]:
+        plan = self.plan(setting, choice)
+        return self._build_from_plan(setting, choice, plan, n_iters)
+
+    def _build_from_plan(
+        self,
+        setting: RunSetting,
+        choice: ExecutionChoice,
+        plan: _Plan,
+        n_iters: int,
+    ) -> List[Task]:
+        f = self.features
+        n = setting.world
+        B = plan.n_chunks
+        tasks: List[Task] = []
+        # ready[j]: the task that makes forward chunk j's parameters current
+        # (None in iteration 0 — weights start fresh).
+        param_ready: List[Optional[Task]] = [None] * B
+
+        for it in range(n_iters):
+            # ---- forward: first micro-batch chunked for dependencies ------
+            prev: Optional[Task] = None
+            fwd_chunks: List[Task] = []
+            for j in range(B):
+                deps: List[Task] = []
+                if prev is not None:
+                    deps.append(prev)
+                # forward chunk j consumes the parameters of bucket B-1-j
+                # (buckets fill in backward order).
+                ready = param_ready[B - 1 - j]
+                if ready is not None:
+                    deps.append(ready)
+                if plan.weight_policy is WeightPolicy.FLOW:
+                    fetch = Task(
+                        f"it{it}.wfetch_fwd.c{j}", "h2d", plan.weight_fetch_t,
+                        deps=tuple(d for d in deps if d is not None),
+                        category="transfer",
+                    )
+                    tasks.append(fetch)
+                    deps.append(fetch)
+                chunk = Task(
+                    f"it{it}.fwd.m0.c{j}", "gpu",
+                    plan.fwd_t / B + calibration.MICROBATCH_OVERHEAD / B,
+                    deps=tuple(deps), category="compute",
+                )
+                tasks.append(chunk)
+                fwd_chunks.append(chunk)
+                prev = chunk
+            # remaining accumulation micro-batches (full fwd+bwd, on-GPU grads)
+            for a in range(1, choice.grad_accum):
+                fwd = Task(
+                    f"it{it}.fwd.m{a}", "gpu",
+                    plan.fwd_t + calibration.MICROBATCH_OVERHEAD,
+                    deps=(prev,), category="compute",
+                )
+                bwd = Task(f"it{it}.bwd.m{a}", "gpu", plan.bwd_t,
+                           deps=(fwd,), category="compute")
+                if plan.weight_policy is WeightPolicy.FLOW:
+                    # each extra pass re-streams the weights; priced as one
+                    # bulk fetch the backward must wait on.
+                    refetch = Task(
+                        f"it{it}.wfetch.m{a}", "h2d",
+                        plan.weight_fetch_t * B, deps=(fwd,),
+                        category="transfer",
+                    )
+                    tasks.extend([fwd, refetch])
+                    bwd.deps = (fwd, refetch)
+                    tasks.append(bwd)
+                else:
+                    tasks.extend([fwd, bwd])
+                prev = bwd
+
+            # ---- boundary backward, bucket by bucket ----------------------
+            d2h_tasks: List[Task] = []
+            bwd_prev: Task = prev
+            uploads: List[Optional[Task]] = [None] * B
+            pending: List[Tuple[int, Task]] = []  # STE: steps deferred to gate
+            for c in range(B):
+                bwd_deps: List[Task] = [bwd_prev]
+                if plan.weight_policy is WeightPolicy.FLOW:
+                    fetch = Task(
+                        f"it{it}.wfetch_bwd.c{c}", "h2d", plan.weight_fetch_t,
+                        deps=(bwd_prev,), category="transfer",
+                    )
+                    tasks.append(fetch)
+                    bwd_deps.append(fetch)
+                bc = Task(f"it{it}.bwd.m0.c{c}", "gpu", plan.bwd_t / B,
+                          deps=tuple(bwd_deps), category="compute")
+                tasks.append(bc)
+                bwd_prev = bc
+                on_gpu_tail = c >= B - plan.n_tail
+                move_deps: List[Task] = [bc]
+                if n > 1:
+                    rs = Task(f"it{it}.rs.c{c}", "net", plan.rs_t,
+                              deps=(bc,), category="collective")
+                    tasks.append(rs)
+                    move_deps = [rs]
+                if on_gpu_tail:
+                    continue  # handled after the loop (GPU steps)
+                if f.superchip_aware_casting and plan.cast_gpu_t > 0:
+                    cast = Task(f"it{it}.cast_out.c{c}", "gpu",
+                                plan.cast_gpu_t, deps=tuple(move_deps),
+                                category="cast")
+                    tasks.append(cast)
+                    move_deps = [cast]
+                mv = Task(f"it{it}.d2h.c{c}", "d2h", plan.d2h_t,
+                          deps=tuple(move_deps), category="transfer")
+                tasks.append(mv)
+                d2h_tasks.append(mv)
+                if f.stv:
+                    # STV (§4.4): the speculative step fires the moment this
+                    # bucket's gradients land — no global-norm gate.
+                    st = Task(f"it{it}.cpustep.c{c}", "cpu", plan.cpu_step_t,
+                              deps=(mv,), category="optimizer")
+                    up = Task(f"it{it}.h2d.c{c}", "h2d", plan.h2d_t,
+                              deps=(st,), category="transfer")
+                    tasks.extend([st, up])
+                    uploads[c] = up
+                else:
+                    pending.append((c, mv))
+
+            # ---- STE gate (feature-off mode): the classic ZeRO-Offload
+            # ordering — global norm over ALL gradients, then the steps.
+            if pending:
+                gate = Task(
+                    f"it{it}.norm_gate", "cpu", plan.norm_t,
+                    deps=tuple(mv for _, mv in pending), category="optimizer",
+                )
+                tasks.append(gate)
+                for c, mv in pending:
+                    st = Task(f"it{it}.cpustep.c{c}", "cpu", plan.cpu_step_t,
+                              deps=(gate, mv), category="optimizer")
+                    up = Task(f"it{it}.h2d.c{c}", "h2d", plan.h2d_t,
+                              deps=(st,), category="transfer")
+                    tasks.extend([st, up])
+                    uploads[c] = up
+
+            # ---- GPU tail steps (bucket repartitioning, §4.3) --------------
+            for c in range(B - plan.n_tail, B):
+                gst = Task(f"it{it}.gpustep.c{c}", "gpu", plan.gpu_step_t,
+                           deps=(bwd_prev,), category="optimizer")
+                tasks.append(gst)
+                uploads[c] = gst
+
+            # ---- post-upload GPU-side work for each returned bucket --------
+            # The widen-cast runs on a side stream ("gpu2") so the compute
+            # FIFO never stalls on a host round trip it does not depend on.
+            for c in range(B - plan.n_tail):
+                up = uploads[c]
+                assert up is not None
+                ready: Task = up
+                if f.superchip_aware_casting and plan.cast_gpu_t > 0:
+                    back = Task(f"it{it}.cast_in.c{c}", "gpu2",
+                                plan.cast_gpu_t, deps=(up,), category="cast")
+                    tasks.append(back)
+                    ready = back
+                if n > 1:
+                    ag = Task(f"it{it}.ag.c{c}", "net", plan.ag_t,
+                              deps=(ready,), category="collective")
+                    tasks.append(ag)
+                    ready = ag
+                uploads[c] = ready
+
+            # ---- validation (§4.4): off the critical path under STV --------
+            # The background process computes the global norm and NaN scan
+            # on its own CPU stream; nothing waits on it (rollbacks are the
+            # rare exception, priced separately — §5.7 measures them at
+            # 0.12% of iterations).
+            if f.stv and d2h_tasks:
+                val = Task(f"it{it}.validate", "cpuval", plan.norm_t,
+                           deps=tuple(d2h_tasks), category="optimizer")
+                tasks.append(val)
+            if not f.bucket_repartitioning:
+                # Without repartitioning the engine keeps ZeRO-Offload's
+                # coarse synchronization: the next forward starts only once
+                # the parameter return is *complete* (§4.3's critique).
+                done = [u for u in uploads if u is not None]
+                barrier = Task(f"it{it}.param_barrier", "cpuval", 0.0,
+                               deps=tuple(done), category="transfer")
+                tasks.append(barrier)
+                uploads = [barrier] * B
+            param_ready = uploads
+        return tasks
+
+
+def _replace_tail(plan: _Plan, n_tail: int) -> _Plan:
+    from dataclasses import replace
+
+    return replace(plan, n_tail=n_tail)

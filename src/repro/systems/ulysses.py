@@ -1,0 +1,215 @@
+"""Ulysses sequence parallelism and SuperOffload-Ulysses (§4.7, §5.3).
+
+Vanilla DeepSpeed-Ulysses shards the *sequence* across ranks and exchanges
+shards around attention with all-to-alls; its model states stay on the GPU
+(parameters and gradients unsharded, optimizer ZeRO-1-partitioned), which
+is the "fixed GPU memory consumption" the paper identifies as the sequence-
+length ceiling.  SuperOffload-Ulysses keeps the same compute/communication
+structure but pushes optimizer states and (weight-flow) most weights to the
+Grace CPU, handing nearly all of HBM to activations — the source of the
+longer trainable sequences in Fig. 12.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.policy import WeightPolicy
+from repro.models.estimators import activation_bytes
+from repro.sim import calibration
+from repro.sim.engine import Task
+from repro.systems.base import ExecutionChoice, RunSetting, TrainingSystem
+from repro.systems.superoffload import SuperOffloadSystem
+
+
+def _seq_shard(setting: RunSetting) -> int:
+    world = setting.world
+    if setting.seq % world:
+        raise ValueError(
+            f"sequence {setting.seq} not divisible by world {world}"
+        )
+    return setting.seq // world
+
+
+def _sp_fwd_bwd(
+    system: TrainingSystem, setting: RunSetting, choice: ExecutionChoice
+) -> Tuple[float, float]:
+    """(fwd, bwd) per-rank seconds under sequence parallelism.
+
+    Dense and attention FLOPs both divide by the SP degree (tokens shard;
+    heads shard inside attention).
+    """
+    fwd, bwd = system.fwd_bwd_times(
+        setting, choice, shard=1.0 / setting.world,
+        tokens_factor=1.0 / setting.world,
+    )
+    return fwd, bwd
+
+
+def _a2a_exposed(
+    system: TrainingSystem, setting: RunSetting, choice: ExecutionChoice
+) -> float:
+    """Exposed all-to-all seconds per pass (forward; backward mirrors it).
+
+    Four exchanges per layer (q, k, v in; context out), each carrying the
+    rank's token shard at fp16; half hides behind attention compute.
+    """
+    coll = system._collectives(setting)
+    tokens_rank = choice.micro_batch * _seq_shard(setting)
+    per_call = 2 * tokens_rank * setting.config.hidden  # fp16 bytes
+    per_layer = 4 * coll.all_to_all(int(per_call))
+    return 0.5 * per_layer * setting.config.n_layers
+
+
+class UlyssesSP(TrainingSystem):
+    """Vanilla DeepSpeed-Ulysses (ZeRO-1 base) performance model."""
+
+    data_parallel = False
+    sequence_parallel = True
+
+    def __init__(self) -> None:
+        super().__init__("ulysses", "Ulysses-SP")
+
+    def gpu_state_bytes(self, setting: RunSetting, choice: ExecutionChoice) -> float:
+        psi, n = setting.psi, setting.world
+        # fp16 params + fp16 grads unsharded; optimizer states ZeRO-1.
+        return 4 * psi + 12 * psi / n
+
+    def cpu_state_bytes(self, setting: RunSetting, choice: ExecutionChoice) -> float:
+        return 0.0
+
+    def activation_state_bytes(
+        self, setting: RunSetting, choice: ExecutionChoice
+    ) -> float:
+        shard = _seq_shard(setting)
+        return activation_bytes(
+            setting.config,
+            choice.micro_batch,
+            shard,
+            checkpointing=choice.checkpointing,
+            flash_attention=setting.flash_attention,
+        )
+
+    def build_schedule(
+        self, setting: RunSetting, choice: ExecutionChoice, n_iters: int
+    ) -> List[Task]:
+        gpu = self._gpu_compute(setting)
+        coll = self._collectives(setting)
+        psi, n = setting.psi, setting.world
+        fwd_t, bwd_t = _sp_fwd_bwd(self, setting, choice)
+        a2a_t = _a2a_exposed(self, setting, choice)
+        ar_t = coll.all_reduce(2 * psi)  # gradient sync across SP ranks
+        step_t = gpu.adam_step_time(int(psi / n), "gpu")
+        ag_t = coll.all_gather(2 * psi)
+        tasks: List[Task] = []
+        prev: List[Task] = []
+        for it in range(n_iters):
+            local_prev = list(prev)
+            last: Task | None = None
+            for a in range(choice.grad_accum):
+                fwd = Task(f"it{it}.fwd.m{a}", "gpu",
+                           fwd_t + calibration.MICROBATCH_OVERHEAD,
+                           deps=tuple(local_prev), category="compute")
+                a2a_f = Task(f"it{it}.a2a_f.m{a}", "net", a2a_t, deps=(fwd,),
+                             category="collective")
+                bwd = Task(f"it{it}.bwd.m{a}", "gpu", bwd_t, deps=(a2a_f,),
+                           category="compute")
+                a2a_b = Task(f"it{it}.a2a_b.m{a}", "net", a2a_t, deps=(bwd,),
+                             category="collective")
+                tasks.extend([fwd, a2a_f, bwd, a2a_b])
+                local_prev = [a2a_b]
+                last = a2a_b
+            assert last is not None
+            ar = Task(f"it{it}.gradsync", "net", ar_t, deps=(last,),
+                      category="collective")
+            step = Task(f"it{it}.step", "gpu", step_t, deps=(ar,),
+                        category="optimizer")
+            ag = Task(f"it{it}.param_ag", "net", ag_t, deps=(step,),
+                      category="collective")
+            tasks.extend([ar, step, ag])
+            prev = [ag]
+        return tasks
+
+
+class SuperOffloadUlysses(SuperOffloadSystem):
+    """SuperOffload + Ulysses-SP (§4.7): sequence-parallel compute with the
+    full offloading stack underneath."""
+
+    data_parallel = False
+    sequence_parallel = True
+
+    def __init__(self) -> None:
+        super().__init__(name="superoffload_ulysses",
+                         display="SuperOffload-Ulysses")
+
+    def activation_state_bytes(
+        self, setting: RunSetting, choice: ExecutionChoice
+    ) -> float:
+        shard = _seq_shard(setting)
+        return activation_bytes(
+            setting.config,
+            choice.micro_batch,
+            shard,
+            checkpointing=choice.checkpointing,
+            flash_attention=setting.flash_attention,
+        )
+
+    def _weight_policy(
+        self, setting: RunSetting, choice: ExecutionChoice
+    ) -> WeightPolicy:
+        # Long-sequence training is exactly the weight-flow regime (§4.2):
+        # the adaptive policy sees the seq-sharded activation footprint.
+        decision = self._policy(setting).decide(
+            setting.config,
+            choice.micro_batch,
+            _seq_shard(setting),
+            checkpointing=choice.checkpointing,
+        )
+        return decision.policy
+
+    def fwd_bwd_times(
+        self,
+        setting: RunSetting,
+        choice: ExecutionChoice,
+        shard: float = 1.0,
+        tokens_factor: float = 1.0,
+        hidden_factor: float = 1.0,
+    ) -> Tuple[float, float]:
+        """Sequence-parallel compute plus the exposed all-to-all share.
+
+        The sharding factors are fixed by the SP degree (callers' values
+        are ignored); the a2a exposure is folded into the compute durations
+        so the bucket-level SuperOffload schedule stays unchanged.
+        """
+        fwd, bwd = super().fwd_bwd_times(
+            setting, choice, shard=1.0 / setting.world,
+            tokens_factor=1.0 / setting.world,
+        )
+        a2a = _a2a_exposed(self, setting, choice)
+        return fwd + a2a, bwd + a2a
+
+
+def max_sequence_tokens(
+    system: TrainingSystem,
+    setting_proto: RunSetting,
+    max_tokens: int = 2**21,
+) -> int:
+    """Largest power-of-two sequence length the system can train (Fig. 12).
+
+    Probes micro-batch 1 with activation checkpointing at doubling sequence
+    lengths from 16K up to ``max_tokens``.
+    """
+    from dataclasses import replace
+
+    best = 0
+    seq = 16384
+    while seq <= max_tokens:
+        setting = replace(setting_proto, seq=seq)
+        choice = ExecutionChoice(1, 1, checkpointing=True)
+        try:
+            if system.feasible(setting, choice):
+                best = seq
+        except ValueError:
+            pass
+        seq *= 2
+    return best

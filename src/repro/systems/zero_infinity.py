@@ -1,0 +1,142 @@
+"""ZeRO-Infinity performance model, CPU-offload mode (Appendix B).
+
+ZeRO-3 plus full model-state offload: parameters stream from host memory
+for every forward and backward pass at sub-module granularity.  Its chunk
+sizes sit far left of the Fig. 7 saturation knee ("bandwidth can drop to as
+low as 50 GB/s with small tensor sizes", §5.2), each swap carries Python
+orchestration overhead, and the optimizer is the synchronous CPU step —
+which is why the paper measures it below 50 TFLOPS despite matching
+SuperOffload's model *scale* (Fig. 13).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.sim import calibration
+from repro.sim.engine import Task
+from repro.systems.base import ExecutionChoice, RunSetting, TrainingSystem
+
+GiB = 1024**3
+
+
+class ZeROInfinity(TrainingSystem):
+    """ZeRO-3 with CPU offload of parameters, gradients, and optimizer.
+
+    Args:
+        nvme: spill the 12-bytes/param optimizer states to node-local NVMe
+            (the tier §2.2 describes; the paper's evaluation disables it
+            for fair comparison, our extension experiment measures it).
+            Host memory then only holds fp16 params, fp32 gradients, and
+            the staging buffers; every optimizer step streams the states
+            through the NVMe link.
+    """
+
+    FLOW_BUFFER_BYTES = 3 * GiB  # live gathered modules + prefetch ring
+
+    def __init__(self, nvme: bool = False) -> None:
+        name = "zero_infinity_nvme" if nvme else "zero_infinity"
+        display = "ZeRO-Infinity (NVMe)" if nvme else "ZeRO-Infinity"
+        super().__init__(name, display)
+        self.nvme = nvme
+
+    def gpu_state_bytes(self, setting: RunSetting, choice: ExecutionChoice) -> float:
+        return self.FLOW_BUFFER_BYTES
+
+    def cpu_state_bytes(self, setting: RunSetting, choice: ExecutionChoice) -> float:
+        # fp16 params (2) + fp32 grads (4) + optimizer (12) per rank share;
+        # with NVMe the optimizer states leave host memory.
+        per_param = 6 if self.nvme else 18
+        return per_param * setting.psi / setting.world
+
+    def nvme_state_bytes(self, setting: RunSetting) -> float:
+        """Optimizer-state bytes parked on NVMe per superchip."""
+        if not self.nvme:
+            return 0.0
+        return 12 * setting.psi / setting.world
+
+    def feasible(self, setting: RunSetting, choice: ExecutionChoice) -> bool:
+        from repro.hardware.registry import NVME_CAPACITY
+
+        if not super().feasible(setting, choice):
+            return False
+        return self.nvme_state_bytes(setting) <= NVME_CAPACITY
+
+    def _swap_time(self, nbytes: float, setting: RunSetting) -> float:
+        """Host<->device stream time at ZeRO-Infinity's chunk granularity."""
+        link = setting.cluster.node.c2c
+        chunk = calibration.ZERO_INFINITY_CHUNK_BYTES
+        n_chunks = max(1, int(nbytes // chunk))
+        per_chunk = (
+            link.transfer_time(chunk, pinned=True)
+            + calibration.ZERO_INFINITY_SWAP_OVERHEAD
+        )
+        return n_chunks * per_chunk
+
+    def build_schedule(
+        self, setting: RunSetting, choice: ExecutionChoice, n_iters: int
+    ) -> List[Task]:
+        psi, n = setting.psi, setting.world
+        cpu = self._cpu_compute(setting)
+        cpu_dev = setting.cluster.node.chip.cpu
+        coll = self._collectives(setting)
+        fwd_t, bwd_t = self.fwd_bwd_times(setting, choice)
+        overlap = calibration.ZERO_INFINITY_OVERLAP
+
+        # Per micro-batch each rank fetches its gathered parameters for
+        # forward and again for backward (2 psi fp16 each, world-divided
+        # then re-gathered; the host link sees 2 psi / n per rank).
+        fetch_exposed = self._swap_time(2 * psi / n, setting) * (1 - overlap)
+        gather_t = coll.all_gather(2 * psi) * (1 - overlap)
+        grad_out = self._swap_time(4 * psi / n, setting)
+        rs_t = coll.reduce_scatter(2 * psi)
+        shard = psi / n
+        cast_t = 1.5 * (4 * shard) / (cpu_dev.mem_bandwidth * 0.75)
+        step_t = cpu.adam_step_time(int(shard), "cpu_adam")
+        if self.nvme:
+            # Every step streams master/m/v from NVMe and writes them back:
+            # 24 bytes/param of drive traffic at sequential bandwidth.
+            from repro.hardware.bandwidth import BandwidthModel
+            from repro.hardware.registry import NVME
+
+            nvme_link = BandwidthModel(NVME)
+            step_t += nvme_link.transfer_time(int(24 * shard))
+
+        tasks: List[Task] = []
+        prev: List[Task] = []
+        for it in range(n_iters):
+            local_prev = list(prev)
+            last_bwd: Task | None = None
+            for a in range(choice.grad_accum):
+                f_fetch = Task(f"it{it}.fetch_fwd.m{a}", "h2d", fetch_exposed,
+                               deps=tuple(local_prev), category="transfer")
+                f_gather = Task(f"it{it}.gather_fwd.m{a}", "net", gather_t,
+                                deps=(f_fetch,), category="collective")
+                fwd = Task(f"it{it}.fwd.m{a}", "gpu",
+                           fwd_t + calibration.MICROBATCH_OVERHEAD,
+                           deps=(f_gather,), category="compute")
+                b_fetch = Task(f"it{it}.fetch_bwd.m{a}", "h2d", fetch_exposed,
+                               deps=(fwd,), category="transfer")
+                b_gather = Task(f"it{it}.gather_bwd.m{a}", "net", gather_t,
+                                deps=(b_fetch,), category="collective")
+                bwd = Task(f"it{it}.bwd.m{a}", "gpu", bwd_t,
+                           deps=(b_gather,), category="compute")
+                tasks.extend([f_fetch, f_gather, fwd, b_fetch, b_gather, bwd])
+                local_prev = [bwd]
+                last_bwd = bwd
+            assert last_bwd is not None
+            deps: tuple = (last_bwd,)
+            if n > 1:
+                rs = Task(f"it{it}.reduce_scatter", "net", rs_t,
+                          deps=deps, category="collective")
+                tasks.append(rs)
+                deps = (rs,)
+            g_out = Task(f"it{it}.grad_d2h", "d2h", grad_out, deps=deps,
+                         category="transfer")
+            # Synchronous CPU optimizer; updated params stay host-side (the
+            # next iteration's fetches pick them up), so no bulk upload.
+            step = Task(f"it{it}.step", "cpu", cast_t + step_t, deps=(g_out,),
+                        category="optimizer")
+            tasks.extend([g_out, step])
+            prev = [step]
+        return tasks

@@ -1,0 +1,127 @@
+"""ZeRO-Offload performance model (Appendix B; §3 Figs. 3-4).
+
+The PCIe-era design: fp16 weights stationary on the GPU, gradients bucketed
+to the CPU during backward, and the *synchronize-then-execute* optimizer —
+the CPU must see every gradient (global norm, NaN scan) before stepping,
+and the next forward waits for every updated fp16 parameter to return.
+Both synchronizations, plus the pageable transfer-then-cast path (§4.5) and
+the ARM-compiled CPU-Adam kernel, expose 40-50% GPU idle time per iteration
+on a superchip (Fig. 4).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.sim import calibration
+from repro.sim.engine import Task
+from repro.systems.base import ExecutionChoice, RunSetting, TrainingSystem
+
+
+class ZeROOffload(TrainingSystem):
+    """ZeRO-2 + CPU offload of gradients and optimizer states."""
+
+    def __init__(self) -> None:
+        super().__init__("zero_offload", "ZeRO-Offload")
+
+    # GPU: full fp16 params + contiguous fp16 gradient buffer + the rank's
+    # gradient partition working copy.  CPU: fp32 master/m/v (12), fp32
+    # gradient buffer (4), pinned fp16 staging for params and grads (4) —
+    # all sharded by the DP degree.
+    def gpu_state_bytes(self, setting: RunSetting, choice: ExecutionChoice) -> float:
+        psi, n = setting.psi, setting.world
+        return 4 * psi + 2 * psi / n
+
+    def cpu_state_bytes(self, setting: RunSetting, choice: ExecutionChoice) -> float:
+        return 20 * setting.psi / setting.world
+
+    def build_schedule(
+        self, setting: RunSetting, choice: ExecutionChoice, n_iters: int
+    ) -> List[Task]:
+        psi, n = setting.psi, setting.world
+        link = setting.cluster.node.c2c
+        cpu = self._cpu_compute(setting)
+        cpu_dev = setting.cluster.node.chip.cpu
+        coll = self._collectives(setting)
+        fwd_t, bwd_t = self.fwd_bwd_times(setting, choice)
+
+        shard = psi / n
+        n_chunks = self.sched_chunks(
+            max(1, int(2 * psi // calibration.BUCKET_BYTES))
+        )
+        grad_fp16 = 2 * shard / n_chunks          # per-chunk D2H payload
+        param_fp16 = 2 * shard / n_chunks         # per-chunk H2D payload
+        d2h_t = link.transfer_time(int(grad_fp16), pinned=False)
+        h2d_t = link.transfer_time(int(param_fp16), pinned=False)
+        rs_t = coll.reduce_scatter(int(2 * psi / n_chunks))
+        # CPU-side fp16<->fp32 casts run at DDR bandwidth (§4.5): grads in,
+        # params out, 1.5x fp32 traffic each.
+        cast_t = 1.5 * (4 * shard / n_chunks) / (cpu_dev.mem_bandwidth * 0.75)
+        step_t = cpu.adam_step_time(int(shard / n_chunks), "cpu_adam")
+
+        tasks: List[Task] = []
+        prev_uploads: List[Task] = []
+        for it in range(n_iters):
+            # Accumulation loop; gradients offload on the boundary micro-batch.
+            head: List[Task] = list(prev_uploads)
+            for a in range(choice.grad_accum - 1):
+                fwd = Task(f"it{it}.fwd.m{a}", "gpu",
+                           fwd_t + calibration.MICROBATCH_OVERHEAD,
+                           deps=tuple(head), category="compute")
+                bwd = Task(f"it{it}.bwd.m{a}", "gpu", bwd_t, deps=(fwd,),
+                           category="compute")
+                tasks.extend([fwd, bwd])
+                head = [bwd]
+            last = choice.grad_accum - 1
+            fwd = Task(f"it{it}.fwd.m{last}", "gpu",
+                       fwd_t + calibration.MICROBATCH_OVERHEAD,
+                       deps=tuple(head), category="compute")
+            tasks.append(fwd)
+            bwd_chunks: List[Task] = []
+            prev_task: Task = fwd
+            for c in range(n_chunks):
+                bc = Task(f"it{it}.bwd.m{last}.c{c}", "gpu", bwd_t / n_chunks,
+                          deps=(prev_task,), category="compute")
+                tasks.append(bc)
+                bwd_chunks.append(bc)
+                prev_task = bc
+            # Per-bucket: (reduce-scatter when DP) then pageable D2H.
+            d2h_tasks: List[Task] = []
+            for c, bc in enumerate(bwd_chunks):
+                deps: tuple = (bc,)
+                if n > 1:
+                    rs = Task(f"it{it}.rs.c{c}", "net", rs_t, deps=(bc,),
+                              category="collective")
+                    tasks.append(rs)
+                    deps = (rs,)
+                mv = Task(f"it{it}.d2h.c{c}", "d2h", d2h_t, deps=deps,
+                          category="transfer")
+                tasks.append(mv)
+                d2h_tasks.append(mv)
+            # STE: the optimizer waits for ALL gradients (global norm /
+            # NaN scan), then casts + steps + casts back, chunk-pipelined
+            # with the parameter upload.
+            norm = Task(f"it{it}.global_norm", "cpu", 4 * shard
+                        / (cpu_dev.mem_bandwidth * 0.8),
+                        deps=tuple(d2h_tasks), category="optimizer")
+            tasks.append(norm)
+            uploads: List[Task] = []
+            prev_cpu: Task = norm
+            for c in range(n_chunks):
+                st = Task(f"it{it}.step.c{c}", "cpu",
+                          2 * cast_t + step_t, deps=(prev_cpu,),
+                          category="optimizer")
+                up = Task(f"it{it}.h2d.c{c}", "h2d", h2d_t, deps=(st,),
+                          category="transfer")
+                tasks.extend([st, up])
+                uploads.append(up)
+                prev_cpu = st
+            if n > 1:
+                ag = Task(f"it{it}.allgather", "net",
+                          coll.all_gather(2 * psi), deps=tuple(uploads),
+                          category="collective")
+                tasks.append(ag)
+                prev_uploads = [ag]
+            else:
+                prev_uploads = [uploads[-1]]
+        return tasks

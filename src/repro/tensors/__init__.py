@@ -1,0 +1,32 @@
+"""Virtual tensor substrate: dtypes, tensor specs, and device memory pools.
+
+This package provides the bookkeeping layer that both the performance
+simulator and the placement policies are built on.  A :class:`TensorSpec`
+describes a tensor's shape, dtype, device placement, and pinned-ness without
+holding element data; :class:`MemoryPool` gives every simulated device
+capacity-checked allocation with out-of-memory semantics matching a real
+allocator.
+"""
+
+from repro.tensors.dtypes import DType, FP16, FP32, FP64, BF16, INT8, INT32, dtype_by_name
+from repro.tensors.errors import DeviceOutOfMemoryError, PinnedPoolExhaustedError
+from repro.tensors.memory import Allocation, MemoryPool
+from repro.tensors.pinned import PinnedBufferPool
+from repro.tensors.spec import TensorSpec
+
+__all__ = [
+    "DType",
+    "FP16",
+    "FP32",
+    "FP64",
+    "BF16",
+    "INT8",
+    "INT32",
+    "dtype_by_name",
+    "TensorSpec",
+    "Allocation",
+    "MemoryPool",
+    "PinnedBufferPool",
+    "DeviceOutOfMemoryError",
+    "PinnedPoolExhaustedError",
+]

@@ -1,0 +1,66 @@
+"""Numeric dtype registry used throughout the reproduction.
+
+Mixed-precision training in the paper moves tensors between FP16 (compute /
+transfer format under the classic ZeRO-Offload greedy edge-cut) and FP32
+(optimizer master format, and the transfer format SuperOffload prefers on
+superchips, §4.5).  The registry keeps itemsizes and numpy equivalents in
+one place so byte accounting is consistent across the simulator and the
+numeric substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DType:
+    """A tensor element type.
+
+    Attributes:
+        name: canonical short name, e.g. ``"fp16"``.
+        itemsize: bytes per element.
+        np_dtype: the numpy dtype string used by the numeric substrate.
+        is_float: whether the type participates in mixed-precision casting.
+    """
+
+    name: str
+    itemsize: int
+    np_dtype: str
+    is_float: bool = True
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+    @property
+    def numpy(self) -> np.dtype:
+        """The numpy dtype object for this element type."""
+        return np.dtype(self.np_dtype)
+
+
+FP64 = DType("fp64", 8, "float64")
+FP32 = DType("fp32", 4, "float32")
+# numpy has no native bfloat16; the numeric substrate emulates bf16 by
+# truncating fp32 mantissas (see repro.numeric.lowprec), so np_dtype is fp32.
+BF16 = DType("bf16", 2, "float32")
+FP16 = DType("fp16", 2, "float16")
+INT32 = DType("int32", 4, "int32", is_float=False)
+INT8 = DType("int8", 1, "int8", is_float=False)
+
+_REGISTRY = {d.name: d for d in (FP64, FP32, BF16, FP16, INT32, INT8)}
+
+
+def dtype_by_name(name: str) -> DType:
+    """Look up a registered dtype by its canonical name.
+
+    Raises:
+        KeyError: if ``name`` is not a registered dtype.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dtype {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None

@@ -1,0 +1,26 @@
+"""Exceptions raised by the tensor substrate."""
+
+from __future__ import annotations
+
+
+class DeviceOutOfMemoryError(RuntimeError):
+    """Raised when an allocation exceeds a device memory pool's capacity.
+
+    Mirrors a CUDA OOM: the max-model-scale experiments (Fig. 13) are
+    bisection searches over model size that treat this exception as the
+    infeasibility signal.
+    """
+
+    def __init__(self, device: str, requested: int, free: int, capacity: int):
+        self.device = device
+        self.requested = requested
+        self.free = free
+        self.capacity = capacity
+        super().__init__(
+            f"{device}: out of memory allocating {requested} bytes "
+            f"(free {free} of {capacity})"
+        )
+
+
+class PinnedPoolExhaustedError(RuntimeError):
+    """Raised when a pinned staging buffer cannot be reserved."""

@@ -1,0 +1,112 @@
+"""Capacity-checked device memory pools.
+
+Every simulated device (Hopper HBM, Grace LPDDR5, remote-node DDR) owns a
+:class:`MemoryPool`.  Placement policies allocate tensor bytes from pools and
+the pool enforces the same hard failure a CUDA allocator would; the
+max-model-scale experiments (Fig. 13) rely on this to find each system's
+feasibility frontier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator
+
+from repro.tensors.errors import DeviceOutOfMemoryError
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A live reservation inside a :class:`MemoryPool`."""
+
+    pool: "MemoryPool"
+    tag: str
+    nbytes: int
+
+    def free(self) -> None:
+        """Release this reservation back to the pool."""
+        self.pool.free(self)
+
+
+class MemoryPool:
+    """A fixed-capacity byte pool with peak-usage tracking.
+
+    The pool intentionally models capacity only, not fragmentation: modern
+    caching allocators (and the paper's workloads, which allocate a small
+    number of very large contiguous buffers) make fragmentation a second-order
+    effect for this study.
+
+    Args:
+        device: device name the pool belongs to (used in error messages).
+        capacity: total bytes available.
+        reserved: bytes permanently set aside (CUDA context, framework
+            overheads).  Defaults to zero; node topologies set realistic
+            values.
+    """
+
+    def __init__(self, device: str, capacity: int, reserved: int = 0):
+        if capacity < 0 or reserved < 0:
+            raise ValueError("capacity and reserved must be non-negative")
+        if reserved > capacity:
+            raise ValueError("reserved exceeds capacity")
+        self.device = device
+        self.capacity = capacity
+        self.reserved = reserved
+        self._used = reserved
+        self._peak = reserved
+        self._live: Dict[int, Allocation] = {}
+
+    @property
+    def used(self) -> int:
+        """Bytes currently allocated (including the reserved floor)."""
+        return self._used
+
+    @property
+    def free_bytes(self) -> int:
+        """Bytes still available."""
+        return self.capacity - self._used
+
+    @property
+    def peak(self) -> int:
+        """High-water mark of :attr:`used` over the pool's lifetime."""
+        return self._peak
+
+    def allocate(self, nbytes: int, tag: str = "") -> Allocation:
+        """Reserve ``nbytes``; raise :class:`DeviceOutOfMemoryError` if it
+        does not fit."""
+        if nbytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        if nbytes > self.free_bytes:
+            raise DeviceOutOfMemoryError(
+                self.device, nbytes, self.free_bytes, self.capacity
+            )
+        alloc = Allocation(self, tag, nbytes)
+        self._live[id(alloc)] = alloc
+        self._used += nbytes
+        self._peak = max(self._peak, self._used)
+        return alloc
+
+    def can_fit(self, nbytes: int) -> bool:
+        """Whether an allocation of ``nbytes`` would currently succeed."""
+        return 0 <= nbytes <= self.free_bytes
+
+    def free(self, alloc: Allocation) -> None:
+        """Release a live allocation; double-free raises ``KeyError``."""
+        if id(alloc) not in self._live:
+            raise KeyError(f"allocation {alloc.tag!r} is not live in {self.device}")
+        del self._live[id(alloc)]
+        self._used -= alloc.nbytes
+
+    def live_allocations(self) -> Iterator[Allocation]:
+        """Iterate over currently live allocations."""
+        return iter(self._live.values())
+
+    def reset_peak(self) -> None:
+        """Reset the high-water mark to the current usage."""
+        self._peak = self._used
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MemoryPool({self.device!r}, used={self._used}/{self.capacity}, "
+            f"peak={self._peak})"
+        )

@@ -1,0 +1,70 @@
+"""Pinned (page-locked) host staging buffers.
+
+§4.5 of the paper observes that a transfer-then-cast path on the Grace CPU
+implicitly allocates an *unpinned* temporary buffer, forcing the C2C transfer
+through pageable memory at a fraction of DMA bandwidth.  The pinned pool
+models the fixed set of page-locked staging buffers an offloading engine
+keeps around; requests that exceed the pool fall back to pageable transfers.
+"""
+
+from __future__ import annotations
+
+from repro.tensors.errors import PinnedPoolExhaustedError
+from repro.tensors.memory import Allocation, MemoryPool
+
+
+class PinnedBufferPool:
+    """A bounded pool of page-locked host memory.
+
+    Args:
+        capacity: total pinned bytes the engine registered at startup.
+        host_pool: optional backing host :class:`MemoryPool`; pinned bytes
+            also consume host DRAM, so reservations are mirrored there when
+            a backing pool is provided.
+    """
+
+    def __init__(self, capacity: int, host_pool: MemoryPool | None = None):
+        self._pool = MemoryPool("pinned", capacity)
+        self._host_pool = host_pool
+        self._host_allocs: dict[int, Allocation] = {}
+
+    @property
+    def capacity(self) -> int:
+        """Total pinned bytes available to the engine."""
+        return self._pool.capacity
+
+    @property
+    def free_bytes(self) -> int:
+        """Pinned bytes currently unreserved."""
+        return self._pool.free_bytes
+
+    def try_reserve(self, nbytes: int, tag: str = "") -> Allocation | None:
+        """Reserve a pinned staging buffer, or return ``None`` if the pool
+        cannot satisfy the request (caller falls back to pageable)."""
+        if not self._pool.can_fit(nbytes):
+            return None
+        if self._host_pool is not None and not self._host_pool.can_fit(nbytes):
+            return None
+        alloc = self._pool.allocate(nbytes, tag)
+        if self._host_pool is not None:
+            self._host_allocs[id(alloc)] = self._host_pool.allocate(
+                nbytes, f"pinned:{tag}"
+            )
+        return alloc
+
+    def reserve(self, nbytes: int, tag: str = "") -> Allocation:
+        """Reserve a pinned buffer; raise if the pool is exhausted."""
+        alloc = self.try_reserve(nbytes, tag)
+        if alloc is None:
+            raise PinnedPoolExhaustedError(
+                f"cannot pin {nbytes} bytes (free {self.free_bytes} of "
+                f"{self.capacity})"
+            )
+        return alloc
+
+    def release(self, alloc: Allocation) -> None:
+        """Return a pinned buffer to the pool."""
+        self._pool.free(alloc)
+        host = self._host_allocs.pop(id(alloc), None)
+        if host is not None:
+            host.free()

@@ -1,0 +1,75 @@
+"""Tensor metadata descriptors.
+
+A :class:`TensorSpec` carries everything the placement policies and the
+simulator need to know about a tensor — shape, dtype, device, pinned-ness —
+without materializing element data.  The numeric substrate materializes real
+numpy arrays separately; specs are the lingua franca between the two halves.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+from repro.tensors.dtypes import DType
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """Describes a tensor without holding its data.
+
+    Attributes:
+        name: a unique, human-readable identifier (e.g. ``"layer3.mlp.w1"``).
+        shape: tensor dimensions.
+        dtype: element type.
+        device: placement, e.g. ``"gpu:0"`` or ``"cpu:0"``.
+        pinned: whether the backing host memory is page-locked.  Only
+            meaningful for CPU-resident tensors; pinned transfers run at DMA
+            bandwidth while pageable transfers pay the staging penalty the
+            paper observes for the transfer-then-cast path (§4.5).
+    """
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: DType
+    device: str = "cpu:0"
+    pinned: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tensor name must be non-empty")
+        if any(d < 0 for d in self.shape):
+            raise ValueError(f"negative dimension in shape {self.shape}")
+
+    @property
+    def numel(self) -> int:
+        """Number of elements."""
+        return math.prod(self.shape) if self.shape else 1
+
+    @property
+    def nbytes(self) -> int:
+        """Total size in bytes."""
+        return self.numel * self.dtype.itemsize
+
+    def to(self, device: str, pinned: bool | None = None) -> "TensorSpec":
+        """Return a copy placed on ``device``.
+
+        Pinned-ness is preserved unless explicitly overridden; moving to a
+        GPU clears the pinned flag since pinning only applies to host memory.
+        """
+        if device.startswith("gpu"):
+            new_pinned = False
+        elif pinned is None:
+            new_pinned = self.pinned
+        else:
+            new_pinned = pinned
+        return replace(self, device=device, pinned=new_pinned)
+
+    def cast(self, dtype: DType) -> "TensorSpec":
+        """Return a copy with a different element type (same shape/device)."""
+        return replace(self, dtype=dtype)
+
+    def is_on_gpu(self) -> bool:
+        """Whether the spec currently lives in GPU memory."""
+        return self.device.startswith("gpu")

@@ -1,0 +1,27 @@
+"""Training entry points: cluster construction matching §5.1's hardware,
+the simulated-time throughput runner behind Figs. 10-13 and Table 2, and
+the real numeric STV trainer behind Fig. 14."""
+
+from repro.training.cluster import gh200_cluster
+from repro.training.metrics import mfu, tflops
+from repro.training.dp_trainer import DataParallelTrainer, DPStepReport
+from repro.training.stv_trainer import InstabilityInjector, STVTrainer, TrainRecord
+from repro.training.throughput import (
+    ablation_table,
+    max_model_table,
+    throughput_sweep,
+)
+
+__all__ = [
+    "gh200_cluster",
+    "tflops",
+    "mfu",
+    "throughput_sweep",
+    "max_model_table",
+    "ablation_table",
+    "STVTrainer",
+    "TrainRecord",
+    "InstabilityInjector",
+    "DataParallelTrainer",
+    "DPStepReport",
+]

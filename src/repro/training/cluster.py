@@ -1,0 +1,29 @@
+"""Cluster construction matching the paper's hardware (§5.1).
+
+Single-superchip experiments use one GH200 with 480 GB LPDDR5; multi-chip
+experiments use GH200-NVL2 nodes (two superchips, 240 GB each) joined by
+200 Gb/s Slingshot-11.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.registry import GH200, GH200_NVL2, SLINGSHOT_11
+from repro.hardware.topology import ClusterTopology, SuperchipNode
+
+
+def gh200_cluster(n_superchips: int) -> ClusterTopology:
+    """Build the GH200 topology used by the paper's experiments.
+
+    Args:
+        n_superchips: 1 for the single-superchip testbed; even counts are
+            arranged as NVL2 pairs across Slingshot.
+    """
+    if n_superchips < 1:
+        raise ValueError("n_superchips must be >= 1")
+    if n_superchips == 1:
+        node = SuperchipNode(GH200, 1)
+        return ClusterTopology(node, 1, SLINGSHOT_11)
+    if n_superchips % 2:
+        raise ValueError("multi-superchip clusters come in NVL2 pairs")
+    node = SuperchipNode(GH200_NVL2, 2)
+    return ClusterTopology(node, n_superchips // 2, SLINGSHOT_11)

@@ -1,0 +1,20 @@
+"""Throughput metric helpers."""
+
+from __future__ import annotations
+
+from repro.hardware.specs import DeviceSpec
+from repro.models.config import ModelConfig
+from repro.models.estimators import flops_per_token
+
+
+def tflops(
+    config: ModelConfig, tokens_per_gpu: float, seconds: float, seq: int | None = None
+) -> float:
+    """Effective TFLOPS from tokens processed per GPU in ``seconds``."""
+    if seconds <= 0:
+        raise ValueError("seconds must be positive")
+    return flops_per_token(config, seq) * tokens_per_gpu / seconds / 1e12
+
+def mfu(tflops_value: float, gpu: DeviceSpec) -> float:
+    """Model FLOPS Utilization against the theoretical peak."""
+    return tflops_value * 1e12 / gpu.peak_flops

@@ -1,0 +1,118 @@
+"""Simulated-time experiment drivers for the evaluation section.
+
+These produce the rows/series the paper's figures report: per-system
+throughput sweeps (Figs. 10-11), the max-model-scale table (Fig. 13), and
+the ablation breakdown (Table 2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.models.config import config_for_params
+from repro.systems import (
+    InfeasibleError,
+    RunSetting,
+    SuperOffloadFeatures,
+    SuperOffloadSystem,
+    build_all_systems,
+)
+from repro.training.cluster import gh200_cluster
+
+
+def throughput_sweep(
+    system_names: Sequence[str],
+    model_billions: Iterable[float],
+    n_superchips: int,
+    global_batch: int,
+    seq: int = 1024,
+) -> List[Dict]:
+    """Per-system, per-model-size effective TFLOPS (Figs. 10-11 series).
+
+    Returns one row per (system, size); infeasible points carry
+    ``tflops=None`` (the figures' OOM markers).
+    """
+    systems = build_all_systems()
+    cluster = gh200_cluster(n_superchips)
+    rows: List[Dict] = []
+    for billions in model_billions:
+        config = config_for_params(billions)
+        setting = RunSetting(config, cluster, global_batch=global_batch, seq=seq)
+        for name in system_names:
+            system = systems[name]
+            row: Dict = {
+                "system": name,
+                "model_billions": billions,
+                "n_superchips": n_superchips,
+                "global_batch": global_batch,
+            }
+            try:
+                est = system.best_estimate(setting)
+                row.update(
+                    tflops=est.tflops_per_gpu,
+                    mfu=est.mfu,
+                    iter_time=est.iter_time,
+                    micro_batch=est.choice.micro_batch,
+                    checkpointing=est.choice.checkpointing,
+                    gpu_idle_fraction=est.gpu_idle_fraction(),
+                )
+            except InfeasibleError:
+                row.update(tflops=None, mfu=None, iter_time=None)
+            rows.append(row)
+    return rows
+
+
+def max_model_table(
+    system_names: Sequence[str], superchip_counts: Sequence[int]
+) -> List[Dict]:
+    """Largest trainable Appendix-A model per system per cluster (Fig. 13)."""
+    systems = build_all_systems()
+    rows: List[Dict] = []
+    for n in superchip_counts:
+        cluster = gh200_cluster(n)
+        for name in system_names:
+            rows.append(
+                {
+                    "system": name,
+                    "n_superchips": n,
+                    "max_model_billions": systems[name].max_model_billions(cluster),
+                }
+            )
+    return rows
+
+
+ABLATION_ROWS = (
+    ("baseline", SuperOffloadFeatures(False, False, False, False)),
+    ("+GraceAdam", SuperOffloadFeatures(True, False, False, False)),
+    ("+SAC", SuperOffloadFeatures(True, True, False, False)),
+    ("+STV", SuperOffloadFeatures(True, True, True, False)),
+    ("+BucketRepart", SuperOffloadFeatures(True, True, True, True)),
+)
+
+
+def ablation_table(
+    model_billions: float = 5,
+    n_superchips: int = 1,
+    global_batch: int = 8,
+    seq: int = 1024,
+) -> List[Dict]:
+    """Table 2: cumulative feature breakdown on the 5B model."""
+    cluster = gh200_cluster(n_superchips)
+    config = config_for_params(model_billions)
+    setting = RunSetting(config, cluster, global_batch=global_batch, seq=seq)
+    rows: List[Dict] = []
+    for label, features in ABLATION_ROWS:
+        system = SuperOffloadSystem(features=features, name=f"so[{label}]")
+        est = system.best_estimate(setting)
+        rows.append(
+            {
+                "row": label,
+                "grace_adam": features.grace_adam,
+                "sac": features.superchip_aware_casting,
+                "stv": features.stv,
+                "bucket_repartitioning": features.bucket_repartitioning,
+                "tflops": est.tflops_per_gpu,
+                "iter_time": est.iter_time,
+            }
+        )
+    return rows

@@ -1,0 +1,37 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import SyntheticPile
+from repro.numeric.transformer import TinyTransformer, TransformerParams
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for tests."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def tiny_spec() -> TransformerParams:
+    """A minimal transformer shape, fast enough for per-test training."""
+    return TransformerParams(
+        vocab=61, max_seq=16, hidden=24, n_layers=2, n_heads=4
+    )
+
+
+@pytest.fixture
+def tiny_model(tiny_spec: TransformerParams) -> TinyTransformer:
+    """A freshly initialized tiny transformer."""
+    return TinyTransformer(tiny_spec, seed=7)
+
+
+@pytest.fixture
+def tiny_batches(tiny_spec: TransformerParams):
+    """Twenty deterministic (ids, targets) batches for the tiny model."""
+    pile = SyntheticPile(tiny_spec.vocab, seed=3)
+    gen = pile.batches(4, tiny_spec.max_seq)
+    return [next(gen) for _ in range(20)]

@@ -1,0 +1,117 @@
+"""Tests for 64 MB bucketization and repartitioning (§4.3)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bucketization import (
+    build_bucket_plan,
+    bucket_transfer_sizes,
+    grid_search_gpu_buckets,
+    repartition_headroom,
+)
+from repro.models.config import MODEL_CONFIG_TABLE
+from repro.models.estimators import param_count
+from repro.sim.calibration import BUCKET_BYTES
+
+CFG = MODEL_CONFIG_TABLE[1]
+
+
+class TestBucketPlan:
+    def test_buckets_cover_all_params(self):
+        plan = build_bucket_plan(CFG)
+        assert sum(b.n_params for b in plan.buckets) == param_count(CFG)
+
+    def test_default_bucket_is_64mb_fp16(self):
+        plan = build_bucket_plan(CFG)
+        full = [b for b in plan.buckets[:-1]]
+        for b in full:
+            assert b.grad_bytes_fp16 == BUCKET_BYTES
+
+    def test_bucket_count_matches_size(self):
+        plan = build_bucket_plan(CFG)
+        expected = -(-param_count(CFG) // (BUCKET_BYTES // 2))
+        assert plan.n_buckets == expected
+
+    def test_tail_buckets_marked_on_gpu(self):
+        plan = build_bucket_plan(CFG, n_gpu_buckets=3)
+        assert len(plan.gpu_buckets) == 3
+        # the *last produced* buckets stay on GPU
+        gpu_idx = sorted(b.index for b in plan.gpu_buckets)
+        assert gpu_idx == [plan.n_buckets - 3, plan.n_buckets - 2,
+                           plan.n_buckets - 1]
+
+    def test_gpu_cpu_param_split(self):
+        plan = build_bucket_plan(CFG, n_gpu_buckets=2)
+        assert plan.gpu_params + plan.cpu_params == param_count(CFG)
+        assert plan.gpu_optimizer_state_bytes() == 12 * plan.gpu_params
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            build_bucket_plan(CFG, bucket_bytes=1)
+        with pytest.raises(ValueError):
+            build_bucket_plan(CFG, n_gpu_buckets=10**6)
+
+    def test_transfer_sizes_fp32_doubles_fp16(self):
+        plan = build_bucket_plan(CFG, n_gpu_buckets=1)
+        fp16 = bucket_transfer_sizes(plan, fp32=False)
+        fp32 = bucket_transfer_sizes(plan, fp32=True)
+        assert len(fp16) == plan.n_buckets - 1
+        assert all(b == 2 * a for a, b in zip(fp16, fp32))
+
+    @given(st.integers(min_value=2, max_value=512))
+    @settings(max_examples=20)
+    def test_any_bucket_size_covers_params(self, mib):
+        plan = build_bucket_plan(CFG, bucket_bytes=mib * 1024**2)
+        assert sum(b.n_params for b in plan.buckets) == param_count(CFG)
+
+
+class TestRepartition:
+    def test_headroom_sign_encodes_eq4(self):
+        """Eq. 4-5: enough GPU-side tail work hides the CPU round trip."""
+        roundtrip = dict(
+            move_grad_s=0.001, step_cpu_s=0.003, move_param_s=0.001
+        )
+        tight = repartition_headroom(
+            **roundtrip, bwd_per_bucket_s=0.004, step_gpu_per_bucket_s=0.0005,
+            n_gpu_buckets=1,
+        )
+        assert tight < 0  # one tail bucket is not enough
+        loose = repartition_headroom(
+            **roundtrip, bwd_per_bucket_s=0.004, step_gpu_per_bucket_s=0.0005,
+            n_gpu_buckets=2,
+        )
+        assert loose > 0
+
+    def test_headroom_monotone_in_n(self):
+        values = [
+            repartition_headroom(0.001, 0.003, 0.001, 0.004, 0.0005, n)
+            for n in range(5)
+        ]
+        assert values == sorted(values)
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            repartition_headroom(0, 0, 0, 0, 0, -1)
+
+
+class TestGridSearch:
+    def test_finds_convex_minimum(self):
+        best, val = grid_search_gpu_buckets(
+            32, objective=lambda n: (n - 7) ** 2 + 1.0
+        )
+        assert best == 7
+        assert val == 1.0
+
+    def test_respects_memory_cap(self):
+        best, _ = grid_search_gpu_buckets(
+            32, objective=lambda n: (n - 7) ** 2, max_gpu_buckets=3
+        )
+        assert best == 3
+
+    def test_zero_can_win(self):
+        best, _ = grid_search_gpu_buckets(8, objective=lambda n: float(n))
+        assert best == 0
+
+    def test_invalid_bucket_count(self):
+        with pytest.raises(ValueError):
+            grid_search_gpu_buckets(0, objective=lambda n: 0.0)

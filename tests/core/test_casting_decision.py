@@ -1,0 +1,65 @@
+"""Tests for the superchip-aware casting decision (§4.5)."""
+
+import pytest
+
+from repro.core.casting import choose_cast_path
+from repro.hardware.casting import CastingModel
+from repro.hardware.registry import (
+    DGX2,
+    GRACE_CPU,
+    HOPPER_H100,
+    c2c_bandwidth_model,
+)
+from repro.hardware.bandwidth import BandwidthModel
+
+MiB = 1024**2
+
+
+@pytest.fixture
+def gh200_model() -> CastingModel:
+    return CastingModel(HOPPER_H100, GRACE_CPU, c2c_bandwidth_model())
+
+
+def test_aware_decision_picks_fp32_on_superchip(gh200_model):
+    decision = choose_cast_path(256 * MiB, gh200_model)
+    assert decision.path.path == "cast_gpu_move_fp32"
+    assert decision.pinned_transfer
+    assert decision.savings_seconds > 0
+
+
+def test_unaware_decision_reproduces_greedy_edge_cut(gh200_model):
+    decision = choose_cast_path(256 * MiB, gh200_model, superchip_aware=False)
+    assert decision.path.path == "cast_cpu_move_fp16"
+    assert not decision.pinned_transfer
+    assert not decision.superchip_aware
+    # the greedy choice costs more than the rejected alternative on GH200
+    assert decision.savings_seconds < 0
+
+
+def test_fp32_advantage_collapses_on_pcie(gh200_model):
+    """The §4.5 thesis is architecture-dependence: on a DGX-2's PCIe link
+    the fp32 path's margin shrinks sharply (and the historical fused
+    CPU-Adam, which reads fp16 gradients directly, erases the remainder —
+    which is why the PCIe-era greedy edge cut was right *there*)."""
+    pcie = CastingModel(DGX2.gpu, DGX2.cpu, BandwidthModel(DGX2.c2c))
+    gh_ratio = (
+        gh200_model.cast_cpu_move_fp16(256 * MiB).total
+        / gh200_model.cast_gpu_move_fp32(256 * MiB).total
+    )
+    pcie_ratio = (
+        pcie.cast_cpu_move_fp16(256 * MiB).total
+        / pcie.cast_gpu_move_fp32(256 * MiB).total
+    )
+    assert pcie_ratio < 0.75 * gh_ratio
+
+
+def test_invalid_size(gh200_model):
+    with pytest.raises(ValueError):
+        choose_cast_path(0, gh200_model)
+
+
+def test_savings_consistency(gh200_model):
+    d = choose_cast_path(64 * MiB, gh200_model)
+    assert d.savings_seconds == pytest.approx(
+        d.alternative.total - d.path.total
+    )

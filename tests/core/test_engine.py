@@ -1,0 +1,104 @@
+"""Tests for the SuperOffloadEngine facade and the Fig. 1 init() API."""
+
+import numpy as np
+import pytest
+
+from repro.core import SuperOffloadConfig, SuperOffloadEngine, init
+from repro.numeric.transformer import TinyTransformer
+from repro.optim import GraceAdam, ReferenceAdam, RollbackStrategy
+
+
+def test_init_returns_engine(tiny_spec):
+    engine = init(TinyTransformer(tiny_spec))
+    assert isinstance(engine, SuperOffloadEngine)
+    assert engine.iteration == 0
+
+
+def test_fig1_usage_pattern(tiny_spec, tiny_batches):
+    """The paper's Fig. 1 loop, verbatim shape."""
+    model = TinyTransformer(tiny_spec)
+    engine = init(model)
+    for ids, targets in tiny_batches[:5]:
+        report = engine.train_step(ids, targets)
+        assert np.isfinite(report.loss)
+    assert engine.iteration == 5
+    assert len(engine.history) == 5
+
+
+def test_grace_adam_flag_selects_optimizer(tiny_spec):
+    eng_on = SuperOffloadEngine(
+        TinyTransformer(tiny_spec), SuperOffloadConfig(grace_adam=True)
+    )
+    eng_off = SuperOffloadEngine(
+        TinyTransformer(tiny_spec), SuperOffloadConfig(grace_adam=False)
+    )
+    assert isinstance(eng_on.optimizer, GraceAdam)
+    assert isinstance(eng_off.optimizer, ReferenceAdam)
+
+
+def test_stv_flag_selects_engine(tiny_spec):
+    from repro.core.stv import STVEngine, SynchronousEngine
+
+    assert isinstance(
+        SuperOffloadEngine(
+            TinyTransformer(tiny_spec), SuperOffloadConfig(stv=True)
+        )._inner,
+        STVEngine,
+    )
+    assert isinstance(
+        SuperOffloadEngine(
+            TinyTransformer(tiny_spec), SuperOffloadConfig(stv=False)
+        )._inner,
+        SynchronousEngine,
+    )
+
+
+def test_stv_and_ste_engines_agree(tiny_spec, tiny_batches):
+    """End-to-end via the public API: feature flag changes schedule, not
+    numerics."""
+    results = {}
+    for stv in (True, False):
+        model = TinyTransformer(tiny_spec, seed=3)
+        engine = SuperOffloadEngine(
+            model, SuperOffloadConfig(stv=stv, clip_norm=0.9)
+        )
+        for ids, tg in tiny_batches[:10]:
+            engine.train_step(ids, tg)
+        results[stv] = model.params
+    for k in results[True]:
+        np.testing.assert_array_equal(results[True][k], results[False][k])
+
+
+def test_rollback_iteration_tracking(tiny_spec, tiny_batches):
+    engine = init(
+        TinyTransformer(tiny_spec),
+        SuperOffloadConfig(clip_norm=1e-4),  # clip every iteration
+    )
+    for ids, tg in tiny_batches[:4]:
+        engine.train_step(ids, tg)
+    assert engine.rollback_count == 4
+    assert engine.rollback_iterations() == [0, 1, 2, 3]
+    assert len(engine.losses()) == 4
+
+
+def test_loss_scale_exposed(tiny_spec, tiny_batches):
+    engine = init(TinyTransformer(tiny_spec))
+    assert engine.loss_scale == 2.0**16
+    ids, tg = tiny_batches[0]
+    engine.train_step(ids, tg)
+    assert engine.loss_scale >= 1.0
+
+
+def test_invalid_config():
+    with pytest.raises(ValueError):
+        SuperOffloadConfig(n_buckets=0)
+
+
+def test_algebraic_rollback_config(tiny_spec, tiny_batches):
+    engine = init(
+        TinyTransformer(tiny_spec),
+        SuperOffloadConfig(rollback=RollbackStrategy.ALGEBRAIC),
+    )
+    for ids, tg in tiny_batches[:3]:
+        report = engine.train_step(ids, tg)
+    assert engine.iteration == 3

@@ -1,0 +1,75 @@
+"""Tests for gradient accumulation in the numeric engines (§5.2 strategy 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.stv import STVEngine, SynchronousEngine
+from repro.numeric.transformer import TinyTransformer
+from repro.optim import AdamConfig, GraceAdam, LossScaler
+
+
+def build(tiny_spec, engine_cls=STVEngine, clip=None, seed=7):
+    model = TinyTransformer(tiny_spec, seed=seed)
+    opt = GraceAdam(model.params, AdamConfig(lr=3e-3))
+    scaler = LossScaler(init_scale=2.0**12)
+    if engine_cls is STVEngine:
+        return model, STVEngine(model, opt, clip_norm=clip,
+                                loss_scaler=scaler, n_buckets=3)
+    return model, SynchronousEngine(model, opt, clip_norm=clip,
+                                    loss_scaler=scaler)
+
+
+def test_accumulated_matches_full_batch_closely(tiny_spec, tiny_batches):
+    """Averaging micro-batch gradients approximates the full-batch gradient
+    (exact up to fp16 production rounding)."""
+    ids, tg = tiny_batches[0]
+    m_full, e_full = build(tiny_spec)
+    m_acc, e_acc = build(tiny_spec)
+    r_full = e_full.train_step(ids, tg, grad_accum=1)
+    r_acc = e_acc.train_step(ids, tg, grad_accum=4)
+    assert r_acc.loss == pytest.approx(r_full.loss, abs=1e-4)
+    # On the very first Adam step the update is ~lr * sign(g), so an fp16
+    # rounding flip on a near-zero gradient element can differ by up to
+    # 2 * lr; everything else agrees to fp16 precision.
+    lr = e_full.optimizer.config.lr
+    for k in m_full.params:
+        np.testing.assert_allclose(
+            m_full.params[k], m_acc.params[k], atol=2.5 * lr
+        )
+
+
+def test_stv_equals_ste_under_accumulation(tiny_spec, tiny_batches):
+    m_stv, e_stv = build(tiny_spec, STVEngine, clip=0.9)
+    m_ste, e_ste = build(tiny_spec, SynchronousEngine, clip=0.9)
+    for ids, tg in tiny_batches[:6]:
+        e_stv.train_step(ids, tg, grad_accum=2)
+        e_ste.train_step(ids, tg, grad_accum=2)
+    for k in m_stv.params:
+        np.testing.assert_array_equal(m_stv.params[k], m_ste.params[k])
+
+
+def test_training_progresses_with_accumulation(tiny_spec, tiny_batches):
+    _, engine = build(tiny_spec, clip=None)
+    losses = [engine.train_step(ids, tg, grad_accum=2).loss
+              for ids, tg in tiny_batches]
+    assert np.mean(losses[-4:]) < np.mean(losses[:4])
+
+
+def test_overflow_in_any_micro_batch_skips_iteration(tiny_spec, tiny_batches):
+    m, engine = build(tiny_spec, clip=None)
+    before = {k: v.copy() for k, v in m.params.items()}
+    engine.grad_injection = 1e8
+    report = engine.train_step(*tiny_batches[0], grad_accum=2)
+    engine.grad_injection = 1.0
+    assert report.overflow
+    for k in before:
+        np.testing.assert_array_equal(m.params[k], before[k])
+
+
+def test_invalid_grad_accum(tiny_spec, tiny_batches):
+    _, engine = build(tiny_spec)
+    ids, tg = tiny_batches[0]
+    with pytest.raises(ValueError):
+        engine.train_step(ids, tg, grad_accum=0)
+    with pytest.raises(ValueError):
+        engine.train_step(ids, tg, grad_accum=3)  # batch of 4 not divisible

@@ -1,0 +1,97 @@
+"""Tests for the adaptive weight policy and the eq. 1-3 efficiency model."""
+
+import pytest
+
+from repro.core.policy import (
+    AdaptiveOffloadPolicy,
+    EFFICIENCY_THRESHOLD,
+    WeightPolicy,
+    weight_flow_efficiency,
+)
+from repro.hardware.registry import HOPPER_H100, NVLINK_C2C
+from repro.models.config import MODEL_CONFIG_TABLE
+
+GBPS = 1e9
+
+
+class TestEfficiencyModel:
+    def test_fig6_anchor_point(self):
+        """Fig. 6: at 450 GB/s uni-directional C2C, batch >= 4 at seq 1024
+        is needed to exceed 60% efficiency."""
+        psi = int(5e9)
+        peak = HOPPER_H100.achievable_flops
+        eff_b4 = weight_flow_efficiency(psi, 4, 1024, 450 * GBPS, peak)
+        eff_b2 = weight_flow_efficiency(psi, 2, 1024, 450 * GBPS, peak)
+        assert eff_b4 >= 0.60
+        assert eff_b2 < eff_b4
+
+    def test_efficiency_independent_of_model_size(self):
+        """Both comp and comm are linear in Psi, so eq. 3 cancels it."""
+        peak = HOPPER_H100.achievable_flops
+        e1 = weight_flow_efficiency(int(1e9), 4, 1024, 450 * GBPS, peak)
+        e2 = weight_flow_efficiency(int(50e9), 4, 1024, 450 * GBPS, peak)
+        assert e1 == pytest.approx(e2)
+
+    def test_monotone_in_bandwidth_and_batch(self):
+        peak = HOPPER_H100.achievable_flops
+        psi = int(5e9)
+        assert weight_flow_efficiency(psi, 4, 1024, 900 * GBPS, peak) > (
+            weight_flow_efficiency(psi, 4, 1024, 64 * GBPS, peak)
+        )
+        assert weight_flow_efficiency(psi, 8, 1024, 450 * GBPS, peak) > (
+            weight_flow_efficiency(psi, 4, 1024, 450 * GBPS, peak)
+        )
+
+    def test_pcie_era_efficiency_is_hopeless(self):
+        """The PCIe-era conclusion: weight flow cannot hide at 32 GB/s."""
+        eff = weight_flow_efficiency(
+            int(5e9), 4, 1024, 32 * GBPS, HOPPER_H100.achievable_flops
+        )
+        assert eff < 0.35
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            weight_flow_efficiency(0, 1, 1, 1.0, 1.0)
+
+
+class TestAdaptivePolicy:
+    @pytest.fixture
+    def policy(self) -> AdaptiveOffloadPolicy:
+        return AdaptiveOffloadPolicy(
+            gpu=HOPPER_H100, c2c_bandwidth=NVLINK_C2C.peak_bandwidth
+        )
+
+    def test_small_model_short_seq_stays_stationary(self, policy):
+        decision = policy.decide(MODEL_CONFIG_TABLE[5], micro_batch=8)
+        assert decision.policy is WeightPolicy.STATIONARY
+
+    def test_long_context_flips_to_flow(self, policy):
+        """§4.2's scenario: long-context activations crowd out weights."""
+        decision = policy.decide(
+            MODEL_CONFIG_TABLE[13], micro_batch=1, seq=262144
+        )
+        assert decision.policy is WeightPolicy.FLOW
+        assert decision.efficiency > EFFICIENCY_THRESHOLD
+
+    def test_oversized_model_flows(self, policy):
+        decision = policy.decide(MODEL_CONFIG_TABLE[80], micro_batch=1)
+        assert decision.policy is WeightPolicy.FLOW
+
+    def test_flow_resident_bytes_much_smaller(self, policy):
+        cfg = MODEL_CONFIG_TABLE[13]
+        stat = policy.decide(cfg, micro_batch=1, seq=1024, checkpointing=True)
+        flow = policy.decide(cfg, micro_batch=1, seq=262144, checkpointing=True)
+        # flow keeps only a layer working set instead of the full 2*Psi
+        psi = 12 * cfg.n_layers * cfg.hidden**2
+        assert stat.gpu_resident_bytes >= 2 * psi
+        assert flow.gpu_resident_bytes - (
+            flow.gpu_resident_bytes - 4 * psi / cfg.n_layers
+        ) == pytest.approx(4 * psi / cfg.n_layers)
+
+    def test_exposed_fraction(self, policy):
+        assert policy.flow_exposed_fraction(0.9) == 0.0
+        assert 0 < policy.flow_exposed_fraction(0.3) < 1
+
+    def test_reason_strings_present(self, policy):
+        d = policy.decide(MODEL_CONFIG_TABLE[5], micro_batch=8)
+        assert "fit" in d.reason

@@ -1,0 +1,119 @@
+"""Tests for the operational weight-flow manager (§4.2 invariants)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.weight_manager import WeightFlowManager
+from repro.tensors import MemoryPool, PinnedBufferPool
+from repro.tensors.errors import DeviceOutOfMemoryError
+
+MB = 1024**2
+
+
+def make_manager(n_layers=8, layer_mb=10, pool_mb=100, window=2,
+                 pinned_mb=None):
+    pool = MemoryPool("gpu:0", pool_mb * MB)
+    pinned = PinnedBufferPool(pinned_mb * MB) if pinned_mb else None
+    mgr = WeightFlowManager(
+        [layer_mb * MB] * n_layers, pool, pinned_pool=pinned, window=window
+    )
+    return mgr, pool
+
+
+class TestInvariants:
+    def test_working_set_never_exceeds_window(self):
+        mgr, pool = make_manager(window=3)
+        mgr.run_pass(range(8))
+        assert len(mgr.resident_layers) <= 3
+        assert pool.peak <= 3 * 10 * MB
+
+    def test_forward_then_backward_pass(self):
+        mgr, _ = make_manager(window=2)
+        mgr.run_pass(range(8))            # forward
+        mgr.run_pass(reversed(range(8)))  # backward
+        # re-streamed for backward except the layers still resident at the
+        # forward/backward boundary (the window tail)
+        fetched = [f.layer for f in mgr.fetches]
+        for layer in range(8 - mgr.window):
+            assert fetched.count(layer) >= 2, layer
+        for layer in range(8):
+            assert fetched.count(layer) >= 1
+
+    def test_prefetch_hits(self):
+        mgr, _ = make_manager(window=2)
+        mgr.run_pass(range(8))
+        # after warm-up every use hits the prefetched layer
+        assert mgr.hit_rate() >= (8 - 1) / 8 - 1e-9
+        demand = [f for f in mgr.fetches if not f.prefetched]
+        assert len(demand) == 1  # only layer 0 was a demand fetch
+
+    def test_eviction_order_is_use_order(self):
+        mgr, _ = make_manager(window=2)
+        mgr.run_pass(range(5))
+        assert mgr.evictions == sorted(mgr.evictions)
+
+    def test_memory_returned_on_release(self):
+        mgr, pool = make_manager()
+        mgr.run_pass(range(8))
+        mgr.release_all()
+        assert pool.used == 0
+        assert not mgr.resident_layers
+
+    def test_pinned_staging_used_when_available(self):
+        mgr, _ = make_manager(pinned_mb=64)
+        mgr.run_pass(range(4))
+        assert all(f.pinned for f in mgr.fetches)
+
+    def test_pageable_fallback_when_pinned_exhausted(self):
+        mgr, _ = make_manager(layer_mb=10, pinned_mb=5)  # layer > pinned pool
+        mgr.run_pass(range(4))
+        assert all(not f.pinned for f in mgr.fetches)
+
+    def test_window_shrinks_under_memory_pressure(self):
+        # pool holds only 1.5 layers: manager must survive by evicting
+        mgr, pool = make_manager(layer_mb=10, pool_mb=15, window=2)
+        mgr.run_pass(range(6))
+        assert len(mgr.resident_layers) == 1
+        assert pool.peak <= 15 * MB
+
+    def test_layer_too_big_for_pool_raises(self):
+        pool = MemoryPool("gpu:0", 5 * MB)
+        mgr = WeightFlowManager([10 * MB, 10 * MB], pool, window=2)
+        with pytest.raises(DeviceOutOfMemoryError):
+            mgr.use(0)
+
+    def test_validation(self):
+        pool = MemoryPool("gpu:0", 100 * MB)
+        with pytest.raises(ValueError):
+            WeightFlowManager([], pool)
+        with pytest.raises(ValueError):
+            WeightFlowManager([0], pool)
+        with pytest.raises(ValueError):
+            WeightFlowManager([MB], pool, window=1)
+        mgr = WeightFlowManager([MB], pool)
+        with pytest.raises(IndexError):
+            mgr.use(5)
+
+    def test_prefetch_out_of_range_is_noop(self):
+        mgr, _ = make_manager()
+        mgr.prefetch(-1)
+        mgr.prefetch(100)
+        assert not mgr.fetches
+
+
+@given(
+    n_layers=st.integers(min_value=2, max_value=12),
+    window=st.integers(min_value=2, max_value=6),
+    passes=st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_residency_and_accounting(n_layers, window, passes):
+    pool = MemoryPool("gpu:0", 1000 * MB)
+    mgr = WeightFlowManager([MB] * n_layers, pool, window=window)
+    for p in range(passes):
+        order = range(n_layers) if p % 2 == 0 else reversed(range(n_layers))
+        mgr.run_pass(order)
+        assert len(mgr.resident_layers) <= window
+        assert pool.used == mgr.resident_bytes()
+    mgr.release_all()
+    assert pool.used == 0

@@ -1,0 +1,84 @@
+"""Tests for the bandwidth model against the paper's Fig. 7 observations."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hardware import BandwidthModel, LinkSpec
+from repro.hardware.registry import NVLINK_C2C, c2c_bandwidth_model
+
+MiB = 1024**2
+
+
+@pytest.fixture
+def c2c() -> BandwidthModel:
+    return c2c_bandwidth_model()
+
+
+def test_small_tensor_bandwidth_drops_to_50gbps(c2c):
+    """§5.2: C2C bandwidth 'can drop to as low as 50 GB/s' for small tensors."""
+    eff = c2c.effective_bandwidth(1 * MiB) / 1e9
+    assert 30 <= eff <= 80
+
+
+def test_saturation_near_64mb(c2c):
+    """Fig. 7: bandwidth saturates around 64 MB."""
+    sat = c2c.saturation_size(0.9)
+    assert 32 * MiB <= sat <= 128 * MiB
+
+
+def test_bandwidth_monotone_in_size(c2c):
+    sizes = [2**k * MiB for k in range(0, 11)]
+    series = [c2c.effective_bandwidth(s) for s in sizes]
+    assert all(b2 > b1 for b1, b2 in zip(series, series[1:]))
+
+
+def test_large_transfers_approach_peak(c2c):
+    eff = c2c.effective_bandwidth(1024 * MiB)
+    assert eff > 0.95 * NVLINK_C2C.peak_bandwidth
+
+
+def test_pageable_slower_than_pinned(c2c):
+    pinned = c2c.transfer_time(256 * MiB, pinned=True)
+    pageable = c2c.transfer_time(256 * MiB, pinned=False)
+    assert pageable > 1.5 * pinned
+
+
+def test_zero_bytes_is_free(c2c):
+    assert c2c.transfer_time(0) == 0.0
+
+
+def test_negative_bytes_rejected(c2c):
+    with pytest.raises(ValueError):
+        c2c.transfer_time(-1)
+    with pytest.raises(ValueError):
+        c2c.effective_bandwidth(0)
+
+
+def test_sweep_produces_series(c2c):
+    rows = c2c.sweep([MiB, 64 * MiB])
+    assert len(rows) == 2
+    assert rows[0][1] < rows[1][1]
+
+
+@given(st.integers(min_value=1, max_value=2**34))
+def test_effective_bandwidth_never_exceeds_peak(nbytes):
+    model = c2c_bandwidth_model()
+    assert model.effective_bandwidth(nbytes) < model.link.peak_bandwidth
+
+
+def test_link_validation():
+    with pytest.raises(ValueError):
+        LinkSpec("bad", 0)
+    with pytest.raises(ValueError):
+        LinkSpec("bad", 1e9, pageable_fraction=0.0)
+
+
+def test_bandwidth_table_registration():
+    from repro.hardware import LinkBandwidthTable
+
+    table = LinkBandwidthTable()
+    table.register(NVLINK_C2C)
+    assert "nvlink-c2c" in table
+    assert table["nvlink-c2c"].link is NVLINK_C2C
+    with pytest.raises(KeyError, match="unknown link"):
+        table["pcie9"]

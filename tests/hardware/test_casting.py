@@ -1,0 +1,57 @@
+"""Tests for the casting cost model against the paper's Fig. 9."""
+
+import pytest
+
+from repro.hardware.casting import CastingModel
+from repro.hardware.registry import GRACE_CPU, HOPPER_H100, c2c_bandwidth_model
+
+MiB = 1024**2
+
+
+@pytest.fixture
+def model() -> CastingModel:
+    return CastingModel(HOPPER_H100, GRACE_CPU, c2c_bandwidth_model())
+
+
+def test_cpu_path_roughly_2x_slower_in_paper_range(model):
+    """Fig. 9: cast_cpu<->move_fp16 takes ~2x the time of
+    cast_gpu<->move_fp32 for 256 MB - 2 GB tensors."""
+    for size in (256 * MiB, 512 * MiB, 1024 * MiB, 2048 * MiB):
+        gpu = model.cast_gpu_move_fp32(size).total
+        cpu = model.cast_cpu_move_fp16(size).total
+        assert 1.6 <= cpu / gpu <= 3.0, f"ratio off at {size}"
+
+
+def test_preferred_path_is_gpu_fp32_on_superchip(model):
+    for size in (16 * MiB, 256 * MiB, 2048 * MiB):
+        assert model.preferred_path(size).path == "cast_gpu_move_fp32"
+
+
+def test_fp16_path_moves_half_the_bytes_but_loses(model):
+    """The §4.5 point: minimum communication volume is not minimum time."""
+    size = 512 * MiB
+    gpu = model.cast_gpu_move_fp32(size)
+    cpu = model.cast_cpu_move_fp16(size)
+    # The fp16 payload is half...
+    assert cpu.move_time < 2 * gpu.move_time
+    # ...yet the end-to-end path is slower.
+    assert cpu.total > gpu.total
+
+
+def test_costs_scale_linearly_at_large_sizes(model):
+    small = model.cast_gpu_move_fp32(256 * MiB).total
+    large = model.cast_gpu_move_fp32(1024 * MiB).total
+    assert 3.5 <= large / small <= 4.5
+
+
+def test_sweep_rows_contain_ratio(model):
+    rows = model.sweep([64 * MiB, 256 * MiB])
+    assert len(rows) == 2
+    for row in rows:
+        assert row["cpu_over_gpu_ratio"] > 1.0
+        assert row["cast_cpu_move_fp16_ms"] > row["cast_gpu_move_fp32_ms"]
+
+
+def test_total_is_cast_plus_move(model):
+    cost = model.cast_gpu_move_fp32(64 * MiB)
+    assert cost.total == pytest.approx(cost.cast_time + cost.move_time)

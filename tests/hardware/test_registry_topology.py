@@ -1,0 +1,110 @@
+"""Tests for hardware registry (Table 1) and node/cluster topology."""
+
+import pytest
+
+from repro.hardware import (
+    DGX2,
+    DGX_A100,
+    GH200,
+    NODE_COMPARISON_TABLE,
+    NumaBinding,
+    SuperchipNode,
+    ClusterTopology,
+    node_comparison_rows,
+)
+from repro.hardware.registry import SLINGSHOT_11, gh200_superchip
+
+
+class TestTable1:
+    def test_gh200_row_matches_paper(self):
+        row = NODE_COMPARISON_TABLE["GH"]
+        assert row["cpu_bw_gbps"] == 500
+        assert row["cpu_gpu_bw_gbps"] == 900
+        assert row["cpu_cores"] == 72
+        assert row["gpu_tflops"] == 990.0
+
+    def test_flops_ratio_derivation(self):
+        rows = {r["arch"]: r for r in node_comparison_rows()}
+        assert rows["GH"]["gpu_cpu_flops_ratio"] == pytest.approx(330.0)
+        assert rows["DGX-2"]["gpu_cpu_flops_ratio"] == pytest.approx(60.39, abs=0.01)
+        assert rows["DGX-A100"]["gpu_cpu_flops_ratio"] == pytest.approx(135.65, abs=0.01)
+
+    def test_superchip_flops_ratio_property(self):
+        assert GH200.flops_ratio == pytest.approx(330.0)
+        assert DGX2.flops_ratio < DGX_A100.flops_ratio < GH200.flops_ratio
+
+    def test_nvl2_variant_has_less_host_memory(self):
+        assert gh200_superchip(nvl2=True).cpu.mem_capacity < (
+            gh200_superchip().cpu.mem_capacity
+        )
+
+
+class TestNumaBinding:
+    def test_affine_binding_colocates_all_ranks(self):
+        numa = NumaBinding(4, 72)
+        numa.bind_affine()
+        assert all(numa.is_colocated(r) for r in range(4))
+        assert numa.core_range_of(2) == (144, 216)
+
+    def test_random_binding_misplaces_ranks(self):
+        numa = NumaBinding(4, 72)
+        numa.bind_random(seed=0)
+        assert not all(numa.is_colocated(r) for r in range(4))
+
+    def test_unbound_rank_raises(self):
+        numa = NumaBinding(2, 72)
+        with pytest.raises(KeyError):
+            numa.numa_node_of(0)
+
+
+class TestTopology:
+    def test_node_pools_per_superchip(self):
+        node = SuperchipNode(GH200, 4)
+        assert len(node.gpu_pools) == 4
+        assert len(node.cpu_pools) == 4
+        assert node.gpu_pools[0].capacity == GH200.gpu.mem_capacity
+
+    def test_misbound_rank_uses_slower_link(self):
+        node = SuperchipNode(GH200, 4)
+        node.numa.bind_random(seed=1)
+        misbound = [r for r in range(4) if not node.numa.is_colocated(r)]
+        assert misbound
+        r = misbound[0]
+        slow = node.host_link_for(r)
+        assert slow.link.peak_bandwidth < node.c2c.link.peak_bandwidth
+
+    def test_colocated_rank_uses_c2c(self):
+        node = SuperchipNode(GH200, 2)
+        assert node.host_link_for(0) is node.c2c
+
+    def test_cluster_world_size_and_links(self):
+        node = SuperchipNode(GH200, 2)
+        cluster = ClusterTopology(node, 4, SLINGSHOT_11)
+        assert cluster.world_size == 8
+        # same node -> fast link; cross node -> network
+        assert cluster.link_between(0, 1) is node.gpu_link
+        assert cluster.link_between(0, 2) is cluster.network
+
+    def test_single_node_bottleneck_is_intranode(self):
+        node = SuperchipNode(GH200, 4)
+        cluster = ClusterTopology(node, 1, SLINGSHOT_11)
+        assert cluster.slowest_link_bandwidth() == (
+            node.gpu_link.link.peak_bandwidth
+        )
+
+    def test_multi_node_bottleneck_is_network(self):
+        node = SuperchipNode(GH200, 2)
+        cluster = ClusterTopology(node, 2, SLINGSHOT_11)
+        assert cluster.slowest_link_bandwidth() == SLINGSHOT_11.peak_bandwidth
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ValueError):
+            SuperchipNode(GH200, 0)
+        with pytest.raises(ValueError):
+            ClusterTopology(SuperchipNode(GH200, 1), 0, SLINGSHOT_11)
+
+    def test_reset_memory_restores_capacity(self):
+        node = SuperchipNode(GH200, 1)
+        node.gpu_pools[0].allocate(1024)
+        node.reset_memory()
+        assert node.gpu_pools[0].used == node.gpu_pools[0].reserved

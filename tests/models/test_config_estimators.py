@@ -1,0 +1,136 @@
+"""Tests for model configs (Appendix A) and the estimators."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.models import (
+    MODEL_CONFIG_TABLE,
+    ModelConfig,
+    activation_bytes,
+    activation_bytes_per_token,
+    config_for_params,
+    flops_per_token,
+    model_state_bytes,
+    param_count,
+)
+from repro.models.estimators import (
+    attention_flops_per_token,
+    logits_bytes,
+    mixed_precision_breakdown,
+)
+
+
+class TestAppendixA:
+    @pytest.mark.parametrize(
+        "billions,layers,hidden",
+        [(1, 20, 2048), (4, 64, 2304), (5, 44, 3072), (15, 78, 4096),
+         (20, 25, 8192), (150, 45, 16384), (200, 60, 16384)],
+    )
+    def test_table4_rows(self, billions, layers, hidden):
+        cfg = MODEL_CONFIG_TABLE[billions]
+        assert cfg.n_layers == layers
+        assert cfg.hidden == hidden
+
+    @pytest.mark.parametrize("billions", sorted(MODEL_CONFIG_TABLE))
+    def test_param_count_within_25pct_of_label(self, billions):
+        cfg = MODEL_CONFIG_TABLE[billions]
+        assert param_count(cfg) == pytest.approx(billions * 1e9, rel=0.25)
+
+    def test_param_count_identity(self):
+        cfg = MODEL_CONFIG_TABLE[5]
+        assert param_count(cfg) == 12 * 44 * 3072**2
+
+    def test_embeddings_optional(self):
+        cfg = MODEL_CONFIG_TABLE[1]
+        assert param_count(cfg, include_embeddings=True) == (
+            param_count(cfg) + cfg.vocab * cfg.hidden
+        )
+
+    def test_nearest_config_snap(self):
+        assert config_for_params(5.2) is MODEL_CONFIG_TABLE[5]
+        assert config_for_params(7) is MODEL_CONFIG_TABLE[6] or (
+            config_for_params(7) is MODEL_CONFIG_TABLE[8]
+        )
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            config_for_params(0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ModelConfig("bad", 2, 100, 3)  # hidden not divisible by heads
+        with pytest.raises(ValueError):
+            ModelConfig("bad", 0, 128, 2)
+
+
+class TestEstimators:
+    def test_model_state_is_16_bytes_per_param(self):
+        """§2.2: mixed precision training consumes 16*Psi bytes."""
+        cfg = MODEL_CONFIG_TABLE[5]
+        assert model_state_bytes(cfg) == 16 * param_count(cfg)
+
+    def test_7b_model_states_near_112gb(self):
+        """§4.2: 'a 7B-parameter model requires 112GB for model states'."""
+        cfg = config_for_params(7)
+        assert model_state_bytes(cfg) == pytest.approx(112e9, rel=0.25)
+
+    def test_flops_per_token_dominated_by_6psi_at_short_seq(self):
+        cfg = MODEL_CONFIG_TABLE[5]
+        assert flops_per_token(cfg, 1024) == pytest.approx(
+            6 * param_count(cfg), rel=0.08
+        )
+
+    def test_attention_flops_dominate_at_1m_tokens(self):
+        """§5.3 regime: at 1M tokens the O(s) attention term dwarfs 6*Psi."""
+        cfg = MODEL_CONFIG_TABLE[13]
+        assert attention_flops_per_token(cfg, 1_000_000) > (
+            10 * 6 * param_count(cfg)
+        )
+
+    def test_checkpointing_shrinks_activations(self):
+        cfg = MODEL_CONFIG_TABLE[5]
+        full = activation_bytes(cfg, 8)
+        ckpt = activation_bytes(cfg, 8, checkpointing=True)
+        assert ckpt < 0.1 * full
+
+    def test_flash_attention_removes_quadratic_term(self):
+        cfg = MODEL_CONFIG_TABLE[5]
+        with_mat = activation_bytes_per_token(cfg, 1024)
+        flash = activation_bytes_per_token(cfg, 1024, flash_attention=True)
+        assert flash == pytest.approx(34 * cfg.hidden)
+        assert with_mat > flash
+
+    def test_long_context_activations_dwarf_model_states(self):
+        """§4.2's motivating example: activations at ~1M sequence length
+        are an order of magnitude beyond model states."""
+        cfg = config_for_params(7)
+        acts = activation_bytes(cfg, 1, seq=1_000_000, flash_attention=True)
+        assert acts > 5 * model_state_bytes(cfg)
+
+    def test_logits_bytes_capped_for_long_seq(self):
+        cfg = MODEL_CONFIG_TABLE[5]
+        assert logits_bytes(cfg, 10**7) == logits_bytes(cfg, 16384)
+
+    def test_breakdown_total(self):
+        cfg = MODEL_CONFIG_TABLE[1]
+        bd = mixed_precision_breakdown(cfg, 2)
+        psi = param_count(cfg)
+        assert bd.params_fp16 == 2 * psi
+        assert bd.optimizer_fp32 == 12 * psi
+        assert bd.total == pytest.approx(
+            16 * psi + activation_bytes(cfg, 2)
+        )
+
+    @given(st.integers(min_value=1, max_value=64))
+    def test_activation_bytes_linear_in_micro_batch(self, micro):
+        cfg = MODEL_CONFIG_TABLE[1]
+        one = activation_bytes(cfg, 1) - logits_bytes(cfg, cfg.seq)
+        many = activation_bytes(cfg, micro) - logits_bytes(cfg, micro * cfg.seq)
+        assert many == pytest.approx(micro * one, rel=1e-9)
+
+    def test_invalid_inputs(self):
+        cfg = MODEL_CONFIG_TABLE[1]
+        with pytest.raises(ValueError):
+            activation_bytes(cfg, 0)
+        with pytest.raises(ValueError):
+            flops_per_token(cfg, 0)

@@ -1,0 +1,86 @@
+"""Property-based tests over the estimators and policy curves."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.policy import weight_flow_efficiency
+from repro.hardware.registry import HOPPER_H100
+from repro.models import (
+    MODEL_CONFIG_TABLE,
+    activation_bytes,
+    flops_per_token,
+    model_state_bytes,
+    param_count,
+)
+
+SIZES = sorted(MODEL_CONFIG_TABLE)
+CFG = MODEL_CONFIG_TABLE[5]
+
+
+@given(st.sampled_from(SIZES))
+def test_state_bytes_identity_for_every_config(billions):
+    cfg = MODEL_CONFIG_TABLE[billions]
+    assert model_state_bytes(cfg) == 16 * param_count(cfg)
+
+
+@given(st.integers(min_value=1, max_value=20))
+def test_flops_monotone_in_seq(k):
+    s1, s2 = 512 * k, 512 * (k + 1)
+    assert flops_per_token(CFG, s2) > flops_per_token(CFG, s1)
+
+
+@given(
+    seq=st.sampled_from([256, 1024, 4096]),
+    micro=st.integers(min_value=1, max_value=16),
+)
+@settings(max_examples=40)
+def test_checkpointing_never_increases_activations(seq, micro):
+    full = activation_bytes(CFG, micro, seq)
+    ckpt = activation_bytes(CFG, micro, seq, checkpointing=True)
+    assert ckpt < full
+
+
+@given(
+    seq=st.sampled_from([1024, 8192]),
+    micro=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=30)
+def test_flash_attention_never_increases_activations(seq, micro):
+    dense = activation_bytes(CFG, micro, seq)
+    flash = activation_bytes(CFG, micro, seq, flash_attention=True)
+    assert flash <= dense
+
+
+@given(
+    bw=st.floats(min_value=1e9, max_value=1e12),
+    bsz=st.integers(min_value=1, max_value=64),
+    seq=st.integers(min_value=64, max_value=65536),
+)
+@settings(max_examples=100)
+def test_efficiency_always_in_unit_interval(bw, bsz, seq):
+    eff = weight_flow_efficiency(
+        int(5e9), bsz, seq, bw, HOPPER_H100.achievable_flops
+    )
+    assert 0 < eff < 1
+
+
+@given(
+    bsz=st.integers(min_value=1, max_value=32),
+    seq=st.integers(min_value=128, max_value=16384),
+)
+@settings(max_examples=60)
+def test_efficiency_strictly_monotone_in_bandwidth(bsz, seq):
+    peak = HOPPER_H100.achievable_flops
+    low = weight_flow_efficiency(int(5e9), bsz, seq, 64e9, peak)
+    high = weight_flow_efficiency(int(5e9), bsz, seq, 900e9, peak)
+    assert high > low
+
+
+@given(st.sampled_from(SIZES))
+def test_larger_configs_have_more_params(billions):
+    sizes = sorted(MODEL_CONFIG_TABLE)
+    idx = sizes.index(billions)
+    if idx + 1 < len(sizes):
+        assert param_count(MODEL_CONFIG_TABLE[sizes[idx + 1]]) > param_count(
+            MODEL_CONFIG_TABLE[billions]
+        )

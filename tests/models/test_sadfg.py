@@ -1,0 +1,130 @@
+"""Tests for the superchip-aware dataflow graph (§4.1)."""
+
+import networkx as nx
+import pytest
+
+from repro.hardware.bandwidth import BandwidthModel
+from repro.hardware.registry import GRACE_CPU, HOPPER_H100, NVLINK_C2C, PCIE3_X16
+from repro.models import MODEL_CONFIG_TABLE
+from repro.models.sadfg import (
+    OpCost,
+    OpKind,
+    SADFG,
+    build_training_sadfg,
+    greedy_min_cut_partition,
+    partition_cost,
+    superchip_partition,
+)
+
+CFG = MODEL_CONFIG_TABLE[1]
+
+
+@pytest.fixture
+def dfg() -> SADFG:
+    return build_training_sadfg(CFG, HOPPER_H100, GRACE_CPU, micro_batch=4,
+                                n_buckets=4)
+
+
+def test_graph_is_dag(dfg):
+    assert nx.is_directed_acyclic_graph(dfg.graph)
+
+
+def test_vertex_counts(dfg):
+    kinds = [dfg.cost_of(n).kind for n in dfg.graph.nodes]
+    assert kinds.count(OpKind.FORWARD) == CFG.n_layers
+    assert kinds.count(OpKind.BACKWARD) == CFG.n_layers
+    assert kinds.count(OpKind.OPTIMIZER) == 4
+    assert kinds.count(OpKind.CAST) == 4
+
+
+def test_cpu_slower_than_gpu_for_compute(dfg):
+    for name in dfg.graph.nodes:
+        cost = dfg.cost_of(name)
+        if cost.kind in (OpKind.FORWARD, OpKind.BACKWARD):
+            assert cost.cpu_time > cost.gpu_time
+
+
+def test_min_cut_puts_optimizer_on_cpu(dfg):
+    assignment = greedy_min_cut_partition(dfg)
+    for name in dfg.graph.nodes:
+        kind = dfg.cost_of(name).kind
+        if kind in (OpKind.OPTIMIZER, OpKind.CAST):
+            assert assignment[name] == "cpu"
+        else:
+            assert assignment[name] == "gpu"
+
+
+def test_min_cut_minimizes_cut_bytes_vs_all_gpu_optimizer(dfg):
+    greedy = greedy_min_cut_partition(dfg)
+    all_gpu = {n: "gpu" for n in dfg.graph.nodes}
+    # all-GPU has no cut at all, but requires the optimizer states in HBM;
+    # among *offloading* assignments, the greedy cut is minimal.
+    assert dfg.cut_bytes(all_gpu) == 0
+    moved = dict(greedy)
+    some_bwd = next(
+        n for n in dfg.graph.nodes if dfg.cost_of(n).kind == OpKind.BACKWARD
+    )
+    moved[some_bwd] = "cpu"
+    assert dfg.cut_bytes(moved) > dfg.cut_bytes(greedy)
+
+
+def test_superchip_partition_pulls_buckets_back_on_fast_link(dfg):
+    """On NVLink-C2C the time-optimal partition keeps some optimizer
+    vertices on the GPU (the §4.3 repartitioning at DFG level)."""
+    link = BandwidthModel(NVLINK_C2C)
+    assignment = superchip_partition(dfg, link, gpu_memory_budget=2**33)
+    on_gpu = [
+        n for n in dfg.graph.nodes
+        if dfg.cost_of(n).kind == OpKind.OPTIMIZER and assignment[n] == "gpu"
+    ]
+    assert on_gpu  # at least one bucket repatriated
+    greedy = greedy_min_cut_partition(dfg)
+    assert partition_cost(dfg, assignment, link, overlap=0.8) <= (
+        partition_cost(dfg, greedy, link, overlap=0.8)
+    )
+
+
+def test_superchip_partition_respects_memory_budget(dfg):
+    link = BandwidthModel(NVLINK_C2C)
+    assignment = superchip_partition(dfg, link, gpu_memory_budget=0)
+    assert assignment == greedy_min_cut_partition(dfg)
+
+
+def test_pcie_era_partition_stays_greedy(dfg):
+    """On a PCIe link, pulling optimizer vertices back is not worth it —
+    the historical design point the paper revisits."""
+    link = BandwidthModel(PCIE3_X16)
+    pcie = superchip_partition(dfg, link, gpu_memory_budget=2**33, overlap=0.0)
+    c2c = superchip_partition(
+        dfg, BandwidthModel(NVLINK_C2C), gpu_memory_budget=2**33, overlap=0.0
+    )
+    pcie_gpu = sum(1 for n, d in pcie.items() if d == "gpu")
+    c2c_gpu = sum(1 for n, d in c2c.items() if d == "gpu")
+    assert pcie_gpu <= c2c_gpu
+
+
+class TestGraphConstruction:
+    def test_duplicate_op_rejected(self):
+        g = SADFG()
+        g.add_op("a", OpCost(OpKind.FORWARD, 1.0, 2.0))
+        with pytest.raises(ValueError):
+            g.add_op("a", OpCost(OpKind.FORWARD, 1.0, 2.0))
+
+    def test_cycle_rejected(self):
+        g = SADFG()
+        g.add_op("a", OpCost(OpKind.FORWARD, 1.0, 2.0))
+        g.add_op("b", OpCost(OpKind.FORWARD, 1.0, 2.0))
+        g.add_flow("a", "b", 10)
+        with pytest.raises(ValueError, match="cycle"):
+            g.add_flow("b", "a", 10)
+
+    def test_unknown_endpoint_rejected(self):
+        g = SADFG()
+        g.add_op("a", OpCost(OpKind.FORWARD, 1.0, 2.0))
+        with pytest.raises(KeyError):
+            g.add_flow("a", "missing", 1)
+
+    def test_partition_cost_validates_overlap(self, dfg):
+        link = BandwidthModel(NVLINK_C2C)
+        with pytest.raises(ValueError):
+            partition_cost(dfg, greedy_min_cut_partition(dfg), link, overlap=1.0)

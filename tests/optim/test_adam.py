@@ -1,0 +1,112 @@
+"""Tests for the functional Adam kernel and its inverse."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.optim import AdamConfig, AdamParamState, adam_apply, adam_invert
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        AdamConfig(beta1=0.0)
+    with pytest.raises(ValueError):
+        AdamConfig(beta2=1.0)
+    with pytest.raises(ValueError):
+        AdamConfig(eps=0.0)
+    with pytest.raises(ValueError):
+        AdamConfig(lr=1.0, weight_decay=1.0)  # lr*wd >= 1 breaks inversion
+
+
+def test_single_step_matches_hand_computation():
+    cfg = AdamConfig(lr=0.1, beta1=0.9, beta2=0.99, eps=1e-8)
+    p = np.array([1.0], dtype=np.float32)
+    g = np.array([2.0], dtype=np.float32)
+    st_ = AdamParamState.zeros_like(p)
+    adam_apply(p, g, st_, cfg)
+    m = 0.1 * 2.0
+    v = 0.01 * 4.0
+    m_hat = m / (1 - 0.9)
+    v_hat = v / (1 - 0.99)
+    expected = 1.0 - 0.1 * m_hat / (np.sqrt(v_hat) + 1e-8)
+    assert p[0] == pytest.approx(expected, rel=1e-6)
+    assert st_.step == 1
+
+
+def test_requires_fp32():
+    cfg = AdamConfig()
+    p = np.ones(2, dtype=np.float16)
+    g = np.ones(2, dtype=np.float32)
+    with pytest.raises(TypeError):
+        adam_apply(p, g, AdamParamState.zeros_like(p), cfg)
+
+
+def test_zero_gradient_with_decay_still_shrinks():
+    cfg = AdamConfig(lr=0.01, weight_decay=0.1)
+    p = np.array([5.0], dtype=np.float32)
+    g = np.zeros(1, dtype=np.float32)
+    adam_apply(p, g, AdamParamState.zeros_like(p), cfg)
+    assert 0 < p[0] < 5.0
+
+
+def test_invert_before_step_rejected():
+    cfg = AdamConfig()
+    p = np.ones(2, dtype=np.float32)
+    with pytest.raises(ValueError):
+        adam_invert(p, p.copy(), AdamParamState.zeros_like(p), cfg)
+
+
+@given(
+    arrays(np.float32, (6,), elements=st.floats(-2, 2, width=32)),
+    arrays(np.float32, (6,), elements=st.floats(-2, 2, width=32)),
+    st.floats(min_value=0.0, max_value=0.1),
+)
+@settings(max_examples=60)
+def test_invert_recovers_state(p0, g, wd):
+    """The §4.4 in-place rollback: apply then invert returns to start
+    within a few fp32 ulps."""
+    cfg = AdamConfig(lr=1e-2, weight_decay=wd)
+    p = p0.copy()
+    state = AdamParamState.zeros_like(p)
+    # advance a couple of steps to get non-trivial moments
+    warm = np.ones_like(p) * np.float32(0.3)
+    adam_apply(p, warm, state, cfg)
+    adam_apply(p, warm, state, cfg)
+    snap_p, snap_m, snap_v = p.copy(), state.m.copy(), state.v.copy()
+    adam_apply(p, g, state, cfg)
+    adam_invert(p, g, state, cfg)
+    assert state.step == 2
+    np.testing.assert_allclose(p, snap_p, atol=5e-6, rtol=1e-5)
+    np.testing.assert_allclose(state.m, snap_m, atol=5e-6, rtol=1e-5)
+    np.testing.assert_allclose(state.v, snap_v, atol=5e-6, rtol=1e-5)
+
+
+def test_invert_then_reapply_clipped_matches_direct():
+    """Rollback + re-execute with clipped gradients ~= stepping with the
+    clipped gradients directly (STV scenario 2)."""
+    cfg = AdamConfig(lr=5e-3)
+    rng = np.random.default_rng(0)
+    g = rng.standard_normal(16).astype(np.float32) * 10
+    clipped = (g * np.float32(0.1)).astype(np.float32)
+
+    p_a = rng.standard_normal(16).astype(np.float32)
+    p_b = p_a.copy()
+    st_a = AdamParamState.zeros_like(p_a)
+    st_b = AdamParamState.zeros_like(p_b)
+
+    adam_apply(p_a, g, st_a, cfg)        # speculative
+    adam_invert(p_a, g, st_a, cfg)       # rollback
+    adam_apply(p_a, clipped, st_a, cfg)  # re-execute
+    adam_apply(p_b, clipped, st_b, cfg)  # direct
+    np.testing.assert_allclose(p_a, p_b, atol=1e-6, rtol=1e-5)
+
+
+def test_bias_correction_off():
+    cfg = AdamConfig(bias_correction=False, lr=0.1)
+    p = np.array([0.0], dtype=np.float32)
+    g = np.array([1.0], dtype=np.float32)
+    st_ = AdamParamState.zeros_like(p)
+    adam_apply(p, g, st_, cfg)
+    # m = 0.1, v = 0.001; update = 0.1/(sqrt(0.001)+eps)
+    assert p[0] == pytest.approx(-0.1 * 0.1 / np.sqrt(0.001), rel=1e-4)

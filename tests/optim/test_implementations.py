@@ -1,0 +1,148 @@
+"""Tests for the three Adam implementations (Table 3 numerics)."""
+
+import numpy as np
+import pytest
+
+from repro.optim import (
+    AdamConfig,
+    CPUAdam,
+    GraceAdam,
+    ReferenceAdam,
+    make_optimizer,
+)
+
+
+def make_params(rng, n_tensors=4):
+    return {
+        f"p{i}": rng.standard_normal((5, 7)).astype(np.float32)
+        for i in range(n_tensors)
+    }
+
+
+def make_grads(rng, params):
+    return {k: rng.standard_normal(v.shape).astype(np.float32)
+            for k, v in params.items()}
+
+
+@pytest.mark.parametrize("kernel", ["pt_cpu", "cpu_adam", "grace_adam"])
+def test_factory(kernel, rng):
+    opt = make_optimizer(kernel, make_params(rng))
+    assert opt.kernel_name == kernel
+
+
+def test_factory_unknown(rng):
+    with pytest.raises(KeyError):
+        make_optimizer("sgd", make_params(rng))
+
+
+def test_all_implementations_bitwise_identical(rng):
+    """The Table 3 implementations differ in execution strategy only."""
+    cfg = AdamConfig(lr=3e-3, weight_decay=0.01)
+    base = make_params(rng)
+    opts = {
+        "ref": ReferenceAdam({k: v.copy() for k, v in base.items()}, cfg),
+        "cpu": CPUAdam({k: v.copy() for k, v in base.items()}, cfg),
+        "grace": GraceAdam({k: v.copy() for k, v in base.items()}, cfg,
+                           tile_size=8),
+    }
+    for _ in range(5):
+        grads = make_grads(rng, base)
+        for opt in opts.values():
+            opt.step({k: g.copy() for k, g in grads.items()})
+    for k in base:
+        np.testing.assert_array_equal(
+            opts["ref"].params[k], opts["cpu"].params[k]
+        )
+        np.testing.assert_array_equal(
+            opts["ref"].params[k], opts["grace"].params[k]
+        )
+
+
+def test_grace_tiling_independent_of_tile_size(rng):
+    cfg = AdamConfig(lr=1e-2)
+    base = make_params(rng)
+    grads = make_grads(rng, base)
+    results = []
+    for tile in (1, 3, 16, 10**6):
+        opt = GraceAdam({k: v.copy() for k, v in base.items()}, cfg,
+                        tile_size=tile, vector_length=1)
+        opt.step({k: g.copy() for k, g in grads.items()})
+        results.append(opt.params)
+    for other in results[1:]:
+        for k in base:
+            np.testing.assert_array_equal(results[0][k], other[k])
+
+
+def test_grace_tile_rounds_to_vector_length():
+    params = {"p": np.zeros(100, dtype=np.float32)}
+    opt = GraceAdam(params, tile_size=100, vector_length=16)
+    assert opt.tile_size == 96
+
+
+def test_subset_step_only_touches_subset(rng):
+    opt = GraceAdam(make_params(rng), AdamConfig(lr=0.1))
+    before = {k: v.copy() for k, v in opt.params.items()}
+    opt.step({"p0": np.ones_like(opt.params["p0"])})
+    assert not np.allclose(opt.params["p0"], before["p0"])
+    np.testing.assert_array_equal(opt.params["p1"], before["p1"])
+    assert opt.state["p0"].step == 1
+    assert opt.state["p1"].step == 0
+
+
+def test_cpu_adam_requires_full_gradient_set(rng):
+    opt = CPUAdam(make_params(rng))
+    with pytest.raises(KeyError, match="full gradient set"):
+        opt.step({"p0": np.ones_like(opt.params["p0"])})
+
+
+def test_unknown_gradient_key_rejected(rng):
+    opt = GraceAdam(make_params(rng))
+    with pytest.raises(KeyError, match="unknown"):
+        opt.step({"zzz": np.ones(3, dtype=np.float32)})
+
+
+def test_empty_step_rejected(rng):
+    opt = GraceAdam(make_params(rng))
+    with pytest.raises(ValueError):
+        opt.step({})
+
+
+def test_invert_step_roundtrip_all_impls(rng):
+    cfg = AdamConfig(lr=1e-2)
+    base = make_params(rng)
+    grads = make_grads(rng, base)
+    for cls in (ReferenceAdam, GraceAdam, CPUAdam):
+        opt = cls({k: v.copy() for k, v in base.items()}, cfg)
+        warm = make_grads(rng, base)
+        opt.step(warm)
+        snapshot = {k: v.copy() for k, v in opt.params.items()}
+        opt.step(grads)
+        opt.invert_step(grads)
+        assert opt.step_count == 1
+        for k in base:
+            np.testing.assert_allclose(
+                opt.params[k], snapshot[k], atol=1e-5, rtol=1e-5
+            )
+
+
+def test_cpu_adam_flat_mirror_coherent_after_invert(rng):
+    cfg = AdamConfig(lr=1e-2)
+    opt = CPUAdam(make_params(rng), cfg)
+    grads = make_grads(rng, opt.params)
+    opt.step(grads)
+    opt.invert_step(grads)
+    # A subsequent step must produce the same result as a fresh optimizer.
+    grads2 = make_grads(rng, opt.params)
+    opt.step(grads2)
+    fresh = CPUAdam({k: v.copy() for k, v in opt.params.items()}, cfg)
+    assert opt._flat_step == 1
+
+
+def test_requires_fp32_masters(rng):
+    with pytest.raises(TypeError):
+        GraceAdam({"p": np.zeros(3, dtype=np.float16)})
+
+
+def test_empty_params_rejected():
+    with pytest.raises(ValueError):
+        GraceAdam({})

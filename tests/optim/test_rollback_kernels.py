@@ -1,0 +1,113 @@
+"""Tests for rollback strategies and the Table 3 latency models."""
+
+import numpy as np
+import pytest
+
+from repro.optim import (
+    AdamConfig,
+    AlgebraicRollback,
+    GraceAdam,
+    RollbackStrategy,
+    SnapshotRollback,
+    adam_latency_seconds,
+    adam_latency_table,
+    make_rollback,
+)
+from repro.optim.kernels import paper_table3_reference
+
+
+def setup_opt(rng):
+    params = {"w": rng.standard_normal(32).astype(np.float32)}
+    opt = GraceAdam(params, AdamConfig(lr=1e-2))
+    opt.step({"w": rng.standard_normal(32).astype(np.float32)})  # warm state
+    return opt
+
+
+class TestSnapshotRollback:
+    def test_bit_exact_restore(self, rng):
+        opt = setup_opt(rng)
+        rb = SnapshotRollback(opt)
+        grads = {"w": rng.standard_normal(32).astype(np.float32)}
+        before = opt.params["w"].copy()
+        rb.capture(grads)
+        opt.step(grads)
+        rb.rollback(grads)
+        np.testing.assert_array_equal(opt.params["w"], before)
+        assert opt.step_count == 1
+
+    def test_rollback_without_capture_rejected(self, rng):
+        rb = SnapshotRollback(setup_opt(rng))
+        with pytest.raises(RuntimeError):
+            rb.rollback({"w": np.zeros(32, dtype=np.float32)})
+
+    def test_scratch_accounting(self, rng):
+        opt = setup_opt(rng)
+        rb = SnapshotRollback(opt)
+        grads = {"w": np.zeros(32, dtype=np.float32)}
+        assert rb.scratch_bytes(grads) == 3 * 32 * 4
+
+    def test_discard_releases_snapshot(self, rng):
+        opt = setup_opt(rng)
+        rb = SnapshotRollback(opt)
+        grads = {"w": np.zeros(32, dtype=np.float32)}
+        rb.capture(grads)
+        rb.discard()
+        with pytest.raises(RuntimeError):
+            rb.rollback(grads)
+
+
+class TestAlgebraicRollback:
+    def test_restore_within_ulps(self, rng):
+        opt = setup_opt(rng)
+        rb = AlgebraicRollback(opt)
+        grads = {"w": rng.standard_normal(32).astype(np.float32)}
+        before = opt.params["w"].copy()
+        rb.capture(grads)
+        opt.step(grads)
+        rb.rollback(grads)
+        np.testing.assert_allclose(opt.params["w"], before, atol=1e-5)
+        assert rb.scratch_bytes(grads) == 0  # the paper's in-place claim
+
+    def test_double_rollback_rejected(self, rng):
+        opt = setup_opt(rng)
+        rb = AlgebraicRollback(opt)
+        grads = {"w": rng.standard_normal(32).astype(np.float32)}
+        rb.capture(grads)
+        opt.step(grads)
+        rb.rollback(grads)
+        with pytest.raises(RuntimeError):
+            rb.rollback(grads)
+
+
+def test_factory(rng):
+    opt = setup_opt(rng)
+    assert isinstance(
+        make_rollback(RollbackStrategy.SNAPSHOT, opt), SnapshotRollback
+    )
+    assert isinstance(
+        make_rollback(RollbackStrategy.ALGEBRAIC, opt), AlgebraicRollback
+    )
+
+
+class TestLatencyModels:
+    def test_table3_shape(self):
+        rows = adam_latency_table()
+        assert [r["params_billion"] for r in rows] == [1, 2, 4, 8]
+        for row in rows:
+            assert row["grace_adam"] < row["cpu_adam"] < row["pt_cpu"]
+            assert row["speedup_vs_pt"] > 3.0
+            assert 1.25 <= row["speedup_vs_cpu_adam"] <= 1.5
+
+    def test_latency_linear_in_params(self):
+        t1 = adam_latency_seconds(int(1e9), "grace_adam")
+        t8 = adam_latency_seconds(int(8e9), "grace_adam")
+        assert t8 == pytest.approx(8 * t1, rel=1e-6)
+
+    @pytest.mark.parametrize("kernel", ["pt_cpu", "cpu_adam", "grace_adam"])
+    def test_within_20pct_of_paper_measurements(self, kernel):
+        model_rows = {r["params_billion"]: r for r in adam_latency_table()}
+        for paper in paper_table3_reference():
+            ours = model_rows[paper["params_billion"]][kernel]
+            assert ours == pytest.approx(paper[kernel], rel=0.20), (
+                kernel, paper["params_billion"]
+            )

@@ -1,0 +1,113 @@
+"""Tests for simulated collectives and data-parallel helpers."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import SimProcessGroup, average_gradients, shard_batch
+
+
+class TestSimProcessGroup:
+    def test_all_reduce_sums(self, rng):
+        group = SimProcessGroup(3)
+        bufs = [np.full(4, float(r), dtype=np.float32) for r in range(3)]
+        out = group.all_reduce(bufs)
+        for o in out:
+            np.testing.assert_allclose(o, 3.0)
+
+    def test_all_reduce_wrong_rank_count(self):
+        group = SimProcessGroup(2)
+        with pytest.raises(ValueError):
+            group.all_reduce([np.zeros(2)])
+
+    def test_reduce_scatter_chunks(self):
+        group = SimProcessGroup(2)
+        bufs = [np.arange(4, dtype=np.float32) for _ in range(2)]
+        out = group.reduce_scatter(bufs)
+        np.testing.assert_allclose(out[0], [0.0, 2.0])
+        np.testing.assert_allclose(out[1], [4.0, 6.0])
+
+    def test_reduce_scatter_indivisible_rejected(self):
+        group = SimProcessGroup(2)
+        with pytest.raises(ValueError):
+            group.reduce_scatter([np.zeros(3), np.zeros(3)])
+
+    def test_all_gather_concatenates_in_rank_order(self):
+        group = SimProcessGroup(3)
+        out = group.all_gather(
+            [np.full(2, r, dtype=np.float32) for r in range(3)]
+        )
+        np.testing.assert_allclose(out[0], [0, 0, 1, 1, 2, 2])
+
+    def test_reduce_scatter_then_all_gather_is_all_reduce(self, rng):
+        group = SimProcessGroup(4)
+        bufs = [rng.standard_normal(8).astype(np.float32) for _ in range(4)]
+        rs = group.reduce_scatter(bufs)
+        ag = group.all_gather(rs)
+        ar = group.all_reduce(bufs)
+        np.testing.assert_allclose(ag[0], ar[0], rtol=1e-6)
+
+    def test_all_to_all_is_transpose(self):
+        group = SimProcessGroup(2)
+        outbox = [
+            [np.array([0.0]), np.array([1.0])],
+            [np.array([10.0]), np.array([11.0])],
+        ]
+        inbox = group.all_to_all(outbox)
+        assert inbox[0][1][0] == 10.0  # receiver 0 got sender 1's chunk 0
+        assert inbox[1][0][0] == 1.0
+
+    def test_all_to_all_validates_outbox(self):
+        group = SimProcessGroup(2)
+        with pytest.raises(ValueError):
+            group.all_to_all([[np.zeros(1)], [np.zeros(1), np.zeros(1)]])
+
+    def test_broadcast(self):
+        group = SimProcessGroup(3)
+        out = group.broadcast(np.array([7.0]))
+        assert len(out) == 3
+        assert all(o[0] == 7.0 for o in out)
+        out[0][0] = 0.0  # copies, not views
+        assert out[1][0] == 7.0
+
+
+class TestDP:
+    def test_shard_batch_even(self, rng):
+        ids = rng.integers(0, 9, size=(8, 4))
+        tg = rng.integers(0, 9, size=(8, 4))
+        shards = shard_batch(ids, tg, 4)
+        assert len(shards) == 4
+        np.testing.assert_array_equal(shards[2][0], ids[4:6])
+
+    def test_shard_batch_indivisible_rejected(self, rng):
+        ids = rng.integers(0, 9, size=(6, 4))
+        with pytest.raises(ValueError):
+            shard_batch(ids, ids, 4)
+
+    def test_average_gradients(self, rng):
+        group = SimProcessGroup(2)
+        g1 = {"w": np.full(3, 2.0, dtype=np.float32)}
+        g2 = {"w": np.full(3, 4.0, dtype=np.float32)}
+        avg = average_gradients([g1, g2], group)
+        np.testing.assert_allclose(avg["w"], 3.0)
+
+    def test_average_gradients_key_mismatch(self):
+        group = SimProcessGroup(2)
+        with pytest.raises(ValueError):
+            average_gradients(
+                [{"a": np.zeros(1)}, {"b": np.zeros(1)}], group
+            )
+
+    def test_dp_equals_single_rank_large_batch(self, tiny_model, rng):
+        """Data parallelism invariant: averaging shard gradients equals
+        the gradient of the full batch."""
+        ids = rng.integers(0, 61, size=(4, 8))
+        targets = rng.integers(0, 61, size=(4, 8))
+        _, full = tiny_model.loss_and_grads(ids, targets)
+        group = SimProcessGroup(2)
+        shards = shard_batch(ids, targets, 2)
+        per_rank = [
+            tiny_model.loss_and_grads(i, t)[1] for i, t in shards
+        ]
+        avg = average_gradients(per_rank, group)
+        for k in full:
+            np.testing.assert_allclose(avg[k], full[k], atol=1e-5)

@@ -1,0 +1,92 @@
+"""Tests for Ulysses sequence parallelism: exact equivalence with
+single-rank attention (§4.7)."""
+
+import numpy as np
+import pytest
+
+from repro.numeric.attention import MultiHeadAttention
+from repro.parallel import SimProcessGroup, UlyssesAttention, all_to_all_4d
+
+
+def make_qkv(rng, b=2, s=8, h=16):
+    return rng.standard_normal((b, s, 3 * h)).astype(np.float32)
+
+
+def seq_shards(x, p):
+    s = x.shape[1]
+    return [x[:, r * s // p : (r + 1) * s // p] for r in range(p)]
+
+
+class TestAllToAll4D:
+    def test_roundtrip_identity(self, rng):
+        group = SimProcessGroup(2)
+        shards = [rng.standard_normal((1, 4, 3, 2)) for _ in range(2)]
+        heads = all_to_all_4d(shards, group, scatter_heads=True)
+        back = all_to_all_4d(heads, group, scatter_heads=False)
+        for a, b in zip(shards, back):
+            np.testing.assert_array_equal(a, b)
+
+    def test_head_scatter_shapes(self, rng):
+        group = SimProcessGroup(4)
+        shards = [rng.standard_normal((1, 8, 2, 5)) for _ in range(4)]
+        out = all_to_all_4d(shards, group, scatter_heads=True)
+        assert out[0].shape == (1, 2, 8, 5)
+
+    def test_indivisible_heads_rejected(self, rng):
+        group = SimProcessGroup(3)
+        shards = [rng.standard_normal((1, 4, 2, 5)) for _ in range(3)]
+        with pytest.raises(ValueError):
+            all_to_all_4d(shards, group, scatter_heads=True)
+
+    def test_indivisible_seq_rejected(self, rng):
+        group = SimProcessGroup(3)
+        shards = [rng.standard_normal((1, 3, 4, 5)) for _ in range(3)]
+        with pytest.raises(ValueError):
+            all_to_all_4d(shards, group, scatter_heads=False)
+
+
+class TestUlyssesAttention:
+    @pytest.mark.parametrize("p", [1, 2, 4])
+    def test_forward_matches_single_rank(self, rng, p):
+        qkv = make_qkv(rng)
+        ref, _ = MultiHeadAttention(4).forward(qkv)
+        ua = UlyssesAttention(4, SimProcessGroup(p))
+        outs, _ = ua.forward(seq_shards(qkv, p))
+        np.testing.assert_allclose(
+            np.concatenate(outs, axis=1), ref, atol=1e-6
+        )
+
+    @pytest.mark.parametrize("p", [2, 4])
+    def test_backward_matches_single_rank(self, rng, p):
+        qkv = make_qkv(rng)
+        attn = MultiHeadAttention(4)
+        ref_out, ref_cache = attn.forward(qkv)
+        dout = rng.standard_normal(ref_out.shape).astype(np.float32)
+        ref_dqkv = attn.backward(dout, ref_cache)
+
+        ua = UlyssesAttention(4, SimProcessGroup(p))
+        outs, caches = ua.forward(seq_shards(qkv, p))
+        douts = ua.backward(seq_shards(dout, p), caches)
+        np.testing.assert_allclose(
+            np.concatenate(douts, axis=1), ref_dqkv, atol=1e-6
+        )
+
+    def test_causality_preserved_across_shards(self, rng):
+        """Tokens in rank 0's shard must not attend to rank 1's tokens."""
+        qkv = make_qkv(rng)
+        ua = UlyssesAttention(4, SimProcessGroup(2))
+        outs1, _ = ua.forward(seq_shards(qkv, 2))
+        qkv2 = qkv.copy()
+        qkv2[:, 6] += 5.0  # perturb a token in the second shard
+        outs2, _ = ua.forward(seq_shards(qkv2, 2))
+        np.testing.assert_allclose(outs1[0], outs2[0], atol=1e-6)
+        assert not np.allclose(outs1[1], outs2[1])
+
+    def test_heads_must_divide_world(self):
+        with pytest.raises(ValueError):
+            UlyssesAttention(3, SimProcessGroup(2))
+
+    def test_shard_count_validated(self, rng):
+        ua = UlyssesAttention(4, SimProcessGroup(2))
+        with pytest.raises(ValueError):
+            ua.forward(seq_shards(make_qkv(rng), 4))

@@ -1,0 +1,148 @@
+"""Tests for ZeRO-style sharded optimization (§4.7)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.optim import AdamConfig, GraceAdam
+from repro.parallel import ZeroConfig, ZeroShardedAdam, partition_params
+
+
+def make_params(rng):
+    return {
+        "a": rng.standard_normal((3, 5)).astype(np.float32),
+        "b": rng.standard_normal(7).astype(np.float32),
+    }
+
+
+class TestPartition:
+    def test_layout_padding(self, rng):
+        params = make_params(rng)  # 22 elements
+        layout = partition_params(params, 4)
+        assert layout.unpadded == 22
+        assert layout.total == 24
+        assert layout.total % 4 == 0
+
+    def test_offsets_contiguous(self, rng):
+        layout = partition_params(make_params(rng), 2)
+        assert layout.offsets == (0, 15)
+
+
+class TestZeroShardedAdam:
+    def test_matches_unsharded_adam(self, rng):
+        """The core ZeRO invariant: sharding optimizer states across ranks
+        reproduces the unsharded update."""
+        cfg = AdamConfig(lr=1e-2, weight_decay=0.01)
+        base = make_params(rng)
+        ref = GraceAdam({k: v.copy() for k, v in base.items()}, cfg)
+        sharded = ZeroShardedAdam(
+            {k: v.copy() for k, v in base.items()}, world_size=4, config=cfg
+        )
+        for _ in range(4):
+            per_rank = [
+                {k: rng.standard_normal(v.shape).astype(np.float32)
+                 for k, v in base.items()}
+                for _ in range(4)
+            ]
+            # reference: same sum-then-divide averaging the group performs
+            avg = {}
+            for k in base:
+                total = per_rank[0][k].copy()
+                for g in per_rank[1:]:
+                    total = total + g[k]
+                avg[k] = (total / np.float32(4)).astype(np.float32)
+            ref.step(avg)
+            sharded.step(per_rank)
+        for k in base:
+            np.testing.assert_allclose(
+                ref.params[k], sharded.params[k], atol=1e-6
+            )
+
+    def test_world_size_one_degenerates(self, rng):
+        cfg = AdamConfig(lr=1e-2)
+        base = make_params(rng)
+        ref = GraceAdam({k: v.copy() for k, v in base.items()}, cfg)
+        sharded = ZeroShardedAdam(
+            {k: v.copy() for k, v in base.items()}, world_size=1, config=cfg
+        )
+        grads = {k: rng.standard_normal(v.shape).astype(np.float32)
+                 for k, v in base.items()}
+        ref.step(grads)
+        sharded.step([grads])
+        for k in base:
+            np.testing.assert_allclose(ref.params[k], sharded.params[k],
+                                       atol=1e-7)
+
+    def test_state_bytes_shrink_with_world(self, rng):
+        base = make_params(rng)
+        per_rank_4 = ZeroShardedAdam(
+            {k: v.copy() for k, v in base.items()}, 4
+        ).optimizer_state_bytes_per_rank()
+        per_rank_2 = ZeroShardedAdam(
+            {k: v.copy() for k, v in base.items()}, 2
+        ).optimizer_state_bytes_per_rank()
+        assert per_rank_4 == pytest.approx(per_rank_2 / 2, rel=0.2)
+
+    def test_owned_slices_disjoint_and_cover(self, rng):
+        opt = ZeroShardedAdam(make_params(rng), 4)
+        slices = [opt.owned_slice(r) for r in range(4)]
+        assert slices[0][0] == 0
+        for (a, b), (c, d) in zip(slices, slices[1:]):
+            assert b == c
+        assert slices[-1][1] == opt.layout.total
+        with pytest.raises(IndexError):
+            opt.owned_slice(4)
+
+    def test_step_count_advances(self, rng):
+        opt = ZeroShardedAdam(make_params(rng), 2)
+        grads = [{k: np.zeros_like(v) for k, v in opt.params.items()}
+                 for _ in range(2)]
+        assert opt.step_count == 0
+        opt.step(grads)
+        assert opt.step_count == 1
+
+    def test_wrong_rank_count_rejected(self, rng):
+        opt = ZeroShardedAdam(make_params(rng), 2)
+        with pytest.raises(ValueError):
+            opt.step([{k: np.zeros_like(v) for k, v in opt.params.items()}])
+
+    def test_no_average_mode(self, rng):
+        base = make_params(rng)
+        cfg = AdamConfig(lr=1e-2)
+        ref = GraceAdam({k: v.copy() for k, v in base.items()}, cfg)
+        opt = ZeroShardedAdam(
+            {k: v.copy() for k, v in base.items()}, 2, config=cfg,
+            zero=ZeroConfig(average_gradients=False),
+        )
+        g = {k: rng.standard_normal(v.shape).astype(np.float32)
+             for k, v in base.items()}
+        half = {k: (v / np.float32(2)).astype(np.float32) for k, v in g.items()}
+        ref.step({k: half[k] + half[k] for k in half})
+        opt.step([half, half])
+        for k in base:
+            np.testing.assert_allclose(ref.params[k], opt.params[k], atol=1e-6)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            ZeroConfig(stage=4)
+        with pytest.raises(ValueError):
+            ZeroShardedAdam({"a": np.zeros(2, np.float32)}, 0)
+
+    @given(world=st.integers(min_value=1, max_value=6))
+    @settings(max_examples=10, deadline=None)
+    def test_sharded_invariant_any_world_size(self, world):
+        rng = np.random.default_rng(world)
+        base = {"w": rng.standard_normal(13).astype(np.float32)}
+        cfg = AdamConfig(lr=5e-3)
+        ref = GraceAdam({"w": base["w"].copy()}, cfg)
+        opt = ZeroShardedAdam({"w": base["w"].copy()}, world, config=cfg)
+        per_rank = [
+            {"w": rng.standard_normal(13).astype(np.float32)}
+            for _ in range(world)
+        ]
+        total = per_rank[0]["w"].copy()
+        for g in per_rank[1:]:
+            total = total + g["w"]
+        ref.step({"w": (total / np.float32(world)).astype(np.float32)})
+        opt.step(per_rank)
+        np.testing.assert_allclose(ref.params["w"], opt.params["w"], atol=1e-6)

@@ -1,0 +1,120 @@
+"""Tests for compute timing and collective cost models."""
+
+import pytest
+
+from repro.hardware.registry import GRACE_CPU, HOPPER_H100, SLINGSHOT_11, GH200
+from repro.hardware.topology import ClusterTopology, SuperchipNode
+from repro.sim.collectives import CollectiveModel
+from repro.sim.compute import ComputeModel, gemm_efficiency
+
+
+class TestGemmEfficiency:
+    def test_monotone_in_tokens(self):
+        assert gemm_efficiency(8192, 4096) > gemm_efficiency(1024, 4096)
+
+    def test_monotone_in_hidden(self):
+        assert gemm_efficiency(4096, 8192) > gemm_efficiency(4096, 2048)
+
+    def test_bounded_below_one(self):
+        assert 0 < gemm_efficiency(10**9, 10**6) < 1
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            gemm_efficiency(0, 1024)
+
+
+class TestComputeModel:
+    def test_dense_time_positive_and_scales(self):
+        cm = ComputeModel(HOPPER_H100)
+        t1 = cm.dense_time(1e12, 8192, 4096)
+        t2 = cm.dense_time(2e12, 8192, 4096)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_5b_batch8_lands_near_paper_throughput(self):
+        """The calibration anchor: ~245 TFLOPS busy rate for the 5B shape."""
+        cm = ComputeModel(HOPPER_H100)
+        flops = 6 * 4.98e9 * 8192
+        t = cm.dense_time(flops, 8192, 3072)
+        assert 220 <= flops / t / 1e12 <= 270
+
+    def test_adam_kernel_ordering_matches_table3(self):
+        cm = ComputeModel(GRACE_CPU)
+        n = int(1e9)
+        grace = cm.adam_step_time(n, "grace_adam")
+        cpu = cm.adam_step_time(n, "cpu_adam")
+        pt = cm.adam_step_time(n, "pt_cpu")
+        assert grace < cpu < pt
+        assert pt / grace > 3.0          # Table 3: >3x over PT-CPU
+        assert 1.25 <= cpu / grace <= 1.5  # Table 3: ~1.36x over CPU-Adam
+
+    def test_adam_absolute_latency_near_paper(self):
+        """Table 3: GraceAdam 0.082 s at 1B parameters."""
+        cm = ComputeModel(GRACE_CPU)
+        assert cm.adam_step_time(int(1e9), "grace_adam") == pytest.approx(
+            0.082, rel=0.15
+        )
+
+    def test_gpu_adam_on_cpu_rejected(self):
+        with pytest.raises(ValueError):
+            ComputeModel(GRACE_CPU).adam_step_time(10, "gpu")
+
+    def test_cpu_kernel_on_gpu_rejected(self):
+        with pytest.raises(ValueError):
+            ComputeModel(HOPPER_H100).adam_step_time(10, "grace_adam")
+
+    def test_unknown_kernel(self):
+        with pytest.raises(KeyError):
+            ComputeModel(GRACE_CPU).adam_step_time(10, "sgd")
+
+    def test_attention_near_peak(self):
+        cm = ComputeModel(HOPPER_H100)
+        flops = 1e15
+        t = cm.attention_time(flops)
+        assert 0.6 <= flops / t / HOPPER_H100.peak_flops <= 0.9
+
+
+class TestCollectives:
+    @pytest.fixture
+    def cluster(self):
+        return ClusterTopology(SuperchipNode(GH200, 2), 4, SLINGSHOT_11)
+
+    def test_single_rank_is_free(self, cluster):
+        coll = CollectiveModel(cluster)
+        assert coll.all_reduce(1 << 30, participants=1) == 0.0
+
+    def test_allreduce_twice_reduce_scatter(self, cluster):
+        coll = CollectiveModel(cluster)
+        n = 1 << 30
+        ar = coll.all_reduce(n)
+        rs = coll.reduce_scatter(n)
+        assert ar == pytest.approx(2 * rs - 30e-6, rel=0.01)
+
+    def test_intranode_collective_faster(self, cluster):
+        coll = CollectiveModel(cluster)
+        n = 1 << 30
+        assert coll.all_reduce(n, participants=2) < coll.all_reduce(n)
+
+    def test_volume_scales_with_participants_factor(self, cluster):
+        coll = CollectiveModel(cluster)
+        n = 1 << 28
+        t8 = coll.all_gather(n, participants=8)
+        t4 = coll.all_gather(n, participants=4)
+        assert t8 > t4  # (p-1)/p grows with p
+
+    def test_all_to_all_at_least_all_gather_cost(self, cluster):
+        """All-to-all moves the same (p-1)/p volume but cannot use the
+        hierarchical reduction trick — it is never cheaper."""
+        coll = CollectiveModel(cluster)
+        n = 1 << 28
+        assert coll.all_to_all(n) >= coll.all_gather(n)
+
+    def test_hierarchical_beats_flat_across_nodes(self, cluster):
+        hier = CollectiveModel(cluster)
+        flat = CollectiveModel(cluster, hierarchical=False)
+        n = 1 << 30
+        assert hier.reduce_scatter(n) < flat.reduce_scatter(n)
+        assert hier.all_reduce(n) < flat.all_reduce(n)
+        # intra-node collectives are identical either way
+        assert hier.all_reduce(n, participants=2) == pytest.approx(
+            flat.all_reduce(n, participants=2)
+        )

@@ -1,0 +1,104 @@
+"""Tests for the discrete-event schedule simulator."""
+
+import pytest
+
+from repro.sim.engine import ScheduleSimulator, Task, chain
+
+
+def make_sim():
+    return ScheduleSimulator(["gpu", "cpu", "link"])
+
+
+def test_serial_tasks_on_one_resource():
+    sim = make_sim()
+    a = Task("a", "gpu", 1.0)
+    b = Task("b", "gpu", 2.0)
+    sim.run([a, b])
+    assert a.start == 0.0 and a.finish == 1.0
+    assert b.start == 1.0 and b.finish == 3.0
+
+
+def test_independent_resources_run_in_parallel():
+    sim = make_sim()
+    a = Task("a", "gpu", 5.0)
+    b = Task("b", "cpu", 3.0)
+    trace = sim.run([a, b])
+    assert b.start == 0.0
+    assert trace.makespan == 5.0
+
+
+def test_dependency_delays_start():
+    sim = make_sim()
+    a = Task("a", "gpu", 2.0)
+    b = Task("b", "cpu", 1.0, deps=(a,))
+    sim.run([a, b])
+    assert b.start == 2.0
+
+
+def test_pipeline_overlap():
+    """Producer chunks on gpu, consumer on cpu: classic overlap pattern."""
+    sim = make_sim()
+    producers = [Task(f"p{i}", "gpu", 1.0) for i in range(4)]
+    chain(producers)
+    consumers = [
+        Task(f"c{i}", "cpu", 1.0, deps=(producers[i],)) for i in range(4)
+    ]
+    trace = sim.run(producers + consumers)
+    # Consumers trail producers by one chunk: makespan 5, not 8.
+    assert trace.makespan == 5.0
+
+
+def test_topological_order_enforced():
+    sim = make_sim()
+    a = Task("a", "gpu", 1.0)
+    b = Task("b", "gpu", 1.0, deps=(a,))
+    with pytest.raises(ValueError, match="topologically"):
+        sim.run([b, a])
+
+
+def test_duplicate_task_rejected():
+    sim = make_sim()
+    a = Task("a", "gpu", 1.0)
+    with pytest.raises(ValueError, match="twice"):
+        sim.run([a, a])
+
+
+def test_unknown_resource_rejected():
+    sim = make_sim()
+    with pytest.raises(KeyError, match="unregistered"):
+        sim.run([Task("a", "tpu", 1.0)])
+
+
+def test_negative_duration_rejected():
+    with pytest.raises(ValueError):
+        Task("a", "gpu", -1.0)
+
+
+def test_earliest_start_respected():
+    sim = make_sim()
+    a = Task("a", "gpu", 1.0, earliest_start=5.0)
+    sim.run([a])
+    assert a.start == 5.0
+
+
+def test_reset_clears_occupancy():
+    sim = make_sim()
+    sim.run([Task("a", "gpu", 3.0)])
+    sim.reset()
+    b = Task("b", "gpu", 1.0)
+    sim.run([b])
+    assert b.start == 0.0
+
+
+def test_chain_helper_serializes():
+    tasks = [Task(f"t{i}", "gpu", 1.0) for i in range(3)]
+    chain(tasks)
+    assert tasks[0] in tasks[1].deps
+    assert tasks[1] in tasks[2].deps
+
+
+def test_zero_duration_task():
+    sim = make_sim()
+    a = Task("a", "gpu", 0.0)
+    sim.run([a])
+    assert a.finish == 0.0

@@ -1,0 +1,100 @@
+"""Property-based tests of the schedule simulator's core invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.engine import ScheduleSimulator, Task
+
+RESOURCES = ["r0", "r1", "r2"]
+
+
+@st.composite
+def random_dags(draw):
+    """Random topologically ordered task lists over three resources."""
+    n = draw(st.integers(min_value=1, max_value=25))
+    durations = draw(
+        st.lists(st.floats(min_value=0.0, max_value=10.0),
+                 min_size=n, max_size=n)
+    )
+    resources = draw(
+        st.lists(st.sampled_from(RESOURCES), min_size=n, max_size=n)
+    )
+    tasks = []
+    for i in range(n):
+        n_deps = draw(st.integers(min_value=0, max_value=min(i, 3)))
+        dep_idx = draw(
+            st.lists(st.integers(min_value=0, max_value=i - 1),
+                     min_size=n_deps, max_size=n_deps, unique=True)
+        ) if i else []
+        tasks.append(
+            Task(f"t{i}", resources[i], durations[i],
+                 deps=tuple(tasks[j] for j in dep_idx))
+        )
+    return tasks
+
+
+@given(random_dags())
+@settings(max_examples=100, deadline=None)
+def test_dependencies_respected(tasks):
+    ScheduleSimulator(RESOURCES).run(tasks)
+    for task in tasks:
+        for dep in task.deps:
+            assert task.start >= dep.finish
+
+
+@given(random_dags())
+@settings(max_examples=100, deadline=None)
+def test_no_overlap_on_any_resource(tasks):
+    trace = ScheduleSimulator(RESOURCES).run(tasks)
+    for resource in RESOURCES:
+        intervals = trace.intervals_on(resource)
+        for a, b in zip(intervals, intervals[1:]):
+            assert b.start >= a.finish
+
+
+@given(random_dags())
+@settings(max_examples=100, deadline=None)
+def test_makespan_bounds(tasks):
+    """Makespan is at least the busiest resource and the longest dependency
+    chain, and at most the serial sum of all work."""
+    trace = ScheduleSimulator(RESOURCES).run(tasks)
+    total = sum(t.duration for t in tasks)
+    per_resource = {
+        r: sum(t.duration for t in tasks if t.resource == r)
+        for r in RESOURCES
+    }
+
+    def chain_length(task):
+        if not task.deps:
+            return task.duration
+        return task.duration + max(chain_length(d) for d in task.deps)
+
+    longest_chain = max(chain_length(t) for t in tasks)
+    assert trace.makespan <= total + 1e-9
+    assert trace.makespan >= max(per_resource.values()) - 1e-9
+    assert trace.makespan >= longest_chain - 1e-9
+
+
+@given(random_dags())
+@settings(max_examples=50, deadline=None)
+def test_determinism(tasks):
+    """Two runs of the same structure produce identical timings."""
+    trace1 = ScheduleSimulator(RESOURCES).run(tasks)
+    starts1 = [t.start for t in tasks]
+    for t in tasks:
+        t.start = t.finish = None
+    trace2 = ScheduleSimulator(RESOURCES).run(tasks)
+    starts2 = [t.start for t in tasks]
+    assert starts1 == starts2
+    assert trace1.makespan == trace2.makespan
+
+
+@given(random_dags())
+@settings(max_examples=50, deadline=None)
+def test_busy_time_equals_work(tasks):
+    trace = ScheduleSimulator(RESOURCES).run(tasks)
+    for resource in RESOURCES:
+        work = sum(t.duration for t in tasks if t.resource == resource)
+        assert trace.busy_time(resource) == np.float64(work) or (
+            abs(trace.busy_time(resource) - work) < 1e-9
+        )

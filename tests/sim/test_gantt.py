@@ -1,0 +1,71 @@
+"""Tests for the ASCII timeline renderer."""
+
+import pytest
+
+from repro.sim.engine import ScheduleSimulator, Task
+from repro.sim.gantt import category_glyph, render_timeline, utilization_summary
+from repro.sim.trace import Interval, Trace
+
+
+def small_trace():
+    trace = Trace()
+    trace.record(Interval("gpu", "fwd", "compute", 0.0, 4.0))
+    trace.record(Interval("gpu", "bwd", "compute", 4.0, 8.0))
+    trace.record(Interval("cpu", "step", "optimizer", 8.0, 10.0))
+    return trace
+
+
+def test_rows_and_width():
+    out = render_timeline(small_trace(), width=20)
+    lines = out.splitlines()
+    assert len(lines) == 3  # header + 2 resources
+    for line in lines[1:]:
+        body = line.split("|")[1]
+        assert len(body) == 20
+
+
+def test_glyphs_match_categories():
+    out = render_timeline(small_trace(), width=10)
+    gpu_line = next(l for l in out.splitlines() if l.strip().startswith("gpu"))
+    cpu_line = next(l for l in out.splitlines() if l.strip().startswith("cpu"))
+    assert "#" in gpu_line and "U" not in gpu_line
+    assert "U" in cpu_line and "#" not in cpu_line
+    # gpu idles (.) while the cpu steps
+    assert gpu_line.split("|")[1].endswith("..")
+
+
+def test_window_selection():
+    out = render_timeline(small_trace(), width=10, window=(8.0, 10.0))
+    cpu_line = next(l for l in out.splitlines() if l.strip().startswith("cpu"))
+    assert cpu_line.split("|")[1] == "U" * 10
+
+
+def test_resource_subset():
+    out = render_timeline(small_trace(), resources=["cpu"], width=10)
+    assert "gpu" not in out
+
+
+def test_invalid_args():
+    with pytest.raises(ValueError):
+        render_timeline(small_trace(), width=5)
+    with pytest.raises(ValueError):
+        render_timeline(small_trace(), window=(2.0, 2.0))
+
+
+def test_unknown_category_glyph():
+    assert category_glyph("mystery") == "?"
+
+
+def test_utilization_summary():
+    summary = utilization_summary(small_trace())
+    assert summary["gpu"] == pytest.approx(0.8)
+    assert summary["cpu"] == pytest.approx(0.2)
+
+
+def test_renders_simulated_schedule():
+    sim = ScheduleSimulator(["gpu", "cpu"])
+    a = Task("a", "gpu", 1.0)
+    b = Task("b", "cpu", 1.0, deps=(a,), category="optimizer")
+    trace = sim.run([a, b])
+    out = render_timeline(trace, width=12)
+    assert "|" in out and "#" in out and "U" in out

@@ -1,0 +1,65 @@
+"""Tests for trace utilization/idle accounting (the Fig. 4/15 machinery)."""
+
+import pytest
+
+from repro.sim.engine import ScheduleSimulator, Task
+from repro.sim.trace import Interval, Trace
+
+
+def build_trace():
+    trace = Trace()
+    trace.record(Interval("gpu", "a", "compute", 0.0, 2.0))
+    trace.record(Interval("gpu", "b", "compute", 3.0, 5.0))
+    trace.record(Interval("cpu", "c", "optimizer", 1.0, 4.0))
+    return trace
+
+
+def test_makespan():
+    assert build_trace().makespan == 5.0
+
+
+def test_busy_time_full_window():
+    trace = build_trace()
+    assert trace.busy_time("gpu") == 4.0
+    assert trace.busy_time("cpu") == 3.0
+
+
+def test_busy_time_clipped_window():
+    trace = build_trace()
+    assert trace.busy_time("gpu", (1.0, 4.0)) == 2.0
+
+
+def test_utilization_and_idle():
+    trace = build_trace()
+    assert trace.utilization("gpu") == pytest.approx(0.8)
+    assert trace.idle_fraction("gpu") == pytest.approx(0.2)
+
+
+def test_idle_gaps():
+    gaps = build_trace().idle_gaps("gpu")
+    assert gaps == [(2.0, 3.0)]
+
+
+def test_time_by_category():
+    trace = build_trace()
+    assert trace.time_by_category("cpu") == {"optimizer": 3.0}
+
+
+def test_empty_window_zero_utilization():
+    trace = build_trace()
+    assert trace.utilization("gpu", (2.0, 2.0)) == 0.0
+
+
+def test_resources_listing():
+    assert build_trace().resources() == ["cpu", "gpu"]
+
+
+def test_sim_trace_idle_matches_schedule():
+    """ZeRO-Offload-like pattern: GPU idle while CPU steps (Fig. 3)."""
+    sim = ScheduleSimulator(["gpu", "cpu"])
+    bwd = Task("bwd", "gpu", 6.0)
+    step = Task("step", "cpu", 4.0, deps=(bwd,))
+    fwd = Task("fwd", "gpu", 6.0, deps=(step,))
+    trace = sim.run([bwd, step, fwd])
+    # GPU busy 12 of 16 seconds -> 25% idle.
+    assert trace.idle_fraction("gpu") == pytest.approx(0.25)

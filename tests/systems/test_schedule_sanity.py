@@ -1,0 +1,109 @@
+"""Cross-system schedule sanity: every registered performance model must
+produce valid, physically sensible schedules."""
+
+import pytest
+
+from repro.models.config import MODEL_CONFIG_TABLE
+from repro.sim.engine import ScheduleSimulator
+from repro.systems import (
+    ExecutionChoice,
+    RunSetting,
+    build_all_systems,
+)
+from repro.systems.base import RESOURCES
+from repro.training.cluster import gh200_cluster
+
+SINGLE_CHIP = [
+    "ddp", "zero_offload", "zero_infinity", "zero_infinity_nvme",
+    "fsdp_offload", "superoffload",
+]
+MULTI_CHIP = [
+    "megatron", "zero2", "zero3", "zero_offload", "superoffload",
+    "ulysses", "superoffload_ulysses",
+]
+
+
+@pytest.fixture(scope="module")
+def systems():
+    return build_all_systems()
+
+
+@pytest.mark.parametrize("name", SINGLE_CHIP)
+def test_single_chip_schedule_is_valid(systems, name):
+    setting = RunSetting(MODEL_CONFIG_TABLE[3], gh200_cluster(1),
+                        global_batch=8)
+    choice = ExecutionChoice(4, 2, checkpointing=False)
+    tasks = systems[name].build_schedule(setting, choice, 3)
+    trace = ScheduleSimulator(RESOURCES).run(tasks)  # raises on bad DAGs
+    assert trace.makespan > 0
+    # GPU compute exists in every iteration
+    for it in range(3):
+        assert any(t.name.startswith(f"it{it}.") and t.resource == "gpu"
+                   for t in tasks), (name, it)
+
+
+@pytest.mark.parametrize("name", MULTI_CHIP)
+def test_multi_chip_schedule_is_valid(systems, name):
+    setting = RunSetting(MODEL_CONFIG_TABLE[5], gh200_cluster(4),
+                        global_batch=16)
+    choice = ExecutionChoice(2, 2, checkpointing=True)
+    tasks = systems[name].build_schedule(setting, choice, 3)
+    trace = ScheduleSimulator(RESOURCES).run(tasks)
+    assert trace.makespan > 0
+    # multi-rank systems must touch the network
+    if name not in ("superoffload_ulysses",):
+        assert trace.busy_time("net") > 0, name
+
+
+@pytest.mark.parametrize("name", SINGLE_CHIP)
+def test_iteration_time_scales_with_model(systems, name):
+    """Per-iteration time must grow with model size at a fixed choice."""
+    system = systems[name]
+    times = []
+    for billions in (1, 3):
+        setting = RunSetting(MODEL_CONFIG_TABLE[billions], gh200_cluster(1),
+                            global_batch=8)
+        choice = ExecutionChoice(2, 4, checkpointing=True)
+        times.append(system.estimate(setting, choice).iter_time)
+    assert times[1] > times[0], name
+
+
+@pytest.mark.parametrize("name", SINGLE_CHIP + ["megatron", "zero2", "zero3"])
+def test_feasibility_monotone_in_model_size(systems, name):
+    """If a system fits a larger model, it fits every smaller one."""
+    system = systems[name]
+    cluster = gh200_cluster(1)
+    feasible = []
+    for billions in sorted(MODEL_CONFIG_TABLE):
+        setting = RunSetting(MODEL_CONFIG_TABLE[billions], cluster,
+                            global_batch=1)
+        choice = ExecutionChoice(1, 1, checkpointing=True)
+        feasible.append(system.feasible(setting, choice))
+    # once infeasible, always infeasible as size grows
+    seen_false = False
+    for ok in feasible:
+        if not ok:
+            seen_false = True
+        assert not (seen_false and ok), name
+
+
+def test_superoffload_never_loses_single_chip(systems):
+    """The Fig. 10 headline as a cross-registry sweep at one extra size."""
+    setting = RunSetting(MODEL_CONFIG_TABLE[6], gh200_cluster(1),
+                        global_batch=8)
+    so = systems["superoffload"].best_estimate(setting).tflops_per_gpu
+    for name in ("zero_offload", "zero_infinity", "fsdp_offload"):
+        assert so > systems[name].best_estimate(setting).tflops_per_gpu
+
+
+def test_gpu_idle_ordering_across_offloaders(systems):
+    """Idle time ordering: SuperOffload < ZeRO-Offload < ZeRO-Infinity."""
+    setting = RunSetting(MODEL_CONFIG_TABLE[5], gh200_cluster(1),
+                        global_batch=8)
+    idles = {
+        name: systems[name].best_estimate(setting).gpu_idle_fraction()
+        for name in ("superoffload", "zero_offload", "zero_infinity")
+    }
+    assert idles["superoffload"] < idles["zero_offload"] < (
+        idles["zero_infinity"]
+    )

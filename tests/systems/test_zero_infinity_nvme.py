@@ -1,0 +1,54 @@
+"""Tests for the ZeRO-Infinity NVMe extension."""
+
+import pytest
+
+from repro.models.config import MODEL_CONFIG_TABLE
+from repro.systems import (
+    ExecutionChoice,
+    RunSetting,
+    ZeROInfinity,
+    get_system,
+)
+from repro.training.cluster import gh200_cluster
+
+
+def test_registered_variant():
+    assert get_system("zero_infinity_nvme").nvme
+    assert not get_system("zero_infinity").nvme
+
+
+def test_host_footprint_shrinks_with_nvme():
+    setting = RunSetting(MODEL_CONFIG_TABLE[25], gh200_cluster(1),
+                        global_batch=8)
+    choice = ExecutionChoice(1, 8, True)
+    cpu_only = ZeROInfinity().cpu_state_bytes(setting, choice)
+    with_nvme = ZeROInfinity(nvme=True).cpu_state_bytes(setting, choice)
+    assert with_nvme == pytest.approx(cpu_only / 3)
+    assert ZeROInfinity(nvme=True).nvme_state_bytes(setting) == (
+        12 * setting.psi
+    )
+
+
+def test_nvme_extends_model_scale():
+    cluster = gh200_cluster(1)
+    assert ZeROInfinity(nvme=True).max_model_billions(cluster) >= (
+        2 * ZeROInfinity().max_model_billions(cluster)
+    )
+
+
+def test_nvme_capacity_bounds_scale():
+    """The drive is finite too: the per-chip state must fit it."""
+    from repro.hardware.registry import NVME_CAPACITY
+
+    cluster = gh200_cluster(1)
+    best = ZeROInfinity(nvme=True).max_model_billions(cluster)
+    setting = RunSetting(MODEL_CONFIG_TABLE[best], cluster, global_batch=1)
+    assert ZeROInfinity(nvme=True).nvme_state_bytes(setting) <= NVME_CAPACITY
+
+
+def test_nvme_throughput_penalty():
+    setting = RunSetting(MODEL_CONFIG_TABLE[5], gh200_cluster(1),
+                        global_batch=8)
+    cpu_est = ZeROInfinity().best_estimate(setting)
+    nvme_est = ZeROInfinity(nvme=True).best_estimate(setting)
+    assert nvme_est.tflops_per_gpu < 0.5 * cpu_est.tflops_per_gpu

@@ -1,0 +1,34 @@
+"""Tests for the dtype registry."""
+
+import numpy as np
+import pytest
+
+from repro.tensors import FP16, FP32, FP64, BF16, INT8, INT32, dtype_by_name
+
+
+def test_itemsizes_match_numpy():
+    assert FP32.itemsize == np.dtype(np.float32).itemsize
+    assert FP16.itemsize == np.dtype(np.float16).itemsize
+    assert FP64.itemsize == 8
+    assert INT32.itemsize == 4
+    assert INT8.itemsize == 1
+
+
+def test_bf16_is_two_bytes_but_stored_as_fp32():
+    assert BF16.itemsize == 2
+    assert BF16.numpy == np.dtype(np.float32)
+
+
+def test_lookup_by_name_roundtrip():
+    for dt in (FP16, FP32, FP64, BF16, INT8, INT32):
+        assert dtype_by_name(dt.name) is dt
+
+
+def test_lookup_unknown_name_raises():
+    with pytest.raises(KeyError, match="unknown dtype"):
+        dtype_by_name("fp8")
+
+
+def test_float_flags():
+    assert FP16.is_float and FP32.is_float and BF16.is_float
+    assert not INT8.is_float and not INT32.is_float

@@ -1,0 +1,115 @@
+"""Tests for device memory pools and pinned buffers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tensors import (
+    DeviceOutOfMemoryError,
+    MemoryPool,
+    PinnedBufferPool,
+    PinnedPoolExhaustedError,
+)
+
+
+def test_allocate_and_free_roundtrip():
+    pool = MemoryPool("gpu:0", 1000)
+    a = pool.allocate(400, "weights")
+    assert pool.used == 400
+    assert pool.free_bytes == 600
+    a.free()
+    assert pool.used == 0
+
+
+def test_oom_raises_with_details():
+    pool = MemoryPool("gpu:0", 100)
+    pool.allocate(80)
+    with pytest.raises(DeviceOutOfMemoryError) as exc:
+        pool.allocate(30)
+    assert exc.value.requested == 30
+    assert exc.value.free == 20
+    assert exc.value.capacity == 100
+    assert "gpu:0" in str(exc.value)
+
+
+def test_reserved_counts_against_capacity():
+    pool = MemoryPool("gpu:0", 100, reserved=40)
+    assert pool.free_bytes == 60
+    with pytest.raises(DeviceOutOfMemoryError):
+        pool.allocate(61)
+
+
+def test_peak_tracks_high_water_mark():
+    pool = MemoryPool("gpu:0", 100)
+    a = pool.allocate(70)
+    a.free()
+    pool.allocate(10)
+    assert pool.peak == 70
+    pool.reset_peak()
+    assert pool.peak == 10
+
+
+def test_double_free_rejected():
+    pool = MemoryPool("gpu:0", 100)
+    a = pool.allocate(10)
+    a.free()
+    with pytest.raises(KeyError):
+        a.free()
+
+
+def test_zero_byte_allocation_allowed():
+    pool = MemoryPool("gpu:0", 10)
+    a = pool.allocate(0)
+    assert pool.used == 0
+    a.free()
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        MemoryPool("x", -1)
+    with pytest.raises(ValueError):
+        MemoryPool("x", 10, reserved=20)
+
+
+def test_can_fit():
+    pool = MemoryPool("gpu:0", 100)
+    assert pool.can_fit(100)
+    assert not pool.can_fit(101)
+    assert not pool.can_fit(-1)
+
+
+@given(st.lists(st.integers(min_value=1, max_value=50), min_size=1, max_size=20))
+def test_used_never_exceeds_capacity(sizes):
+    pool = MemoryPool("gpu:0", 200)
+    live = []
+    for s in sizes:
+        if pool.can_fit(s):
+            live.append(pool.allocate(s))
+        assert 0 <= pool.used <= pool.capacity
+    for a in live:
+        a.free()
+    assert pool.used == 0
+
+
+def test_pinned_pool_fallback_and_exhaustion():
+    pinned = PinnedBufferPool(100)
+    a = pinned.reserve(60)
+    assert pinned.try_reserve(50) is None  # falls back to pageable
+    with pytest.raises(PinnedPoolExhaustedError):
+        pinned.reserve(50)
+    pinned.release(a)
+    assert pinned.free_bytes == 100
+
+
+def test_pinned_pool_mirrors_host_pool():
+    host = MemoryPool("cpu:0", 1000)
+    pinned = PinnedBufferPool(500, host_pool=host)
+    a = pinned.reserve(200)
+    assert host.used == 200
+    pinned.release(a)
+    assert host.used == 0
+
+
+def test_pinned_pool_respects_host_capacity():
+    host = MemoryPool("cpu:0", 100)
+    pinned = PinnedBufferPool(500, host_pool=host)
+    assert pinned.try_reserve(200) is None  # host can't back it

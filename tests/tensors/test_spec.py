@@ -1,0 +1,53 @@
+"""Tests for TensorSpec."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tensors import FP16, FP32, TensorSpec
+
+
+def test_numel_and_nbytes():
+    spec = TensorSpec("w", (4, 8, 2), FP32)
+    assert spec.numel == 64
+    assert spec.nbytes == 256
+
+
+def test_scalar_shape():
+    spec = TensorSpec("s", (), FP16)
+    assert spec.numel == 1
+    assert spec.nbytes == 2
+
+
+def test_empty_name_rejected():
+    with pytest.raises(ValueError):
+        TensorSpec("", (2,), FP32)
+
+
+def test_negative_dim_rejected():
+    with pytest.raises(ValueError):
+        TensorSpec("w", (2, -1), FP32)
+
+
+def test_to_gpu_clears_pinned():
+    spec = TensorSpec("w", (2,), FP32, device="cpu:0", pinned=True)
+    moved = spec.to("gpu:0")
+    assert moved.device == "gpu:0"
+    assert not moved.pinned
+    assert moved.is_on_gpu()
+
+
+def test_to_cpu_preserves_pinned_unless_overridden():
+    spec = TensorSpec("w", (2,), FP32, device="cpu:0", pinned=True)
+    assert spec.to("cpu:1").pinned
+    assert not spec.to("cpu:1", pinned=False).pinned
+
+
+def test_cast_halves_bytes_fp32_to_fp16():
+    spec = TensorSpec("w", (10,), FP32)
+    assert spec.cast(FP16).nbytes == spec.nbytes // 2
+
+
+@given(st.lists(st.integers(min_value=0, max_value=64), max_size=4))
+def test_nbytes_is_numel_times_itemsize(dims):
+    spec = TensorSpec("w", tuple(dims), FP32)
+    assert spec.nbytes == spec.numel * 4

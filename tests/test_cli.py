@@ -1,0 +1,67 @@
+"""Tests for the artifact-regeneration CLI."""
+
+import pytest
+
+from repro.cli import COMMANDS, build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("fig10", "table2", "fig13"):
+        assert name in out
+
+
+def test_every_artifact_registered():
+    for artifact in ("table1", "fig4", "fig6", "fig7", "fig9", "fig10",
+                     "fig11", "fig12", "fig13", "table2", "table3", "fig14",
+                     "fig15", "timeline"):
+        assert artifact in COMMANDS
+
+
+def test_unknown_artifact_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["fig99"])
+
+
+def test_table1_output(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "GH" in out and "330" in out
+
+
+def test_fig6_output(capsys):
+    assert main(["fig6"]) == 0
+    out = capsys.readouterr().out
+    assert "450 GB/s" in out
+
+
+def test_fig7_output(capsys):
+    assert main(["fig7"]) == 0
+    assert "GB/s" in capsys.readouterr().out
+
+
+def test_table3_output(capsys):
+    assert main(["table3"]) == 0
+    out = capsys.readouterr().out
+    assert "GraceAdam" in out and "0.080/0.082" in out
+
+
+def test_fig10_quick(capsys):
+    assert main(["fig10", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "superoffload" in out
+    assert "OOM" in out  # DDP dies at 5B
+
+
+def test_fig12_single_chip_count(capsys):
+    assert main(["fig12", "--chips", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "1024K" in out  # the million-token headline
+
+
+def test_timeline_output(capsys):
+    assert main(["timeline"]) == 0
+    out = capsys.readouterr().out
+    assert "ZeRO-Offload" in out and "SuperOffload" in out
+    assert "|" in out and "#" in out

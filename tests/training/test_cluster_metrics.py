@@ -1,0 +1,43 @@
+"""Tests for cluster construction and throughput metrics."""
+
+import pytest
+
+from repro.hardware.registry import HOPPER_H100
+from repro.models.config import MODEL_CONFIG_TABLE
+from repro.training import gh200_cluster, mfu, tflops
+
+
+def test_single_superchip_cluster():
+    cluster = gh200_cluster(1)
+    assert cluster.world_size == 1
+    # single-chip testbed carries the 480 GB host memory (§5.1)
+    assert cluster.node.chip.cpu.mem_capacity == int(480e9)
+
+
+def test_nvl2_pairs():
+    cluster = gh200_cluster(8)
+    assert cluster.world_size == 8
+    assert cluster.n_nodes == 4
+    assert cluster.node.n_superchips == 2
+    assert cluster.node.chip.cpu.mem_capacity == int(240e9)
+
+
+def test_odd_counts_rejected():
+    with pytest.raises(ValueError):
+        gh200_cluster(3)
+    with pytest.raises(ValueError):
+        gh200_cluster(0)
+
+
+def test_tflops_accounting():
+    cfg = MODEL_CONFIG_TABLE[1]
+    value = tflops(cfg, tokens_per_gpu=8192, seconds=1.0)
+    assert value > 0
+    assert tflops(cfg, 8192, 2.0) == pytest.approx(value / 2)
+    with pytest.raises(ValueError):
+        tflops(cfg, 8192, 0.0)
+
+
+def test_mfu_against_peak():
+    assert mfu(990.0, HOPPER_H100) == pytest.approx(1.0)
+    assert mfu(495.0, HOPPER_H100) == pytest.approx(0.5)
