@@ -28,6 +28,7 @@ __all__ = [
     "reporting",
     "sim",
     "systems",
+    "telemetry",
     "tensors",
     "training",
 ]

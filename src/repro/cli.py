@@ -6,7 +6,8 @@ Usage::
     python -m repro fig10                # single-superchip throughput
     python -m repro table2               # the ablation breakdown
     python -m repro fig12 --chips 8      # Ulysses sequence lengths
-    python -m repro all                  # everything (slow)
+    python -m repro trace --out /tmp/t   # telemetry: trace.json + events.jsonl
+    python -m repro all                  # everything (slow; skips 'trace')
 
 Every command prints the same table its benchmark harness asserts on; the
 heavier sweeps accept ``--quick`` to trim the model-size grid.
@@ -265,6 +266,81 @@ def _cmd_fig15(args: argparse.Namespace) -> None:
     )
 
 
+def _cmd_trace(args: argparse.Namespace) -> None:
+    import json
+    from pathlib import Path
+
+    from repro.models.config import MODEL_CONFIG_TABLE
+    from repro.numeric.transformer import TransformerParams
+    from repro.systems import RunSetting, SuperOffloadSystem
+    from repro.telemetry import SUMMARY_HEADERS, Telemetry
+    from repro.telemetry.export import (
+        validate_chrome_trace,
+        write_chrome_trace,
+        write_events_jsonl,
+    )
+    from repro.training import (
+        DataParallelTrainer,
+        InstabilityInjector,
+        STVTrainer,
+    )
+    from repro.training.cluster import gh200_cluster
+
+    telemetry = Telemetry()
+    iters = 8 if args.quick else 32
+
+    # Live half 1: the STV engine under injected instability, so the trace
+    # contains fwd_bwd/cast/optim/validate *and* rollback spans.
+    trainer = STVTrainer(
+        batch=4,
+        injector=InstabilityInjector(
+            warmup_iters=max(4, iters // 2), spike_probability=0.6,
+            spike_scale=80.0, overflow_probability=0.4, seed=0,
+        ),
+        seed=1,
+        telemetry=telemetry,
+    )
+    trainer.run(iters)
+
+    # Live half 2: a short ZeRO data-parallel run for the collective
+    # call/byte counters.
+    dp = DataParallelTrainer(
+        TransformerParams(vocab=61, max_seq=16, hidden=24, n_layers=2,
+                          n_heads=4),
+        world_size=2,
+        clip_norm=1.0,
+        telemetry=telemetry,
+    )
+    dp.train(2 if args.quick else 4, batch=4)
+
+    # Simulated half: the Fig. 15 steady-state timeline on its own pid.
+    est = SuperOffloadSystem().best_estimate(
+        RunSetting(MODEL_CONFIG_TABLE[5], gh200_cluster(1), global_batch=8)
+    )
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    trace_path = out / "trace.json"
+    events_path = out / "events.jsonl"
+    document = write_chrome_trace(
+        trace_path,
+        tracer=telemetry.tracer,
+        sim_traces={"superoffload-sim": est.trace},
+    )
+    validate_chrome_trace(json.loads(trace_path.read_text()))
+    n_lines = write_events_jsonl(
+        events_path, telemetry.tracer, telemetry.metrics
+    )
+    print_table(
+        "repro trace — telemetry metrics summary",
+        list(SUMMARY_HEADERS),
+        telemetry.metrics.summary_rows(),
+    )
+    print(f"\nwrote {trace_path} ({len(document['traceEvents'])} events; "
+          f"open at https://ui.perfetto.dev) and {events_path} "
+          f"({n_lines} lines)")
+
+
 def _cmd_timeline(args: argparse.Namespace) -> None:
     from repro.models.config import MODEL_CONFIG_TABLE
     from repro.sim.gantt import render_timeline
@@ -295,7 +371,11 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "fig14": _cmd_fig14,
     "fig15": _cmd_fig15,
     "timeline": _cmd_timeline,
+    "trace": _cmd_trace,
 }
+
+#: Commands that write files; excluded from ``repro all``.
+_FILE_WRITING = {"trace"}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -317,6 +397,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--chips", type=int, default=None,
         help="restrict fig12 to one superchip count",
     )
+    parser.add_argument(
+        "--out", default=".",
+        help="output directory for 'trace' (trace.json + events.jsonl)",
+    )
     return parser
 
 
@@ -326,7 +410,11 @@ def main(argv: List[str] | None = None) -> int:
     if args.artifact == "list":
         print("available artifacts:", ", ".join(sorted(COMMANDS)), "| all")
         return 0
-    names = sorted(COMMANDS) if args.artifact == "all" else [args.artifact]
+    names = (
+        sorted(set(COMMANDS) - _FILE_WRITING)
+        if args.artifact == "all"
+        else [args.artifact]
+    )
     for name in names:
         COMMANDS[name](args)
     return 0

@@ -24,6 +24,7 @@ from repro.optim.adam import AdamConfig
 from repro.optim.implementations import AdamOptimizer, GraceAdam, ReferenceAdam
 from repro.optim.mixed_precision import LossScaler
 from repro.optim.rollback import RollbackStrategy
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 
 @dataclass(frozen=True)
@@ -73,6 +74,9 @@ class SuperOffloadEngine:
             fp32 master copy).
         config: feature flags and hyperparameters.
         loss_scaler: optional externally-configured scaler.
+        telemetry: span/metric sink threaded through the inner engines;
+            defaults to the no-op :data:`~repro.telemetry.NULL_TELEMETRY`
+            so instrumentation costs nothing unless requested.
     """
 
     def __init__(
@@ -80,9 +84,11 @@ class SuperOffloadEngine:
         model: TinyTransformer,
         config: SuperOffloadConfig | None = None,
         loss_scaler: LossScaler | None = None,
+        telemetry: Telemetry | None = None,
     ):
         self.config = config or SuperOffloadConfig()
         self.model = model
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         optimizer_cls = GraceAdam if self.config.grace_adam else ReferenceAdam
         self.optimizer: AdamOptimizer = optimizer_cls(
             model.params, self.config.adam
@@ -96,6 +102,7 @@ class SuperOffloadEngine:
                 n_buckets=self.config.n_buckets,
                 rollback=self.config.rollback,
                 precision=self.config.precision,
+                telemetry=self.telemetry,
             )
         else:
             self._inner = SynchronousEngine(
@@ -104,6 +111,7 @@ class SuperOffloadEngine:
                 clip_norm=self.config.clip_norm,
                 loss_scaler=loss_scaler,
                 precision=self.config.precision,
+                telemetry=self.telemetry,
             )
         self.history: List[StepReport] = []
 
@@ -119,7 +127,15 @@ class SuperOffloadEngine:
                 accumulate gradients before the optimizer step (§5.2's
                 OOM-avoidance strategy 1).
         """
-        report = self._inner.train_step(ids, targets, grad_accum)
+        with self.telemetry.tracer.span(
+            "train_step", category="step", iteration=self._inner.iteration
+        ):
+            report = self._inner.train_step(ids, targets, grad_accum)
+        metrics = self.telemetry.metrics
+        metrics.gauge("loss_scale").set(self._inner.scaler.scale)
+        metrics.histogram("step_loss").observe(report.loss)
+        if not report.overflow:
+            metrics.histogram("grad_norm").observe(report.grad_norm)
         self.history.append(report)
         return report
 
@@ -193,6 +209,7 @@ class SuperOffloadEngine:
 def init(
     model: TinyTransformer,
     config: SuperOffloadConfig | None = None,
+    telemetry: Telemetry | None = None,
 ) -> SuperOffloadEngine:
     """Enable SuperOffload on a model with one call (the Fig. 1 API).
 
@@ -203,4 +220,4 @@ def init(
         for ids, targets in batches:
             report = engine.train_step(ids, targets)
     """
-    return SuperOffloadEngine(model, config)
+    return SuperOffloadEngine(model, config, telemetry=telemetry)

@@ -32,6 +32,7 @@ from repro.optim.mixed_precision import (
     clip_coefficient,
 )
 from repro.optim.rollback import RollbackStrategy, make_rollback
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 Params = Dict[str, np.ndarray]
 
@@ -92,6 +93,7 @@ class _EngineBase:
         clip_norm: float | None = 1.0,
         loss_scaler: LossScaler | None = None,
         precision: str = "fp16",
+        telemetry: Telemetry | None = None,
     ):
         if optimizer.params is not model.params:
             raise ValueError(
@@ -111,6 +113,9 @@ class _EngineBase:
         self.mp = MixedPrecisionState(
             master_fp32=model.params, low_dtype=precision
         )
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._tracer = self.telemetry.tracer
+        self._metrics = self.telemetry.metrics
         self.iteration = 0
         self.rollback_count = 0
         # Experiment hook: multiplies raw gradients before the fp16 round
@@ -140,37 +145,41 @@ class _EngineBase:
             raise ValueError(
                 f"batch {ids.shape[0]} not divisible by grad_accum {grad_accum}"
             )
-        widened = {
-            k: v.astype(np.float32) for k, v in self.mp.model_fp16.items()
-        }
+        with self._tracer.span("cast", category="cast", direction="widen"):
+            widened = {
+                k: v.astype(np.float32) for k, v in self.mp.model_fp16.items()
+            }
         inv = np.float32(1.0 / self.scaler.scale)
         boost = np.float32(self.grad_injection)
         overflow = False
         total_loss = 0.0
         accumulated: Params = {}
-        for micro_ids, micro_targets in zip(
-            np.split(ids, grad_accum), np.split(targets, grad_accum)
-        ):
-            loss, grads = self.model.loss_and_grads(
-                micro_ids, micro_targets, params=widened,
-                loss_scale=self.scaler.scale,
-            )
-            total_loss += loss
-            for name, g in grads.items():
-                if boost != 1.0:
-                    g = g * boost
-                g16 = lower_precision(g, self.precision)
-                if not np.all(np.isfinite(g16)):
-                    overflow = True
-                unscaled = g16.astype(np.float32) * inv
-                if name in accumulated:
-                    # inf - inf style propagation is expected when a micro
-                    # batch overflowed; the health check flags it and the
-                    # iteration is skipped, so silence the spurious warning.
-                    with np.errstate(invalid="ignore", over="ignore"):
-                        accumulated[name] += unscaled
-                else:
-                    accumulated[name] = unscaled
+        with self._tracer.span("fwd_bwd", category="compute",
+                               micro_batches=grad_accum):
+            for micro_ids, micro_targets in zip(
+                np.split(ids, grad_accum), np.split(targets, grad_accum)
+            ):
+                loss, grads = self.model.loss_and_grads(
+                    micro_ids, micro_targets, params=widened,
+                    loss_scale=self.scaler.scale,
+                )
+                total_loss += loss
+                for name, g in grads.items():
+                    if boost != 1.0:
+                        g = g * boost
+                    g16 = lower_precision(g, self.precision)
+                    if not np.all(np.isfinite(g16)):
+                        overflow = True
+                    unscaled = g16.astype(np.float32) * inv
+                    if name in accumulated:
+                        # inf - inf style propagation is expected when a
+                        # micro batch overflowed; the health check flags it
+                        # and the iteration is skipped, so silence the
+                        # spurious warning.
+                        with np.errstate(invalid="ignore", over="ignore"):
+                            accumulated[name] += unscaled
+                    else:
+                        accumulated[name] = unscaled
         if grad_accum > 1:
             scale = np.float32(1.0 / grad_accum)
             for name in accumulated:
@@ -196,10 +205,11 @@ class SynchronousEngine(_EngineBase):
         """One STE training iteration (optionally micro-batched)."""
         loss, grads, overflow = self._forward_backward(ids, targets, grad_accum)
         scale = self.scaler.scale
-        health = check_gradients(grads, self.clip_norm) if not overflow else (
-            GradientHealth(True, 0.0, False)
-        )
+        with self._tracer.span("validate", category="validate"):
+            health = check_gradients(grads, self.clip_norm) if not overflow \
+                else GradientHealth(True, 0.0, False)
         if health.has_nan_or_inf:
+            self._metrics.counter("overflows_total").inc()
             self.scaler.update(found_overflow=True)
             report = StepReport(
                 self.iteration, loss, 0.0, True, False, False, scale
@@ -211,8 +221,10 @@ class SynchronousEngine(_EngineBase):
             if self.clip_norm is not None
             else 1.0
         )
-        self.optimizer.step(self._apply_clip(grads, coef))
-        self.mp.sync_model_copy()
+        with self._tracer.span("optimizer_step", category="optim"):
+            self.optimizer.step(self._apply_clip(grads, coef))
+        with self._tracer.span("cast", category="cast", direction="narrow"):
+            self.mp.sync_model_copy()
         self.scaler.update(found_overflow=False)
         report = StepReport(
             self.iteration,
@@ -260,13 +272,15 @@ class STVEngine(_EngineBase):
         rollback: RollbackStrategy = RollbackStrategy.SNAPSHOT,
         background_validation: bool = False,
         precision: str = "fp16",
+        telemetry: Telemetry | None = None,
     ):
         if isinstance(optimizer, CPUAdam):
             raise TypeError(
                 "STV steps buckets independently; CPUAdam's fused flat "
                 "buffer cannot do that — use GraceAdam or ReferenceAdam"
             )
-        super().__init__(model, optimizer, clip_norm, loss_scaler, precision)
+        super().__init__(model, optimizer, clip_norm, loss_scaler, precision,
+                         telemetry)
         self.buckets = _bucketize_names(model.params, n_buckets)
         self.rollback_strategy = rollback
         self._rollbacks = [
@@ -301,36 +315,45 @@ class STVEngine(_EngineBase):
         # and it keeps non-finite values out of the optimizer state so the
         # in-place algebraic rollback stays exact.
         stepped: List[bool] = []
-        for bucket, rollback in zip(self.buckets, self._rollbacks):
-            bucket_grads = self._bucket_grads(grads, bucket)
-            finite = all(np.all(np.isfinite(g)) for g in bucket_grads.values())
-            if finite:
-                rollback.capture(bucket_grads)
-                self.optimizer.step(bucket_grads)
-            stepped.append(finite)
+        with self._tracer.span("speculative_step", category="optim",
+                               buckets=len(self.buckets)):
+            for bucket, rollback in zip(self.buckets, self._rollbacks):
+                bucket_grads = self._bucket_grads(grads, bucket)
+                finite = all(
+                    np.all(np.isfinite(g)) for g in bucket_grads.values()
+                )
+                if finite:
+                    rollback.capture(bucket_grads)
+                    self.optimizer.step(bucket_grads)
+                stepped.append(finite)
 
         # --- validation (background process in the real system) ------------
-        if overflow:
-            health = GradientHealth(True, 0.0, False)
-        elif self._validator is not None:
-            # submitted to the worker while (in the real system) the GPU
-            # would be running the next forward pass; the verdict is joined
-            # before any parameter is consumed again.
-            health = self._validator.submit(grads, self.clip_norm).result()
-        else:
-            health = check_gradients(grads, self.clip_norm)
+        with self._tracer.span("validate", category="validate"):
+            if overflow:
+                health = GradientHealth(True, 0.0, False)
+            elif self._validator is not None:
+                # submitted to the worker while (in the real system) the GPU
+                # would be running the next forward pass; the verdict is
+                # joined before any parameter is consumed again.
+                health = self._validator.submit(grads, self.clip_norm).result()
+            else:
+                health = check_gradients(grads, self.clip_norm)
 
         rolled_back = False
         clipped = False
         if health.has_nan_or_inf:
             # Scenario 1: skip the iteration entirely (revert what stepped).
-            for bucket, rollback, did in zip(
-                self.buckets, self._rollbacks, stepped
-            ):
-                if did:
-                    rollback.rollback(self._bucket_grads(grads, bucket))
+            with self._tracer.span("rollback", category="rollback",
+                                   reason="overflow"):
+                for bucket, rollback, did in zip(
+                    self.buckets, self._rollbacks, stepped
+                ):
+                    if did:
+                        rollback.rollback(self._bucket_grads(grads, bucket))
             rolled_back = True
             self.rollback_count += 1
+            self._metrics.counter("rollbacks_total", reason="overflow").inc()
+            self._metrics.counter("overflows_total").inc()
             self.scaler.update(found_overflow=True)
             report = StepReport(self.iteration, loss, 0.0, True, False, True, scale)
             self.iteration += 1
@@ -338,20 +361,28 @@ class STVEngine(_EngineBase):
         if health.clip_triggered:
             # Scenario 2: revert, clip, re-execute.
             assert self.clip_norm is not None
-            for bucket, rollback in zip(self.buckets, self._rollbacks):
-                rollback.rollback(self._bucket_grads(grads, bucket))
+            with self._tracer.span("rollback", category="rollback",
+                                   reason="clip"):
+                for bucket, rollback in zip(self.buckets, self._rollbacks):
+                    rollback.rollback(self._bucket_grads(grads, bucket))
             coef = clip_coefficient(health.global_norm, self.clip_norm)
             clipped_grads = self._apply_clip(grads, coef)
-            for bucket in self.buckets:
-                self.optimizer.step(self._bucket_grads(clipped_grads, bucket))
+            with self._tracer.span("optimizer_step", category="optim",
+                                   clipped=True):
+                for bucket in self.buckets:
+                    self.optimizer.step(
+                        self._bucket_grads(clipped_grads, bucket)
+                    )
             rolled_back = True
             clipped = True
             self.rollback_count += 1
+            self._metrics.counter("rollbacks_total", reason="clip").inc()
         else:
             for rollback in self._rollbacks:
                 rollback.discard()
 
-        self.mp.sync_model_copy()
+        with self._tracer.span("cast", category="cast", direction="narrow"):
+            self.mp.sync_model_copy()
         self.scaler.update(found_overflow=False)
         report = StepReport(
             self.iteration, loss, health.global_norm, False, clipped,

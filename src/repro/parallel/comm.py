@@ -4,6 +4,12 @@ A :class:`SimProcessGroup` holds per-rank buffers and implements the
 collectives the training systems need.  Semantics match NCCL's (sum
 reductions, rank-ordered gathers); determinism is guaranteed by fixed
 reduction order.
+
+Every collective reports to the (optional) telemetry registry: a
+``collective_calls_total{op=...}`` counter and a
+``collective_bytes_total{op=...}`` counter of *payload* bytes — the sum of
+the application buffers handed to the call, not modeled wire traffic
+(algorithm-dependent wire volumes live in :mod:`repro.sim.collectives`).
 """
 
 from __future__ import annotations
@@ -12,18 +18,25 @@ from typing import List, Sequence
 
 import numpy as np
 
+from repro.telemetry import NULL_TELEMETRY, Telemetry
+
 
 class SimProcessGroup:
     """A simulated communicator over ``world_size`` ranks.
 
     All methods take/return lists indexed by rank, making data placement
     explicit in the caller — the tests read like little MPI programs.
+
+    Args:
+        world_size: rank count.
+        telemetry: sink for the collective counters (no-op by default).
     """
 
-    def __init__(self, world_size: int):
+    def __init__(self, world_size: int, telemetry: Telemetry | None = None):
         if world_size < 1:
             raise ValueError("world_size must be >= 1")
         self.world_size = world_size
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
 
     def _check(self, per_rank: Sequence[np.ndarray]) -> None:
         if len(per_rank) != self.world_size:
@@ -31,9 +44,15 @@ class SimProcessGroup:
                 f"expected {self.world_size} rank buffers, got {len(per_rank)}"
             )
 
+    def _count(self, op: str, payload_bytes: int) -> None:
+        metrics = self.telemetry.metrics
+        metrics.counter("collective_calls_total", op=op).inc()
+        metrics.counter("collective_bytes_total", op=op).inc(payload_bytes)
+
     def all_reduce(self, per_rank: Sequence[np.ndarray]) -> List[np.ndarray]:
         """Sum across ranks; every rank receives the total."""
         self._check(per_rank)
+        self._count("all_reduce", sum(b.nbytes for b in per_rank))
         total = per_rank[0].copy()
         for buf in per_rank[1:]:
             total = total + buf
@@ -48,21 +67,30 @@ class SimProcessGroup:
         n = per_rank[0].size
         if n % self.world_size:
             raise ValueError("buffer length not divisible by world size")
-        total = self.all_reduce(per_rank)[0].reshape(-1)
+        self._count("reduce_scatter", sum(b.nbytes for b in per_rank))
+        total = self._sum(per_rank).reshape(-1)
         chunk = n // self.world_size
         return [
             total[r * chunk : (r + 1) * chunk].copy()
             for r in range(self.world_size)
         ]
 
+    def _sum(self, per_rank: Sequence[np.ndarray]) -> np.ndarray:
+        total = per_rank[0].copy()
+        for buf in per_rank[1:]:
+            total = total + buf
+        return total
+
     def all_gather(self, per_rank: Sequence[np.ndarray]) -> List[np.ndarray]:
         """Concatenate rank chunks; every rank receives the full buffer."""
         self._check(per_rank)
+        self._count("all_gather", sum(b.nbytes for b in per_rank))
         full = np.concatenate([np.asarray(b).reshape(-1) for b in per_rank])
         return [full.copy() for _ in range(self.world_size)]
 
     def broadcast(self, buf: np.ndarray) -> List[np.ndarray]:
         """Every rank receives a copy of ``buf``."""
+        self._count("broadcast", buf.nbytes * self.world_size)
         return [buf.copy() for _ in range(self.world_size)]
 
     def all_to_all(self, per_rank: Sequence[List[np.ndarray]]) -> List[List[np.ndarray]]:
@@ -75,6 +103,10 @@ class SimProcessGroup:
         for s, outbox in enumerate(per_rank):
             if len(outbox) != self.world_size:
                 raise ValueError(f"rank {s} outbox has {len(outbox)} entries")
+        self._count(
+            "all_to_all",
+            sum(buf.nbytes for outbox in per_rank for buf in outbox),
+        )
         return [
             [per_rank[s][r].copy() for s in range(self.world_size)]
             for r in range(self.world_size)

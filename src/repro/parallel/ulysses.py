@@ -34,6 +34,10 @@ def all_to_all_4d(
         Per-rank re-sharded arrays.
     """
     p = group.world_size
+    group.telemetry.metrics.counter(
+        "ulysses_reshards_total",
+        direction="scatter_heads" if scatter_heads else "gather_seq",
+    ).inc()
     outboxes: List[List[np.ndarray]] = []
     for shard in shards:
         b, heads, seq, dim = shard.shape

@@ -19,6 +19,7 @@ import numpy as np
 from repro.optim.adam import AdamConfig
 from repro.optim.implementations import GraceAdam
 from repro.parallel.comm import SimProcessGroup
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 Params = Dict[str, np.ndarray]
 
@@ -83,6 +84,8 @@ class ZeroShardedAdam:
         world_size: number of simulated ranks.
         config: Adam hyperparameters.
         zero: ZeRO behaviour switches.
+        telemetry: span/counter sink shared with the internal communicator
+            (no-op by default).
     """
 
     def __init__(
@@ -91,13 +94,15 @@ class ZeroShardedAdam:
         world_size: int,
         config: AdamConfig | None = None,
         zero: ZeroConfig | None = None,
+        telemetry: Telemetry | None = None,
     ):
         if world_size < 1:
             raise ValueError("world_size must be >= 1")
         self.params = params
         self.world_size = world_size
         self.zero = zero or ZeroConfig()
-        self.group = SimProcessGroup(world_size)
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.group = SimProcessGroup(world_size, telemetry=self.telemetry)
         self.layout = partition_params(params, world_size)
         shard_len = self.layout.total // world_size
         self._shard_len = shard_len
@@ -143,16 +148,20 @@ class ZeroShardedAdam:
         """
         if len(per_rank_grads) != self.world_size:
             raise ValueError("one gradient dict per rank required")
-        flat_grads = [self._flatten(g) for g in per_rank_grads]
-        shards = self.group.reduce_scatter(flat_grads)
-        if self.zero.average_gradients:
-            shards = [s / np.float32(self.world_size) for s in shards]
-        updated: List[np.ndarray] = []
-        for r, opt in enumerate(self._rank_optimizers):
-            opt.step({"shard": shards[r].astype(np.float32)})
-            updated.append(opt.params["shard"])
-        gathered = self.group.all_gather(updated)[0][: self.layout.total]
-        self._unflatten_into(gathered, self.params)
+        tracer = self.telemetry.tracer
+        with tracer.span("zero_step", category="optim",
+                         world_size=self.world_size):
+            flat_grads = [self._flatten(g) for g in per_rank_grads]
+            shards = self.group.reduce_scatter(flat_grads)
+            if self.zero.average_gradients:
+                shards = [s / np.float32(self.world_size) for s in shards]
+            updated: List[np.ndarray] = []
+            for r, opt in enumerate(self._rank_optimizers):
+                with tracer.span("shard_adam", category="optim", rank=r):
+                    opt.step({"shard": shards[r].astype(np.float32)})
+                updated.append(opt.params["shard"])
+            gathered = self.group.all_gather(updated)[0][: self.layout.total]
+            self._unflatten_into(gathered, self.params)
 
     @property
     def step_count(self) -> int:

@@ -2,14 +2,25 @@
 
 from __future__ import annotations
 
+import math
 from typing import Iterable, Sequence
 
 
 def format_cell(value) -> str:
-    """Render one table cell (floats to 2 dp; None as OOM)."""
+    """Render one table cell (floats to 2 dp; None as OOM).
+
+    Non-finite floats render as ``"NaN"`` / ``"inf"`` / ``"-inf"`` so a
+    poisoned metric is never mistaken for a small measured value (the
+    default ``f"{nan:.2f}"`` prints a lowercase ``nan`` that blends into
+    data columns).
+    """
     if value is None:
         return "OOM"
     if isinstance(value, float):
+        if math.isnan(value):
+            return "NaN"
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
         return f"{value:.2f}"
     return str(value)
 

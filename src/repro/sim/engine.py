@@ -132,6 +132,10 @@ class ScheduleSimulator:
                     finish=task.finish,
                 )
             )
+        # FIFO streams can never overlap themselves; validating here turns
+        # any future scheduling bug into a loud error instead of silently
+        # double-counted busy time in the Fig. 4/15 idle fractions.
+        trace.validate()
         return trace
 
     def reset(self) -> None:

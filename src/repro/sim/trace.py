@@ -48,6 +48,31 @@ class Trace:
             key=lambda iv: iv.start,
         )
 
+    def validate(self) -> None:
+        """Reject overlapping occupancies on any (serial) resource.
+
+        Every resource in this model is a serial stream, so two intervals
+        on the same resource may touch (``prev.finish == next.start``) but
+        never overlap — :meth:`busy_time` silently double-counts overlaps,
+        which would corrupt the Fig. 4/15 idle fractions.  Zero-length
+        intervals are allowed anywhere.  Raises ``ValueError`` on the
+        first violation.
+        """
+        for resource in self.resources():
+            frontier: Interval | None = None
+            for iv in self.intervals_on(resource):
+                if iv.duration <= 0:
+                    continue
+                if frontier is not None and iv.start < frontier.finish:
+                    raise ValueError(
+                        f"overlapping intervals on serial resource "
+                        f"{resource!r}: {frontier.name!r} "
+                        f"[{frontier.start}, {frontier.finish}) overlaps "
+                        f"{iv.name!r} [{iv.start}, {iv.finish})"
+                    )
+                if frontier is None or iv.finish > frontier.finish:
+                    frontier = iv
+
     def busy_time(
         self, resource: str, window: Tuple[float, float] | None = None
     ) -> float:

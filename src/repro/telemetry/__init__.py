@@ -1,0 +1,91 @@
+"""Unified telemetry: spans, metrics, and trace export.
+
+The paper's headline numbers are observability numbers — GPU idle
+fractions (Figs. 4/15), effective TFLOPS (Fig. 10), rollback rates
+(Fig. 14) — and this package is the measurement layer that produces them
+from *running* code rather than from the analytic simulator alone.
+
+Three pieces:
+
+* :class:`Tracer` — thread-safe, nestable wall-clock spans
+  (``with tracer.span("optimizer_step", category="optim"):``);
+* :class:`MetricsRegistry` — labeled counters, gauges, and histograms
+  with exact p50/p95/p99 summaries;
+* :mod:`repro.telemetry.export` — a JSONL structured-event writer and a
+  Chrome ``trace_event`` exporter that unifies live tracer spans and
+  simulator :class:`~repro.sim.trace.Trace` timelines in one
+  Perfetto-loadable file.
+
+The :class:`Telemetry` facade bundles a tracer and a registry;
+:data:`NULL_TELEMETRY` is the disabled singleton every instrumented
+component defaults to, making telemetry strictly opt-in and no-op-cheap
+when off::
+
+    from repro.telemetry import Telemetry
+    tel = Telemetry()
+    trainer = STVTrainer(telemetry=tel)
+    trainer.run(100)
+    print(format_table("metrics", SUMMARY_HEADERS, tel.metrics.summary_rows()))
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.telemetry.metrics import (
+    SUMMARY_HEADERS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+from repro.telemetry.tracer import NullTracer, Span, Tracer
+
+
+class Telemetry:
+    """A tracer plus a metrics registry, enabled or permanently off.
+
+    Args:
+        tracer: span recorder (fresh :class:`Tracer` if omitted and
+            enabled; :class:`NullTracer` if disabled).
+        metrics: instrument registry (same convention).
+        enabled: ``False`` builds the no-op twin of everything.
+    """
+
+    __slots__ = ("tracer", "metrics", "enabled")
+
+    def __init__(
+        self,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        enabled: bool = True,
+    ):
+        self.enabled = enabled
+        if enabled:
+            self.tracer = tracer if tracer is not None else Tracer()
+            self.metrics = metrics if metrics is not None else MetricsRegistry()
+        else:
+            self.tracer = tracer if tracer is not None else NullTracer()
+            self.metrics = (
+                metrics if metrics is not None else NullMetricsRegistry()
+            )
+
+
+#: The default for every instrumented component: records nothing, costs
+#: one method call per would-be span or metric update.
+NULL_TELEMETRY = Telemetry(enabled=False)
+
+__all__ = [
+    "Telemetry",
+    "NULL_TELEMETRY",
+    "Tracer",
+    "NullTracer",
+    "Span",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "SUMMARY_HEADERS",
+]

@@ -1,0 +1,203 @@
+"""Telemetry sinks: structured JSONL events and Chrome ``trace_event`` JSON.
+
+Two serializations of the same underlying data:
+
+* :func:`write_events_jsonl` — one JSON object per line, machine-mergeable
+  (the schema is documented in README.md's Observability section);
+* :func:`write_chrome_trace` — the Chrome ``trace_event`` format that
+  Perfetto (https://ui.perfetto.dev) and ``chrome://tracing`` load
+  directly.  Live :class:`~repro.telemetry.tracer.Tracer` spans and
+  simulator :class:`~repro.sim.trace.Trace` intervals are serialized into
+  *one* document on separate pids, so a real numeric run and its simulated
+  counterpart line up in the same viewer: tracer threads map to Chrome
+  tids, simulator resources (gpu/cpu/d2h/h2d) map to tids of their own
+  process row.
+
+All duration events are "complete" events (``"ph": "X"``) carrying the
+keys Chrome requires: ``ph``, ``ts``, ``dur`` (microseconds), ``pid``,
+``tid``, ``name``.  :func:`validate_chrome_trace` asserts exactly that and
+is run by the tests and the ``repro trace`` CLI after every export.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+from repro.sim.trace import Trace
+from repro.telemetry.metrics import MetricsRegistry, NullMetricsRegistry
+from repro.telemetry.tracer import NullTracer, Tracer
+
+#: Bumped when the JSONL event schema changes shape.
+JSONL_SCHEMA_VERSION = 1
+
+#: pid of the live-tracer process row in exported Chrome traces; simulator
+#: traces take consecutive pids after it.
+LIVE_PID = 1
+
+AnyTracer = Union[Tracer, NullTracer]
+AnyRegistry = Union[MetricsRegistry, NullMetricsRegistry]
+
+
+def _metadata_event(pid: int, tid: int, kind: str, label: str) -> Dict:
+    # ts/dur are not meaningful on metadata events; zeros keep every event
+    # carrying the full required key set (simplifies downstream validation).
+    return {"ph": "M", "ts": 0, "dur": 0, "pid": pid, "tid": tid,
+            "name": kind, "args": {"name": label}}
+
+
+def chrome_events_from_tracer(
+    tracer: AnyTracer, pid: int = LIVE_PID, process_name: str = "live"
+) -> List[Dict]:
+    """Complete events (plus name metadata) for all finished tracer spans."""
+    events = [_metadata_event(pid, 0, "process_name", process_name)]
+    threads = sorted({span.thread for span in tracer.spans})
+    for tid in threads:
+        events.append(
+            _metadata_event(pid, tid, "thread_name", f"thread-{tid}")
+        )
+    for span in tracer.spans:
+        if span.finish is None:
+            continue
+        events.append({
+            "ph": "X",
+            "ts": span.start * 1e6,
+            "dur": span.duration * 1e6,
+            "pid": pid,
+            "tid": span.thread,
+            "name": span.name,
+            "cat": span.category,
+            "args": dict(span.attrs),
+        })
+    return events
+
+
+def chrome_events_from_sim_trace(
+    trace: Trace, pid: int, process_name: str = "sim"
+) -> List[Dict]:
+    """Complete events for a simulator trace, one tid per resource."""
+    events = [_metadata_event(pid, 0, "process_name", process_name)]
+    tids = {resource: i for i, resource in enumerate(trace.resources())}
+    for resource, tid in tids.items():
+        events.append(_metadata_event(pid, tid, "thread_name", resource))
+    for iv in trace.intervals:
+        events.append({
+            "ph": "X",
+            "ts": iv.start * 1e6,
+            "dur": iv.duration * 1e6,
+            "pid": pid,
+            "tid": tids[iv.resource],
+            "name": iv.name,
+            "cat": iv.category,
+            "args": {"resource": iv.resource},
+        })
+    return events
+
+
+def build_chrome_trace(
+    tracer: Optional[AnyTracer] = None,
+    sim_traces: Optional[Dict[str, Trace]] = None,
+) -> Dict:
+    """Assemble the unified ``trace_event`` document.
+
+    Args:
+        tracer: live spans for the pid-1 process row (optional).
+        sim_traces: ``{process_name: Trace}`` simulator timelines, each on
+            its own pid after the live row (optional).
+    """
+    events: List[Dict] = []
+    if tracer is not None:
+        events.extend(chrome_events_from_tracer(tracer))
+    for offset, (name, trace) in enumerate(sorted((sim_traces or {}).items())):
+        events.extend(
+            chrome_events_from_sim_trace(trace, pid=LIVE_PID + 1 + offset,
+                                         process_name=name)
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def validate_chrome_trace(document: Dict) -> None:
+    """Raise ``ValueError`` unless ``document`` is a loadable Chrome trace.
+
+    Checks the container shape and that every event carries the required
+    ``ph``/``ts``/``dur``/``pid``/``tid``/``name`` keys with sane types.
+    """
+    if not isinstance(document, dict) or "traceEvents" not in document:
+        raise ValueError("chrome trace must be an object with 'traceEvents'")
+    events = document["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("'traceEvents' must be a list")
+    required = ("ph", "ts", "dur", "pid", "tid", "name")
+    for i, event in enumerate(events):
+        missing = [k for k in required if k not in event]
+        if missing:
+            raise ValueError(f"event {i} missing keys {missing}: {event}")
+        if event["ph"] == "X":
+            if event["dur"] < 0:
+                raise ValueError(f"event {i} has negative duration")
+            if not isinstance(event["name"], str):
+                raise ValueError(f"event {i} name is not a string")
+
+
+def write_chrome_trace(
+    path: Union[str, Path],
+    tracer: Optional[AnyTracer] = None,
+    sim_traces: Optional[Dict[str, Trace]] = None,
+) -> Dict:
+    """Write the unified Chrome trace to ``path`` and return the document."""
+    document = build_chrome_trace(tracer, sim_traces)
+    validate_chrome_trace(document)
+    Path(path).write_text(json.dumps(document, indent=1, sort_keys=True))
+    return document
+
+
+# ---- JSONL structured events --------------------------------------------
+
+
+def events_jsonl_lines(
+    tracer: Optional[AnyTracer] = None,
+    metrics: Optional[AnyRegistry] = None,
+) -> Iterator[str]:
+    """Yield one JSON document per span and per metric instrument.
+
+    The first line is a ``meta`` header carrying the schema version; span
+    times are seconds relative to the tracer epoch.
+    """
+    yield json.dumps({"type": "meta",
+                      "schema": JSONL_SCHEMA_VERSION,
+                      "producer": "repro.telemetry"})
+    if tracer is not None:
+        for span in tracer.spans:
+            yield json.dumps({
+                "type": "span",
+                "name": span.name,
+                "cat": span.category,
+                "start_s": span.start,
+                "dur_s": span.duration,
+                "thread": span.thread,
+                "depth": span.depth,
+                "attrs": dict(span.attrs),
+            }, sort_keys=True)
+    for kind, inst in (metrics if metrics is not None else ()):
+        record = {
+            "type": kind,
+            "name": inst.name,
+            "labels": dict(inst.labels),
+        }
+        if kind == "histogram":
+            record.update(inst.summary())
+        else:
+            record["value"] = inst.value
+        yield json.dumps(record, sort_keys=True)
+
+
+def write_events_jsonl(
+    path: Union[str, Path],
+    tracer: Optional[AnyTracer] = None,
+    metrics: Optional[AnyRegistry] = None,
+) -> int:
+    """Write the JSONL event stream to ``path``; returns the line count."""
+    lines = list(events_jsonl_lines(tracer, metrics))
+    Path(path).write_text("\n".join(lines) + "\n")
+    return len(lines)

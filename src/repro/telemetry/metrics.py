@@ -1,0 +1,254 @@
+"""Labeled counters, gauges, and histograms with percentile summaries.
+
+A :class:`MetricsRegistry` is the single sink for numeric telemetry:
+instruments are created on first use and identified by ``(kind, name,
+labels)``, so ``registry.counter("collective_bytes_total", op="all_gather")``
+always returns the same :class:`Counter`.  Histograms answer the paper's
+distributional questions (p50/p95/p99 of per-iteration losses, gradient
+norms, span durations) with exact percentiles over all observations.
+
+:class:`NullMetricsRegistry` is the zero-cost disabled twin: every lookup
+returns a shared no-op instrument, so instrumented hot paths stay cheap
+when telemetry is off.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+Labels = Tuple[Tuple[str, str], ...]
+
+#: Column headers matching :meth:`MetricsRegistry.summary_rows` (feed both
+#: straight into :func:`repro.reporting.format_table`).
+SUMMARY_HEADERS = ("metric", "labels", "kind", "count", "value",
+                   "p50", "p95", "p99")
+
+
+def _labels_key(labels: Dict[str, Any]) -> Labels:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _labels_text(labels: Labels) -> str:
+    return ",".join(f"{k}={v}" for k, v in labels) if labels else "-"
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: Labels = ()):
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the total."""
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A value that can move in both directions (last write wins)."""
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: Labels = ()):
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        """Record the current level."""
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Exact-percentile distribution of observed values.
+
+    Observations are kept in full (the workloads here record thousands of
+    samples, not billions), so percentiles are exact order statistics with
+    linear interpolation between adjacent ranks.
+    """
+
+    __slots__ = ("name", "labels", "_values", "_lock")
+
+    def __init__(self, name: str, labels: Labels = ()):
+        self.name = name
+        self.labels = labels
+        self._values: List[float] = []
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        with self._lock:
+            self._values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def total(self) -> float:
+        return sum(self._values)
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            if not self._values:
+                return 0.0
+            return sum(self._values) / len(self._values)
+
+    def percentile(self, p: float) -> Optional[float]:
+        """The ``p``-th percentile (0-100), ``None`` with no samples."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        with self._lock:
+            if not self._values:
+                return None
+            ordered = sorted(self._values)
+        rank = (len(ordered) - 1) * p / 100.0
+        lo = int(rank)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = rank - lo
+        # Clamped lerp: a*(1-f) + b*f can drift one ulp outside [a, b] and
+        # break p50 <= p95 <= p99 (the property tests check exactly this).
+        a, b = ordered[lo], ordered[hi]
+        return min(max(a + (b - a) * frac, a), b)
+
+    def summary(self) -> Dict[str, Optional[float]]:
+        """count/mean/min/max and the p50/p95/p99 order statistics."""
+        with self._lock:
+            values = list(self._values)
+        if not values:
+            return {"count": 0, "mean": None, "min": None, "max": None,
+                    "p50": None, "p95": None, "p99": None}
+        summary: Dict[str, Optional[float]] = {
+            "count": len(values),
+            "mean": sum(values) / len(values),
+            "min": min(values),
+            "max": max(values),
+        }
+        for p in (50, 95, 99):
+            summary[f"p{p}"] = self.percentile(p)
+        return summary
+
+
+class MetricsRegistry:
+    """Get-or-create home for all instruments."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: Dict[Tuple[str, str, Labels], Any] = {}
+
+    def _get(self, kind: str, cls, name: str, labels: Dict[str, Any]):
+        key = (kind, name, _labels_key(labels))
+        with self._lock:
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                instrument = cls(name, key[2])
+                self._instruments[key] = instrument
+            return instrument
+
+    def counter(self, name: str, **labels) -> Counter:
+        """The counter for ``(name, labels)``, created on first use."""
+        return self._get("counter", Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        """The gauge for ``(name, labels)``, created on first use."""
+        return self._get("gauge", Gauge, name, labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        """The histogram for ``(name, labels)``, created on first use."""
+        return self._get("histogram", Histogram, name, labels)
+
+    def __iter__(self) -> Iterator[Tuple[str, Any]]:
+        """Yield ``(kind, instrument)`` sorted by kind, name, labels."""
+        with self._lock:
+            items = sorted(self._instruments.items(), key=lambda kv: kv[0])
+        for (kind, _, _), instrument in items:
+            yield kind, instrument
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def summary_rows(self) -> List[Sequence]:
+        """One table row per instrument, matching :data:`SUMMARY_HEADERS`."""
+        rows: List[Sequence] = []
+        for kind, inst in self:
+            labels = _labels_text(inst.labels)
+            if kind == "counter" or kind == "gauge":
+                rows.append([inst.name, labels, kind, "", inst.value,
+                             "", "", ""])
+            else:
+                s = inst.summary()
+                rows.append([inst.name, labels, kind, s["count"],
+                             s["mean"] if s["mean"] is not None else "",
+                             s["p50"] if s["p50"] is not None else "",
+                             s["p95"] if s["p95"] is not None else "",
+                             s["p99"] if s["p99"] is not None else ""])
+        return rows
+
+
+class _NullInstrument:
+    """Shared no-op counter/gauge/histogram."""
+
+    __slots__ = ()
+    name = ""
+    labels: Labels = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    @property
+    def value(self) -> float:
+        return 0.0
+
+    @property
+    def count(self) -> int:
+        return 0
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetricsRegistry:
+    """Disabled registry: every lookup returns the shared no-op."""
+
+    def counter(self, name: str, **labels) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, **labels) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, **labels) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def __iter__(self) -> Iterator[Tuple[str, Any]]:
+        return iter(())
+
+    def __len__(self) -> int:
+        return 0
+
+    def summary_rows(self) -> List[Sequence]:
+        return []

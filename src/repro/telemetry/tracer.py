@@ -1,0 +1,197 @@
+"""Thread-safe span tracing for the numeric training path.
+
+The performance simulator has always produced timelines
+(:mod:`repro.sim.trace`); this module gives the *real* numeric substrate
+the same capability.  A :class:`Tracer` records nestable, wall-clock
+spans::
+
+    tracer = Tracer()
+    with tracer.span("optimizer_step", category="optim", bucket=2):
+        optimizer.step(grads)
+
+Spans carry a name, a category, start/finish seconds relative to the
+tracer's epoch, free-form attributes, the nesting depth at open time, and
+a stable per-thread index — everything the Chrome ``trace_event`` exporter
+(:mod:`repro.telemetry.export`) needs to lay them out as a timeline.
+
+The default tracer everywhere in the codebase is :class:`NullTracer`,
+whose :meth:`~NullTracer.span` hands back one shared no-op context
+manager: instrumented hot paths pay a single attribute lookup and method
+call when telemetry is off, and tier-1 timings are unaffected.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+
+@dataclass
+class Span:
+    """One finished (or still-open) traced region.
+
+    Attributes:
+        name: what ran (e.g. ``"fwd_bwd"``).
+        category: coarse grouping label (``"compute"``, ``"optim"``,
+            ``"rollback"``, ...) — becomes the Chrome ``cat`` field.
+        start: seconds since the tracer's epoch.
+        finish: end time, or ``None`` while the span is open.
+        depth: nesting depth at open time (0 = top level) on its thread.
+        thread: stable small index of the opening thread (0 for the first
+            thread the tracer ever saw, 1 for the next, ...).
+        attrs: free-form key/value annotations.
+    """
+
+    name: str
+    category: str
+    start: float
+    finish: Optional[float] = None
+    depth: int = 0
+    thread: int = 0
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Span length in seconds (0.0 while still open)."""
+        if self.finish is None:
+            return 0.0
+        return self.finish - self.start
+
+
+class _SpanHandle:
+    """Context manager returned by :meth:`Tracer.span`.
+
+    Entering stamps the start time and pushes the nesting depth; exiting
+    stamps the finish time and publishes the completed span to the tracer.
+    """
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def set_attr(self, key: str, value: Any) -> None:
+        """Attach one attribute to the span while it is open."""
+        self._span.attrs[key] = value
+
+    def __enter__(self) -> "_SpanHandle":
+        self._tracer._open(self._span)
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._tracer._close(self._span)
+        return False
+
+
+class _NullSpan:
+    """Shared do-nothing stand-in for :class:`_SpanHandle`."""
+
+    __slots__ = ()
+
+    def set_attr(self, key: str, value: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The zero-cost default tracer: records nothing.
+
+    Shares :class:`Tracer`'s interface so instrumented code never branches
+    on whether telemetry is enabled.
+    """
+
+    enabled = False
+
+    @property
+    def spans(self) -> Tuple[Span, ...]:
+        """Always empty."""
+        return ()
+
+    def span(self, name: str, category: str = "default", **attrs) -> _NullSpan:
+        """Return the shared no-op span handle."""
+        return _NULL_SPAN
+
+    def clear(self) -> None:
+        """No state to clear."""
+
+
+class Tracer:
+    """Collects wall-clock spans across threads.
+
+    Args:
+        clock: monotonic time source in seconds (injectable for
+            deterministic tests; defaults to :func:`time.perf_counter`).
+            The first reading becomes the epoch — all span times are
+            relative to it.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self._clock = clock
+        self._epoch = clock()
+        self._lock = threading.Lock()
+        self._spans: List[Span] = []
+        self._local = threading.local()
+        self._thread_index: Dict[int, int] = {}
+
+    # ---- recording ------------------------------------------------------
+
+    def span(self, name: str, category: str = "default", **attrs) -> _SpanHandle:
+        """Create a context manager that records one span.
+
+        Args:
+            name: span label.
+            category: coarse grouping label.
+            **attrs: initial attributes (more can be added with
+                :meth:`_SpanHandle.set_attr`).
+        """
+        return _SpanHandle(
+            self, Span(name=name, category=category, start=0.0, attrs=attrs)
+        )
+
+    def _thread(self) -> int:
+        ident = threading.get_ident()
+        with self._lock:
+            return self._thread_index.setdefault(ident, len(self._thread_index))
+
+    def _open(self, span: Span) -> None:
+        depth = getattr(self._local, "depth", 0)
+        self._local.depth = depth + 1
+        span.depth = depth
+        span.thread = self._thread()
+        span.start = self._clock() - self._epoch
+
+    def _close(self, span: Span) -> None:
+        span.finish = self._clock() - self._epoch
+        self._local.depth = getattr(self._local, "depth", 1) - 1
+        with self._lock:
+            self._spans.append(span)
+
+    # ---- inspection -----------------------------------------------------
+
+    @property
+    def spans(self) -> Tuple[Span, ...]:
+        """All finished spans, in completion order."""
+        with self._lock:
+            return tuple(self._spans)
+
+    def spans_named(self, name: str) -> List[Span]:
+        """Finished spans with the given name."""
+        return [s for s in self.spans if s.name == name]
+
+    def clear(self) -> None:
+        """Drop all recorded spans (thread indices are kept)."""
+        with self._lock:
+            self._spans.clear()

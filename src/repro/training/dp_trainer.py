@@ -29,6 +29,7 @@ from repro.optim.mixed_precision import (
 from repro.parallel.comm import SimProcessGroup
 from repro.parallel.dp import shard_batch
 from repro.parallel.zero import ZeroShardedAdam
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 
 @dataclass(frozen=True)
@@ -50,6 +51,8 @@ class DataParallelTrainer:
         adam: optimizer hyperparameters.
         clip_norm: global gradient clipping threshold (None disables).
         seed: model initialization seed.
+        telemetry: span/metric sink shared with the communicator and the
+            sharded optimizer (no-op by default).
     """
 
     def __init__(
@@ -59,16 +62,19 @@ class DataParallelTrainer:
         adam: AdamConfig | None = None,
         clip_norm: float | None = None,
         seed: int = 0,
+        telemetry: Telemetry | None = None,
     ):
         if world_size < 1:
             raise ValueError("world_size must be >= 1")
         self.spec = spec
         self.world_size = world_size
         self.clip_norm = clip_norm
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.model = TinyTransformer(spec, seed=seed)
-        self.group = SimProcessGroup(world_size)
+        self.group = SimProcessGroup(world_size, telemetry=self.telemetry)
         self.optimizer = ZeroShardedAdam(
-            self.model.params, world_size, config=adam or AdamConfig()
+            self.model.params, world_size, config=adam or AdamConfig(),
+            telemetry=self.telemetry,
         )
         # every rank holds the same gathered fp16 copy
         self._fp16 = {k: to_fp16(v) for k, v in self.model.params.items()}
@@ -76,16 +82,26 @@ class DataParallelTrainer:
 
     def train_step(self, ids: np.ndarray, targets: np.ndarray) -> DPStepReport:
         """One synchronous data-parallel iteration over the global batch."""
+        with self.telemetry.tracer.span(
+            "train_step", category="step", iteration=self.iteration
+        ):
+            return self._step(ids, targets)
+
+    def _step(self, ids: np.ndarray, targets: np.ndarray) -> DPStepReport:
+        tracer = self.telemetry.tracer
         shards = shard_batch(ids, targets, self.world_size)
-        widened = {k: from_fp16(v) for k, v in self._fp16.items()}
+        with tracer.span("cast", category="cast", direction="widen"):
+            widened = {k: from_fp16(v) for k, v in self._fp16.items()}
         per_rank: List[Dict[str, np.ndarray]] = []
         losses = []
-        for rank_ids, rank_targets in shards:
-            loss, grads = self.model.loss_and_grads(
-                rank_ids, rank_targets, params=widened
-            )
-            losses.append(loss)
-            per_rank.append(grads)
+        with tracer.span("fwd_bwd", category="compute",
+                         ranks=self.world_size):
+            for rank_ids, rank_targets in shards:
+                loss, grads = self.model.loss_and_grads(
+                    rank_ids, rank_targets, params=widened
+                )
+                losses.append(loss)
+                per_rank.append(grads)
         # global clipping: the same check every rank would agree on after
         # the gradient reduction
         mean_grads = {
@@ -105,14 +121,19 @@ class DataParallelTrainer:
                 for grads in per_rank
             ]
         self.optimizer.step(per_rank)
-        for k, v in self.model.params.items():
-            self._fp16[k] = to_fp16(v)
+        with tracer.span("cast", category="cast", direction="narrow"):
+            for k, v in self.model.params.items():
+                self._fp16[k] = to_fp16(v)
         report = DPStepReport(
             iteration=self.iteration,
             loss=float(np.mean(losses)),
             grad_norm=health.global_norm,
             clipped=clipped,
         )
+        metrics = self.telemetry.metrics
+        metrics.histogram("dp_train_loss").observe(report.loss)
+        if clipped:
+            metrics.counter("dp_clips_total").inc()
         self.iteration += 1
         return report
 

@@ -21,6 +21,7 @@ from repro.core.stv import StepReport
 from repro.data.synthetic import SyntheticPile
 from repro.numeric.transformer import TinyTransformer, TransformerParams
 from repro.optim.mixed_precision import LossScaler
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 
 @dataclass(frozen=True)
@@ -89,6 +90,8 @@ class STVTrainer:
         config: engine configuration (STV on by default).
         injector: instability schedule (None trains cleanly).
         seed: data/model seed.
+        telemetry: span/metric sink threaded down into the engine (no-op
+            by default).
     """
 
     def __init__(
@@ -98,6 +101,7 @@ class STVTrainer:
         config: SuperOffloadConfig | None = None,
         injector: InstabilityInjector | None = None,
         seed: int = 0,
+        telemetry: Telemetry | None = None,
     ):
         self.spec = spec or TransformerParams(
             vocab=256, max_seq=32, hidden=64, n_layers=2, n_heads=4
@@ -109,10 +113,12 @@ class STVTrainer:
             # (~2-3 for this model), so — as in a healthy large-scale run —
             # clipping fires on injected spikes, not on routine steps.
             config = SuperOffloadConfig(clip_norm=8.0)
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.engine = SuperOffloadEngine(
             self.model,
             config,
             loss_scaler=LossScaler(init_scale=2.0**12, growth_interval=64),
+            telemetry=self.telemetry,
         )
         self.injector = injector
         self.pile = SyntheticPile(self.spec.vocab, seed=seed)
@@ -131,10 +137,16 @@ class STVTrainer:
         if n_iterations < 1:
             raise ValueError("n_iterations must be positive")
         record = TrainRecord()
+        metrics = self.telemetry.metrics
         for _ in range(n_iterations):
             ids, targets = next(self._batches)
             boost = self._inject(self.engine.iteration)
-            report = self._step_with_boost(ids, targets, boost)
+            with self.telemetry.tracer.span(
+                "iteration", category="train", iteration=self.engine.iteration
+            ):
+                report = self._step_with_boost(ids, targets, boost)
+            metrics.histogram("train_loss").observe(report.loss)
+            metrics.counter("train_iterations_total").inc()
             record.losses.append(report.loss)
             if report.rolled_back:
                 record.rollback_iterations.append(report.iteration)

@@ -54,6 +54,80 @@ def test_resources_listing():
     assert build_trace().resources() == ["cpu", "gpu"]
 
 
+def test_utilization_empty_trace():
+    trace = Trace()
+    assert trace.utilization("gpu") == 0.0
+    assert trace.idle_fraction("gpu") == 1.0
+
+
+def test_window_past_makespan_counts_idle():
+    trace = build_trace()  # gpu busy 4s, makespan 5
+    assert trace.utilization("gpu", (0.0, 10.0)) == pytest.approx(0.4)
+    assert trace.idle_fraction("gpu", (0.0, 10.0)) == pytest.approx(0.6)
+
+
+def test_window_entirely_past_makespan():
+    trace = build_trace()
+    assert trace.utilization("gpu", (6.0, 8.0)) == 0.0
+    assert trace.idle_fraction("gpu", (6.0, 8.0)) == 1.0
+
+
+def test_inverted_window_is_empty():
+    trace = build_trace()
+    assert trace.utilization("gpu", (4.0, 1.0)) == 0.0
+
+
+def test_zero_length_intervals_add_no_busy_time():
+    trace = Trace()
+    trace.record(Interval("gpu", "marker", "compute", 1.0, 1.0))
+    trace.record(Interval("gpu", "work", "compute", 0.0, 2.0))
+    assert trace.busy_time("gpu") == 2.0
+    assert trace.utilization("gpu") == pytest.approx(1.0)
+    trace.validate()  # zero-length inside a busy interval is fine
+
+
+def test_validate_accepts_serial_trace():
+    build_trace().validate()
+
+
+def test_validate_accepts_touching_intervals():
+    trace = Trace()
+    trace.record(Interval("gpu", "a", "compute", 0.0, 2.0))
+    trace.record(Interval("gpu", "b", "compute", 2.0, 4.0))
+    trace.validate()
+
+
+def test_validate_rejects_overlap():
+    trace = build_trace()
+    trace.record(Interval("gpu", "bad", "compute", 1.0, 2.5))
+    with pytest.raises(ValueError, match="overlap"):
+        trace.validate()
+
+
+def test_validate_catches_overlap_past_zero_length_marker():
+    trace = Trace()
+    trace.record(Interval("gpu", "long", "compute", 0.0, 10.0))
+    trace.record(Interval("gpu", "marker", "compute", 1.0, 1.0))
+    trace.record(Interval("gpu", "bad", "compute", 2.0, 5.0))
+    with pytest.raises(ValueError, match="overlap"):
+        trace.validate()
+
+
+def test_validate_is_per_resource():
+    trace = Trace()
+    trace.record(Interval("gpu", "a", "compute", 0.0, 2.0))
+    trace.record(Interval("cpu", "b", "optimizer", 1.0, 3.0))
+    trace.validate()  # concurrent across *different* resources is legal
+
+
+def test_simulator_output_validates():
+    sim = ScheduleSimulator(["gpu", "cpu"])
+    a = Task("a", "gpu", 2.0)
+    b = Task("b", "cpu", 3.0, deps=(a,))
+    trace = sim.run([a, b])
+    trace.validate()
+
+
 def test_sim_trace_idle_matches_schedule():
     """ZeRO-Offload-like pattern: GPU idle while CPU steps (Fig. 3)."""
     sim = ScheduleSimulator(["gpu", "cpu"])

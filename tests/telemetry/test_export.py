@@ -1,0 +1,126 @@
+"""Tests for the JSONL and Chrome ``trace_event`` exporters."""
+
+import json
+
+import pytest
+
+from repro.sim.trace import Interval, Trace
+from repro.telemetry import MetricsRegistry, Tracer
+from repro.telemetry.export import (
+    LIVE_PID,
+    build_chrome_trace,
+    chrome_events_from_sim_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_events_jsonl,
+)
+from tests.telemetry.test_tracer import FakeClock
+
+REQUIRED_KEYS = ("ph", "ts", "dur", "pid", "tid", "name")
+
+
+def make_tracer() -> Tracer:
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("train_step", category="step", iteration=0):
+        with tracer.span("fwd_bwd", category="compute"):
+            pass
+    return tracer
+
+
+def make_sim_trace() -> Trace:
+    trace = Trace()
+    trace.record(Interval("gpu", "fwd", "compute", 0.0, 2.0))
+    trace.record(Interval("cpu", "step", "optimizer", 2.0, 5.0))
+    trace.record(Interval("h2d", "up", "transfer", 1.0, 1.5))
+    return trace
+
+
+def test_every_event_has_required_keys():
+    document = build_chrome_trace(
+        tracer=make_tracer(), sim_traces={"sim": make_sim_trace()}
+    )
+    assert document["traceEvents"]
+    for event in document["traceEvents"]:
+        for key in REQUIRED_KEYS:
+            assert key in event, f"missing {key} in {event}"
+    validate_chrome_trace(document)
+
+
+def test_live_and_sim_on_separate_pids():
+    document = build_chrome_trace(
+        tracer=make_tracer(), sim_traces={"sim": make_sim_trace()}
+    )
+    pids = {e["pid"] for e in document["traceEvents"] if e["ph"] == "X"}
+    assert pids == {LIVE_PID, LIVE_PID + 1}
+
+
+def test_sim_resources_map_to_named_tids():
+    events = chrome_events_from_sim_trace(make_sim_trace(), pid=7)
+    names = {
+        e["tid"]: e["args"]["name"]
+        for e in events
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    }
+    # resources sorted alphabetically -> stable tid assignment
+    assert names == {0: "cpu", 1: "gpu", 2: "h2d"}
+    gpu_events = [e for e in events if e["ph"] == "X" and e["tid"] == 1]
+    assert [e["name"] for e in gpu_events] == ["fwd"]
+
+
+def test_span_times_scaled_to_microseconds():
+    document = build_chrome_trace(tracer=make_tracer())
+    x = [e for e in document["traceEvents"] if e["ph"] == "X"]
+    outer = next(e for e in x if e["name"] == "train_step")
+    # FakeClock ticks 1 s per reading; outer spans readings 1..4
+    assert outer["ts"] == pytest.approx(1e6)
+    assert outer["dur"] == pytest.approx(3e6)
+
+
+def test_roundtrip_through_file(tmp_path):
+    path = tmp_path / "trace.json"
+    write_chrome_trace(path, tracer=make_tracer(),
+                       sim_traces={"sim": make_sim_trace()})
+    loaded = json.loads(path.read_text())
+    validate_chrome_trace(loaded)
+    x_names = {e["name"] for e in loaded["traceEvents"] if e["ph"] == "X"}
+    assert {"train_step", "fwd_bwd", "fwd", "step", "up"} <= x_names
+
+
+def test_validate_rejects_malformed():
+    with pytest.raises(ValueError):
+        validate_chrome_trace({"events": []})
+    with pytest.raises(ValueError):
+        validate_chrome_trace({"traceEvents": [{"ph": "X", "ts": 0}]})
+    with pytest.raises(ValueError):
+        validate_chrome_trace(
+            {"traceEvents": [{"ph": "X", "ts": 0, "dur": -1, "pid": 1,
+                              "tid": 0, "name": "x"}]}
+        )
+
+
+def test_jsonl_schema(tmp_path):
+    registry = MetricsRegistry()
+    registry.counter("rollbacks_total", reason="clip").inc(2)
+    registry.histogram("loss").observe(1.5)
+    path = tmp_path / "events.jsonl"
+    n = write_events_jsonl(path, make_tracer(), registry)
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert len(lines) == n
+    assert lines[0]["type"] == "meta" and lines[0]["schema"] == 1
+    by_type = {}
+    for line in lines[1:]:
+        by_type.setdefault(line["type"], []).append(line)
+    assert {"span", "counter", "histogram"} <= set(by_type)
+    span = by_type["span"][0]
+    assert {"name", "cat", "start_s", "dur_s", "thread", "depth",
+            "attrs"} <= set(span)
+    counter = by_type["counter"][0]
+    assert counter["labels"] == {"reason": "clip"}
+    assert counter["value"] == 2.0
+    hist = by_type["histogram"][0]
+    assert hist["count"] == 1 and hist["p50"] == 1.5
+
+
+def test_jsonl_without_sources(tmp_path):
+    path = tmp_path / "events.jsonl"
+    assert write_events_jsonl(path) == 1  # just the meta header

@@ -1,0 +1,148 @@
+"""Tests for counters, gauges, and percentile histograms."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.telemetry import (
+    SUMMARY_HEADERS,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+
+
+def test_counter_accumulates():
+    registry = MetricsRegistry()
+    counter = registry.counter("bytes_total", op="all_gather")
+    counter.inc()
+    counter.inc(41.0)
+    assert counter.value == 42.0
+
+
+def test_counter_rejects_negative():
+    with pytest.raises(ValueError):
+        MetricsRegistry().counter("c").inc(-1)
+
+
+def test_gauge_last_write_wins():
+    gauge = MetricsRegistry().gauge("loss_scale")
+    gauge.set(2**12)
+    gauge.set(2**11)
+    assert gauge.value == 2**11
+
+
+def test_labels_separate_instruments():
+    registry = MetricsRegistry()
+    a = registry.counter("calls", op="all_reduce")
+    b = registry.counter("calls", op="all_gather")
+    a.inc()
+    assert a is not b
+    assert b.value == 0.0
+    # same (name, labels) -> same instrument regardless of kwarg order
+    assert registry.counter("x", a="1", b="2") is registry.counter(
+        "x", b="2", a="1"
+    )
+
+
+def test_kind_namespaces_are_distinct():
+    registry = MetricsRegistry()
+    registry.counter("m").inc()
+    registry.gauge("m").set(5)
+    assert registry.counter("m").value == 1.0
+    assert registry.gauge("m").value == 5.0
+
+
+def test_histogram_summary_exact():
+    hist = MetricsRegistry().histogram("latency")
+    for v in [1.0, 2.0, 3.0, 4.0]:
+        hist.observe(v)
+    summary = hist.summary()
+    assert summary["count"] == 4
+    assert summary["mean"] == pytest.approx(2.5)
+    assert summary["min"] == 1.0
+    assert summary["max"] == 4.0
+    assert summary["p50"] == pytest.approx(2.5)
+
+
+def test_histogram_empty_summary():
+    summary = MetricsRegistry().histogram("empty").summary()
+    assert summary["count"] == 0
+    assert summary["p50"] is None
+
+
+def test_percentile_bounds_checked():
+    hist = MetricsRegistry().histogram("h")
+    hist.observe(1.0)
+    with pytest.raises(ValueError):
+        hist.percentile(101)
+    assert hist.percentile(0) == 1.0
+    assert hist.percentile(100) == 1.0
+
+
+def test_summary_rows_match_headers():
+    registry = MetricsRegistry()
+    registry.counter("calls", op="bcast").inc(3)
+    registry.gauge("scale").set(7.5)
+    registry.histogram("loss").observe(1.0)
+    rows = registry.summary_rows()
+    assert len(rows) == 3
+    assert all(len(row) == len(SUMMARY_HEADERS) for row in rows)
+    kinds = [row[2] for row in rows]
+    assert kinds == ["counter", "gauge", "histogram"]
+
+
+def test_iteration_is_sorted_and_sized():
+    registry = MetricsRegistry()
+    registry.gauge("b")
+    registry.counter("a")
+    assert len(registry) == 2
+    assert [kind for kind, _ in registry] == ["counter", "gauge"]
+
+
+def test_null_registry_is_inert():
+    registry = NullMetricsRegistry()
+    registry.counter("c", op="x").inc(5)
+    registry.gauge("g").set(1)
+    registry.histogram("h").observe(2)
+    assert len(registry) == 0
+    assert registry.summary_rows() == []
+    assert list(registry) == []
+
+
+# ---- Hypothesis: percentile order statistics are monotone ----------------
+
+
+@given(
+    st.lists(
+        st.floats(min_value=-1e9, max_value=1e9,
+                  allow_nan=False, allow_infinity=False),
+        min_size=1, max_size=200,
+    )
+)
+@settings(max_examples=200, deadline=None)
+def test_percentiles_monotone_p50_p95_p99(values):
+    hist = MetricsRegistry().histogram("h")
+    for v in values:
+        hist.observe(v)
+    p50, p95, p99 = (hist.percentile(p) for p in (50, 95, 99))
+    assert p50 <= p95 <= p99
+    assert min(values) <= p50
+    assert p99 <= max(values)
+
+
+@given(
+    st.lists(
+        st.floats(min_value=-1e6, max_value=1e6,
+                  allow_nan=False, allow_infinity=False),
+        min_size=1, max_size=100,
+    ),
+    st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=2,
+             max_size=6),
+)
+@settings(max_examples=100, deadline=None)
+def test_percentile_monotone_in_p(values, percentiles):
+    hist = MetricsRegistry().histogram("h")
+    for v in values:
+        hist.observe(v)
+    ordered_p = sorted(percentiles)
+    results = [hist.percentile(p) for p in ordered_p]
+    assert all(a <= b for a, b in zip(results, results[1:]))

@@ -1,0 +1,122 @@
+"""Tests for the span tracer (nesting, threading, and the no-op default)."""
+
+import threading
+
+from repro.telemetry import NullTracer, Tracer
+from repro.telemetry.tracer import _NULL_SPAN
+
+
+class FakeClock:
+    """Deterministic clock: each reading advances by ``step`` seconds."""
+
+    def __init__(self, step: float = 1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+def test_span_records_name_category_and_attrs():
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("fwd", category="compute", layer=3) as handle:
+        handle.set_attr("tokens", 128)
+    (span,) = tracer.spans
+    assert span.name == "fwd"
+    assert span.category == "compute"
+    assert span.attrs == {"layer": 3, "tokens": 128}
+    assert span.finish is not None and span.finish > span.start
+    assert span.duration > 0
+
+
+def test_times_are_relative_to_epoch():
+    clock = FakeClock(step=1.0)
+    tracer = Tracer(clock=clock)  # epoch consumes reading 0
+    with tracer.span("a"):
+        pass
+    (span,) = tracer.spans
+    assert span.start == 1.0
+    assert span.finish == 2.0
+
+
+def test_nesting_depth_tracked():
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            pass
+        with tracer.span("inner2"):
+            pass
+    spans = {s.name: s for s in tracer.spans}
+    assert spans["outer"].depth == 0
+    assert spans["inner"].depth == 1
+    assert spans["inner2"].depth == 1
+    # completion order: inner spans close before the outer one
+    assert [s.name for s in tracer.spans] == ["inner", "inner2", "outer"]
+
+
+def test_spans_survive_exceptions():
+    tracer = Tracer(clock=FakeClock())
+    try:
+        with tracer.span("risky"):
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    (span,) = tracer.spans
+    assert span.name == "risky"
+    assert span.finish is not None
+
+
+def test_spans_named_filter():
+    tracer = Tracer(clock=FakeClock())
+    for _ in range(3):
+        with tracer.span("step"):
+            pass
+    with tracer.span("other"):
+        pass
+    assert len(tracer.spans_named("step")) == 3
+    assert len(tracer.spans_named("other")) == 1
+
+
+def test_clear_drops_spans():
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("a"):
+        pass
+    tracer.clear()
+    assert tracer.spans == ()
+
+
+def test_threads_get_stable_distinct_indices():
+    tracer = Tracer()
+    barrier = threading.Barrier(4)
+
+    def work():
+        barrier.wait()
+        for _ in range(50):
+            with tracer.span("t"):
+                pass
+
+    threads = [threading.Thread(target=work) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(tracer.spans) == 200
+    by_thread = {s.thread for s in tracer.spans}
+    assert len(by_thread) == 4
+    # nesting depth is per-thread: everything here was top-level
+    assert all(s.depth == 0 for s in tracer.spans)
+
+
+def test_null_tracer_records_nothing():
+    tracer = NullTracer()
+    with tracer.span("anything", category="x", a=1) as handle:
+        handle.set_attr("b", 2)
+    assert tracer.spans == ()
+    assert not tracer.enabled
+
+
+def test_null_tracer_reuses_one_handle():
+    tracer = NullTracer()
+    assert tracer.span("a") is tracer.span("b") is _NULL_SPAN

@@ -15,7 +15,7 @@ def test_list_command(capsys):
 def test_every_artifact_registered():
     for artifact in ("table1", "fig4", "fig6", "fig7", "fig9", "fig10",
                      "fig11", "fig12", "fig13", "table2", "table3", "fig14",
-                     "fig15", "timeline"):
+                     "fig15", "timeline", "trace"):
         assert artifact in COMMANDS
 
 
@@ -65,3 +65,30 @@ def test_timeline_output(capsys):
     out = capsys.readouterr().out
     assert "ZeRO-Offload" in out and "SuperOffload" in out
     assert "|" in out and "#" in out
+
+
+def test_trace_writes_artifacts(tmp_path, capsys):
+    import json
+
+    from repro.telemetry.export import validate_chrome_trace
+
+    assert main(["trace", "--quick", "--out", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "telemetry metrics summary" in out
+    assert "rollbacks_total" in out
+    assert "loss_scale" in out
+
+    document = json.loads((tmp_path / "trace.json").read_text())
+    validate_chrome_trace(document)
+    x_events = [e for e in document["traceEvents"] if e["ph"] == "X"]
+    pids = {e["pid"] for e in x_events}
+    assert len(pids) == 2  # live tracer + simulator timelines
+    names = {e["name"] for e in x_events}
+    assert {"train_step", "fwd_bwd", "speculative_step"} <= names
+
+    lines = (tmp_path / "events.jsonl").read_text().splitlines()
+    records = [json.loads(line) for line in lines]
+    assert records[0]["type"] == "meta"
+    assert any(r["type"] == "span" for r in records)
+    assert any(r["type"] == "counter" for r in records)
+

@@ -1,0 +1,37 @@
+"""Tests for table-cell rendering, including non-finite floats."""
+
+from repro.reporting import format_cell, format_table
+
+
+def test_none_renders_oom():
+    assert format_cell(None) == "OOM"
+
+
+def test_finite_floats_two_decimals():
+    assert format_cell(3.14159) == "3.14"
+    assert format_cell(-0.005) == "-0.01"
+
+
+def test_nan_renders_explicitly():
+    assert format_cell(float("nan")) == "NaN"
+
+
+def test_infinities_render_explicitly():
+    assert format_cell(float("inf")) == "inf"
+    assert format_cell(float("-inf")) == "-inf"
+
+
+def test_non_floats_pass_through():
+    assert format_cell(7) == "7"
+    assert format_cell("nan") == "nan"  # strings are data, not floats
+
+
+def test_table_renders_nonfinite_cells():
+    table = format_table("t", ["a", "b"], [[float("nan"), float("inf")]])
+    assert "NaN" in table
+    assert "inf" in table
+
+
+def test_table_with_no_rows():
+    table = format_table("empty", ["col"], [])
+    assert "col" in table
