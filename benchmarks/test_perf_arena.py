@@ -1,0 +1,61 @@
+"""Substrate perf: the flat parameter arena vs the dict-copy ancestors.
+
+Runs :func:`repro.training.substrate_bench` end to end, prints the same
+tables ``repro bench`` prints, writes ``BENCH_substrate.json`` next to the
+repo root, and asserts the acceptance bar of the arena refactor:
+
+* the arena ZeRO step beats the dict-copy step by >= 2x at the largest
+  benchmarked size, and
+* steady-state ``arena_bytes_copied`` is exactly zero once gradients are
+  produced into the arena (the zero-copy contract).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.training import substrate_bench
+from benchmarks.conftest import print_table
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_arena_substrate_perf():
+    result = substrate_bench()
+    print_table(
+        "BENCH_substrate — arena vs dict-copy ZeRO step "
+        f"(world {result['world_size']})",
+        ["elements", "dict-copy (ms)", "arena (ms)", "speedup"],
+        [[f"{r['elements']:,}", r["dict_copy_ms"], r["arena_ms"],
+          f"{r['speedup']:.2f}x"] for r in result["zero_step"]],
+    )
+    print_table(
+        "BENCH_substrate — snapshot capture+restore",
+        ["elements", "per-tensor (ms)", "arena memcpy (ms)", "speedup"],
+        [[f"{r['elements']:,}", r["per_tensor_ms"], r["arena_ms"],
+          f"{r['speedup']:.2f}x"] for r in result["rollback"]],
+    )
+    steady = result["steady_state"]
+    print_table(
+        "BENCH_substrate — steady-state arena traffic per step",
+        ["elements", "steps", "bytes copied", "bytes aliased"],
+        [[f"{steady['elements']:,}", steady["steps"],
+          steady["arena_bytes_copied_per_step"],
+          steady["arena_bytes_aliased_per_step"]]],
+    )
+
+    out = REPO_ROOT / "BENCH_substrate.json"
+    out.write_text(json.dumps(result, indent=2) + "\n")
+
+    # the acceptance bar: >= 2x at the largest size, zero steady copies
+    largest = result["zero_step"][-1]
+    assert largest["speedup"] >= 2.0, largest
+    assert steady["arena_bytes_copied_per_step"] == 0.0
+    assert steady["arena_bytes_aliased_per_step"] > 0
+    # every size must at least not regress
+    for row in result["zero_step"]:
+        assert row["speedup"] > 1.0, row
+
+    document = json.loads(out.read_text())
+    assert document["benchmark"] == "substrate_arena"

@@ -7,7 +7,8 @@ Usage::
     python -m repro table2               # the ablation breakdown
     python -m repro fig12 --chips 8      # Ulysses sequence lengths
     python -m repro trace --out /tmp/t   # telemetry: trace.json + events.jsonl
-    python -m repro all                  # everything (slow; skips 'trace')
+    python -m repro bench --out /tmp/b   # substrate perf: BENCH_substrate.json
+    python -m repro all                  # everything (slow; skips file writers)
 
 Every command prints the same table its benchmark harness asserts on; the
 heavier sweeps accept ``--quick`` to trim the model-size grid.
@@ -341,6 +342,41 @@ def _cmd_trace(args: argparse.Namespace) -> None:
           f"({n_lines} lines)")
 
 
+def _cmd_bench(args: argparse.Namespace) -> None:
+    import json
+    from pathlib import Path
+
+    from repro.training import substrate_bench
+
+    result = substrate_bench(quick=args.quick)
+    print_table(
+        "repro bench — arena vs dict-copy ZeRO step "
+        f"(world {result['world_size']})",
+        ["elements", "dict-copy (ms)", "arena (ms)", "speedup"],
+        [[f"{r['elements']:,}", r["dict_copy_ms"], r["arena_ms"],
+          f"{r['speedup']:.2f}x"] for r in result["zero_step"]],
+    )
+    print_table(
+        "repro bench — STV bucket snapshot capture+restore",
+        ["elements", "per-tensor (ms)", "arena memcpy (ms)", "speedup"],
+        [[f"{r['elements']:,}", r["per_tensor_ms"], r["arena_ms"],
+          f"{r['speedup']:.2f}x"] for r in result["rollback"]],
+    )
+    steady = result["steady_state"]
+    print_table(
+        "repro bench — steady-state arena traffic per ZeRO step",
+        ["elements", "steps", "bytes copied", "bytes aliased"],
+        [[f"{steady['elements']:,}", steady["steps"],
+          steady["arena_bytes_copied_per_step"],
+          steady["arena_bytes_aliased_per_step"]]],
+    )
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    bench_path = out / "BENCH_substrate.json"
+    bench_path.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"\nwrote {bench_path}")
+
+
 def _cmd_timeline(args: argparse.Namespace) -> None:
     from repro.models.config import MODEL_CONFIG_TABLE
     from repro.sim.gantt import render_timeline
@@ -372,10 +408,11 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "fig15": _cmd_fig15,
     "timeline": _cmd_timeline,
     "trace": _cmd_trace,
+    "bench": _cmd_bench,
 }
 
 #: Commands that write files; excluded from ``repro all``.
-_FILE_WRITING = {"trace"}
+_FILE_WRITING = {"trace", "bench"}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -399,7 +436,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--out", default=".",
-        help="output directory for 'trace' (trace.json + events.jsonl)",
+        help="output directory for 'trace' (trace.json + events.jsonl) "
+             "and 'bench' (BENCH_substrate.json)",
     )
     return parser
 

@@ -33,6 +33,7 @@ from repro.optim.mixed_precision import (
 )
 from repro.optim.rollback import RollbackStrategy, make_rollback
 from repro.telemetry import NULL_TELEMETRY, Telemetry
+from repro.tensors.arena import FlatArena
 
 Params = Dict[str, np.ndarray]
 
@@ -110,12 +111,28 @@ class _EngineBase:
             self.scaler = LossScaler(init_scale=1.0, growth_interval=10**9)
         else:
             self.scaler = LossScaler()
-        self.mp = MixedPrecisionState(
-            master_fp32=model.params, low_dtype=precision
-        )
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._tracer = self.telemetry.tracer
         self._metrics = self.telemetry.metrics
+        # Move the master weights into a flat arena (a zero-copy wrap if a
+        # lower layer already did) and give the optimizer arena-backed
+        # moments; gradients accumulate into a same-layout arena and the
+        # widened fp32 working copy gets one too, so the per-step casts and
+        # the gradient unscale are single flat passes.
+        self.arena = FlatArena.wrap(model.params, telemetry=self.telemetry)
+        if self.arena is None:
+            self.arena = FlatArena.adopt(model.params,
+                                         telemetry=self.telemetry)
+        if self.optimizer.arena is None:
+            self.optimizer.bind_arena(self.arena)
+        self._grad_arena = self.arena.like()
+        self._wide_arena = self.arena.like()
+        self.mp = MixedPrecisionState(
+            master_fp32=model.params, low_dtype=precision
+        )
+        if self.mp.master_arena is not None:
+            self.mp.master_arena.set_telemetry(self.telemetry)
+            self.mp.low_arena.set_telemetry(self.telemetry)
         self.iteration = 0
         self.rollback_count = 0
         # Experiment hook: multiplies raw gradients before the fp16 round
@@ -146,14 +163,24 @@ class _EngineBase:
                 f"batch {ids.shape[0]} not divisible by grad_accum {grad_accum}"
             )
         with self._tracer.span("cast", category="cast", direction="widen"):
-            widened = {
-                k: v.astype(np.float32) for k, v in self.mp.model_fp16.items()
-            }
+            if self.mp.low_arena is not None:
+                # One flat widening cast into the reusable fp32 arena
+                # (bitwise identical to per-tensor astype).
+                self._wide_arena.flat[...] = self.mp.low_arena.flat
+                self._wide_arena.note_alias(self._wide_arena.flat.nbytes)
+                widened = dict(self._wide_arena.views)
+            else:
+                widened = {
+                    k: v.astype(np.float32)
+                    for k, v in self.mp.model_fp16.items()
+                }
         inv = np.float32(1.0 / self.scaler.scale)
         boost = np.float32(self.grad_injection)
         overflow = False
         total_loss = 0.0
         accumulated: Params = {}
+        grad_views = self._grad_arena.views
+        all_in_arena = True
         with self._tracer.span("fwd_bwd", category="compute",
                                micro_batches=grad_accum):
             for micro_ids, micro_targets in zip(
@@ -170,17 +197,33 @@ class _EngineBase:
                     g16 = lower_precision(g, self.precision)
                     if not np.all(np.isfinite(g16)):
                         overflow = True
-                    unscaled = g16.astype(np.float32) * inv
                     if name in accumulated:
                         # inf - inf style propagation is expected when a
                         # micro batch overflowed; the health check flags it
                         # and the iteration is skipped, so silence the
                         # spurious warning.
                         with np.errstate(invalid="ignore", over="ignore"):
-                            accumulated[name] += unscaled
+                            accumulated[name] += g16.astype(np.float32) * inv
+                        continue
+                    out = grad_views.get(name)
+                    if out is not None and out.shape == g16.shape:
+                        # First micro-batch lands straight in the gradient
+                        # arena (same bits as astype-then-multiply).
+                        np.multiply(g16.astype(np.float32), inv, out=out)
+                        accumulated[name] = out
                     else:
-                        accumulated[name] = unscaled
-        if grad_accum > 1:
+                        accumulated[name] = g16.astype(np.float32) * inv
+                        all_in_arena = False
+        if all_in_arena and set(accumulated) == set(grad_views):
+            # Re-emit in layout order so downstream flat fast paths can
+            # recognise the dict as the arena (no array copies involved).
+            accumulated = {
+                name: accumulated[name]
+                for name in self._grad_arena.layout.names
+            }
+            if grad_accum > 1:
+                self._grad_arena.flat *= np.float32(1.0 / grad_accum)
+        elif grad_accum > 1:
             scale = np.float32(1.0 / grad_accum)
             for name in accumulated:
                 accumulated[name] *= scale
@@ -188,6 +231,12 @@ class _EngineBase:
 
     def _apply_clip(self, grads: Params, coef: float) -> Params:
         if coef == 1.0:
+            return grads
+        flat = self._grad_arena.flat_of(grads)
+        if flat is not None:
+            # Gradients live in the arena: clip is one in-place flat
+            # multiply (same bits as the per-tensor out-of-place version).
+            flat *= np.float32(coef)
             return grads
         return {k: (g * np.float32(coef)).astype(np.float32) for k, g in grads.items()}
 

@@ -19,11 +19,13 @@ Latency on actual Grace hardware is priced by
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
 from repro.optim.adam import AdamConfig, AdamParamState, adam_invert
+from repro.tensors.arena import FlatArena
+from repro.tensors.errors import TensorValidationError, ensure_dense_fp32
 
 Params = Dict[str, np.ndarray]
 Grads = Dict[str, np.ndarray]
@@ -32,24 +34,66 @@ Grads = Dict[str, np.ndarray]
 class AdamOptimizer:
     """Base class: owns per-parameter state and the shared config.
 
+    If ``params`` already form a :class:`FlatArena` (their values are
+    packed views of one buffer), the optimizer binds to it at
+    construction and mirrors its moment state into same-layout arenas,
+    enabling the flat fast paths in the subclasses and the one-memcpy
+    rollback in :class:`repro.optim.rollback.SnapshotRollback`.  Plain
+    dicts keep the historical per-tensor behaviour.
+
     Args:
         params: name -> fp32 master weight array (updated in place).
         config: AdamW hyperparameters.
     """
 
     kernel_name = "abstract"
+    #: Whether ``step`` mutates ``state[name].m/.v`` in place.  Arena-
+    #: backed moment storage is only coherent for in-place updaters;
+    #: :class:`ReferenceAdam` rebinds state arrays every step and opts out.
+    arena_state_inplace = True
 
     def __init__(self, params: Params, config: AdamConfig | None = None):
         if not params:
             raise ValueError("optimizer needs at least one parameter")
         for name, p in params.items():
-            if p.dtype != np.float32:
-                raise TypeError(f"master weight {name!r} must be fp32")
+            ensure_dense_fp32(name, p)
         self.params = params
         self.config = config or AdamConfig()
         self.state: Dict[str, AdamParamState] = {
             name: AdamParamState.zeros_like(p) for name, p in params.items()
         }
+        self.arena: Optional[FlatArena] = None
+        self.arena_m: Optional[FlatArena] = None
+        self.arena_v: Optional[FlatArena] = None
+        wrapped = FlatArena.wrap(params)
+        if wrapped is not None:
+            self.bind_arena(wrapped)
+
+    def bind_arena(self, arena: FlatArena) -> None:
+        """Bind to a parameter arena (and arena-back the moments).
+
+        ``arena.views`` must alias ``self.params`` value-for-value.  For
+        in-place implementations the Adam moments are moved into fresh
+        same-layout arenas so ``(p, m, v)`` are three parallel flat
+        planes — the layout GraceAdam's tiled walk and the snapshot
+        rollback both exploit.
+        """
+        if set(arena.views) != set(self.params):
+            raise TensorValidationError(
+                "arena tensor set does not match optimizer parameters"
+            )
+        self.arena = arena
+        if not self.arena_state_inplace:
+            return
+        self.arena_m = arena.like()
+        self.arena_v = arena.like()
+        for name, st in self.state.items():
+            m_view = self.arena_m.views[name]
+            m_view[...] = st.m
+            st.m = m_view
+            v_view = self.arena_v.views[name]
+            v_view[...] = st.v
+            st.v = v_view
 
     @property
     def step_count(self) -> int:
@@ -77,6 +121,17 @@ class AdamOptimizer:
             raise KeyError(f"gradients for unknown parameters {sorted(unknown)}")
         if not grads:
             raise ValueError("step called with no gradients")
+        for name, g in grads.items():
+            if np.shape(g) != self.params[name].shape:
+                raise TensorValidationError(
+                    f"gradient {name!r} has shape {np.shape(g)}, "
+                    f"expected {self.params[name].shape}"
+                )
+
+    def _uniform_step(self) -> Optional[int]:
+        """The shared step count, or ``None`` if parameters diverge."""
+        steps = {st.step for st in self.state.values()}
+        return steps.pop() if len(steps) == 1 else None
 
 
 class ReferenceAdam(AdamOptimizer):
@@ -87,6 +142,9 @@ class ReferenceAdam(AdamOptimizer):
     """
 
     kernel_name = "pt_cpu"
+    # The out-of-place style rebinds st.m/st.v to fresh temporaries every
+    # step, so arena-backed moment views would silently go stale.
+    arena_state_inplace = False
 
     def step(self, grads: Grads) -> None:
         self._check_grads(grads)
@@ -115,22 +173,24 @@ class ReferenceAdam(AdamOptimizer):
 class CPUAdam(AdamOptimizer):
     """DeepSpeed-style fused flat-buffer Adam (the "CPU-Adam" row).
 
-    Flattens all parameters into one contiguous fp32 buffer once at
-    construction; each step is a handful of fused in-place passes over it.
+    Parameters live in a :class:`FlatArena` (adopted at construction if
+    the caller's dict is not already arena-backed); each step is a
+    handful of fused in-place passes over the flat buffer.  Because the
+    per-tensor params and state are *views* of the same memory, there is
+    no scatter-back copy after the update and no re-sync after an
+    inversion — coherence is structural.
     """
 
     kernel_name = "cpu_adam"
 
     def __init__(self, params: Params, config: AdamConfig | None = None):
         super().__init__(params, config)
-        self._layout: List[Tuple[str, int, int, Tuple[int, ...]]] = []
-        offset = 0
-        for name, p in params.items():
-            self._layout.append((name, offset, offset + p.size, p.shape))
-            offset += p.size
-        self._flat_p = np.concatenate([p.ravel() for p in params.values()])
-        self._flat_m = np.zeros(offset, dtype=np.float32)
-        self._flat_v = np.zeros(offset, dtype=np.float32)
+        if self.arena is None:
+            self.bind_arena(FlatArena.adopt(params))
+        unpadded = self.arena.layout.unpadded
+        self._flat_p = self.arena.flat[:unpadded]
+        self._flat_m = self.arena_m.flat[:unpadded]
+        self._flat_v = self.arena_v.flat[:unpadded]
         self._flat_step = 0
 
     def _flatten_grads(self, grads: Grads) -> np.ndarray:
@@ -141,17 +201,15 @@ class CPUAdam(AdamOptimizer):
                 "CPUAdam's fused flat buffer needs the full gradient set; "
                 f"missing {sorted(missing)}"
             )
+        unpadded = self.arena.layout.unpadded
+        flat = self.arena.flat_of(grads)
+        if flat is not None:
+            return flat[:unpadded]
+        self.arena.note_copy(unpadded * 4)
         return np.concatenate(
             [np.asarray(grads[name], dtype=np.float32).ravel()
-             for name, *_ in self._layout]
+             for name in self.arena.layout.names]
         )
-
-    def _scatter_back(self) -> None:
-        for name, lo, hi, shape in self._layout:
-            self.params[name][...] = self._flat_p[lo:hi].reshape(shape)
-            self.state[name].m[...] = self._flat_m[lo:hi].reshape(shape)
-            self.state[name].v[...] = self._flat_v[lo:hi].reshape(shape)
-            self.state[name].step = self._flat_step
 
     def step(self, grads: Grads) -> None:
         g = self._flatten_grads(grads)
@@ -168,15 +226,15 @@ class CPUAdam(AdamOptimizer):
         if c.weight_decay:
             self._flat_p *= 1.0 - c.lr * c.weight_decay
         self._flat_p -= c.lr * ((self._flat_m / bc1) / denom)
-        self._scatter_back()
+        for st in self.state.values():
+            st.step = self._flat_step
+        # The scatter-back the dict design needed: p, m, v written once each.
+        self.arena.note_alias(3 * self._flat_p.nbytes)
 
     def invert_step(self, grads: Grads) -> None:
         super().invert_step(grads)
-        # Keep the flat mirrors coherent with the per-tensor views.
-        for name, lo, hi, shape in self._layout:
-            self._flat_p[lo:hi] = self.params[name].ravel()
-            self._flat_m[lo:hi] = self.state[name].m.ravel()
-            self._flat_v[lo:hi] = self.state[name].v.ravel()
+        # Params/state are arena views, so the flat mirrors are already
+        # coherent; only the shared step counter needs unwinding.
         self._flat_step -= 1
 
 
@@ -220,9 +278,51 @@ class GraceAdam(AdamOptimizer):
         for lo in range(0, n, self.tile_size):
             yield lo, min(n, lo + self.tile_size)
 
+    def _step_flat(self, flat_g: np.ndarray, step: int) -> None:
+        """One fused tiled pass over the whole arena (p, m, v planes).
+
+        Bitwise-identical to the per-tensor loop: the update is purely
+        elementwise, so tile boundaries (per-tensor or arena-wide) cannot
+        change any result bit.
+        """
+        c = self.config
+        bc1 = 1 - c.beta1**step if c.bias_correction else 1.0
+        bc2 = 1 - c.beta2**step if c.bias_correction else 1.0
+        n = self.arena.layout.unpadded
+        flat_p = self.arena.flat[:n]
+        flat_m = self.arena_m.flat[:n]
+        flat_v = self.arena_v.flat[:n]
+        for lo, hi in self._tiles(n):
+            g = flat_g[lo:hi]
+            m = flat_m[lo:hi]
+            v = flat_v[lo:hi]
+            p = flat_p[lo:hi]
+            m *= c.beta1
+            m += (1 - c.beta1) * g
+            v *= c.beta2
+            v += (1 - c.beta2) * np.square(g)
+            denom = np.sqrt(v / bc2)
+            denom += c.eps
+            if c.weight_decay:
+                p *= 1.0 - c.lr * c.weight_decay
+            p -= c.lr * ((m / bc1) / denom)
+        for st in self.state.values():
+            st.step = step
+
     def step(self, grads: Grads) -> None:
         self._check_grads(grads)
         c = self.config
+        if (self.arena is not None and self.arena_m is not None
+                and len(grads) == len(self.params)):
+            # Full-set step on an arena: if the gradients are themselves
+            # arena-backed with the same layout, update all three planes
+            # in one flat tiled walk with zero copies.
+            flat_g = self.arena.flat_of(grads)
+            step = self._uniform_step()
+            if flat_g is not None and step is not None:
+                self._step_flat(flat_g[:self.arena.layout.unpadded],
+                                step + 1)
+                return
         for name in grads:
             param = self.params[name]
             st = self.state[name]

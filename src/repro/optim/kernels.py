@@ -8,6 +8,7 @@ Table 3 benchmark harness and the schedule builders.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Dict, List
 
 from repro.hardware.specs import DeviceSpec
@@ -15,11 +16,22 @@ from repro.hardware.registry import GRACE_CPU
 from repro.sim.compute import ComputeModel
 
 
+@lru_cache(maxsize=None)
+def compute_model_for(cpu: DeviceSpec) -> ComputeModel:
+    """The shared :class:`ComputeModel` for ``cpu``.
+
+    ``DeviceSpec`` is a frozen (hashable) dataclass, so identical specs
+    share one model instead of building a fresh one per latency query —
+    ``adam_latency_table`` used to construct one per cell.
+    """
+    return ComputeModel(cpu)
+
+
 def adam_latency_seconds(
     n_params: int, kernel: str, cpu: DeviceSpec = GRACE_CPU
 ) -> float:
     """Modelled wall time of one Adam step over ``n_params`` on ``cpu``."""
-    return ComputeModel(cpu).adam_step_time(n_params, kernel)
+    return compute_model_for(cpu).adam_step_time(n_params, kernel)
 
 
 def adam_latency_table(

@@ -9,11 +9,12 @@ NaN/Inf detection and gradient-norm clipping.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
 from repro.numeric.lowprec import to_bf16, to_fp16
+from repro.tensors.arena import FlatArena
 
 Params = Dict[str, np.ndarray]
 
@@ -154,6 +155,12 @@ class MixedPrecisionState:
     master_fp32: Params
     model_fp16: Params = field(default_factory=dict)
     low_dtype: str = "fp16"
+    #: Set when the master weights form a :class:`FlatArena`: the
+    #: low-precision copy then lives in a same-layout arena and a full
+    #: sync is one flat cast over the buffer instead of per-tensor
+    #: allocations.  ``model_fp16``'s values become *stable* views.
+    master_arena: Optional[FlatArena] = field(default=None, repr=False)
+    low_arena: Optional[FlatArena] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.low_dtype not in SUPPORTED_LOW_PRECISION:
@@ -162,10 +169,32 @@ class MixedPrecisionState:
             if p.dtype != np.float32:
                 raise TypeError(f"master weight {name!r} must be fp32")
         if not self.model_fp16:
+            self.master_arena = FlatArena.wrap(self.master_fp32)
+            if self.master_arena is not None:
+                # bf16 is emulated with fp32 storage (see lower_precision).
+                low_dt = np.float16 if self.low_dtype == "fp16" else np.float32
+                self.low_arena = self.master_arena.like(low_dt)
+                self.model_fp16 = dict(self.low_arena.views)
             self.sync_model_copy()
 
     def sync_model_copy(self, names: list[str] | None = None) -> None:
         """Refresh the low-precision copy from the master (all or subset)."""
+        if self.low_arena is not None:
+            if names is None:
+                # One flat vectorized cast over the whole buffer — bitwise
+                # identical to the per-tensor casts (casting is elementwise).
+                if self.low_dtype == "fp16":
+                    with np.errstate(over="ignore"):
+                        self.low_arena.flat[...] = self.master_arena.flat
+                else:
+                    self.low_arena.flat[...] = to_bf16(self.master_arena.flat)
+                self.low_arena.note_alias(self.low_arena.flat.nbytes)
+            else:
+                for name in names:
+                    self.model_fp16[name][...] = lower_precision(
+                        self.master_fp32[name], self.low_dtype
+                    )
+            return
         for name in names if names is not None else self.master_fp32:
             self.model_fp16[name] = lower_precision(
                 self.master_fp32[name], self.low_dtype

@@ -14,6 +14,7 @@ update":
 from __future__ import annotations
 
 import enum
+from dataclasses import dataclass
 from typing import Dict
 
 import numpy as np
@@ -21,6 +22,18 @@ import numpy as np
 from repro.optim.implementations import AdamOptimizer
 
 Params = Dict[str, np.ndarray]
+
+
+@dataclass
+class _ArenaSnapshot:
+    """One contiguous (p, m, v) range copied out of the optimizer's arenas."""
+
+    lo: int
+    hi: int
+    p: np.ndarray
+    m: np.ndarray
+    v: np.ndarray
+    steps: Dict[str, int]
 
 
 class RollbackStrategy(enum.Enum):
@@ -33,6 +46,11 @@ class RollbackStrategy(enum.Enum):
 class SnapshotRollback:
     """Bit-exact rollback via pre-update snapshots.
 
+    When the optimizer is arena-backed and the captured parameters form a
+    contiguous flat range (STV buckets do, by construction), capture and
+    restore are three range memcpys over the (p, m, v) planes instead of
+    per-tensor copies.  Plain-dict optimizers keep the per-tensor path.
+
     Args:
         optimizer: the optimizer whose state is protected.
     """
@@ -41,19 +59,34 @@ class SnapshotRollback:
 
     def __init__(self, optimizer: AdamOptimizer):
         self._optimizer = optimizer
-        self._snapshot: dict | None = None
+        self._snapshot: dict | _ArenaSnapshot | None = None
 
     def capture(self, grads: Params) -> None:
         """Record the current (p, m, v, step) for every gradient's parameter.
 
         Must be called immediately *before* the speculative step.
         """
+        opt = self._optimizer
+        arena = getattr(opt, "arena", None)
+        arena_m = getattr(opt, "arena_m", None)
+        if arena is not None and arena_m is not None:
+            span = arena.range_of(grads)
+            if span is not None:
+                lo, hi = span
+                self._snapshot = _ArenaSnapshot(
+                    lo, hi,
+                    arena.snapshot(lo, hi),
+                    arena_m.snapshot(lo, hi),
+                    opt.arena_v.snapshot(lo, hi),
+                    {name: opt.state[name].step for name in grads},
+                )
+                return
         self._snapshot = {
             name: (
-                self._optimizer.params[name].copy(),
-                self._optimizer.state[name].m.copy(),
-                self._optimizer.state[name].v.copy(),
-                self._optimizer.state[name].step,
+                opt.params[name].copy(),
+                opt.state[name].m.copy(),
+                opt.state[name].v.copy(),
+                opt.state[name].step,
             )
             for name in grads
         }
@@ -62,13 +95,22 @@ class SnapshotRollback:
         """Restore the captured state."""
         if self._snapshot is None:
             raise RuntimeError("rollback requested before capture")
-        for name in grads:
-            p, m, v, step = self._snapshot[name]
-            self._optimizer.params[name][...] = p
-            st = self._optimizer.state[name]
-            st.m[...] = m
-            st.v[...] = v
-            st.step = step
+        opt = self._optimizer
+        if isinstance(self._snapshot, _ArenaSnapshot):
+            snap = self._snapshot
+            opt.arena.restore(snap.p, snap.lo)
+            opt.arena_m.restore(snap.m, snap.lo)
+            opt.arena_v.restore(snap.v, snap.lo)
+            for name, step in snap.steps.items():
+                opt.state[name].step = step
+        else:
+            for name in grads:
+                p, m, v, step = self._snapshot[name]
+                opt.params[name][...] = p
+                st = opt.state[name]
+                st.m[...] = m
+                st.v[...] = v
+                st.step = step
         self._snapshot = None
 
     def discard(self) -> None:

@@ -88,6 +88,33 @@ class SimProcessGroup:
         full = np.concatenate([np.asarray(b).reshape(-1) for b in per_rank])
         return [full.copy() for _ in range(self.world_size)]
 
+    def all_gather_into(
+        self, per_rank: Sequence[np.ndarray], out: np.ndarray
+    ) -> np.ndarray:
+        """All-gather rank chunks directly into a caller-owned flat buffer.
+
+        The zero-copy twin of :meth:`all_gather` for the arena-backed
+        ZeRO step: when a rank's chunk already *is* the destination slice
+        (it was updated in place inside the arena), the write is skipped
+        entirely — the gather is a no-op for that rank.  Payload
+        accounting is identical to :meth:`all_gather`.
+        """
+        self._check(per_rank)
+        total = sum(np.asarray(b).size for b in per_rank)
+        if total != out.size:
+            raise ValueError(
+                f"gathering {total} elements into a buffer of {out.size}"
+            )
+        self._count("all_gather", sum(b.nbytes for b in per_rank))
+        cursor = 0
+        for chunk in per_rank:
+            flat = np.asarray(chunk).reshape(-1)
+            dst = out[cursor:cursor + flat.size]
+            if not np.shares_memory(dst, flat):
+                dst[...] = flat
+            cursor += flat.size
+        return out
+
     def broadcast(self, buf: np.ndarray) -> List[np.ndarray]:
         """Every rank receives a copy of ``buf``."""
         self._count("broadcast", buf.nbytes * self.world_size)

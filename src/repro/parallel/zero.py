@@ -12,7 +12,7 @@ bitwise identical to an unsharded Adam step.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -20,6 +20,8 @@ from repro.optim.adam import AdamConfig
 from repro.optim.implementations import GraceAdam
 from repro.parallel.comm import SimProcessGroup
 from repro.telemetry import NULL_TELEMETRY, Telemetry
+from repro.tensors.arena import FlatArena
+from repro.tensors.errors import TensorValidationError
 
 Params = Dict[str, np.ndarray]
 
@@ -77,6 +79,18 @@ def partition_params(params: Params, world_size: int) -> ShardLayout:
 class ZeroShardedAdam:
     """Adam with ZeRO-partitioned optimizer states over simulated ranks.
 
+    In the default zero-copy mode the master parameters live in a
+    :class:`FlatArena` (the caller's dict is adopted — its values become
+    views of one padded flat buffer) and rank ``r``'s optimizer operates
+    directly on ``arena.shard(r)``.  The ZeRO dataflow then has no
+    flatten or unflatten stage: reduce-scatter output is averaged in
+    place, the shard Adam writes straight into the arena, and the
+    all-gather is alias-detected into a no-op.
+
+    ``zero_copy=False`` keeps the historical dict-copy dataflow
+    (flatten -> reduce-scatter -> update private shards -> all-gather ->
+    unflatten); it exists as the measured baseline for ``repro bench``.
+
     Args:
         params: shared fp32 master parameters (updated in place — in a real
             deployment every rank holds the gathered fp16 copy; here the
@@ -86,6 +100,7 @@ class ZeroShardedAdam:
         zero: ZeRO behaviour switches.
         telemetry: span/counter sink shared with the internal communicator
             (no-op by default).
+        zero_copy: arena-backed dataflow (default) vs. dict-copy baseline.
     """
 
     def __init__(
@@ -95,6 +110,7 @@ class ZeroShardedAdam:
         config: AdamConfig | None = None,
         zero: ZeroConfig | None = None,
         telemetry: Telemetry | None = None,
+        zero_copy: bool = True,
     ):
         if world_size < 1:
             raise ValueError("world_size must be >= 1")
@@ -106,14 +122,29 @@ class ZeroShardedAdam:
         self.layout = partition_params(params, world_size)
         shard_len = self.layout.total // world_size
         self._shard_len = shard_len
-        flat = self._flatten(params)
-        # Rank r owns flat[r*shard : (r+1)*shard] via a per-rank GraceAdam.
+        self.zero_copy = zero_copy
+        self.arena: Optional[FlatArena] = None
+        self._grad_arenas: Dict[int, FlatArena] = {}
         self._rank_optimizers: List[GraceAdam] = []
-        for r in range(world_size):
-            shard = flat[r * shard_len : (r + 1) * shard_len].copy()
-            self._rank_optimizers.append(
-                GraceAdam({"shard": shard}, config or AdamConfig())
+        if zero_copy:
+            self.arena = FlatArena.adopt(
+                params, world_size, telemetry=self.telemetry
             )
+            # Rank r owns arena.shard(r) as a *view*: its Adam updates land
+            # directly in the master flat buffer.
+            for r in range(world_size):
+                self._rank_optimizers.append(
+                    GraceAdam({"shard": self.arena.shard(r)},
+                              config or AdamConfig())
+                )
+        else:
+            flat = self._flatten(params)
+            # Rank r owns a private copy of flat[r*shard : (r+1)*shard].
+            for r in range(world_size):
+                shard = flat[r * shard_len : (r + 1) * shard_len].copy()
+                self._rank_optimizers.append(
+                    GraceAdam({"shard": shard}, config or AdamConfig())
+                )
 
     def _flatten(self, tensors: Params) -> np.ndarray:
         flat = np.zeros(self.layout.total, dtype=np.float32)
@@ -139,15 +170,88 @@ class ZeroShardedAdam:
             raise IndexError(f"rank {rank} out of range")
         return rank * self._shard_len, (rank + 1) * self._shard_len
 
+    def grad_arena(self, rank: int) -> FlatArena:
+        """Rank ``rank``'s persistent gradient arena (zero-copy mode only).
+
+        Producers that can write gradients into this arena's views (or
+        its flat buffer) make :meth:`step` fully copy-free; it is also
+        the reusable landing zone :meth:`step` ingests plain dicts into.
+        """
+        if self.arena is None:
+            raise RuntimeError("gradient arenas require zero_copy=True")
+        if not 0 <= rank < self.world_size:
+            raise IndexError(f"rank {rank} out of range")
+        ga = self._grad_arenas.get(rank)
+        if ga is None:
+            ga = self.arena.like()
+            self._grad_arenas[rank] = ga
+        return ga
+
     def step(self, per_rank_grads: Sequence[Params]) -> None:
         """One sharded update from per-rank gradient dicts.
 
         Implements the ZeRO dataflow: reduce-scatter -> local Adam on the
         owned shard -> all-gather the updated parameters back into
-        ``self.params``.
+        ``self.params``.  In zero-copy mode, gradient dicts that already
+        alias an arena with this layout are used in place; others are
+        ingested into persistent per-rank gradient arenas (one counted
+        copy), and the rest of the step moves no parameter bytes.
         """
         if len(per_rank_grads) != self.world_size:
             raise ValueError("one gradient dict per rank required")
+        if not self.zero_copy:
+            self._step_dict_copy(per_rank_grads)
+            return
+        flats: List[np.ndarray] = []
+        for r, grads in enumerate(per_rank_grads):
+            flat = self.arena.flat_of(grads)
+            if flat is None:
+                ga = self.grad_arena(r)
+                ga.fill_from(grads)
+                flat = ga.flat
+            flats.append(flat)
+        self.step_flat(flats)
+
+    def step_flat(self, per_rank_flat: Sequence[np.ndarray]) -> None:
+        """One sharded update from per-rank *flat* gradient buffers.
+
+        The fully zero-copy entry point: each buffer must be a dense fp32
+        vector of the padded flat length (e.g. ``grad_arena(r).flat``).
+        The reduce-scatter chunks are averaged in place, each shard Adam
+        updates its arena view directly, and the all-gather skips every
+        chunk that already aliases its destination.
+        """
+        if self.arena is None:
+            raise RuntimeError("step_flat requires zero_copy=True")
+        if len(per_rank_flat) != self.world_size:
+            raise ValueError("one flat gradient buffer per rank required")
+        total = self.layout.total
+        for r, flat in enumerate(per_rank_flat):
+            if (not isinstance(flat, np.ndarray) or flat.ndim != 1
+                    or flat.dtype != np.float32 or flat.size != total):
+                raise TensorValidationError(
+                    f"rank {r} flat gradient must be a 1-D fp32 array of "
+                    f"length {total}"
+                )
+        tracer = self.telemetry.tracer
+        with tracer.span("zero_step", category="optim",
+                         world_size=self.world_size):
+            shards = self.group.reduce_scatter(per_rank_flat)
+            if self.zero.average_gradients:
+                for s in shards:
+                    s /= np.float32(self.world_size)
+            for r, opt in enumerate(self._rank_optimizers):
+                with tracer.span("shard_adam", category="optim", rank=r):
+                    opt.step({"shard": shards[r]})
+            self.group.all_gather_into(
+                [opt.params["shard"] for opt in self._rank_optimizers],
+                self.arena.flat,
+            )
+            # The unflatten stage the dict-copy dataflow needed.
+            self.arena.note_alias(self.arena.flat.nbytes)
+
+    def _step_dict_copy(self, per_rank_grads: Sequence[Params]) -> None:
+        """The historical flatten/unflatten dataflow (bench baseline)."""
         tracer = self.telemetry.tracer
         with tracer.span("zero_step", category="optim",
                          world_size=self.world_size):

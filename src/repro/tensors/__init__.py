@@ -8,13 +8,23 @@ capacity-checked allocation with out-of-memory semantics matching a real
 allocator.
 """
 
+from repro.tensors.arena import ArenaLayout, FlatArena
 from repro.tensors.dtypes import DType, FP16, FP32, FP64, BF16, INT8, INT32, dtype_by_name
-from repro.tensors.errors import DeviceOutOfMemoryError, PinnedPoolExhaustedError
+from repro.tensors.errors import (
+    DeviceOutOfMemoryError,
+    PinnedPoolExhaustedError,
+    TensorValidationError,
+    ensure_dense_fp32,
+)
 from repro.tensors.memory import Allocation, MemoryPool
 from repro.tensors.pinned import PinnedBufferPool
 from repro.tensors.spec import TensorSpec
 
 __all__ = [
+    "ArenaLayout",
+    "FlatArena",
+    "TensorValidationError",
+    "ensure_dense_fp32",
     "DType",
     "FP16",
     "FP32",

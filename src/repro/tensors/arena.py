@@ -1,0 +1,384 @@
+"""Zero-copy flat parameter arena.
+
+The paper's CPU-side machinery (GraceAdam §4.6, ZeRO-style sharding §4.7)
+wins by walking one contiguous buffer instead of a forest of per-tensor
+allocations — the flattened fp32 partition layout ZeRO-Offload introduced.
+:class:`FlatArena` is that layout for the numeric substrate: a set of
+named fp32 tensors laid out back-to-back as reshaped views into a single
+1-D buffer, padded at the tail so the flat length divides the world size.
+
+The aliasing invariant is the whole point: mutating a named view mutates
+the flat buffer and vice versa, so
+
+* optimizers update parameters, moments, and masters in place with single
+  flat vectorized passes (no flatten/scatter-back per step);
+* ``ZeroShardedAdam`` hands each rank a shard *view* — reduce-scatter
+  output is consumed where it lands and all-gather writes are no-ops when
+  the destination already aliases the arena;
+* STV rollback snapshots/restores a parameter bucket with one
+  arena-range ``memcpy`` instead of per-tensor copies;
+* mixed-precision casts (fp32 master -> fp16 model copy) are one flat
+  ``astype`` over the buffer.
+
+Every byte that crosses the arena boundary is accounted to one of two
+telemetry counters: ``arena_bytes_copied`` (data physically moved) and
+``arena_bytes_aliased`` (data served as views where the dict-of-tensors
+design would have copied).  Steady-state training steps should show the
+copied counter flat — that is the measurable claim ``repro bench``
+checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.tensors.errors import TensorValidationError, ensure_dense_fp32
+from repro.telemetry import NULL_TELEMETRY, Telemetry
+
+Shape = Tuple[int, ...]
+
+
+def _size_of(shape: Shape) -> int:
+    n = 1
+    for d in shape:
+        n *= int(d)
+    return n
+
+
+def _owner(array: np.ndarray) -> np.ndarray:
+    """Walk the ``.base`` chain to the array that owns the memory."""
+    while isinstance(array.base, np.ndarray):
+        array = array.base
+    return array
+
+
+def _byte_offset(view: np.ndarray, owner: np.ndarray) -> int:
+    return (
+        view.__array_interface__["data"][0]
+        - owner.__array_interface__["data"][0]
+    )
+
+
+@dataclass(frozen=True)
+class ArenaLayout:
+    """The placement plan: where each named tensor lives in the flat span.
+
+    ``total`` is the padded flat length (a multiple of the world size the
+    arena was planned for); ``unpadded`` is the sum of tensor sizes.  The
+    pad region ``[unpadded, total)`` belongs to no tensor and is kept
+    zero by every well-behaved writer.
+    """
+
+    names: Tuple[str, ...]
+    offsets: Tuple[int, ...]
+    shapes: Tuple[Shape, ...]
+    total: int
+    unpadded: int
+
+    @classmethod
+    def plan(
+        cls, shapes: Mapping[str, Sequence[int]], world_size: int = 1
+    ) -> "ArenaLayout":
+        """Lay out ``shapes`` back-to-back, padding to ``world_size``."""
+        if world_size < 1:
+            raise ValueError(f"world_size must be >= 1, got {world_size}")
+        if not shapes:
+            raise TensorValidationError("an arena needs at least one tensor")
+        names = []
+        offsets = []
+        shp = []
+        cursor = 0
+        for name, shape in shapes.items():
+            names.append(name)
+            offsets.append(cursor)
+            clean = tuple(int(d) for d in shape)
+            shp.append(clean)
+            cursor += _size_of(clean)
+        total = -(-cursor // world_size) * world_size
+        return cls(tuple(names), tuple(offsets), tuple(shp), total, cursor)
+
+    def aliases(self, other: "ArenaLayout") -> bool:
+        """True when two layouts describe the same tensor placement.
+
+        ``total`` is deliberately excluded: a world-padded arena and an
+        exact-fit arena over the same tensors still alias name-for-name.
+        """
+        return (
+            self.names == other.names
+            and self.offsets == other.offsets
+            and self.shapes == other.shapes
+            and self.unpadded == other.unpadded
+        )
+
+
+class FlatArena:
+    """Named fp32 tensors as views into one contiguous padded buffer.
+
+    Construct via :meth:`zeros` (fresh storage), :meth:`adopt` (copy a
+    params dict in once and rebind its values to arena views), or
+    :meth:`wrap` (zero-copy recognition of arrays that already form an
+    arena).  ``arena.views[name]`` and ``arena.flat`` alias the same
+    memory by construction.
+    """
+
+    __slots__ = ("layout", "world_size", "dtype", "flat", "views",
+                 "_offsets", "_telemetry")
+
+    def __init__(
+        self,
+        layout: ArenaLayout,
+        world_size: int = 1,
+        dtype: np.dtype = np.float32,
+        telemetry: Telemetry = NULL_TELEMETRY,
+        _flat: Optional[np.ndarray] = None,
+        _views: Optional[Dict[str, np.ndarray]] = None,
+    ):
+        if layout.total % world_size != 0:
+            raise ValueError(
+                f"layout total {layout.total} does not divide "
+                f"world_size {world_size}"
+            )
+        self.layout = layout
+        self.world_size = world_size
+        self.dtype = np.dtype(dtype)
+        self._telemetry = telemetry
+        self._offsets: Dict[str, Tuple[int, int]] = {
+            name: (off, _size_of(shape))
+            for name, off, shape in zip(layout.names, layout.offsets,
+                                        layout.shapes)
+        }
+        if _flat is None:
+            self.flat = np.zeros(layout.total, dtype=self.dtype)
+            self.views = {
+                name: self.flat[off:off + size].reshape(shape)
+                for (name, (off, size)), shape in zip(self._offsets.items(),
+                                                      layout.shapes)
+            }
+        else:
+            self.flat = _flat
+            self.views = dict(_views) if _views is not None else {
+                name: self.flat[off:off + size].reshape(shape)
+                for (name, (off, size)), shape in zip(self._offsets.items(),
+                                                      layout.shapes)
+            }
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def zeros(
+        cls,
+        shapes: Mapping[str, Sequence[int]],
+        world_size: int = 1,
+        dtype: np.dtype = np.float32,
+        telemetry: Telemetry = NULL_TELEMETRY,
+    ) -> "FlatArena":
+        """A zero-filled arena laid out for ``shapes``."""
+        layout = ArenaLayout.plan(shapes, world_size)
+        return cls(layout, world_size, dtype, telemetry)
+
+    @classmethod
+    def wrap(
+        cls,
+        tensors: Mapping[str, np.ndarray],
+        world_size: int = 1,
+        telemetry: Telemetry = NULL_TELEMETRY,
+    ) -> Optional["FlatArena"]:
+        """Recognise an existing arena without copying, else ``None``.
+
+        Succeeds only when every value is a dense fp32 view into one
+        common owning buffer, packed back-to-back from byte offset 0 in
+        dict order, and the owner's length is exactly the padded total
+        for ``world_size``.  The exact-fit requirement is what keeps a
+        random slice-of-something dict from being mistaken for an arena.
+        The caller's arrays become the arena's views, so identity (not
+        just aliasing) is preserved.
+        """
+        arrays = list(tensors.values())
+        if not arrays:
+            return None
+        for a in arrays:
+            if (not isinstance(a, np.ndarray) or a.dtype != np.float32
+                    or not a.flags.c_contiguous):
+                return None
+        owner = _owner(arrays[0])
+        if owner.dtype != np.float32 or not owner.flags.c_contiguous:
+            return None
+        cursor = 0
+        itemsize = owner.itemsize
+        for a in arrays:
+            if _owner(a) is not owner:
+                return None
+            if _byte_offset(a, owner) != cursor * itemsize:
+                return None
+            cursor += a.size
+        total = -(-cursor // world_size) * world_size
+        if owner.size != total:
+            return None
+        layout = ArenaLayout.plan(
+            {name: np.shape(a) for name, a in tensors.items()}, world_size
+        )
+        return cls(layout, world_size, np.float32, telemetry,
+                   _flat=owner.reshape(-1), _views=dict(tensors))
+
+    @classmethod
+    def adopt(
+        cls,
+        params: Dict[str, np.ndarray],
+        world_size: int = 1,
+        telemetry: Telemetry = NULL_TELEMETRY,
+    ) -> "FlatArena":
+        """Move ``params`` into an arena and rebind the dict to its views.
+
+        If the dict already forms an arena (e.g. it was adopted by an
+        earlier layer), this is a zero-copy :meth:`wrap`.  Otherwise each
+        tensor is validated, copied into fresh flat storage exactly once
+        (counted as ``arena_bytes_copied``), and ``params[name]`` is
+        replaced with the arena view so every existing holder of the
+        *dict* sees arena-backed tensors from then on.
+        """
+        existing = cls.wrap(params, world_size, telemetry)
+        if existing is not None:
+            return existing
+        for name, arr in params.items():
+            ensure_dense_fp32(name, arr)
+        arena = cls.zeros(
+            {name: arr.shape for name, arr in params.items()},
+            world_size, np.float32, telemetry,
+        )
+        for name in list(params):
+            arena.views[name][...] = params[name]
+            params[name] = arena.views[name]
+        arena.note_copy(arena.layout.unpadded * arena.dtype.itemsize)
+        return arena
+
+    def like(self, dtype: np.dtype = np.float32) -> "FlatArena":
+        """A fresh zeroed arena with this layout (optionally retyped).
+
+        The workhorse for parallel planes over the same parameter space:
+        Adam moments, gradient accumulators, fp16 model copies.
+        """
+        return FlatArena(self.layout, self.world_size, dtype,
+                         self._telemetry)
+
+    # -- telemetry ------------------------------------------------------
+
+    def set_telemetry(self, telemetry: Telemetry) -> None:
+        self._telemetry = telemetry
+
+    def note_copy(self, nbytes: int) -> None:
+        """Account ``nbytes`` physically moved across the arena boundary."""
+        self._telemetry.metrics.counter("arena_bytes_copied").inc(nbytes)
+
+    def note_alias(self, nbytes: int) -> None:
+        """Account ``nbytes`` served as views instead of copies."""
+        self._telemetry.metrics.counter("arena_bytes_aliased").inc(nbytes)
+
+    # -- addressing -----------------------------------------------------
+
+    def shard(self, rank: int) -> np.ndarray:
+        """Rank ``rank``'s contiguous 1/world_size slice of the buffer."""
+        if not 0 <= rank < self.world_size:
+            raise IndexError(
+                f"rank {rank} out of range for world_size {self.world_size}"
+            )
+        n = self.layout.total // self.world_size
+        return self.flat[rank * n:(rank + 1) * n]
+
+    def range_of(self, names: Iterable[str]) -> Optional[Tuple[int, int]]:
+        """The contiguous flat span covering ``names``, or ``None``.
+
+        Returns ``(lo, hi)`` only when the named tensors tile the span
+        with no holes, which is what makes a one-memcpy snapshot legal.
+        """
+        try:
+            spans = sorted(self._offsets[name] for name in names)
+        except KeyError:
+            return None
+        if not spans:
+            return None
+        lo = spans[0][0]
+        cursor = lo
+        for off, size in spans:
+            if off != cursor:
+                return None
+            cursor += size
+        return lo, cursor
+
+    def flat_of(
+        self, tensors: Mapping[str, np.ndarray]
+    ) -> Optional[np.ndarray]:
+        """The flat buffer behind ``tensors`` if they alias this layout.
+
+        Zero-copy fast path for gradient dicts that are themselves
+        arena-backed: when the dict's values form an arena whose layout
+        aliases ours, return its flat buffer directly (counted as
+        ``arena_bytes_aliased``); otherwise return ``None`` and let the
+        caller fall back to a counted copy.
+        """
+        other = FlatArena.wrap(tensors, self.world_size)
+        if other is None or not other.layout.aliases(self.layout):
+            return None
+        self.note_alias(other.layout.unpadded * other.flat.itemsize)
+        return other.flat
+
+    def fill_from(self, tensors: Mapping[str, np.ndarray]) -> None:
+        """Copy a full set of named tensors into the arena (counted).
+
+        Values may be any dtype/array-like broadcastable-by-exact-shape;
+        they are cast to the arena dtype on write.  Raises
+        :class:`TensorValidationError` on unknown/missing names or shape
+        mismatches.
+        """
+        if set(tensors) != set(self._offsets):
+            missing = sorted(set(self._offsets) - set(tensors))
+            unknown = sorted(set(tensors) - set(self._offsets))
+            raise TensorValidationError(
+                f"fill_from needs the exact tensor set: "
+                f"missing {missing}, unknown {unknown}"
+            )
+        for name, value in tensors.items():
+            view = self.views[name]
+            arr = np.asarray(value)
+            if arr.shape != view.shape:
+                raise TensorValidationError(
+                    f"{name!r} has shape {arr.shape}, expected {view.shape}"
+                )
+            view[...] = arr
+        self.note_copy(self.layout.unpadded * self.dtype.itemsize)
+
+    # -- snapshot / restore ---------------------------------------------
+
+    def snapshot(self, lo: int = 0, hi: Optional[int] = None) -> np.ndarray:
+        """Copy out ``flat[lo:hi]`` (counted as bytes copied)."""
+        if hi is None:
+            hi = self.layout.total
+        buf = self.flat[lo:hi].copy()
+        self.note_copy(buf.nbytes)
+        return buf
+
+    def restore(self, buf: np.ndarray, lo: int = 0) -> None:
+        """Copy ``buf`` back into ``flat[lo:lo+len(buf)]`` (counted)."""
+        self.flat[lo:lo + buf.size] = buf
+        self.note_copy(buf.nbytes)
+
+    # -- introspection --------------------------------------------------
+
+    @property
+    def nbytes(self) -> int:
+        return self.flat.nbytes
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._offsets
+
+    def __len__(self) -> int:
+        return len(self.layout.names)
+
+    def __repr__(self) -> str:
+        return (
+            f"FlatArena({len(self)} tensors, total={self.layout.total}, "
+            f"unpadded={self.layout.unpadded}, world={self.world_size}, "
+            f"dtype={self.dtype.name})"
+        )

@@ -2,6 +2,60 @@
 
 from __future__ import annotations
 
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+class TensorValidationError(TypeError, ValueError):
+    """An array handed to the substrate violates its entry contract.
+
+    Inherits from both :class:`TypeError` and :class:`ValueError` so call
+    sites that historically raised either keep their exception contracts
+    while gaining one precise type to catch at the optimizer/arena
+    boundaries.
+    """
+
+
+def ensure_dense_fp32(
+    name: str,
+    array: object,
+    shape: Sequence[int] | Tuple[int, ...] | None = None,
+) -> np.ndarray:
+    """Validate that ``array`` is a dense (C-contiguous) fp32 ndarray.
+
+    The numeric hot paths (optimizers, arenas, sharded steps) assume flat
+    fp32 memory; anything else used to fail deep inside numpy with an
+    opaque broadcast/dtype error.  This is the single entry-point check
+    that turns those into a clear :class:`TensorValidationError`.
+
+    Args:
+        name: tensor name used in the error message.
+        array: candidate array.
+        shape: expected shape, if the boundary pins one.
+
+    Returns:
+        The validated array, unchanged.
+    """
+    if not isinstance(array, np.ndarray):
+        raise TensorValidationError(
+            f"{name!r} must be a numpy ndarray, got {type(array).__name__}"
+        )
+    if array.dtype != np.float32:
+        raise TensorValidationError(
+            f"{name!r} must be fp32, got dtype {array.dtype}"
+        )
+    if not array.flags.c_contiguous:
+        raise TensorValidationError(
+            f"{name!r} must be C-contiguous; pass np.ascontiguousarray(...) "
+            "if the producer emits strided views"
+        )
+    if shape is not None and tuple(array.shape) != tuple(shape):
+        raise TensorValidationError(
+            f"{name!r} has shape {tuple(array.shape)}, expected {tuple(shape)}"
+        )
+    return array
+
 
 class DeviceOutOfMemoryError(RuntimeError):
     """Raised when an allocation exceeds a device memory pool's capacity.

@@ -2,6 +2,7 @@
 the simulated-time throughput runner behind Figs. 10-13 and Table 2, and
 the real numeric STV trainer behind Fig. 14."""
 
+from repro.training.bench import substrate_bench
 from repro.training.cluster import gh200_cluster
 from repro.training.metrics import mfu, tflops
 from repro.training.dp_trainer import DataParallelTrainer, DPStepReport
@@ -24,4 +25,5 @@ __all__ = [
     "InstabilityInjector",
     "DataParallelTrainer",
     "DPStepReport",
+    "substrate_bench",
 ]

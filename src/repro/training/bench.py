@@ -1,0 +1,195 @@
+"""The substrate micro-benchmark behind ``repro bench``.
+
+Times the arena-backed hot paths against their dict-copy ancestors and
+records the result as ``BENCH_substrate.json`` — the first point of the
+perf trajectory the ROADMAP's "as fast as the hardware allows" north star
+asks for.  Three sections:
+
+* ``zero_step`` — a full ZeRO update (reduce-scatter, shard Adam,
+  all-gather) with :class:`~repro.parallel.zero.ZeroShardedAdam` in its
+  ``zero_copy=False`` dict-copy mode (flatten / private shards /
+  unflatten) vs. the arena mode fed pre-filled gradient arenas via
+  :meth:`step_flat`.
+* ``rollback`` — STV bucket snapshot capture+restore with an
+  arena-backed optimizer (three range memcpys) vs. a plain-dict
+  optimizer (per-tensor copies).
+* ``steady_state`` — telemetry deltas over repeated arena steps, proving
+  ``arena_bytes_copied`` stays flat once gradients are produced into the
+  arena.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.optim.adam import AdamConfig
+from repro.optim.implementations import GraceAdam
+from repro.optim.rollback import SnapshotRollback
+from repro.parallel.zero import ZeroShardedAdam
+from repro.telemetry import Telemetry
+from repro.tensors.arena import FlatArena
+
+#: Flat element counts benchmarked by default (largest ~4M fp32 = 16 MiB
+#: per plane, big enough to be memory-bound like the real workload).
+DEFAULT_SIZES = (1 << 16, 1 << 19, 1 << 22)
+QUICK_SIZES = (1 << 14, 1 << 16)
+
+
+def _make_params(
+    rng: np.random.Generator, n_total: int, n_tensors: int
+) -> Dict[str, np.ndarray]:
+    per = n_total // n_tensors
+    return {
+        f"p{i:02d}": rng.standard_normal(per, dtype=np.float32)
+        for i in range(n_tensors)
+    }
+
+
+def _time(fn, repeats: int) -> float:
+    """Best-of-``repeats`` wall time of ``fn()`` in seconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _bench_zero_step(
+    rng: np.random.Generator, n_total: int, n_tensors: int,
+    world_size: int, repeats: int,
+) -> Dict[str, float]:
+    params = _make_params(rng, n_total, n_tensors)
+    params_arena = {k: v.copy() for k, v in params.items()}
+    baseline = ZeroShardedAdam(params, world_size, zero_copy=False)
+    arena_opt = ZeroShardedAdam(params_arena, world_size, zero_copy=True)
+    grad_dicts = [
+        {k: rng.standard_normal(v.shape, dtype=np.float32)
+         for k, v in params.items()}
+        for _ in range(world_size)
+    ]
+    grad_arenas = [arena_opt.grad_arena(r) for r in range(world_size)]
+    for ga, grads in zip(grad_arenas, grad_dicts):
+        ga.fill_from(grads)
+    flats = [ga.flat for ga in grad_arenas]
+    baseline.step(grad_dicts)           # warm up both paths
+    arena_opt.step_flat(flats)
+    dict_s = _time(lambda: baseline.step(grad_dicts), repeats)
+    arena_s = _time(lambda: arena_opt.step_flat(flats), repeats)
+    return {
+        "elements": n_total,
+        "bytes": n_total * 4,
+        "dict_copy_ms": dict_s * 1e3,
+        "arena_ms": arena_s * 1e3,
+        "speedup": dict_s / arena_s,
+    }
+
+
+def _bench_rollback(
+    rng: np.random.Generator, n_total: int, n_tensors: int, repeats: int
+) -> Dict[str, float]:
+    params_plain = _make_params(rng, n_total, n_tensors)
+    params_arena = {k: v.copy() for k, v in params_plain.items()}
+    FlatArena.adopt(params_arena)
+    plain_opt = GraceAdam(params_plain, AdamConfig())
+    arena_opt = GraceAdam(params_arena, AdamConfig())
+    grads_plain = {
+        k: rng.standard_normal(v.shape, dtype=np.float32)
+        for k, v in params_plain.items()
+    }
+    grads_arena = {k: g.copy() for k, g in grads_plain.items()}
+    plain_rb = SnapshotRollback(plain_opt)
+    arena_rb = SnapshotRollback(arena_opt)
+
+    def cycle(rb, grads):
+        rb.capture(grads)
+        rb.rollback(grads)
+
+    cycle(plain_rb, grads_plain)        # warm up
+    cycle(arena_rb, grads_arena)
+    plain_s = _time(lambda: cycle(plain_rb, grads_plain), repeats)
+    arena_s = _time(lambda: cycle(arena_rb, grads_arena), repeats)
+    return {
+        "elements": n_total,
+        "bytes": n_total * 4,
+        "per_tensor_ms": plain_s * 1e3,
+        "arena_ms": arena_s * 1e3,
+        "speedup": plain_s / arena_s,
+    }
+
+
+def _bench_steady_state(
+    rng: np.random.Generator, n_total: int, n_tensors: int,
+    world_size: int, steps: int,
+) -> Dict[str, float]:
+    telemetry = Telemetry()
+    params = _make_params(rng, n_total, n_tensors)
+    opt = ZeroShardedAdam(params, world_size, telemetry=telemetry)
+    grad_arenas = [opt.grad_arena(r) for r in range(world_size)]
+    flats = [ga.flat for ga in grad_arenas]
+    for ga in grad_arenas:
+        # Producers write gradients straight into the arena views — the
+        # zero-copy contract the trainers follow.
+        for view in ga.views.values():
+            view[...] = rng.standard_normal(view.shape, dtype=np.float32)
+    opt.step_flat(flats)                # settle one-time costs
+    copied = telemetry.metrics.counter("arena_bytes_copied")
+    aliased = telemetry.metrics.counter("arena_bytes_aliased")
+    copied_before, aliased_before = copied.value, aliased.value
+    for _ in range(steps):
+        opt.step_flat(flats)
+    return {
+        "elements": n_total,
+        "steps": steps,
+        "arena_bytes_copied_per_step": (copied.value - copied_before) / steps,
+        "arena_bytes_aliased_per_step":
+            (aliased.value - aliased_before) / steps,
+    }
+
+
+def substrate_bench(
+    sizes: Optional[List[int]] = None,
+    world_size: int = 4,
+    n_tensors: int = 8,
+    repeats: int = 5,
+    seed: int = 0,
+    quick: bool = False,
+) -> Dict:
+    """Run the full substrate benchmark; returns a JSON-ready document.
+
+    Args:
+        sizes: flat element counts to benchmark (defaults depend on
+            ``quick``).
+        world_size: simulated rank count for the ZeRO sections.
+        n_tensors: named tensors each parameter set is split into.
+        repeats: timing repetitions (best-of).
+        seed: RNG seed for parameters and gradients.
+        quick: smoke-run sizes/repeats (used by CI).
+    """
+    if sizes is None:
+        sizes = list(QUICK_SIZES if quick else DEFAULT_SIZES)
+    if quick:
+        repeats = min(repeats, 3)
+    rng = np.random.default_rng(seed)
+    zero_rows = [
+        _bench_zero_step(rng, n, n_tensors, world_size, repeats)
+        for n in sizes
+    ]
+    rollback_rows = [
+        _bench_rollback(rng, n, n_tensors, repeats) for n in sizes
+    ]
+    steady = _bench_steady_state(
+        rng, sizes[-1], n_tensors, world_size, steps=max(3, repeats)
+    )
+    return {
+        "benchmark": "substrate_arena",
+        "world_size": world_size,
+        "n_tensors": n_tensors,
+        "repeats": repeats,
+        "zero_step": zero_rows,
+        "rollback": rollback_rows,
+        "steady_state": steady,
+    }

@@ -19,7 +19,6 @@ from typing import Dict, List
 import numpy as np
 
 from repro.data.synthetic import SyntheticPile
-from repro.numeric.lowprec import from_fp16, to_fp16
 from repro.numeric.transformer import TinyTransformer, TransformerParams
 from repro.optim.adam import AdamConfig
 from repro.optim.mixed_precision import (
@@ -30,6 +29,7 @@ from repro.parallel.comm import SimProcessGroup
 from repro.parallel.dp import shard_batch
 from repro.parallel.zero import ZeroShardedAdam
 from repro.telemetry import NULL_TELEMETRY, Telemetry
+from repro.tensors.arena import FlatArena
 
 
 @dataclass(frozen=True)
@@ -76,8 +76,17 @@ class DataParallelTrainer:
             self.model.params, world_size, config=adam or AdamConfig(),
             telemetry=self.telemetry,
         )
-        # every rank holds the same gathered fp16 copy
-        self._fp16 = {k: to_fp16(v) for k, v in self.model.params.items()}
+        # The sharded optimizer adopted the params into a flat arena;
+        # allocate same-layout planes for the fp16 model copy and the
+        # widened fp32 working copy so the per-step casts are single flat
+        # passes over contiguous memory.
+        self.arena = self.optimizer.arena
+        self._fp16_arena = self.arena.like(np.float16)
+        self._wide_arena = self.arena.like(np.float32)
+        with np.errstate(over="ignore"):
+            self._fp16_arena.flat[...] = self.arena.flat
+        # every rank holds the same gathered fp16 copy (stable views)
+        self._fp16 = dict(self._fp16_arena.views)
         self.iteration = 0
 
     def train_step(self, ids: np.ndarray, targets: np.ndarray) -> DPStepReport:
@@ -91,7 +100,11 @@ class DataParallelTrainer:
         tracer = self.telemetry.tracer
         shards = shard_batch(ids, targets, self.world_size)
         with tracer.span("cast", category="cast", direction="widen"):
-            widened = {k: from_fp16(v) for k, v in self._fp16.items()}
+            # one flat widening cast (bitwise identical to per-tensor
+            # from_fp16)
+            self._wide_arena.flat[...] = self._fp16_arena.flat
+            self._wide_arena.note_alias(self._wide_arena.flat.nbytes)
+            widened = dict(self._wide_arena.views)
         per_rank: List[Dict[str, np.ndarray]] = []
         losses = []
         with tracer.span("fwd_bwd", category="compute",
@@ -111,19 +124,27 @@ class DataParallelTrainer:
         }
         health = check_gradients(mean_grads, self.clip_norm)
         clipped = health.clip_triggered
+        # Ingest each rank's gradients into its persistent gradient arena
+        # (the only copy of the step); clipping is then an in-place flat
+        # multiply with the same bits as the per-tensor version.
+        grad_arenas = [
+            self.optimizer.grad_arena(r) for r in range(self.world_size)
+        ]
+        for ga, grads in zip(grad_arenas, per_rank):
+            ga.fill_from(grads)
         if clipped:
             assert self.clip_norm is not None
             coef = np.float32(
                 clip_coefficient(health.global_norm, self.clip_norm)
             )
-            per_rank = [
-                {k: (g * coef).astype(np.float32) for k, g in grads.items()}
-                for grads in per_rank
-            ]
-        self.optimizer.step(per_rank)
+            for ga in grad_arenas:
+                ga.flat *= coef
+        self.optimizer.step_flat([ga.flat for ga in grad_arenas])
         with tracer.span("cast", category="cast", direction="narrow"):
-            for k, v in self.model.params.items():
-                self._fp16[k] = to_fp16(v)
+            # one flat narrowing cast back into the fp16 plane
+            with np.errstate(over="ignore"):
+                self._fp16_arena.flat[...] = self.arena.flat
+            self._fp16_arena.note_alias(self._fp16_arena.flat.nbytes)
         report = DPStepReport(
             iteration=self.iteration,
             loss=float(np.mean(losses)),

@@ -13,7 +13,7 @@ from repro.optim import (
     adam_latency_table,
     make_rollback,
 )
-from repro.optim.kernels import paper_table3_reference
+from repro.optim.kernels import compute_model_for, paper_table3_reference
 
 
 def setup_opt(rng):
@@ -111,3 +111,15 @@ class TestLatencyModels:
             assert ours == pytest.approx(paper[kernel], rel=0.20), (
                 kernel, paper["params_billion"]
             )
+
+    def test_compute_model_cached_per_spec(self):
+        import dataclasses
+
+        from repro.hardware.registry import GRACE_CPU
+
+        first = compute_model_for(GRACE_CPU)
+        assert compute_model_for(GRACE_CPU) is first
+        # an equal-but-distinct spec hits the same cache entry
+        clone = dataclasses.replace(GRACE_CPU)
+        assert clone is not GRACE_CPU and clone == GRACE_CPU
+        assert compute_model_for(clone) is first

@@ -15,7 +15,7 @@ def test_list_command(capsys):
 def test_every_artifact_registered():
     for artifact in ("table1", "fig4", "fig6", "fig7", "fig9", "fig10",
                      "fig11", "fig12", "fig13", "table2", "table3", "fig14",
-                     "fig15", "timeline", "trace"):
+                     "fig15", "timeline", "trace", "bench"):
         assert artifact in COMMANDS
 
 
@@ -91,4 +91,23 @@ def test_trace_writes_artifacts(tmp_path, capsys):
     assert records[0]["type"] == "meta"
     assert any(r["type"] == "span" for r in records)
     assert any(r["type"] == "counter" for r in records)
+
+
+def test_bench_writes_valid_json(tmp_path, capsys):
+    import json
+
+    assert main(["bench", "--quick", "--out", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "speedup" in out
+    assert "bytes copied" in out
+
+    document = json.loads((tmp_path / "BENCH_substrate.json").read_text())
+    assert document["benchmark"] == "substrate_arena"
+    for row in document["zero_step"]:
+        assert row["speedup"] > 0
+        assert row["dict_copy_ms"] > 0 and row["arena_ms"] > 0
+    assert document["rollback"]
+    steady = document["steady_state"]
+    assert steady["arena_bytes_copied_per_step"] == 0.0
+    assert steady["arena_bytes_aliased_per_step"] > 0
 
