@@ -1,13 +1,20 @@
-"""Substrate perf: the flat parameter arena vs the dict-copy ancestors.
+"""Substrate perf: arena, executor, and pipeline vs their serial ancestors.
 
 Runs :func:`repro.training.substrate_bench` end to end, prints the same
 tables ``repro bench`` prints, writes ``BENCH_substrate.json`` next to the
-repo root, and asserts the acceptance bar of the arena refactor:
+repo root, and asserts the acceptance bars:
 
 * the arena ZeRO step beats the dict-copy step by >= 2x at the largest
-  benchmarked size, and
+  benchmarked size;
 * steady-state ``arena_bytes_copied`` is exactly zero once gradients are
-  produced into the arena (the zero-copy contract).
+  produced into the arena (the zero-copy contract);
+* the chunked-executor Adam step beats the serial flat-arena baseline by
+  >= 1.5x at the largest size, bitwise identically at every size;
+* the overlapped bucket ZeRO pipeline beats the serial zero-copy step by
+  >= 1.5x at the largest size, bitwise identically at every size;
+* snapshot rollback never regresses: >= 1.0x wherever the range-memcpy
+  path engages, and the identical per-tensor path (within timing noise)
+  below the cutoff.
 """
 
 from __future__ import annotations
@@ -22,7 +29,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def test_arena_substrate_perf():
-    result = substrate_bench()
+    result = substrate_bench(workers=2)
     print_table(
         "BENCH_substrate — arena vs dict-copy ZeRO step "
         f"(world {result['world_size']})",
@@ -32,9 +39,11 @@ def test_arena_substrate_perf():
     )
     print_table(
         "BENCH_substrate — snapshot capture+restore",
-        ["elements", "per-tensor (ms)", "arena memcpy (ms)", "speedup"],
+        ["elements", "per-tensor (ms)", "arena memcpy (ms)", "speedup",
+         "range path"],
         [[f"{r['elements']:,}", r["per_tensor_ms"], r["arena_ms"],
-          f"{r['speedup']:.2f}x"] for r in result["rollback"]],
+          f"{r['speedup']:.2f}x", r["arena_path_used"]]
+         for r in result["rollback"]],
     )
     steady = result["steady_state"]
     print_table(
@@ -44,11 +53,30 @@ def test_arena_substrate_perf():
           steady["arena_bytes_copied_per_step"],
           steady["arena_bytes_aliased_per_step"]]],
     )
+    print_table(
+        "BENCH_substrate — chunked-executor Adam step "
+        f"({result['workers']} workers)",
+        ["elements", "serial flat (ms)", "tiled (ms)", "executor (ms)",
+         "speedup", "vs tiled", "bitwise"],
+        [[f"{r['elements']:,}", r["serial_ms"], r["tiled_ms"],
+          r["parallel_ms"], f"{r['speedup']:.2f}x",
+          f"{r['speedup_vs_tiled']:.2f}x", r["bitwise_identical"]]
+         for r in result["parallel_step"]],
+    )
+    print_table(
+        "BENCH_substrate — overlapped bucket ZeRO pipeline "
+        f"({result['workers']} workers)",
+        ["elements", "bucket", "serial (ms)", "pipeline (ms)", "speedup",
+         "bitwise"],
+        [[f"{r['elements']:,}", f"{r['bucket_elements']:,}", r["serial_ms"],
+          r["pipeline_ms"], f"{r['speedup']:.2f}x", r["bitwise_identical"]]
+         for r in result["zero_pipeline"]],
+    )
 
     out = REPO_ROOT / "BENCH_substrate.json"
     out.write_text(json.dumps(result, indent=2) + "\n")
 
-    # the acceptance bar: >= 2x at the largest size, zero steady copies
+    # the arena acceptance bar: >= 2x at the largest size, zero steady copies
     largest = result["zero_step"][-1]
     assert largest["speedup"] >= 2.0, largest
     assert steady["arena_bytes_copied_per_step"] == 0.0
@@ -57,5 +85,30 @@ def test_arena_substrate_perf():
     for row in result["zero_step"]:
         assert row["speedup"] > 1.0, row
 
+    # rollback: no regression at any size.  Where the range-memcpy path
+    # engages it must win outright; below the cutoff both contestants run
+    # the identical per-tensor code, so the honest speedup is 1.0 by
+    # construction — the asserted floor only absorbs the timing noise of
+    # measuring one code path against itself on a shared host.
+    for row in result["rollback"]:
+        if row["arena_path_used"]:
+            assert row["speedup"] >= 1.0, row
+        else:
+            assert row["elements"] < row["cutoff_elements"], row
+            assert row["speedup"] >= 0.85, row
+
+    # executor: bitwise identity everywhere, >= 1.5x at the largest size
+    for row in result["parallel_step"]:
+        assert row["bitwise_identical"], row
+    assert result["parallel_step"][-1]["speedup"] >= 1.5, \
+        result["parallel_step"][-1]
+
+    # pipeline: bitwise identity everywhere, >= 1.5x at the largest size
+    for row in result["zero_pipeline"]:
+        assert row["bitwise_identical"], row
+    assert result["zero_pipeline"][-1]["speedup"] >= 1.5, \
+        result["zero_pipeline"][-1]
+
     document = json.loads(out.read_text())
     assert document["benchmark"] == "substrate_arena"
+    assert document["workers"] >= 2

@@ -342,34 +342,88 @@ def _cmd_trace(args: argparse.Namespace) -> None:
           f"({n_lines} lines)")
 
 
+def _geomean_line(section: str, rows: List[dict]) -> str:
+    """One summary line: the geometric-mean speedup across a section's rows."""
+    import math
+
+    speedups = [r["speedup"] for r in rows]
+    gm = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+    return f"{section}: geomean speedup {gm:.2f}x over {len(rows)} sizes"
+
+
 def _cmd_bench(args: argparse.Namespace) -> None:
     import json
     from pathlib import Path
 
     from repro.training import substrate_bench
 
-    result = substrate_bench(quick=args.quick)
-    print_table(
-        "repro bench — arena vs dict-copy ZeRO step "
-        f"(world {result['world_size']})",
-        ["elements", "dict-copy (ms)", "arena (ms)", "speedup"],
-        [[f"{r['elements']:,}", r["dict_copy_ms"], r["arena_ms"],
-          f"{r['speedup']:.2f}x"] for r in result["zero_step"]],
+    sections = args.sections.split(",") if args.sections else None
+    result = substrate_bench(
+        quick=args.quick, workers=args.workers, sections=sections
     )
-    print_table(
-        "repro bench — STV bucket snapshot capture+restore",
-        ["elements", "per-tensor (ms)", "arena memcpy (ms)", "speedup"],
-        [[f"{r['elements']:,}", r["per_tensor_ms"], r["arena_ms"],
-          f"{r['speedup']:.2f}x"] for r in result["rollback"]],
-    )
-    steady = result["steady_state"]
-    print_table(
-        "repro bench — steady-state arena traffic per ZeRO step",
-        ["elements", "steps", "bytes copied", "bytes aliased"],
-        [[f"{steady['elements']:,}", steady["steps"],
-          steady["arena_bytes_copied_per_step"],
-          steady["arena_bytes_aliased_per_step"]]],
-    )
+    summaries = []
+    if "zero_step" in result:
+        print_table(
+            "repro bench — arena vs dict-copy ZeRO step "
+            f"(world {result['world_size']})",
+            ["elements", "dict-copy (ms)", "arena (ms)", "speedup"],
+            [[f"{r['elements']:,}", r["dict_copy_ms"], r["arena_ms"],
+              f"{r['speedup']:.2f}x"] for r in result["zero_step"]],
+        )
+        summaries.append(_geomean_line("zero_step", result["zero_step"]))
+    if "rollback" in result:
+        print_table(
+            "repro bench — STV bucket snapshot capture+restore",
+            ["elements", "per-tensor (ms)", "arena memcpy (ms)", "speedup",
+             "range path"],
+            [[f"{r['elements']:,}", r["per_tensor_ms"], r["arena_ms"],
+              f"{r['speedup']:.2f}x",
+              "yes" if r["arena_path_used"] else "no (below cutoff)"]
+             for r in result["rollback"]],
+        )
+        summaries.append(_geomean_line("rollback", result["rollback"]))
+    if "steady_state" in result:
+        steady = result["steady_state"]
+        print_table(
+            "repro bench — steady-state arena traffic per ZeRO step",
+            ["elements", "steps", "bytes copied", "bytes aliased"],
+            [[f"{steady['elements']:,}", steady["steps"],
+              steady["arena_bytes_copied_per_step"],
+              steady["arena_bytes_aliased_per_step"]]],
+        )
+    if "parallel_step" in result:
+        print_table(
+            "repro bench — chunked-executor Adam step "
+            f"({result['workers']} workers)",
+            ["elements", "serial flat (ms)", "tiled (ms)", "executor (ms)",
+             "speedup", "vs tiled", "bitwise"],
+            [[f"{r['elements']:,}", r["serial_ms"], r["tiled_ms"],
+              r["parallel_ms"], f"{r['speedup']:.2f}x",
+              f"{r['speedup_vs_tiled']:.2f}x",
+              "ok" if r["bitwise_identical"] else "MISMATCH"]
+             for r in result["parallel_step"]],
+        )
+        summaries.append(
+            _geomean_line("parallel_step", result["parallel_step"])
+        )
+    if "zero_pipeline" in result:
+        print_table(
+            "repro bench — overlapped bucket ZeRO pipeline "
+            f"({result['workers']} workers)",
+            ["elements", "bucket", "serial (ms)", "pipeline (ms)", "speedup",
+             "bitwise"],
+            [[f"{r['elements']:,}", f"{r['bucket_elements']:,}",
+              r["serial_ms"], r["pipeline_ms"], f"{r['speedup']:.2f}x",
+              "ok" if r["bitwise_identical"] else "MISMATCH"]
+             for r in result["zero_pipeline"]],
+        )
+        summaries.append(
+            _geomean_line("zero_pipeline", result["zero_pipeline"])
+        )
+    if summaries:
+        print()
+        for line in summaries:
+            print(line)
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
     bench_path = out / "BENCH_substrate.json"
@@ -438,6 +492,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=".",
         help="output directory for 'trace' (trace.json + events.jsonl) "
              "and 'bench' (BENCH_substrate.json)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="kernel-pool thread count for the executor bench sections "
+             "(default: max(2, host cores))",
+    )
+    parser.add_argument(
+        "--sections", default=None,
+        help="comma-separated subset of bench sections to run "
+             "(default: all; e.g. --sections parallel_step,zero_pipeline)",
     )
     return parser
 

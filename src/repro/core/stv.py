@@ -21,6 +21,12 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
+from repro.exec.ops import (
+    parallel_add_scaled,
+    parallel_cast,
+    parallel_scale,
+    parallel_scale_into,
+)
 from repro.optim.mixed_precision import lower_precision
 from repro.numeric.transformer import TinyTransformer
 from repro.optim.implementations import AdamOptimizer, CPUAdam
@@ -164,9 +170,10 @@ class _EngineBase:
             )
         with self._tracer.span("cast", category="cast", direction="widen"):
             if self.mp.low_arena is not None:
-                # One flat widening cast into the reusable fp32 arena
-                # (bitwise identical to per-tensor astype).
-                self._wide_arena.flat[...] = self.mp.low_arena.flat
+                # One flat widening cast into the reusable fp32 arena,
+                # executed as parallel chunk kernels (bitwise identical
+                # to per-tensor astype).
+                parallel_cast(self._wide_arena.flat, self.mp.low_arena.flat)
                 self._wide_arena.note_alias(self._wide_arena.flat.nbytes)
                 widened = dict(self._wide_arena.views)
             else:
@@ -198,18 +205,22 @@ class _EngineBase:
                     if not np.all(np.isfinite(g16)):
                         overflow = True
                     if name in accumulated:
-                        # inf - inf style propagation is expected when a
-                        # micro batch overflowed; the health check flags it
-                        # and the iteration is skipped, so silence the
-                        # spurious warning.
-                        with np.errstate(invalid="ignore", over="ignore"):
-                            accumulated[name] += g16.astype(np.float32) * inv
+                        # Chunked accumulate (dst += g16 * inv); the kernel
+                        # silences the inf - inf style propagation expected
+                        # when a micro batch overflowed — the health check
+                        # flags it and the iteration is skipped.
+                        parallel_add_scaled(
+                            accumulated[name].reshape(-1),
+                            g16.reshape(-1), inv,
+                        )
                         continue
                     out = grad_views.get(name)
                     if out is not None and out.shape == g16.shape:
                         # First micro-batch lands straight in the gradient
                         # arena (same bits as astype-then-multiply).
-                        np.multiply(g16.astype(np.float32), inv, out=out)
+                        parallel_scale_into(
+                            out.reshape(-1), g16.reshape(-1), inv
+                        )
                         accumulated[name] = out
                     else:
                         accumulated[name] = g16.astype(np.float32) * inv
@@ -222,7 +233,8 @@ class _EngineBase:
                 for name in self._grad_arena.layout.names
             }
             if grad_accum > 1:
-                self._grad_arena.flat *= np.float32(1.0 / grad_accum)
+                parallel_scale(self._grad_arena.flat,
+                               np.float32(1.0 / grad_accum))
         elif grad_accum > 1:
             scale = np.float32(1.0 / grad_accum)
             for name in accumulated:
@@ -236,7 +248,7 @@ class _EngineBase:
         if flat is not None:
             # Gradients live in the arena: clip is one in-place flat
             # multiply (same bits as the per-tensor out-of-place version).
-            flat *= np.float32(coef)
+            parallel_scale(flat, np.float32(coef))
             return grads
         return {k: (g * np.float32(coef)).astype(np.float32) for k, g in grads.items()}
 

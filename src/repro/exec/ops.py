@@ -1,0 +1,156 @@
+"""Parallel flat-plane operations: the executor's call-site surface.
+
+Each op covers one of the substrate's hot flat passes (fused Adam step,
+clip/accumulate scale, mixed-precision cast, snapshot memcpy), planning
+the plane into worker-aligned chunks and driving the corresponding
+:mod:`repro.exec.kernels` kernel through a
+:class:`~repro.exec.pool.KernelPool`.  ``pool=None`` uses the shared
+process-default pool (`repro.exec.pool.get_pool`), so call sites need no
+plumbing to pick up ``repro bench --workers`` /
+``REPRO_EXEC_WORKERS`` configuration.
+
+Small planes run inline: below ``min_parallel`` elements the dispatch
+round-trip (~tens of µs) exceeds the kernel itself, so the op executes
+as one serial fused chunk on the calling thread.  The cutoffs only move
+work between threads — results are bitwise identical either way.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.exec import kernels
+from repro.exec.plan import DEFAULT_ALIGN, ChunkPlan
+from repro.exec.pool import KernelPool, get_pool
+
+#: Below this many elements a fused multi-pass kernel (Adam) runs inline.
+MIN_PARALLEL_FUSED = 1 << 15
+#: Below this many elements a single-pass kernel (scale/cast/copy) runs
+#: inline — one pass amortizes dispatch later than ten passes do.
+MIN_PARALLEL_SIMPLE = 1 << 17
+
+
+def _run(
+    pool: Optional[KernelPool],
+    n: int,
+    min_parallel: int,
+    align: int,
+    fn,
+    *args,
+) -> None:
+    if n <= 0:
+        return
+    pool = pool if pool is not None else get_pool()
+    if pool.workers <= 1 or n < min_parallel:
+        fn(0, n, *args)
+        return
+    pool.run(fn, ChunkPlan.split(n, pool.workers, align), *args)
+
+
+def parallel_adam_flat(
+    p: np.ndarray,
+    m: np.ndarray,
+    v: np.ndarray,
+    g: np.ndarray,
+    config,
+    step: int,
+    pool: Optional[KernelPool] = None,
+    align: int = DEFAULT_ALIGN,
+) -> None:
+    """Fused AdamW over four parallel flat planes (see ``adam_chunk``)."""
+    hyper = kernels.AdamChunkHyper.from_config(config, step)
+    _run(pool, p.size, MIN_PARALLEL_FUSED, align,
+         kernels.adam_chunk, p, m, v, g, hyper)
+
+
+def parallel_scale(
+    buf: np.ndarray,
+    coef: np.float32,
+    pool: Optional[KernelPool] = None,
+) -> None:
+    """In-place flat multiply (gradient clip, accumulation averaging)."""
+    _run(pool, buf.size, MIN_PARALLEL_SIMPLE, DEFAULT_ALIGN,
+         kernels.scale_chunk, buf, coef)
+
+
+def parallel_copy(
+    dst: np.ndarray,
+    src: np.ndarray,
+    pool: Optional[KernelPool] = None,
+) -> None:
+    """Chunked flat memcpy (snapshot capture/restore)."""
+    _run(pool, dst.size, MIN_PARALLEL_SIMPLE, DEFAULT_ALIGN,
+         kernels.copy_chunk, dst, src)
+
+
+def parallel_cast(
+    dst: np.ndarray,
+    src: np.ndarray,
+    ignore_overflow: bool = False,
+    bf16: bool = False,
+    pool: Optional[KernelPool] = None,
+) -> None:
+    """Chunked dtype-converting copy (the mixed-precision casts)."""
+    if bf16:
+        _run(pool, dst.size, MIN_PARALLEL_SIMPLE, DEFAULT_ALIGN,
+             kernels.cast_bf16_chunk, dst, src)
+    else:
+        _run(pool, dst.size, MIN_PARALLEL_SIMPLE, DEFAULT_ALIGN,
+             kernels.cast_chunk, dst, src, ignore_overflow)
+
+
+def parallel_scale_into(
+    dst: np.ndarray,
+    src: np.ndarray,
+    scale: np.float32,
+    pool: Optional[KernelPool] = None,
+) -> None:
+    """``dst = src * scale`` (first micro-batch gradient landing)."""
+    _run(pool, dst.size, MIN_PARALLEL_SIMPLE, DEFAULT_ALIGN,
+         kernels.scale_into_chunk, dst, src, scale)
+
+
+def parallel_add_scaled(
+    dst: np.ndarray,
+    src: np.ndarray,
+    scale: np.float32,
+    pool: Optional[KernelPool] = None,
+) -> None:
+    """``dst += src * scale`` (micro-batch gradient accumulation)."""
+    _run(pool, dst.size, MIN_PARALLEL_SIMPLE, DEFAULT_ALIGN,
+         kernels.add_scaled_chunk, dst, src, scale)
+
+
+def parallel_reduce(
+    dst: np.ndarray,
+    dst_base: int,
+    sources: Sequence[np.ndarray],
+    lo: int,
+    hi: int,
+    divisor: Optional[np.float32] = None,
+    pool: Optional[KernelPool] = None,
+) -> None:
+    """Fixed-order reduce of ``sources[lo:hi]`` into staging ``dst``.
+
+    Used by the pipelined ZeRO step; combine order is fixed by rank (a
+    left fold), so any chunking is bitwise identical to the serial
+    reduce-scatter.  Unlike the other ops this one is usually *submitted*
+    (see ``KernelPool.submit``) rather than run to completion, so the
+    reduce of bucket ``k`` can overlap the shard Adam of bucket ``k-1``;
+    this entry point is the synchronous form.
+    """
+    n = hi - lo
+    if n <= 0:
+        return
+    pool = pool if pool is not None else get_pool()
+    if pool.workers <= 1 or n < MIN_PARALLEL_SIMPLE:
+        kernels.reduce_chunk(lo, hi, dst, dst_base, sources, divisor)
+        return
+    plan = ChunkPlan.split(n, pool.workers, DEFAULT_ALIGN)
+    pool.wait_all([
+        pool.submit(kernels.reduce_chunk, lo + clo, lo + chi, dst,
+                    dst_base, sources, divisor)
+        for clo, chi in plan.chunks
+    ])

@@ -1,0 +1,251 @@
+"""A persistent pool of kernel worker threads with submit/wait futures.
+
+The paper's GraceAdam tiles the optimizer step across CPU threads
+(Table 3); the substrate's analogue is a :class:`KernelPool` that keeps
+``workers`` threads alive across steps (spawning threads per step would
+dwarf the kernels they run) and executes chunk kernels on them.  numpy
+releases the GIL on large array operations, so on a multi-core host the
+chunks genuinely run in parallel; on a single core the pool degrades to
+the fused serial walk with ~tens of microseconds of dispatch overhead.
+
+Per-worker telemetry (``exec_chunks_total{worker=i}`` counters and
+``exec_busy_ms{worker=i}`` histograms) records how evenly the plan
+balanced the work — the observability hook the ROADMAP's perf story
+needs to diagnose straggler chunks.
+
+The pool never reorders results: :meth:`run` dispatches one task per
+chunk and joins them all before returning, and every routed kernel is
+elementwise over disjoint ranges, so execution order cannot change any
+result bit.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import threading
+import time
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.exec.plan import ChunkPlan
+from repro.telemetry import NULL_TELEMETRY, Telemetry
+
+
+class ChunkFuture:
+    """A minimal wait-able handle for one submitted chunk kernel."""
+
+    __slots__ = ("_done", "_result", "_exception")
+
+    def __init__(self) -> None:
+        self._done = threading.Event()
+        self._result: Any = None
+        self._exception: Optional[BaseException] = None
+
+    def _set_result(self, value: Any) -> None:
+        self._result = value
+        self._done.set()
+
+    def _set_exception(self, exc: BaseException) -> None:
+        self._exception = exc
+        self._done.set()
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        """Block until the kernel finishes; re-raise its exception."""
+        if not self._done.wait(timeout):
+            raise TimeoutError("chunk kernel did not finish in time")
+        if self._exception is not None:
+            raise self._exception
+        return self._result
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+
+class KernelPool:
+    """Persistent worker threads executing chunk kernels.
+
+    Args:
+        workers: thread count; ``workers <= 1`` keeps a pool object but
+            executes everything inline on the calling thread (no threads
+            are spawned), so call sites need no special-casing.
+        telemetry: sink for the per-worker counters/histograms.
+        name: thread-name prefix (visible in trace exports).
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        telemetry: Telemetry = NULL_TELEMETRY,
+        name: str = "kernel",
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.name = name
+        self._telemetry = telemetry
+        self._queue: "queue.SimpleQueue[Optional[tuple]]" = queue.SimpleQueue()
+        self._threads: List[threading.Thread] = []
+        self._closed = False
+        self._lock = threading.Lock()
+
+    # -- lifecycle ------------------------------------------------------
+
+    def _ensure_threads(self) -> None:
+        if self._threads or self.workers <= 1:
+            return
+        with self._lock:
+            if self._threads:
+                return
+            if self._closed:
+                raise RuntimeError("pool is shut down")
+            for i in range(self.workers):
+                t = threading.Thread(
+                    target=self._worker_loop, args=(i,),
+                    name=f"{self.name}-{i}", daemon=True,
+                )
+                t.start()
+                self._threads.append(t)
+
+    def shutdown(self) -> None:
+        """Stop the worker threads (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            threads, self._threads = self._threads, []
+        for _ in threads:
+            self._queue.put(None)
+        for t in threads:
+            t.join(timeout=5.0)
+
+    def _worker_loop(self, index: int) -> None:
+        metrics = self._telemetry.metrics
+        chunks = metrics.counter("exec_chunks_total", worker=index)
+        busy = metrics.histogram("exec_busy_ms", worker=index)
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            fn, args, future = item
+            start = time.perf_counter()
+            try:
+                future._set_result(fn(*args))
+            except BaseException as exc:  # propagate to the waiter
+                future._set_exception(exc)
+            chunks.inc()
+            busy.observe((time.perf_counter() - start) * 1e3)
+
+    # -- execution ------------------------------------------------------
+
+    def submit(self, fn: Callable, *args: Any) -> ChunkFuture:
+        """Queue one kernel invocation; returns a wait-able future.
+
+        With ``workers <= 1`` the call runs inline before returning (the
+        future is already resolved), preserving submit/wait call sites.
+        """
+        future = ChunkFuture()
+        if self.workers <= 1:
+            try:
+                future._set_result(fn(*args))
+            except BaseException as exc:
+                future._set_exception(exc)
+            return future
+        self._ensure_threads()
+        self._queue.put((fn, args, future))
+        return future
+
+    def run(self, fn: Callable, plan: ChunkPlan, *args: Any) -> None:
+        """Execute ``fn(lo, hi, *args)`` for every chunk; wait for all.
+
+        Single-chunk plans (and 1-worker pools) run inline — the serial
+        fused walk — so the parallel entry point costs nothing when there
+        is nothing to parallelize.  The first chunk exception (in chunk
+        order) is re-raised after all chunks settle.
+        """
+        if not plan.chunks:
+            return
+        if self.workers <= 1 or len(plan.chunks) == 1:
+            for lo, hi in plan.chunks:
+                fn(lo, hi, *args)
+            return
+        futures = [
+            self.submit(fn, lo, hi, *args) for lo, hi in plan.chunks
+        ]
+        first_exc: Optional[BaseException] = None
+        for f in futures:
+            try:
+                f.result()
+            except BaseException as exc:
+                if first_exc is None:
+                    first_exc = exc
+        if first_exc is not None:
+            raise first_exc
+
+    def wait_all(self, futures: Sequence[ChunkFuture]) -> None:
+        """Join a batch of futures, re-raising the first failure."""
+        first_exc: Optional[BaseException] = None
+        for f in futures:
+            try:
+                f.result()
+            except BaseException as exc:
+                if first_exc is None:
+                    first_exc = exc
+        if first_exc is not None:
+            raise first_exc
+
+
+# -- the process-default pool ------------------------------------------
+
+_default_pool: Optional[KernelPool] = None
+_default_lock = threading.Lock()
+
+
+def default_workers() -> int:
+    """Worker count the default pool is built with.
+
+    ``REPRO_EXEC_WORKERS`` overrides; otherwise the available CPU count,
+    capped at 4 (the elementwise kernels are memory-bound — more threads
+    than memory channels just contend).
+    """
+    env = os.environ.get("REPRO_EXEC_WORKERS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        cpus = os.cpu_count() or 1
+    return max(1, min(4, cpus))
+
+
+def get_pool(
+    workers: Optional[int] = None, telemetry: Telemetry = NULL_TELEMETRY
+) -> KernelPool:
+    """The shared default pool, or a dedicated pool for ``workers``.
+
+    ``workers=None`` returns the lazily-created process-wide pool (all
+    call sites share its threads); an explicit count builds a fresh pool
+    the caller owns (benchmarks sweep worker counts this way).
+    """
+    if workers is not None:
+        return KernelPool(workers, telemetry)
+    global _default_pool
+    if _default_pool is None:
+        with _default_lock:
+            if _default_pool is None:
+                _default_pool = KernelPool(default_workers())
+    return _default_pool
+
+
+def configure_default_pool(
+    workers: int, telemetry: Telemetry = NULL_TELEMETRY
+) -> KernelPool:
+    """Replace the process-default pool (e.g. from ``repro bench --workers``)."""
+    global _default_pool
+    with _default_lock:
+        old, _default_pool = _default_pool, KernelPool(workers, telemetry)
+    if old is not None:
+        old.shutdown()
+    return _default_pool

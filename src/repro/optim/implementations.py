@@ -10,8 +10,10 @@ differ in *how* they traverse memory, mirroring the real designs:
 * :class:`GraceAdam` — the paper's ARM design (§4.6): the flat buffer walked
   in cache-sized tiles with a runtime-chosen vector length (the numpy stand-
   in for SVE's ``svcntw()`` length-agnostic loops), fused in-place math per
-  tile, and OpenMP-style tile partitioning across worker threads (modelled,
-  not spawned — numpy releases work at C speed already).
+  tile, and OpenMP-style tile partitioning across worker threads — executed
+  for real on arena-backed steps via the chunked kernel executor
+  (:mod:`repro.exec`), whose worker-aligned chunks and fused scratch
+  kernels stay bitwise identical to the serial walk.
 
 Latency on actual Grace hardware is priced by
 :func:`repro.optim.kernels.adam_latency_seconds`, calibrated to Table 3.
@@ -23,6 +25,8 @@ from typing import Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
+from repro.exec.ops import parallel_adam_flat
+from repro.exec.pool import KernelPool
 from repro.optim.adam import AdamConfig, AdamParamState, adam_invert
 from repro.tensors.arena import FlatArena
 from repro.tensors.errors import TensorValidationError, ensure_dense_fp32
@@ -179,11 +183,27 @@ class CPUAdam(AdamOptimizer):
     per-tensor params and state are *views* of the same memory, there is
     no scatter-back copy after the update and no re-sync after an
     inversion — coherence is structural.
+
+    Args:
+        params: name -> fp32 master weights.
+        config: hyperparameters.
+        pool: kernel pool for the chunked step (``None`` uses the
+            process default).
+        chunked: route the flat step through the chunked executor.
+            ``False`` keeps the whole-plane serial ancestor — the
+            measured baseline for ``repro bench``'s ``parallel_step``
+            section.  Both paths are bitwise identical.
     """
 
     kernel_name = "cpu_adam"
 
-    def __init__(self, params: Params, config: AdamConfig | None = None):
+    def __init__(
+        self,
+        params: Params,
+        config: AdamConfig | None = None,
+        pool: KernelPool | None = None,
+        chunked: bool = True,
+    ):
         super().__init__(params, config)
         if self.arena is None:
             self.bind_arena(FlatArena.adopt(params))
@@ -192,6 +212,8 @@ class CPUAdam(AdamOptimizer):
         self._flat_m = self.arena_m.flat[:unpadded]
         self._flat_v = self.arena_v.flat[:unpadded]
         self._flat_step = 0
+        self._pool = pool
+        self.chunked = chunked
 
     def _flatten_grads(self, grads: Grads) -> np.ndarray:
         self._check_grads(grads)
@@ -213,8 +235,25 @@ class CPUAdam(AdamOptimizer):
 
     def step(self, grads: Grads) -> None:
         g = self._flatten_grads(grads)
-        c = self.config
         self._flat_step += 1
+        if self.chunked:
+            parallel_adam_flat(
+                self._flat_p, self._flat_m, self._flat_v, g,
+                self.config, self._flat_step, pool=self._pool,
+            )
+        else:
+            self._step_flat_serial(g)
+        for st in self.state.values():
+            st.step = self._flat_step
+        # The scatter-back the dict design needed: p, m, v written once each.
+        self.arena.note_alias(3 * self._flat_p.nbytes)
+
+    def _step_flat_serial(self, g: np.ndarray) -> None:
+        """The serial ancestor: whole-plane fused passes with out-of-place
+        temporaries (one full-size temporary per expression) — kept
+        verbatim as the executor's ``parallel_step`` bench baseline; the
+        temporaries are what the chunked scratch kernels eliminate."""
+        c = self.config
         self._flat_m *= c.beta1
         self._flat_m += (1 - c.beta1) * g
         self._flat_v *= c.beta2
@@ -226,10 +265,6 @@ class CPUAdam(AdamOptimizer):
         if c.weight_decay:
             self._flat_p *= 1.0 - c.lr * c.weight_decay
         self._flat_p -= c.lr * ((self._flat_m / bc1) / denom)
-        for st in self.state.values():
-            st.step = self._flat_step
-        # The scatter-back the dict design needed: p, m, v written once each.
-        self.arena.note_alias(3 * self._flat_p.nbytes)
 
     def invert_step(self, grads: Grads) -> None:
         super().invert_step(grads)
@@ -252,9 +287,18 @@ class GraceAdam(AdamOptimizer):
         config: hyperparameters.
         tile_size: elements per cache tile (the paper's TILE constant).
         vector_length: SVE vector width in fp32 lanes; tiles are rounded
-            down to a multiple of this to mirror whole-vector main loops.
-        n_threads: modelled OpenMP thread count (tiles are processed in
-            round-robin thread order; results are order-independent).
+            down to a multiple of this to mirror whole-vector main loops,
+            and executor chunk boundaries are aligned to it.
+        n_threads: modelled OpenMP thread count for the Table 3 latency
+            story (what Grace hardware would use; independent of the
+            executor's real worker threads below).
+        pool: kernel pool the fused flat step executes on (``None`` uses
+            the process-default pool).
+        chunked: route the flat step through the chunked executor
+            (:func:`repro.exec.ops.parallel_adam_flat`).  ``False`` keeps
+            the serial ancestor walk — the measured baseline for
+            ``repro bench``'s ``parallel_step`` section.  Both paths are
+            bitwise identical (hypothesis-tested).
     """
 
     kernel_name = "grace_adam"
@@ -266,6 +310,8 @@ class GraceAdam(AdamOptimizer):
         tile_size: int = 16384,
         vector_length: int = 16,
         n_threads: int = 72,
+        pool: KernelPool | None = None,
+        chunked: bool = True,
     ):
         super().__init__(params, config)
         if tile_size < 1 or vector_length < 1 or n_threads < 1:
@@ -273,18 +319,38 @@ class GraceAdam(AdamOptimizer):
         self.vector_length = vector_length
         self.tile_size = max(vector_length, tile_size - tile_size % vector_length)
         self.n_threads = n_threads
+        self.chunked = chunked
+        self._pool = pool
 
     def _tiles(self, n: int) -> Iterable[Tuple[int, int]]:
         for lo in range(0, n, self.tile_size):
             yield lo, min(n, lo + self.tile_size)
 
     def _step_flat(self, flat_g: np.ndarray, step: int) -> None:
-        """One fused tiled pass over the whole arena (p, m, v planes).
+        """One fused pass over the whole arena (p, m, v planes).
 
         Bitwise-identical to the per-tensor loop: the update is purely
         elementwise, so tile boundaries (per-tensor or arena-wide) cannot
-        change any result bit.
+        change any result bit.  ``chunked`` picks between the executor
+        (worker-parallel, scratch-fused) and the serial ancestor walk.
         """
+        if self.chunked:
+            n = self.arena.layout.unpadded
+            parallel_adam_flat(
+                self.arena.flat[:n], self.arena_m.flat[:n],
+                self.arena_v.flat[:n], flat_g,
+                self.config, step, pool=self._pool,
+                align=self.vector_length,
+            )
+            for st in self.state.values():
+                st.step = step
+            return
+        self._step_flat_serial(flat_g, step)
+
+    def _step_flat_serial(self, flat_g: np.ndarray, step: int) -> None:
+        """The serial ancestor: per-cache-tile walk with out-of-place
+        temporaries — kept verbatim as the executor's bitwise reference
+        and the ``parallel_step`` bench baseline."""
         c = self.config
         bc1 = 1 - c.beta1**step if c.bias_correction else 1.0
         bc2 = 1 - c.beta2**step if c.bias_correction else 1.0

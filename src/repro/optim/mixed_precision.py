@@ -13,6 +13,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro.exec.ops import parallel_cast
 from repro.numeric.lowprec import to_bf16, to_fp16
 from repro.tensors.arena import FlatArena
 
@@ -181,13 +182,14 @@ class MixedPrecisionState:
         """Refresh the low-precision copy from the master (all or subset)."""
         if self.low_arena is not None:
             if names is None:
-                # One flat vectorized cast over the whole buffer — bitwise
+                # One flat chunked cast over the whole buffer — bitwise
                 # identical to the per-tensor casts (casting is elementwise).
                 if self.low_dtype == "fp16":
-                    with np.errstate(over="ignore"):
-                        self.low_arena.flat[...] = self.master_arena.flat
+                    parallel_cast(self.low_arena.flat, self.master_arena.flat,
+                                  ignore_overflow=True)
                 else:
-                    self.low_arena.flat[...] = to_bf16(self.master_arena.flat)
+                    parallel_cast(self.low_arena.flat, self.master_arena.flat,
+                                  bf16=True)
                 self.low_arena.note_alias(self.low_arena.flat.nbytes)
             else:
                 for name in names:

@@ -19,9 +19,21 @@ from typing import Dict
 
 import numpy as np
 
+from repro.exec.ops import parallel_copy
+from repro.exec.pool import KernelPool
 from repro.optim.implementations import AdamOptimizer
 
 Params = Dict[str, np.ndarray]
+
+#: Bucket sizes (elements) below which the arena range-memcpy path is
+#: skipped.  Below ~4 MiB spans the per-tensor copies are cheap (the
+#: allocator recycles the small blocks), so the range path's span
+#: bookkeeping only ever costs — the 65k-element row of
+#: ``BENCH_substrate.json`` sat at 0.97x before this cutoff.  At and
+#: above the cutoff the per-tensor path's multi-MiB allocations churn
+#: mmap while the range path reuses one persistent scratch block, which
+#: is where its ~3x win lives.
+SMALL_SNAPSHOT_CUTOFF = 1 << 20
 
 
 @dataclass
@@ -48,18 +60,33 @@ class SnapshotRollback:
 
     When the optimizer is arena-backed and the captured parameters form a
     contiguous flat range (STV buckets do, by construction), capture and
-    restore are three range memcpys over the (p, m, v) planes instead of
-    per-tensor copies.  Plain-dict optimizers keep the per-tensor path.
+    restore are three range memcpys over the (p, m, v) planes — executed
+    as parallel chunk kernels into a *persistent* scratch buffer, so a
+    steady-state capture allocates nothing.  Buckets smaller than
+    :data:`SMALL_SNAPSHOT_CUTOFF` skip the range-memcpy path entirely
+    (per-tensor copies win there), and plain-dict optimizers always use
+    the per-tensor path.
 
     Args:
         optimizer: the optimizer whose state is protected.
+        pool: kernel pool for the chunked memcpys (``None`` uses the
+            process default).
     """
 
     strategy = RollbackStrategy.SNAPSHOT
 
-    def __init__(self, optimizer: AdamOptimizer):
+    def __init__(self, optimizer: AdamOptimizer,
+                 pool: KernelPool | None = None):
         self._optimizer = optimizer
         self._snapshot: dict | _ArenaSnapshot | None = None
+        self._pool = pool
+        self._scratch: np.ndarray | None = None
+
+    def _scratch_for(self, n: int) -> np.ndarray:
+        """A persistent (3, n)-float32 scratch block for (p, m, v)."""
+        if self._scratch is None or self._scratch.shape[1] < n:
+            self._scratch = np.empty((3, n), dtype=np.float32)
+        return self._scratch
 
     def capture(self, grads: Params) -> None:
         """Record the current (p, m, v, step) for every gradient's parameter.
@@ -69,15 +96,23 @@ class SnapshotRollback:
         opt = self._optimizer
         arena = getattr(opt, "arena", None)
         arena_m = getattr(opt, "arena_m", None)
-        if arena is not None and arena_m is not None:
+        # Size-gate *before* the span bookkeeping: below the cutoff even
+        # ``range_of``'s sort is measurable next to the tiny copies.
+        if (arena is not None and arena_m is not None
+                and sum(g.size for g in grads.values())
+                >= SMALL_SNAPSHOT_CUTOFF):
             span = arena.range_of(grads)
             if span is not None:
                 lo, hi = span
+                scratch = self._scratch_for(hi - lo)
+                p, m, v = (scratch[i, : hi - lo] for i in range(3))
+                parallel_copy(p, arena.flat[lo:hi], pool=self._pool)
+                parallel_copy(m, arena_m.flat[lo:hi], pool=self._pool)
+                parallel_copy(v, opt.arena_v.flat[lo:hi], pool=self._pool)
+                for a in (arena, arena_m, opt.arena_v):
+                    a.note_copy((hi - lo) * 4)
                 self._snapshot = _ArenaSnapshot(
-                    lo, hi,
-                    arena.snapshot(lo, hi),
-                    arena_m.snapshot(lo, hi),
-                    opt.arena_v.snapshot(lo, hi),
+                    lo, hi, p, m, v,
                     {name: opt.state[name].step for name in grads},
                 )
                 return
@@ -98,9 +133,12 @@ class SnapshotRollback:
         opt = self._optimizer
         if isinstance(self._snapshot, _ArenaSnapshot):
             snap = self._snapshot
-            opt.arena.restore(snap.p, snap.lo)
-            opt.arena_m.restore(snap.m, snap.lo)
-            opt.arena_v.restore(snap.v, snap.lo)
+            lo, hi = snap.lo, snap.hi
+            parallel_copy(opt.arena.flat[lo:hi], snap.p, pool=self._pool)
+            parallel_copy(opt.arena_m.flat[lo:hi], snap.m, pool=self._pool)
+            parallel_copy(opt.arena_v.flat[lo:hi], snap.v, pool=self._pool)
+            for a in (opt.arena, opt.arena_m, opt.arena_v):
+                a.note_copy((hi - lo) * 4)
             for name, step in snap.steps.items():
                 opt.state[name].step = step
         else:

@@ -44,10 +44,20 @@ class SimProcessGroup:
                 f"expected {self.world_size} rank buffers, got {len(per_rank)}"
             )
 
-    def _count(self, op: str, payload_bytes: int) -> None:
+    def count_payload(self, op: str, payload_bytes: int) -> None:
+        """Account one collective's payload without executing it.
+
+        Fused or overlapped dataflows (the pipelined ZeRO bucket step)
+        move the same bytes a collective would but bypass the entry
+        points above; they call this so the ``collective_*`` counters
+        stay comparable with the serial dataflow's.
+        """
         metrics = self.telemetry.metrics
         metrics.counter("collective_calls_total", op=op).inc()
         metrics.counter("collective_bytes_total", op=op).inc(payload_bytes)
+
+    def _count(self, op: str, payload_bytes: int) -> None:
+        self.count_payload(op, payload_bytes)
 
     def all_reduce(self, per_rank: Sequence[np.ndarray]) -> List[np.ndarray]:
         """Sum across ranks; every rank receives the total."""

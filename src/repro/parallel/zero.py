@@ -16,12 +16,15 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.exec import kernels
+from repro.exec.pool import KernelPool, get_pool
 from repro.optim.adam import AdamConfig
 from repro.optim.implementations import GraceAdam
 from repro.parallel.comm import SimProcessGroup
 from repro.telemetry import NULL_TELEMETRY, Telemetry
 from repro.tensors.arena import FlatArena
 from repro.tensors.errors import TensorValidationError
+from repro.tensors.pinned import PinnedBufferPool
 
 Params = Dict[str, np.ndarray]
 
@@ -91,6 +94,18 @@ class ZeroShardedAdam:
     (flatten -> reduce-scatter -> update private shards -> all-gather ->
     unflatten); it exists as the measured baseline for ``repro bench``.
 
+    ``pipeline=True`` (zero-copy only) overlaps the step the way
+    SuperOffload's engine does (§4.7): the flat space is cut into
+    buckets, bucket *k*'s reduce-scatter runs on the kernel pool while
+    the calling thread applies bucket *k-1*'s shard Adam, and the
+    all-gather is the same alias-detected no-op.  Reduction keeps the
+    serial left-fold rank order per bucket and the Adam kernel is the
+    fused chunk kernel, so the pipelined step is bitwise identical to
+    the serial :meth:`step_flat` (the ``tests/parallel`` suite holds
+    this).  The two staging buckets are double-buffered through an
+    optional :class:`PinnedBufferPool`, modelling the page-locked
+    transfer buffers a real engine keeps.
+
     Args:
         params: shared fp32 master parameters (updated in place — in a real
             deployment every rank holds the gathered fp16 copy; here the
@@ -101,6 +116,16 @@ class ZeroShardedAdam:
         telemetry: span/counter sink shared with the internal communicator
             (no-op by default).
         zero_copy: arena-backed dataflow (default) vs. dict-copy baseline.
+        pipeline: overlap bucket reduce with shard Adam (requires
+            ``zero_copy=True``).
+        bucket_elements: pipelined bucket size in fp32 elements; buckets
+            never cross a shard boundary, so the effective size is capped
+            at the shard length.
+        pool: kernel pool the overlapped reduces and chunked Adam run on
+            (``None`` uses the process default).
+        pinned_pool: optional pinned-memory pool the two staging buckets
+            are reserved from; reservations are released by
+            :meth:`release_staging`.
     """
 
     def __init__(
@@ -111,9 +136,17 @@ class ZeroShardedAdam:
         zero: ZeroConfig | None = None,
         telemetry: Telemetry | None = None,
         zero_copy: bool = True,
+        pipeline: bool = False,
+        bucket_elements: int = 1 << 18,
+        pool: KernelPool | None = None,
+        pinned_pool: PinnedBufferPool | None = None,
     ):
         if world_size < 1:
             raise ValueError("world_size must be >= 1")
+        if pipeline and not zero_copy:
+            raise ValueError("pipeline=True requires zero_copy=True")
+        if bucket_elements < 1:
+            raise ValueError("bucket_elements must be >= 1")
         self.params = params
         self.world_size = world_size
         self.zero = zero or ZeroConfig()
@@ -123,6 +156,12 @@ class ZeroShardedAdam:
         shard_len = self.layout.total // world_size
         self._shard_len = shard_len
         self.zero_copy = zero_copy
+        self.pipeline = pipeline
+        self.bucket_elements = min(bucket_elements, shard_len)
+        self._pool = pool
+        self._pinned_pool = pinned_pool
+        self._staging: List[np.ndarray] = []
+        self._staging_allocs: list = []
         self.arena: Optional[FlatArena] = None
         self._grad_arenas: Dict[int, FlatArena] = {}
         self._rank_optimizers: List[GraceAdam] = []
@@ -233,6 +272,9 @@ class ZeroShardedAdam:
                     f"rank {r} flat gradient must be a 1-D fp32 array of "
                     f"length {total}"
                 )
+        if self.pipeline:
+            self._step_flat_pipelined(per_rank_flat)
+            return
         tracer = self.telemetry.tracer
         with tracer.span("zero_step", category="optim",
                          world_size=self.world_size):
@@ -248,6 +290,124 @@ class ZeroShardedAdam:
                 self.arena.flat,
             )
             # The unflatten stage the dict-copy dataflow needed.
+            self.arena.note_alias(self.arena.flat.nbytes)
+
+    def _ensure_staging(self) -> List[np.ndarray]:
+        """The two bucket staging buffers (lazily built, reused per step).
+
+        When a :class:`PinnedBufferPool` was provided, each buffer's
+        bytes are reserved from it (tagged ``zero_bucket_staging``); a
+        full pool degrades to unpinned staging, exactly the pageable
+        fallback §4.5 describes.
+        """
+        if not self._staging:
+            nbytes = self.bucket_elements * 4
+            for i in range(2):
+                self._staging.append(
+                    np.empty(self.bucket_elements, dtype=np.float32)
+                )
+                if self._pinned_pool is not None:
+                    alloc = self._pinned_pool.try_reserve(
+                        nbytes, tag=f"zero_bucket_staging_{i}"
+                    )
+                    if alloc is not None:
+                        self._staging_allocs.append(alloc)
+        return self._staging
+
+    def release_staging(self) -> None:
+        """Drop the staging buffers and return their pinned reservations."""
+        if self._pinned_pool is not None:
+            for alloc in self._staging_allocs:
+                self._pinned_pool.release(alloc)
+        self._staging_allocs.clear()
+        self._staging.clear()
+
+    def _buckets(self) -> List[Tuple[int, int, int]]:
+        """(rank, shard-local lo, shard-local hi) in serial rank order.
+
+        Buckets never cross a shard boundary: each one belongs to exactly
+        one rank's optimizer, so the per-shard Adam step count and bias
+        correction match the unbucketed step.
+        """
+        out: List[Tuple[int, int, int]] = []
+        for r in range(self.world_size):
+            for lo in range(0, self._shard_len, self.bucket_elements):
+                out.append((r, lo, min(self._shard_len,
+                                       lo + self.bucket_elements)))
+        return out
+
+    def _step_flat_pipelined(self, per_rank_flat: Sequence[np.ndarray]) -> None:
+        """The overlapped bucket dataflow (bitwise twin of the serial step).
+
+        Bucket ``k+1``'s reduce-scatter is *submitted* to the kernel pool
+        and runs on a worker thread while the calling thread applies
+        bucket ``k``'s fused shard Adam — the overlap of §4.7, double-
+        buffered through the two staging buckets.  Bitwise identity with
+        :meth:`step_flat` holds because (a) each bucket's reduction is
+        the same left fold over ranks the serial reduce-scatter performs,
+        followed by the same elementwise divide, (b) the fused Adam chunk
+        kernel is bitwise identical to the shard optimizer's serial walk,
+        and (c) every per-shard step counter is bumped exactly once per
+        global step, before that shard's first bucket.  Gradients must
+        not alias the parameter arena (they never do: gradient arenas are
+        separate buffers) — the overlapped reduce reads them while
+        earlier buckets' parameters are being written.
+        """
+        tracer = self.telemetry.tracer
+        divisor = (np.float32(self.world_size)
+                   if self.zero.average_gradients else None)
+        pool = self._pool if self._pool is not None else get_pool()
+        staging = self._ensure_staging()
+        buckets = self._buckets()
+        shard_len = self._shard_len
+
+        def submit_reduce(k: int):
+            r, blo, bhi = buckets[k]
+            glo = r * shard_len + blo
+            return pool.submit(
+                kernels.reduce_chunk, glo, glo + (bhi - blo),
+                staging[k % 2], glo, per_rank_flat, divisor,
+            )
+
+        with tracer.span("zero_step", category="optim",
+                         world_size=self.world_size, pipelined=True,
+                         buckets=len(buckets)):
+            # The collectives are fused into the bucket loop; account the
+            # same payloads the serial entry points would have counted.
+            self.group.count_payload(
+                "reduce_scatter", sum(b.nbytes for b in per_rank_flat)
+            )
+            pending = submit_reduce(0)
+            hyper = None
+            prev_rank = -1
+            for k, (r, blo, bhi) in enumerate(buckets):
+                pending.result()
+                if k + 1 < len(buckets):
+                    pending = submit_reduce(k + 1)
+                opt = self._rank_optimizers[r]
+                st = opt.state["shard"]
+                if r != prev_rank:
+                    st.step += 1
+                    hyper = kernels.AdamChunkHyper.from_config(
+                        opt.config, st.step
+                    )
+                    prev_rank = r
+                with tracer.span("bucket_adam", category="optim",
+                                 rank=r, bucket=k):
+                    kernels.adam_chunk(
+                        0, bhi - blo,
+                        opt.params["shard"][blo:bhi],
+                        st.m[blo:bhi], st.v[blo:bhi],
+                        staging[k % 2][: bhi - blo], hyper,
+                    )
+            # The all-gather of the serial dataflow: every shard is an
+            # arena view, so the gather is pure aliasing — count the
+            # payload and the saved copy, move no bytes.
+            self.group.count_payload(
+                "all_gather",
+                sum(opt.params["shard"].nbytes
+                    for opt in self._rank_optimizers),
+            )
             self.arena.note_alias(self.arena.flat.nbytes)
 
     def _step_dict_copy(self, per_rank_grads: Sequence[Params]) -> None:

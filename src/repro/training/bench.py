@@ -3,7 +3,7 @@
 Times the arena-backed hot paths against their dict-copy ancestors and
 records the result as ``BENCH_substrate.json`` — the first point of the
 perf trajectory the ROADMAP's "as fast as the hardware allows" north star
-asks for.  Three sections:
+asks for.  Five sections:
 
 * ``zero_step`` — a full ZeRO update (reduce-scatter, shard Adam,
   all-gather) with :class:`~repro.parallel.zero.ZeroShardedAdam` in its
@@ -16,17 +16,31 @@ asks for.  Three sections:
 * ``steady_state`` — telemetry deltas over repeated arena steps, proving
   ``arena_bytes_copied`` stays flat once gradients are produced into the
   arena.
+* ``parallel_step`` — the chunked-executor GraceAdam flat step
+  (:mod:`repro.exec`) vs. the serial flat-arena baseline (CPUAdam's
+  whole-plane fused step, the substrate's pre-executor hot path) and
+  vs. GraceAdam's serial tiled walk, with a bitwise identity check
+  folded into the measurement.
+* ``zero_pipeline`` — the overlapped bucket ZeRO step
+  (``pipeline=True``) vs. the serial zero-copy ``step_flat``, also
+  bitwise-checked.
+
+Both executor sections run on a real :class:`~repro.exec.pool.KernelPool`
+(``workers`` threads); on a single-core host the recorded speedup is the
+fused-kernel/allocation-elimination win, on multi-core hosts thread
+parallelism adds on top.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.exec.pool import default_workers, get_pool
 from repro.optim.adam import AdamConfig
-from repro.optim.implementations import GraceAdam
+from repro.optim.implementations import CPUAdam, GraceAdam
 from repro.optim.rollback import SnapshotRollback
 from repro.parallel.zero import ZeroShardedAdam
 from repro.telemetry import Telemetry
@@ -35,7 +49,20 @@ from repro.tensors.arena import FlatArena
 #: Flat element counts benchmarked by default (largest ~4M fp32 = 16 MiB
 #: per plane, big enough to be memory-bound like the real workload).
 DEFAULT_SIZES = (1 << 16, 1 << 19, 1 << 22)
-QUICK_SIZES = (1 << 14, 1 << 16)
+#: Quick (CI smoke) sizes straddle the executor's parallel dispatch
+#: threshold so the regression guard exercises the structural win at
+#: 512k, not just dispatch overhead at toy sizes.
+QUICK_SIZES = (1 << 16, 1 << 19)
+
+#: Sections ``substrate_bench`` can run (also the CLI's ``--sections``).
+ALL_SECTIONS = (
+    "zero_step", "rollback", "steady_state", "parallel_step",
+    "zero_pipeline",
+)
+
+#: Staging bucket size (elements) the ``zero_pipeline`` section uses —
+#: 256 KiB of fp32, small enough that both double buffers sit in cache.
+PIPELINE_BUCKET_ELEMENTS = 1 << 16
 
 
 def _make_params(
@@ -55,6 +82,20 @@ def _time(fn, repeats: int) -> float:
         t0 = time.perf_counter()
         fn()
         best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _time_interleaved(fns: Sequence, repeats: int) -> List[float]:
+    """Best-of-``repeats`` for several functions, timed in alternating
+    rounds so clock drift and allocator warm-up hit every contestant
+    equally (sequential best-of hands whichever runs later a warmer
+    heap)."""
+    best = [float("inf")] * len(fns)
+    for _ in range(repeats):
+        for i, fn in enumerate(fns):
+            t0 = time.perf_counter()
+            fn()
+            best[i] = min(best[i], time.perf_counter() - t0)
     return best
 
 
@@ -110,14 +151,29 @@ def _bench_rollback(
 
     cycle(plain_rb, grads_plain)        # warm up
     cycle(arena_rb, grads_arena)
-    plain_s = _time(lambda: cycle(plain_rb, grads_plain), repeats)
-    arena_s = _time(lambda: cycle(arena_rb, grads_arena), repeats)
+    from repro.optim.rollback import SMALL_SNAPSHOT_CUTOFF, _ArenaSnapshot
+    arena_rb.capture(grads_arena)
+    arena_path_used = isinstance(arena_rb._snapshot, _ArenaSnapshot)
+    arena_rb.discard()
+    # Rollback cycles are cheap enough that extra rounds cost nothing,
+    # and the small below-cutoff rows need them: best-of over few rounds
+    # of two identical code paths can wobble several percent.
+    plain_s, arena_s = _time_interleaved(
+        [lambda: cycle(plain_rb, grads_plain),
+         lambda: cycle(arena_rb, grads_arena)],
+        max(repeats, 9),
+    )
     return {
         "elements": n_total,
         "bytes": n_total * 4,
         "per_tensor_ms": plain_s * 1e3,
         "arena_ms": arena_s * 1e3,
         "speedup": plain_s / arena_s,
+        # Below SMALL_SNAPSHOT_CUTOFF both optimizers take the identical
+        # per-tensor path, so the honest speedup is 1.0 by construction
+        # (the measured ratio wobbles around it within timing noise).
+        "arena_path_used": arena_path_used,
+        "cutoff_elements": SMALL_SNAPSHOT_CUTOFF,
     }
 
 
@@ -150,6 +206,117 @@ def _bench_steady_state(
     }
 
 
+def _bench_parallel_step(
+    rng: np.random.Generator, n_total: int, n_tensors: int,
+    workers: int, repeats: int,
+) -> Dict[str, float]:
+    """Chunked-executor flat Adam step vs. its two serial ancestors.
+
+    The headline ``speedup`` is against the serial flat-arena baseline
+    (:class:`CPUAdam` with ``chunked=False`` — whole-plane fused passes
+    with full-size out-of-place temporaries, the substrate's pre-executor
+    hot path and the paper's "CPU-Adam" Table 3 referent).
+    ``speedup_vs_tiled`` is against :class:`GraceAdam`'s serial tiled
+    walk, whose cache-resident temporaries make it the tighter contest.
+    All three optimizers start from bitwise-identical state and step on
+    bitwise-identical gradients; ``bitwise_identical`` covers every
+    timed step, not just a warm-up.
+    """
+    config = AdamConfig(lr=1e-3, weight_decay=0.01)
+    params_serial = _make_params(rng, n_total, n_tensors)
+    params_tiled = {k: v.copy() for k, v in params_serial.items()}
+    params_par = {k: v.copy() for k, v in params_serial.items()}
+    for p in (params_serial, params_tiled, params_par):
+        FlatArena.adopt(p)
+    serial = CPUAdam(params_serial, config, chunked=False)
+    tiled = GraceAdam(params_tiled, config, chunked=False)
+    pool = get_pool(workers)
+    par = GraceAdam(params_par, config, pool=pool, chunked=True)
+    grads = serial.arena.like()
+    for view in grads.views.values():
+        view[...] = rng.standard_normal(view.shape, dtype=np.float32)
+    dicts = []
+    for opt in (serial, tiled, par):
+        ga = opt.arena.like()
+        ga.flat[...] = grads.flat
+        dicts.append(dict(ga.views))
+    for opt, gd in zip((serial, tiled, par), dicts):
+        opt.step(gd)                    # warm up all three paths
+    serial_s, tiled_s, par_s = _time_interleaved(
+        [lambda: serial.step(dicts[0]),
+         lambda: tiled.step(dicts[1]),
+         lambda: par.step(dicts[2])],
+        repeats,
+    )
+    identical = (
+        serial.step_count == tiled.step_count == par.step_count
+        and np.array_equal(serial.arena.flat, par.arena.flat)
+        and np.array_equal(tiled.arena.flat, par.arena.flat)
+        and np.array_equal(serial.arena_m.flat, par.arena_m.flat)
+        and np.array_equal(serial.arena_v.flat, par.arena_v.flat)
+    )
+    pool.shutdown()
+    return {
+        "elements": n_total,
+        "bytes": n_total * 4,
+        "workers": workers,
+        "serial_ms": serial_s * 1e3,
+        "tiled_ms": tiled_s * 1e3,
+        "parallel_ms": par_s * 1e3,
+        "speedup": serial_s / par_s,
+        "speedup_vs_tiled": tiled_s / par_s,
+        "bitwise_identical": identical,
+    }
+
+
+def _bench_zero_pipeline(
+    rng: np.random.Generator, n_total: int, n_tensors: int,
+    world_size: int, workers: int, repeats: int,
+) -> Dict[str, float]:
+    """Overlapped bucket ZeRO step vs. the serial zero-copy ``step_flat``."""
+    params_serial = _make_params(rng, n_total, n_tensors)
+    params_pipe = {k: v.copy() for k, v in params_serial.items()}
+    serial = ZeroShardedAdam(params_serial, world_size)
+    pool = get_pool(workers)
+    pipe = ZeroShardedAdam(
+        params_pipe, world_size, pipeline=True,
+        bucket_elements=PIPELINE_BUCKET_ELEMENTS, pool=pool,
+    )
+    flats_serial = []
+    flats_pipe = []
+    for r in range(world_size):
+        ga = serial.grad_arena(r)
+        for view in ga.views.values():
+            view[...] = rng.standard_normal(view.shape, dtype=np.float32)
+        flats_serial.append(ga.flat)
+        gp = pipe.grad_arena(r)
+        gp.flat[...] = ga.flat
+        flats_pipe.append(gp.flat)
+    serial.step_flat(flats_serial)      # warm up both paths
+    pipe.step_flat(flats_pipe)
+    serial_s, pipe_s = _time_interleaved(
+        [lambda: serial.step_flat(flats_serial),
+         lambda: pipe.step_flat(flats_pipe)],
+        repeats,
+    )
+    identical = (
+        serial.step_count == pipe.step_count
+        and np.array_equal(serial.arena.flat, pipe.arena.flat)
+    )
+    pipe.release_staging()
+    pool.shutdown()
+    return {
+        "elements": n_total,
+        "bytes": n_total * 4,
+        "workers": workers,
+        "bucket_elements": pipe.bucket_elements,
+        "serial_ms": serial_s * 1e3,
+        "pipeline_ms": pipe_s * 1e3,
+        "speedup": serial_s / pipe_s,
+        "bitwise_identical": identical,
+    }
+
+
 def substrate_bench(
     sizes: Optional[List[int]] = None,
     world_size: int = 4,
@@ -157,6 +324,8 @@ def substrate_bench(
     repeats: int = 5,
     seed: int = 0,
     quick: bool = False,
+    workers: Optional[int] = None,
+    sections: Optional[Sequence[str]] = None,
 ) -> Dict:
     """Run the full substrate benchmark; returns a JSON-ready document.
 
@@ -168,28 +337,55 @@ def substrate_bench(
         repeats: timing repetitions (best-of).
         seed: RNG seed for parameters and gradients.
         quick: smoke-run sizes/repeats (used by CI).
+        workers: kernel-pool thread count for the executor sections
+            (default: at least 2, so the parallel machinery is really
+            exercised even on small hosts).
+        sections: subset of :data:`ALL_SECTIONS` to run (default: all).
     """
     if sizes is None:
         sizes = list(QUICK_SIZES if quick else DEFAULT_SIZES)
     if quick:
         repeats = min(repeats, 3)
+    if workers is None:
+        workers = max(2, default_workers())
+    if sections is None:
+        sections = ALL_SECTIONS
+    unknown = set(sections) - set(ALL_SECTIONS)
+    if unknown:
+        raise ValueError(
+            f"unknown bench sections {sorted(unknown)}; "
+            f"known: {list(ALL_SECTIONS)}"
+        )
     rng = np.random.default_rng(seed)
-    zero_rows = [
-        _bench_zero_step(rng, n, n_tensors, world_size, repeats)
-        for n in sizes
-    ]
-    rollback_rows = [
-        _bench_rollback(rng, n, n_tensors, repeats) for n in sizes
-    ]
-    steady = _bench_steady_state(
-        rng, sizes[-1], n_tensors, world_size, steps=max(3, repeats)
-    )
-    return {
+    result: Dict = {
         "benchmark": "substrate_arena",
         "world_size": world_size,
         "n_tensors": n_tensors,
         "repeats": repeats,
-        "zero_step": zero_rows,
-        "rollback": rollback_rows,
-        "steady_state": steady,
+        "workers": workers,
     }
+    if "zero_step" in sections:
+        result["zero_step"] = [
+            _bench_zero_step(rng, n, n_tensors, world_size, repeats)
+            for n in sizes
+        ]
+    if "rollback" in sections:
+        result["rollback"] = [
+            _bench_rollback(rng, n, n_tensors, repeats) for n in sizes
+        ]
+    if "steady_state" in sections:
+        result["steady_state"] = _bench_steady_state(
+            rng, sizes[-1], n_tensors, world_size, steps=max(3, repeats)
+        )
+    if "parallel_step" in sections:
+        result["parallel_step"] = [
+            _bench_parallel_step(rng, n, n_tensors, workers, repeats)
+            for n in sizes
+        ]
+    if "zero_pipeline" in sections:
+        result["zero_pipeline"] = [
+            _bench_zero_pipeline(rng, n, n_tensors, world_size, workers,
+                                 repeats)
+            for n in sizes
+        ]
+    return result

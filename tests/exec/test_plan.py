@@ -1,0 +1,73 @@
+"""ChunkPlan invariants: exact tiling, alignment, balance."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exec.plan import DEFAULT_ALIGN, ChunkPlan
+
+
+class TestSplit:
+    def test_exact_cover(self):
+        plan = ChunkPlan.split(1000, 4)
+        assert plan.chunks[0][0] == 0
+        assert plan.chunks[-1][1] == 1000
+        for (a, b), (c, d) in zip(plan.chunks, plan.chunks[1:]):
+            assert b == c
+
+    def test_interior_boundaries_aligned(self):
+        plan = ChunkPlan.split(1000, 4, align=16)
+        for lo, hi in plan.chunks[:-1]:
+            assert hi % 16 == 0
+
+    def test_small_n_fewer_chunks(self):
+        # 20 elements can give at most one 16-aligned chunk.
+        plan = ChunkPlan.split(20, 4, align=16)
+        assert len(plan) == 1
+        assert plan.chunks == ((0, 20),)
+
+    def test_empty(self):
+        plan = ChunkPlan.split(0, 4)
+        assert len(plan) == 0
+        assert plan.largest_chunk() == 0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            ChunkPlan.split(-1, 2)
+        with pytest.raises(ValueError):
+            ChunkPlan.split(10, 0)
+        with pytest.raises(ValueError):
+            ChunkPlan.split(10, 2, align=0)
+
+    def test_validation_rejects_gaps(self):
+        with pytest.raises(ValueError):
+            ChunkPlan(100, ((0, 32), (48, 100)), 16)
+        with pytest.raises(ValueError):
+            ChunkPlan(100, ((0, 30), (30, 100)), 16)  # unaligned interior
+        with pytest.raises(ValueError):
+            ChunkPlan(100, ((0, 32),), 16)  # short cover
+
+    @given(
+        n=st.integers(min_value=0, max_value=1 << 20),
+        n_chunks=st.integers(min_value=1, max_value=16),
+        align=st.sampled_from([1, 4, 16, 64]),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_properties_hold_for_any_split(self, n, n_chunks, align):
+        plan = ChunkPlan.split(n, n_chunks, align)
+        # exact tiling of [0, n)
+        cursor = 0
+        for lo, hi in plan:
+            assert lo == cursor and hi > lo
+            if hi != n:
+                assert hi % align == 0
+            cursor = hi
+        assert cursor == n
+        assert len(plan) <= n_chunks
+        # balance: chunks differ by at most one align quantum (plus the
+        # tail partial quantum riding with the last chunk)
+        if len(plan) > 1:
+            sizes = [hi - lo for lo, hi in plan.chunks[:-1]]
+            assert max(sizes) - min(sizes) <= align
+
+    def test_default_align_matches_sve_lanes(self):
+        assert DEFAULT_ALIGN == 16

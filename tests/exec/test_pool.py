@@ -1,0 +1,141 @@
+"""KernelPool lifecycle: submit/wait, inline mode, errors, telemetry."""
+
+import numpy as np
+import pytest
+
+from repro.exec.plan import ChunkPlan
+from repro.exec.pool import (
+    KernelPool,
+    configure_default_pool,
+    default_workers,
+    get_pool,
+)
+from repro.telemetry import Telemetry
+
+
+@pytest.fixture
+def pool():
+    p = KernelPool(2)
+    yield p
+    p.shutdown()
+
+
+class TestSubmit:
+    def test_submit_returns_result(self, pool):
+        fut = pool.submit(lambda a, b: a + b, 2, 3)
+        assert fut.result(timeout=5.0) == 5
+        assert fut.done()
+
+    def test_submit_propagates_exception(self, pool):
+        def boom():
+            raise RuntimeError("kernel failed")
+
+        fut = pool.submit(boom)
+        with pytest.raises(RuntimeError, match="kernel failed"):
+            fut.result(timeout=5.0)
+
+    def test_inline_pool_resolves_immediately(self):
+        inline = KernelPool(1)
+        fut = inline.submit(lambda: 42)
+        assert fut.done() and fut.result() == 42
+
+    def test_inline_pool_spawns_no_threads(self):
+        inline = KernelPool(1)
+        inline.submit(lambda: None).result()
+        assert inline._threads == []
+
+    def test_wait_all_reraises_first_failure(self, pool):
+        def maybe(i):
+            if i == 1:
+                raise ValueError("chunk 1")
+            return i
+
+        futures = [pool.submit(maybe, i) for i in range(4)]
+        with pytest.raises(ValueError, match="chunk 1"):
+            pool.wait_all(futures)
+
+
+class TestRun:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_run_covers_every_chunk(self, workers):
+        pool = KernelPool(workers)
+        try:
+            buf = np.zeros(1024, dtype=np.float32)
+            plan = ChunkPlan.split(buf.size, workers)
+
+            def mark(lo, hi, out):
+                out[lo:hi] += 1.0
+
+            pool.run(mark, plan, buf)
+            np.testing.assert_array_equal(buf, np.ones_like(buf))
+        finally:
+            pool.shutdown()
+
+    def test_run_reraises_chunk_exception(self, pool):
+        plan = ChunkPlan.split(64, 2)
+
+        def boom(lo, hi):
+            if lo > 0:
+                raise RuntimeError("tail chunk")
+
+        with pytest.raises(RuntimeError, match="tail chunk"):
+            pool.run(boom, plan)
+
+    def test_empty_plan_is_noop(self, pool):
+        pool.run(lambda lo, hi: 1 / 0, ChunkPlan.split(0, 2))
+
+    def test_submit_after_shutdown_rejected(self):
+        p = KernelPool(2)
+        p.submit(lambda: None).result()  # spin up threads
+        p.shutdown()
+        with pytest.raises(RuntimeError):
+            p._ensure_threads()
+
+
+class TestTelemetry:
+    def test_per_worker_counters_record_chunks(self):
+        telemetry = Telemetry()
+        pool = KernelPool(2, telemetry=telemetry)
+        try:
+            plan = ChunkPlan.split(1024, 2)
+            buf = np.zeros(1024, dtype=np.float32)
+
+            def mark(lo, hi, out):
+                out[lo:hi] = 1.0
+
+            pool.run(mark, plan, buf)
+            pool.run(mark, plan, buf)
+            total = sum(
+                telemetry.metrics.counter("exec_chunks_total", worker=i).value
+                for i in range(2)
+            )
+            assert total == 2 * len(plan)
+        finally:
+            pool.shutdown()
+
+
+class TestDefaultPool:
+    def test_explicit_workers_builds_fresh_pool(self):
+        a = get_pool(2)
+        b = get_pool(2)
+        assert a is not b
+        a.shutdown()
+        b.shutdown()
+
+    def test_default_pool_is_shared(self):
+        assert get_pool() is get_pool()
+
+    def test_configure_replaces_default(self):
+        old = get_pool()
+        new = configure_default_pool(old.workers)
+        try:
+            assert get_pool() is new
+            assert new is not old
+        finally:
+            pass  # leave the fresh default pool in place for other tests
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXEC_WORKERS", "3")
+        assert default_workers() == 3
+        monkeypatch.setenv("REPRO_EXEC_WORKERS", "not-a-number")
+        assert default_workers() >= 1

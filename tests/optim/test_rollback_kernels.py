@@ -79,6 +79,76 @@ class TestAlgebraicRollback:
             rb.rollback(grads)
 
 
+class TestSnapshotCutoff:
+    """The range-memcpy path only engages above SMALL_SNAPSHOT_CUTOFF —
+    below it per-tensor copies are allocator-cheap and the range path's
+    span bookkeeping only ever costs (the 65k bench row regression)."""
+
+    def _arena_opt(self, rng, n):
+        import repro.optim.rollback as rollback_mod
+        from repro.tensors.arena import FlatArena
+
+        params = {"w": rng.standard_normal(n).astype(np.float32)}
+        FlatArena.adopt(params)
+        return rollback_mod, GraceAdam(params, AdamConfig(lr=1e-2))
+
+    def test_small_bucket_takes_per_tensor_path(self, rng):
+        rollback_mod, opt = self._arena_opt(rng, 64)
+        rb = SnapshotRollback(opt)
+        grads = {"w": rng.standard_normal(64).astype(np.float32)}
+        rb.capture(grads)
+        assert isinstance(rb._snapshot, dict)  # per-tensor, below cutoff
+        rb.discard()
+
+    def test_large_bucket_takes_arena_path(self, rng, monkeypatch):
+        rollback_mod, opt = self._arena_opt(rng, 256)
+        monkeypatch.setattr(rollback_mod, "SMALL_SNAPSHOT_CUTOFF", 128)
+        rb = SnapshotRollback(opt)
+        grads = {"w": rng.standard_normal(256).astype(np.float32)}
+        before = opt.params["w"].copy()
+        rb.capture(grads)
+        assert isinstance(rb._snapshot, rollback_mod._ArenaSnapshot)
+        opt.step(grads)
+        rb.rollback(grads)
+        np.testing.assert_array_equal(opt.params["w"], before)
+
+    def test_both_paths_restore_identically(self, rng, monkeypatch):
+        """Cutoff placement is pure perf policy: either path restores the
+        exact same bits, so moving the cutoff can never change results."""
+        import repro.optim.rollback as rollback_mod
+
+        results = {}
+        for cutoff in (1, 1 << 30):  # force arena path, then per-tensor
+            r = np.random.default_rng(7)
+            mod, opt = self._arena_opt(r, 256)
+            monkeypatch.setattr(rollback_mod, "SMALL_SNAPSHOT_CUTOFF", cutoff)
+            rb = SnapshotRollback(opt)
+            grads = {"w": r.standard_normal(256).astype(np.float32)}
+            opt.step(grads)
+            rb.capture(grads)
+            opt.step(grads)
+            rb.rollback(grads)
+            results[cutoff] = (opt.params["w"].copy(),
+                               opt.state["w"].m.copy(),
+                               opt.state["w"].v.copy())
+        for a, b in zip(results[1], results[1 << 30]):
+            np.testing.assert_array_equal(a, b)
+
+    def test_scratch_persists_across_captures(self, rng, monkeypatch):
+        """Steady-state captures must reuse the scratch block — its
+        persistence is where the large-bucket speedup comes from."""
+        rollback_mod, opt = self._arena_opt(rng, 256)
+        monkeypatch.setattr(rollback_mod, "SMALL_SNAPSHOT_CUTOFF", 128)
+        rb = SnapshotRollback(opt)
+        grads = {"w": rng.standard_normal(256).astype(np.float32)}
+        rb.capture(grads)
+        first = rb._scratch
+        rb.discard()
+        rb.capture(grads)
+        assert rb._scratch is first
+        rb.discard()
+
+
 def test_factory(rng):
     opt = setup_opt(rng)
     assert isinstance(

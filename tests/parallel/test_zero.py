@@ -128,6 +128,146 @@ class TestZeroShardedAdam:
         with pytest.raises(ValueError):
             ZeroShardedAdam({"a": np.zeros(2, np.float32)}, 0)
 
+class TestPipelinedStep:
+    """The overlapped bucket pipeline must be bitwise identical to the
+    serial zero-copy ``step_flat`` at every world size, bucket size, and
+    worker count — including bucket sizes that leave ragged shard tails."""
+
+    @staticmethod
+    def _filled_flats(opt, rng):
+        flats = []
+        for r in range(opt.world_size):
+            ga = opt.grad_arena(r)
+            for view in ga.views.values():
+                view[...] = rng.standard_normal(view.shape, dtype=np.float32)
+            flats.append(ga.flat)
+        return flats
+
+    @pytest.mark.parametrize("world", [1, 2, 4])
+    @pytest.mark.parametrize("bucket_elements", [1, 5, 64, 1 << 20])
+    def test_bitwise_matches_serial_step_flat(self, rng, world,
+                                              bucket_elements):
+        from repro.exec.pool import KernelPool
+
+        base = make_params(rng)
+        serial = ZeroShardedAdam(
+            {k: v.copy() for k, v in base.items()}, world
+        )
+        pool = KernelPool(2)
+        try:
+            pipe = ZeroShardedAdam(
+                {k: v.copy() for k, v in base.items()}, world,
+                pipeline=True, bucket_elements=bucket_elements, pool=pool,
+            )
+            for _ in range(3):
+                flats = self._filled_flats(serial, rng)
+                for r in range(world):
+                    gp = pipe.grad_arena(r)
+                    gp.flat[...] = flats[r]
+                serial.step_flat(flats)
+                pipe.step_flat([pipe.grad_arena(r).flat
+                                for r in range(world)])
+            assert serial.step_count == pipe.step_count
+            np.testing.assert_array_equal(serial.arena.flat, pipe.arena.flat)
+            for r in range(world):
+                s_opt = serial._rank_optimizers[r]
+                p_opt = pipe._rank_optimizers[r]
+                np.testing.assert_array_equal(
+                    s_opt.state["shard"].m, p_opt.state["shard"].m
+                )
+                np.testing.assert_array_equal(
+                    s_opt.state["shard"].v, p_opt.state["shard"].v
+                )
+        finally:
+            pipe.release_staging()
+            pool.shutdown()
+
+    def test_payload_accounting_matches_serial(self, rng):
+        """The pipeline bypasses the collective entry points but must
+        report the same reduce-scatter/all-gather payload bytes."""
+        from repro.telemetry import Telemetry
+
+        base = make_params(rng)
+        results = {}
+        for name, kwargs in (("serial", {}), ("pipeline", {"pipeline": True})):
+            telemetry = Telemetry()
+            opt = ZeroShardedAdam(
+                {k: v.copy() for k, v in base.items()}, 2,
+                telemetry=telemetry, **kwargs,
+            )
+            opt.step_flat(self._filled_flats(opt, rng))
+            results[name] = {
+                op: telemetry.metrics.counter(
+                    "collective_bytes_total", op=op
+                ).value
+                for op in ("reduce_scatter", "all_gather")
+            }
+            opt.release_staging()
+        assert results["serial"] == results["pipeline"]
+
+    def test_pinned_staging_reserved_and_released(self, rng):
+        from repro.tensors import MemoryPool, PinnedBufferPool
+
+        host = MemoryPool("cpu:0", 1 << 20)
+        pinned = PinnedBufferPool(1 << 20, host_pool=host)
+        opt = ZeroShardedAdam(
+            make_params(rng), 2, pipeline=True, bucket_elements=4,
+            pinned_pool=pinned,
+        )
+        for _ in range(3):  # staging is built once, reused per step
+            opt.step_flat(self._filled_flats(opt, rng))
+        staged = 2 * opt.bucket_elements * 4  # double-buffered fp32
+        assert pinned.free_bytes == pinned.capacity - staged
+        assert host.used == staged
+        opt.release_staging()
+        assert pinned.free_bytes == pinned.capacity
+        assert host.used == 0
+
+    def test_full_pinned_pool_degrades_to_pageable(self, rng):
+        from repro.tensors import PinnedBufferPool
+
+        pinned = PinnedBufferPool(1)  # can't fit any staging bucket
+        opt = ZeroShardedAdam(
+            make_params(rng), 2, pipeline=True, bucket_elements=4,
+            pinned_pool=pinned,
+        )
+        opt.step_flat(self._filled_flats(opt, rng))  # must not raise
+        assert pinned.free_bytes == pinned.capacity
+        opt.release_staging()
+
+    def test_pipeline_requires_zero_copy(self, rng):
+        with pytest.raises(ValueError):
+            ZeroShardedAdam(make_params(rng), 2, zero_copy=False,
+                            pipeline=True)
+        with pytest.raises(ValueError):
+            ZeroShardedAdam(make_params(rng), 2, pipeline=True,
+                            bucket_elements=0)
+
+    def test_bucket_elements_clamped_to_shard(self, rng):
+        opt = ZeroShardedAdam(make_params(rng), 2, pipeline=True,
+                              bucket_elements=1 << 30)
+        assert opt.bucket_elements == opt.layout.total // 2
+
+    @given(world=st.integers(min_value=1, max_value=4),
+           bucket=st.integers(min_value=1, max_value=40))
+    @settings(max_examples=15, deadline=None)
+    def test_any_bucket_size_bitwise(self, world, bucket):
+        rng = np.random.default_rng(world * 100 + bucket)
+        base = {"w": rng.standard_normal(37).astype(np.float32)}
+        serial = ZeroShardedAdam({"w": base["w"].copy()}, world)
+        pipe = ZeroShardedAdam({"w": base["w"].copy()}, world,
+                               pipeline=True, bucket_elements=bucket)
+        flats = TestPipelinedStep._filled_flats(serial, rng)
+        for r in range(world):
+            gp = pipe.grad_arena(r)
+            gp.flat[...] = flats[r]
+        serial.step_flat(flats)
+        pipe.step_flat([pipe.grad_arena(r).flat for r in range(world)])
+        pipe.release_staging()
+        np.testing.assert_array_equal(serial.arena.flat, pipe.arena.flat)
+
+
+class TestZeroHypothesis:
     @given(world=st.integers(min_value=1, max_value=6))
     @settings(max_examples=10, deadline=None)
     def test_sharded_invariant_any_world_size(self, world):

@@ -113,3 +113,30 @@ def test_pinned_pool_respects_host_capacity():
     host = MemoryPool("cpu:0", 100)
     pinned = PinnedBufferPool(500, host_pool=host)
     assert pinned.try_reserve(200) is None  # host can't back it
+
+
+def test_pinned_release_frees_host_mirror_across_cycles():
+    """Repeated reserve/release cycles must not leak host DRAM: every
+    release returns *both* the pinned bytes and the mirrored host-pool
+    allocation (a leaked mirror would strand host memory long after the
+    pinned buffer itself is reusable)."""
+    host = MemoryPool("cpu:0", 1000)
+    pinned = PinnedBufferPool(400, host_pool=host)
+    for cycle in range(50):
+        a = pinned.reserve(300, tag=f"cycle{cycle}")
+        b = pinned.reserve(100, tag=f"cycle{cycle}b")
+        assert host.used == 400
+        assert pinned.free_bytes == 0
+        pinned.release(a)
+        pinned.release(b)
+        assert host.used == 0, f"host mirror leaked on cycle {cycle}"
+        assert pinned.free_bytes == 400
+    assert host.peak == 400  # high-water mark, not 50 cycles' worth
+
+
+def test_pinned_release_without_host_pool():
+    pinned = PinnedBufferPool(100)
+    for _ in range(10):
+        a = pinned.reserve(100)
+        pinned.release(a)
+    assert pinned.free_bytes == 100
