@@ -14,7 +14,12 @@ repo root, and asserts the acceptance bars:
   >= 1.5x at the largest size, bitwise identically at every size;
 * snapshot rollback never regresses: >= 1.0x wherever the range-memcpy
   path engages, and the identical per-tensor path (within timing noise)
-  below the cutoff.
+  below the cutoff;
+* streaming blocked attention beats the dense ``S x S`` path by >= 1.5x
+  (fwd+bwd) at the guard sequence length, within fp32 tolerance of dense
+  and bitwise identical across worker counts at every size;
+* the workspace-backed model step allocates zero workspace buffers in
+  steady state and stays tolerance-equal to the dense baseline.
 """
 
 from __future__ import annotations
@@ -73,6 +78,28 @@ def test_arena_substrate_perf():
          for r in result["zero_pipeline"]],
     )
 
+    print_table(
+        "BENCH_substrate — streaming blocked attention vs dense "
+        f"({result['workers']} workers)",
+        ["seq", "dense f+b (ms)", "stream f+b (ms)", "speedup",
+         "mem ratio", "tolerance", "deterministic"],
+        [[r["seq"], r["dense_step_ms"], r["streaming_step_ms"],
+          f"{r['step_speedup']:.2f}x",
+          f"{r['peak_transient_ratio']:.1f}x", r["tolerance_ok"],
+          r["bitwise_across_workers"]]
+         for r in result["attention"]],
+    )
+    print_table(
+        "BENCH_substrate — workspace-backed streaming model step "
+        f"({result['workers']} workers)",
+        ["seq", "baseline (ms)", "workspace (ms)", "speedup",
+         "steady allocs", "peak bytes"],
+        [[r["seq"], r["baseline_ms"], r["workspace_ms"],
+          f"{r['speedup']:.2f}x", r["steady_allocs_per_step"],
+          f"{r['workspace_peak_bytes']:,}"]
+         for r in result["model_step"]],
+    )
+
     out = REPO_ROOT / "BENCH_substrate.json"
     out.write_text(json.dumps(result, indent=2) + "\n")
 
@@ -108,6 +135,20 @@ def test_arena_substrate_perf():
         assert row["bitwise_identical"], row
     assert result["zero_pipeline"][-1]["speedup"] >= 1.5, \
         result["zero_pipeline"][-1]
+
+    # attention: tolerance + worker determinism everywhere; the blocked
+    # kernel must clear the acceptance bar at the guard sequence length
+    for row in result["attention"]:
+        assert row["tolerance_ok"], row
+        assert row["bitwise_across_workers"], row
+        assert row["peak_transient_ratio"] > 1.0, row
+    guard = [r for r in result["attention"] if r["seq"] >= 1024][-1]
+    assert guard["step_speedup"] >= 1.5, guard
+
+    # model step: allocation-free in steady state, tolerance-equal
+    for row in result["model_step"]:
+        assert row["tolerance_ok"], row
+        assert row["steady_allocs_per_step"] == 0, row
 
     document = json.loads(out.read_text())
     assert document["benchmark"] == "substrate_arena"

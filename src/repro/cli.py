@@ -420,6 +420,35 @@ def _cmd_bench(args: argparse.Namespace) -> None:
         summaries.append(
             _geomean_line("zero_pipeline", result["zero_pipeline"])
         )
+    if "attention" in result:
+        print_table(
+            "repro bench — streaming blocked attention vs dense "
+            f"({result['workers']} workers)",
+            ["seq", "dense fwd (ms)", "stream fwd (ms)", "fwd speedup",
+             "dense f+b (ms)", "stream f+b (ms)", "f+b speedup",
+             "mem ratio", "tol", "det"],
+            [[r["seq"], r["dense_fwd_ms"], r["streaming_fwd_ms"],
+              f"{r['fwd_speedup']:.2f}x", r["dense_step_ms"],
+              r["streaming_step_ms"], f"{r['step_speedup']:.2f}x",
+              f"{r['peak_transient_ratio']:.1f}x",
+              "ok" if r["tolerance_ok"] else "FAIL",
+              "ok" if r["bitwise_across_workers"] else "MISMATCH"]
+             for r in result["attention"]],
+        )
+        summaries.append(_geomean_line("attention", result["attention"]))
+    if "model_step" in result:
+        print_table(
+            "repro bench — workspace-backed streaming model step "
+            f"({result['workers']} workers)",
+            ["seq", "baseline (ms)", "workspace (ms)", "speedup",
+             "steady allocs", "peak bytes", "tol"],
+            [[r["seq"], r["baseline_ms"], r["workspace_ms"],
+              f"{r['speedup']:.2f}x", r["steady_allocs_per_step"],
+              f"{r['workspace_peak_bytes']:,}",
+              "ok" if r["tolerance_ok"] else "FAIL"]
+             for r in result["model_step"]],
+        )
+        summaries.append(_geomean_line("model_step", result["model_step"]))
     if summaries:
         print()
         for line in summaries:

@@ -16,10 +16,26 @@ from repro.numeric.layers import (
     gelu_grad,
     softmax,
 )
-from repro.numeric.attention import MultiHeadAttention
+from repro.numeric.attention import (
+    BACKENDS,
+    MultiHeadAttention,
+    causal_mask,
+    masked_fill_value,
+)
+from repro.numeric.flash import (
+    FlashCache,
+    streaming_attention_backward,
+    streaming_attention_forward,
+)
 from repro.numeric.transformer import TinyTransformer, TransformerParams
 
 __all__ = [
+    "BACKENDS",
+    "causal_mask",
+    "masked_fill_value",
+    "FlashCache",
+    "streaming_attention_forward",
+    "streaming_attention_backward",
     "to_fp16",
     "from_fp16",
     "to_bf16",

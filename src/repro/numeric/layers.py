@@ -3,16 +3,31 @@
 Each forward returns ``(output, cache)``; each backward consumes the cache
 and the upstream gradient and returns input/parameter gradients.  The
 gradients are verified against central finite differences in the tests.
+
+Every kernel takes an optional ``ws``
+(:class:`~repro.tensors.workspace.ActivationWorkspace`).  Without one the
+seed behavior is preserved verbatim — fresh allocations per call.  With
+one, outputs, caches, and large temporaries land in reused workspace
+buffers via ``out=`` variants whose operation order matches the plain
+expressions bit for bit (additions/multiplications reordered only across
+commutations and exact power-of-two scalings), so routing a model through
+a workspace changes *where* the bytes live, not what they hold.
+Parameter gradients (``dw``/``db``/``dg``/``dtable``) are always freshly
+allocated: they outlive the step (accumulated across micro-batches and
+ranks), which workspace buffers must not.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.tensors.workspace import ActivationWorkspace
+
 Cache = Tuple
+Workspace = Optional[ActivationWorkspace]
 
 
 def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
@@ -25,36 +40,91 @@ def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
 _GELU_C = math.sqrt(2.0 / math.pi)
 
 
-def gelu(x: np.ndarray) -> np.ndarray:
+def gelu(x: np.ndarray, ws: Workspace = None) -> np.ndarray:
     """GELU, tanh approximation (the GPT-2 variant)."""
-    return 0.5 * x * (1.0 + np.tanh(_GELU_C * (x + 0.044715 * x**3)))
+    if ws is None:
+        return 0.5 * x * (1.0 + np.tanh(_GELU_C * (x + 0.044715 * x**3)))
+    t = ws.take(x.shape, x.dtype)
+    np.power(x, 3, out=t)
+    t *= 0.044715
+    t += x
+    t *= _GELU_C
+    np.tanh(t, out=t)
+    t += 1.0
+    out = ws.take(x.shape, x.dtype)
+    np.multiply(t, x, out=out)
+    out *= 0.5
+    ws.give(t)
+    return out
 
 
-def gelu_grad(x: np.ndarray) -> np.ndarray:
+def gelu_grad(x: np.ndarray, ws: Workspace = None) -> np.ndarray:
     """d gelu / dx for the tanh approximation."""
-    inner = _GELU_C * (x + 0.044715 * x**3)
-    tanh_inner = np.tanh(inner)
-    sech2 = 1.0 - tanh_inner**2
-    d_inner = _GELU_C * (1.0 + 3 * 0.044715 * x**2)
-    return 0.5 * (1.0 + tanh_inner) + 0.5 * x * sech2 * d_inner
+    if ws is None:
+        inner = _GELU_C * (x + 0.044715 * x**3)
+        tanh_inner = np.tanh(inner)
+        sech2 = 1.0 - tanh_inner**2
+        d_inner = _GELU_C * (1.0 + 3 * 0.044715 * x**2)
+        return 0.5 * (1.0 + tanh_inner) + 0.5 * x * sech2 * d_inner
+    tanh_inner = ws.take(x.shape, x.dtype)
+    np.power(x, 3, out=tanh_inner)
+    tanh_inner *= 0.044715
+    tanh_inner += x
+    tanh_inner *= _GELU_C
+    np.tanh(tanh_inner, out=tanh_inner)
+    sech2 = ws.take(x.shape, x.dtype)
+    np.multiply(tanh_inner, tanh_inner, out=sech2)
+    np.subtract(1.0, sech2, out=sech2)
+    d_inner = ws.take(x.shape, x.dtype)
+    np.multiply(x, x, out=d_inner)
+    d_inner *= 3 * 0.044715
+    d_inner += 1.0
+    d_inner *= _GELU_C
+    # second term: ((0.5 * x) * sech2) * d_inner, associated so the 0.5
+    # scaling (exact) commutes with the two rounded multiplies
+    sech2 *= x
+    sech2 *= d_inner
+    sech2 *= 0.5
+    # first term: 0.5 * (1 + tanh)
+    tanh_inner += 1.0
+    tanh_inner *= 0.5
+    tanh_inner += sech2
+    ws.give(sech2)
+    ws.give(d_inner)
+    return tanh_inner
 
 
 class Dense:
     """Affine map ``y = x @ w + b`` over the trailing axis."""
 
     @staticmethod
-    def forward(x: np.ndarray, w: np.ndarray, b: np.ndarray) -> Tuple[np.ndarray, Cache]:
-        y = x @ w + b
+    def forward(
+        x: np.ndarray, w: np.ndarray, b: np.ndarray, ws: Workspace = None
+    ) -> Tuple[np.ndarray, Cache]:
+        if ws is None:
+            y = x @ w + b
+        else:
+            y = ws.take(x.shape[:-1] + (w.shape[-1],),
+                        np.result_type(x, w))
+            np.matmul(x, w, out=y)
+            y += b
         return y, (x, w)
 
     @staticmethod
-    def backward(dy: np.ndarray, cache: Cache) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    def backward(
+        dy: np.ndarray, cache: Cache, ws: Workspace = None
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         x, w = cache
-        dx = dy @ w.T
         flat_x = x.reshape(-1, x.shape[-1])
         flat_dy = dy.reshape(-1, dy.shape[-1])
         dw = flat_x.T @ flat_dy
         db = flat_dy.sum(axis=0)
+        if ws is None:
+            dx = dy @ w.T
+        else:
+            dx = ws.take(dy.shape[:-1] + (w.shape[0],),
+                         np.result_type(dy, w))
+            np.matmul(dy, w.T, out=dx)
         return dx, dw, db
 
 
@@ -64,36 +134,83 @@ class LayerNorm:
     EPS = 1e-5
 
     @staticmethod
-    def forward(x: np.ndarray, g: np.ndarray, b: np.ndarray) -> Tuple[np.ndarray, Cache]:
-        mu = x.mean(axis=-1, keepdims=True)
-        var = x.var(axis=-1, keepdims=True)
-        inv = 1.0 / np.sqrt(var + LayerNorm.EPS)
-        xhat = (x - mu) * inv
-        return xhat * g + b, (xhat, inv, g)
+    def forward(
+        x: np.ndarray, g: np.ndarray, b: np.ndarray, ws: Workspace = None
+    ) -> Tuple[np.ndarray, Cache]:
+        if ws is None:
+            mu = x.mean(axis=-1, keepdims=True)
+            var = x.var(axis=-1, keepdims=True)
+            inv = 1.0 / np.sqrt(var + LayerNorm.EPS)
+            xhat = (x - mu) * inv
+            return xhat * g + b, (xhat, inv, g)
+        stat_shape = x.shape[:-1] + (1,)
+        mu = ws.take(stat_shape, x.dtype)
+        np.mean(x, axis=-1, keepdims=True, out=mu)
+        inv = ws.take(stat_shape, x.dtype)
+        np.var(x, axis=-1, keepdims=True, out=inv)
+        inv += LayerNorm.EPS
+        np.sqrt(inv, out=inv)
+        np.divide(1.0, inv, out=inv)
+        xhat = ws.take(x.shape, x.dtype)
+        np.subtract(x, mu, out=xhat)
+        xhat *= inv
+        ws.give(mu)
+        out = ws.take(x.shape, x.dtype)
+        np.multiply(xhat, g, out=out)
+        out += b
+        return out, (xhat, inv, g)
 
     @staticmethod
-    def backward(dy: np.ndarray, cache: Cache) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    def backward(
+        dy: np.ndarray, cache: Cache, ws: Workspace = None
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         xhat, inv, g = cache
         n = xhat.shape[-1]
         dg = (dy * xhat).reshape(-1, n).sum(axis=0)
         db = dy.reshape(-1, n).sum(axis=0)
-        dxhat = dy * g
-        dx = inv * (
-            dxhat
-            - dxhat.mean(axis=-1, keepdims=True)
-            - xhat * (dxhat * xhat).mean(axis=-1, keepdims=True)
-        )
-        return dx, dg, db
+        if ws is None:
+            dxhat = dy * g
+            dx = inv * (
+                dxhat
+                - dxhat.mean(axis=-1, keepdims=True)
+                - xhat * (dxhat * xhat).mean(axis=-1, keepdims=True)
+            )
+            return dx, dg, db
+        stat_shape = xhat.shape[:-1] + (1,)
+        dxhat = ws.take(xhat.shape, xhat.dtype)
+        np.multiply(dy, g, out=dxhat)
+        scratch = ws.take(xhat.shape, xhat.dtype)
+        np.multiply(dxhat, xhat, out=scratch)
+        m2 = ws.take(stat_shape, xhat.dtype)
+        np.mean(scratch, axis=-1, keepdims=True, out=m2)
+        m1 = ws.take(stat_shape, xhat.dtype)
+        np.mean(dxhat, axis=-1, keepdims=True, out=m1)
+        # dx = inv * ((dxhat - m1) - xhat * m2), same association as the
+        # plain expression
+        np.multiply(xhat, m2, out=scratch)
+        dxhat -= m1
+        dxhat -= scratch
+        dxhat *= inv
+        ws.give(scratch)
+        ws.give(m1)
+        ws.give(m2)
+        return dxhat, dg, db
 
 
 class Embedding:
     """Token embedding lookup."""
 
     @staticmethod
-    def forward(ids: np.ndarray, table: np.ndarray) -> Tuple[np.ndarray, Cache]:
+    def forward(
+        ids: np.ndarray, table: np.ndarray, ws: Workspace = None
+    ) -> Tuple[np.ndarray, Cache]:
         if ids.min() < 0 or ids.max() >= table.shape[0]:
             raise IndexError("token id out of vocabulary range")
-        return table[ids], (ids, table.shape)
+        if ws is None:
+            return table[ids], (ids, table.shape)
+        out = ws.take(ids.shape + (table.shape[-1],), table.dtype)
+        np.take(table, ids, axis=0, out=out)
+        return out, (ids, table.shape)
 
     @staticmethod
     def backward(dy: np.ndarray, cache: Cache) -> np.ndarray:
@@ -104,22 +221,29 @@ class Embedding:
 
 
 def cross_entropy(
-    logits: np.ndarray, targets: np.ndarray
+    logits: np.ndarray, targets: np.ndarray, ws: Workspace = None
 ) -> Tuple[float, np.ndarray]:
     """Mean token-level cross-entropy and its gradient w.r.t. logits.
 
     Args:
         logits: ``(..., vocab)`` unnormalized scores.
         targets: integer class ids, shape ``logits.shape[:-1]``.
+        ws: optional workspace for the fp64 staging buffers (the widened
+            flat logits are the single largest activation of the step).
 
     Returns:
         (loss, dlogits) where dlogits already includes the 1/N mean factor.
     """
     vocab = logits.shape[-1]
-    flat = logits.reshape(-1, vocab).astype(np.float64)
     ids = targets.reshape(-1)
-    if ids.shape[0] != flat.shape[0]:
+    flat_src = logits.reshape(-1, vocab)
+    if ids.shape[0] != flat_src.shape[0]:
         raise ValueError("targets shape does not match logits")
+    if ws is None:
+        flat = flat_src.astype(np.float64)
+    else:
+        flat = ws.take(flat_src.shape, np.float64)
+        flat[...] = flat_src
     shifted = flat - flat.max(axis=1, keepdims=True)
     logsumexp = np.log(np.exp(shifted).sum(axis=1, keepdims=True))
     logprobs = shifted - logsumexp
@@ -128,4 +252,9 @@ def cross_entropy(
     dflat = np.exp(logprobs)
     dflat[np.arange(n), ids] -= 1.0
     dflat /= n
-    return loss, dflat.reshape(logits.shape).astype(logits.dtype)
+    if ws is None:
+        return loss, dflat.reshape(logits.shape).astype(logits.dtype)
+    ws.give(flat)
+    dlogits = ws.take(logits.shape, logits.dtype)
+    dlogits[...] = dflat.reshape(logits.shape)
+    return loss, dlogits

@@ -14,6 +14,7 @@ from typing import List, Tuple
 
 import numpy as np
 
+from repro.numeric import flash
 from repro.numeric.attention import MultiHeadAttention
 from repro.parallel.comm import SimProcessGroup
 
@@ -72,14 +73,31 @@ class UlyssesAttention:
     Args:
         n_heads: total attention heads (must divide by world size).
         group: the communicator.
+        backend: per-rank attention core — ``"dense"`` (bitwise
+            reference) or ``"streaming"`` (blocked online-softmax).  The
+            exchanges are backend-agnostic: each rank runs the chosen
+            core over its full-sequence head shard.
+        block_q, block_k: streaming tile sides.
+        pool: kernel pool for the streaming tile fan-out.
     """
 
-    def __init__(self, n_heads: int, group: SimProcessGroup):
+    def __init__(
+        self,
+        n_heads: int,
+        group: SimProcessGroup,
+        backend: str = "dense",
+        block_q: int = flash.DEFAULT_BLOCK_Q,
+        block_k: int = flash.DEFAULT_BLOCK_K,
+        pool=None,
+    ):
         if n_heads % group.world_size:
             raise ValueError(
                 f"heads {n_heads} must divide across {group.world_size} ranks"
             )
-        self.attn = MultiHeadAttention(n_heads)
+        self.attn = MultiHeadAttention(
+            n_heads, backend=backend, block_q=block_q, block_k=block_k,
+            pool=pool, telemetry=group.telemetry,
+        )
         self.group = group
 
     def forward(
@@ -104,7 +122,7 @@ class UlyssesAttention:
         v_full = all_to_all_4d(v_shards, self.group, scatter_heads=True)
         contexts, caches = [], []
         for r in range(p):
-            ctx, cache = MultiHeadAttention.core_forward(
+            ctx, cache = self.attn.attend(
                 q_full[r], k_full[r], v_full[r], causal=True
             )
             contexts.append(ctx)
@@ -127,7 +145,7 @@ class UlyssesAttention:
         dctx_heads = all_to_all_4d(dctx_seq, self.group, scatter_heads=True)
         dq_full, dk_full, dv_full = [], [], []
         for r in range(p):
-            dq, dk, dv = MultiHeadAttention.core_backward(dctx_heads[r], caches[r])
+            dq, dk, dv = self.attn.attend_backward(dctx_heads[r], caches[r])
             dq_full.append(dq)
             dk_full.append(dk)
             dv_full.append(dv)

@@ -19,8 +19,11 @@ from repro.tensors.errors import (
 from repro.tensors.memory import Allocation, MemoryPool
 from repro.tensors.pinned import PinnedBufferPool
 from repro.tensors.spec import TensorSpec
+from repro.tensors.workspace import ActivationWorkspace, take_like
 
 __all__ = [
+    "ActivationWorkspace",
+    "take_like",
     "ArenaLayout",
     "FlatArena",
     "TensorValidationError",

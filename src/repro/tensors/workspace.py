@@ -1,0 +1,163 @@
+"""Activation workspace: shape/dtype-keyed buffer reuse for the model step.
+
+The optimizer half of the substrate became allocation-free in PRs 2-3
+(flat arena planes + fused chunk kernels with per-thread scratch).  The
+*model* half still allocated every activation, cache, and backward
+temporary fresh each step — per layer, per micro-batch.  An
+:class:`ActivationWorkspace` closes that gap: it hands out exclusive
+buffers keyed by ``(shape, dtype)`` from a free list, and recycles every
+buffer handed out during a step back to the free list when the next step
+begins.  After one warm-up step, a model whose shapes are stable requests
+exactly the buffers the previous step returned, so steady-state workspace
+allocations are zero — the property ``tests/tensors/test_workspace.py``
+and the ``model_step`` bench section assert.
+
+Lifetime protocol (what makes reuse safe):
+
+* :meth:`take` transfers exclusive ownership of a buffer to the caller.
+  Two takes never alias, even for identical keys.
+* :meth:`give` returns a buffer early, inside the step — the ping-pong
+  move that lets layer ``i+1``'s backward temporaries reuse layer
+  ``i``'s bytes.
+* :meth:`new_step` recycles everything still outstanding.  The model
+  calls it at the top of ``forward``, so forward caches stay valid
+  through the paired ``backward`` and die at the *next* forward.
+  Corollary: buffers taken during step ``N`` must not be read after step
+  ``N+1`` begins.  Returned *gradients* therefore never come from the
+  workspace — callers accumulate them across micro-batches and ranks.
+
+Telemetry: ``workspace_bytes_reused`` / ``workspace_bytes_allocated``
+counters and a ``workspace_peak_bytes`` gauge (the high-water footprint —
+pooled plus outstanding; buffers are retained, so this equals total bytes
+ever allocated).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.telemetry import NULL_TELEMETRY, Telemetry
+
+Key = Tuple[Tuple[int, ...], str]
+
+
+class ActivationWorkspace:
+    """A free-list allocator for step-scoped activation buffers.
+
+    Args:
+        telemetry: sink for the reuse/allocation counters (no-op by
+            default).
+
+    Attributes:
+        alloc_count: buffers ever allocated (steady state: stops moving).
+        reuse_count: takes served from the free list.
+        total_bytes: bytes held by the workspace (pooled + outstanding);
+            also the peak footprint, since buffers are never released to
+            the heap.
+    """
+
+    def __init__(self, telemetry: Telemetry = NULL_TELEMETRY):
+        self._telemetry = telemetry
+        self._free: Dict[Key, List[np.ndarray]] = {}
+        self._live: Dict[int, np.ndarray] = {}
+        self._lock = threading.Lock()
+        self.alloc_count = 0
+        self.reuse_count = 0
+        self.total_bytes = 0
+
+    # -- allocation -----------------------------------------------------
+
+    @staticmethod
+    def _key(shape: Tuple[int, ...], dtype) -> Key:
+        return (tuple(int(s) for s in shape), np.dtype(dtype).str)
+
+    def take(self, shape, dtype=np.float32) -> np.ndarray:
+        """An exclusive, uninitialized buffer of ``shape``/``dtype``.
+
+        Served from the free list when a matching buffer exists (the
+        steady state); allocated otherwise.  Contents are garbage — the
+        caller fully overwrites (use ``fill(0)`` for accumulators).
+        """
+        key = self._key(tuple(shape), dtype)
+        with self._lock:
+            stack = self._free.get(key)
+            if stack:
+                buf = stack.pop()
+                self.reuse_count += 1
+                self._telemetry.metrics.counter(
+                    "workspace_bytes_reused").inc(buf.nbytes)
+            else:
+                buf = np.empty(key[0], dtype=np.dtype(key[1]))
+                self.alloc_count += 1
+                self.total_bytes += buf.nbytes
+                self._telemetry.metrics.counter(
+                    "workspace_bytes_allocated").inc(buf.nbytes)
+                self._telemetry.metrics.gauge(
+                    "workspace_peak_bytes").set(self.total_bytes)
+            self._live[id(buf)] = buf
+        return buf
+
+    def give(self, buf: np.ndarray) -> None:
+        """Return ``buf`` to the free list before the step ends.
+
+        The caller must hold no further references that it will read —
+        the very next :meth:`take` of the same key may hand the bytes
+        out again.  Buffers the workspace did not issue are ignored (so
+        call sites can run with plain ``np.empty`` fallbacks unchanged).
+        """
+        with self._lock:
+            owned = self._live.pop(id(buf), None)
+            if owned is None:
+                return
+            self._free.setdefault(
+                self._key(owned.shape, owned.dtype), []).append(owned)
+
+    def new_step(self) -> None:
+        """Recycle every outstanding buffer (called at each forward)."""
+        with self._lock:
+            for buf in self._live.values():
+                self._free.setdefault(
+                    self._key(buf.shape, buf.dtype), []).append(buf)
+            self._live.clear()
+
+    # -- introspection --------------------------------------------------
+
+    @property
+    def peak_bytes(self) -> int:
+        """High-water footprint in bytes (== ``total_bytes``; retained)."""
+        return self.total_bytes
+
+    @property
+    def live_bytes(self) -> int:
+        """Bytes currently checked out (outstanding takes)."""
+        with self._lock:
+            return sum(b.nbytes for b in self._live.values())
+
+    @property
+    def pooled_bytes(self) -> int:
+        """Bytes sitting in the free list, ready for reuse."""
+        with self._lock:
+            return sum(
+                b.nbytes for stack in self._free.values() for b in stack
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ActivationWorkspace(allocs={self.alloc_count}, "
+            f"reuses={self.reuse_count}, bytes={self.total_bytes})"
+        )
+
+
+def take_like(ws: "ActivationWorkspace | None", shape, dtype) -> np.ndarray:
+    """``ws.take`` when a workspace is threaded, ``np.empty`` otherwise.
+
+    The layer kernels call this so every call site works identically with
+    and without a workspace (the no-workspace path is the seed behavior:
+    a fresh allocation per intermediate).
+    """
+    if ws is None:
+        return np.empty(tuple(shape), dtype=np.dtype(dtype))
+    return ws.take(shape, dtype)

@@ -24,6 +24,15 @@ asks for.  Five sections:
 * ``zero_pipeline`` — the overlapped bucket ZeRO step
   (``pipeline=True``) vs. the serial zero-copy ``step_flat``, also
   bitwise-checked.
+* ``attention`` — blocked online-softmax streaming attention
+  (:mod:`repro.numeric.flash`) vs. the dense ``S x S`` reference, forward
+  and forward+backward, with the fp32 tolerance check and the
+  peak-transient-bytes ratio folded into the measurement.
+* ``model_step`` — a full transformer ``loss_and_grads`` with the
+  streaming backend and an
+  :class:`~repro.tensors.workspace.ActivationWorkspace` vs. the
+  allocate-everything dense baseline, asserting steady-state workspace
+  allocations are zero.
 
 Both executor sections run on a real :class:`~repro.exec.pool.KernelPool`
 (``workers`` threads); on a single-core host the recorded speedup is the
@@ -39,12 +48,16 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.exec.pool import default_workers, get_pool
+from repro.numeric import flash
+from repro.numeric.attention import MultiHeadAttention
+from repro.numeric.transformer import TinyTransformer, TransformerParams
 from repro.optim.adam import AdamConfig
 from repro.optim.implementations import CPUAdam, GraceAdam
 from repro.optim.rollback import SnapshotRollback
 from repro.parallel.zero import ZeroShardedAdam
 from repro.telemetry import Telemetry
 from repro.tensors.arena import FlatArena
+from repro.tensors.workspace import ActivationWorkspace
 
 #: Flat element counts benchmarked by default (largest ~4M fp32 = 16 MiB
 #: per plane, big enough to be memory-bound like the real workload).
@@ -57,8 +70,26 @@ QUICK_SIZES = (1 << 16, 1 << 19)
 #: Sections ``substrate_bench`` can run (also the CLI's ``--sections``).
 ALL_SECTIONS = (
     "zero_step", "rollback", "steady_state", "parallel_step",
-    "zero_pipeline",
+    "zero_pipeline", "attention", "model_step",
 )
+
+#: Sequence lengths for the ``attention`` section.  The largest is the
+#: regression-guard size: the structural win (no ``S x S`` materialized,
+#: upper-triangle tiles skipped outright) must show up there.
+ATTENTION_SEQS = (256, 512, 1024)
+QUICK_ATTENTION_SEQS = (256, 1024)
+ATTENTION_GUARD_SEQ = 1024
+
+#: Forward / backward agreement bounds between streaming and dense
+#: (the streaming online softmax reorders reductions, so agreement is
+#: tolerance-level, not bitwise — see ISSUE/DESIGN §9).
+ATTENTION_FWD_TOL = 1e-5
+ATTENTION_BWD_TOL = 1e-4
+
+#: Sequence lengths for the ``model_step`` section (also the model's
+#: ``max_seq``).
+MODEL_STEP_SEQS = (128, 256)
+QUICK_MODEL_STEP_SEQS = (128,)
 
 #: Staging bucket size (elements) the ``zero_pipeline`` section uses —
 #: 256 KiB of fp32, small enough that both double buffers sit in cache.
@@ -317,6 +348,167 @@ def _bench_zero_pipeline(
     }
 
 
+def _bench_attention(
+    rng: np.random.Generator, seq: int, workers: int, repeats: int,
+    heads: int = 4, head_dim: int = 32, batch: int = 2,
+    block_q: int = flash.DEFAULT_BLOCK_Q,
+    block_k: int = flash.DEFAULT_BLOCK_K,
+) -> Dict[str, float]:
+    """Streaming blocked attention vs. the dense ``S x S`` reference.
+
+    Both contestants compute causal attention over identical inputs.
+    The dense path materializes the score matrix (and softmax
+    temporaries of the same size); the streaming path's transients are
+    the per-worker tile scratch plus the ``(out, lse)`` it returns, so
+    the recorded ``peak_transient_ratio`` is the activation-memory win
+    and the ``*_speedup`` columns are the time win (upper-triangle
+    tiles are never computed, and every temporary stays cache-sized).
+    """
+    q = rng.standard_normal((batch, heads, seq, head_dim), dtype=np.float32)
+    k = rng.standard_normal((batch, heads, seq, head_dim), dtype=np.float32)
+    v = rng.standard_normal((batch, heads, seq, head_dim), dtype=np.float32)
+    dout = rng.standard_normal(q.shape, dtype=np.float32)
+    pool = get_pool(workers)
+    out = np.empty_like(q)
+    lse = np.empty(q.shape[:3], dtype=q.dtype)
+    dq, dk, dv = (np.empty_like(q) for _ in range(3))
+
+    def stream_fwd():
+        return flash.streaming_attention_forward(
+            q, k, v, causal=True, block_q=block_q, block_k=block_k,
+            pool=pool, out=out, lse=lse,
+        )
+
+    def stream_fwd_bwd():
+        _, cache = stream_fwd()
+        flash.streaming_attention_backward(
+            dout, cache, pool=pool, dq=dq, dk=dk, dv=dv
+        )
+
+    def dense_fwd():
+        return MultiHeadAttention.core_forward(q, k, v, True)
+
+    def dense_fwd_bwd():
+        _, cache = dense_fwd()
+        MultiHeadAttention.core_backward(dout, cache)
+
+    # correctness first: tolerance vs. dense, bitwise across worker counts
+    ref, ref_cache = dense_fwd()
+    got, got_cache = stream_fwd()
+    fwd_diff = float(np.abs(got - ref).max())
+    rdq, rdk, rdv = MultiHeadAttention.core_backward(dout, ref_cache)
+    sdq, sdk, sdv = flash.streaming_attention_backward(
+        dout, got_cache, pool=pool, dq=dq, dk=dk, dv=dv
+    )
+    bwd_diff = max(
+        float(np.abs(a - b).max())
+        for a, b in ((sdq, rdq), (sdk, rdk), (sdv, rdv))
+    )
+    inline_out, _ = flash.streaming_attention_forward(
+        q, k, v, causal=True, block_q=block_q, block_k=block_k
+    )
+    bitwise_across_workers = np.array_equal(got, inline_out)
+    tolerance_ok = (
+        fwd_diff <= ATTENTION_FWD_TOL and bwd_diff <= ATTENTION_BWD_TOL
+    )
+    dense_fwd_s, stream_fwd_s = _time_interleaved(
+        [dense_fwd, stream_fwd], repeats
+    )
+    dense_step_s, stream_step_s = _time_interleaved(
+        [dense_fwd_bwd, stream_fwd_bwd], repeats
+    )
+    pool.shutdown()
+    dense_transient = batch * heads * seq * seq * 4  # one S x S fp32 plane
+    streaming_transient = (
+        out.nbytes + lse.nbytes
+        + workers * flash.tile_scratch_bytes(block_q, block_k, head_dim)
+    )
+    return {
+        "seq": seq,
+        "batch": batch,
+        "heads": heads,
+        "head_dim": head_dim,
+        "block_q": block_q,
+        "block_k": block_k,
+        "workers": workers,
+        "dense_fwd_ms": dense_fwd_s * 1e3,
+        "streaming_fwd_ms": stream_fwd_s * 1e3,
+        "fwd_speedup": dense_fwd_s / stream_fwd_s,
+        "dense_step_ms": dense_step_s * 1e3,
+        "streaming_step_ms": stream_step_s * 1e3,
+        "step_speedup": dense_step_s / stream_step_s,
+        # headline speedup (the geomean summary key): full fwd+bwd
+        "speedup": dense_step_s / stream_step_s,
+        "fwd_max_abs_diff": fwd_diff,
+        "bwd_max_abs_diff": bwd_diff,
+        "tolerance_ok": tolerance_ok,
+        "bitwise_across_workers": bitwise_across_workers,
+        "dense_transient_bytes": dense_transient,
+        "streaming_transient_bytes": streaming_transient,
+        "peak_transient_ratio": dense_transient / streaming_transient,
+    }
+
+
+def _bench_model_step(
+    rng: np.random.Generator, seq: int, workers: int, repeats: int,
+    batch: int = 2,
+) -> Dict[str, float]:
+    """Workspace-backed streaming model step vs. the dense baseline.
+
+    The baseline is the seed configuration — dense attention, a fresh
+    allocation for every activation and backward temporary.  The
+    contestant routes the same ``loss_and_grads`` through an
+    :class:`ActivationWorkspace` and the streaming attention backend.
+    ``steady_allocs_per_step`` counts workspace allocations on a
+    post-warm-up step; the allocation-free claim is that it is zero.
+    """
+    spec = TransformerParams(
+        vocab=256, max_seq=seq, hidden=128, n_layers=2, n_heads=4
+    )
+    ids = rng.integers(0, spec.vocab, size=(batch, seq))
+    targets = rng.integers(0, spec.vocab, size=(batch, seq))
+    baseline = TinyTransformer(spec, seed=0)
+    telemetry = Telemetry()
+    ws = ActivationWorkspace(telemetry=telemetry)
+    pool = get_pool(workers)
+    contender = TinyTransformer(
+        spec, seed=0, workspace=ws, attn_backend="streaming", pool=pool,
+        telemetry=telemetry,
+    )
+    loss_base, grads_base = baseline.loss_and_grads(ids, targets)  # warm up
+    loss_ws, grads_ws = contender.loss_and_grads(ids, targets)
+    contender.loss_and_grads(ids, targets)  # settle the free lists
+    loss_diff = abs(loss_ws - loss_base)
+    grad_diff = max(
+        float(np.abs(grads_base[k] - grads_ws[k]).max()) for k in grads_base
+    )
+    allocs_before = ws.alloc_count
+    contender.loss_and_grads(ids, targets)
+    steady_allocs = ws.alloc_count - allocs_before
+    base_s, ws_s = _time_interleaved(
+        [lambda: baseline.loss_and_grads(ids, targets),
+         lambda: contender.loss_and_grads(ids, targets)],
+        repeats,
+    )
+    pool.shutdown()
+    return {
+        "seq": seq,
+        "batch": batch,
+        "hidden": spec.hidden,
+        "n_layers": spec.n_layers,
+        "workers": workers,
+        "baseline_ms": base_s * 1e3,
+        "workspace_ms": ws_s * 1e3,
+        "speedup": base_s / ws_s,
+        "loss_abs_diff": loss_diff,
+        "grad_max_abs_diff": grad_diff,
+        "tolerance_ok": loss_diff <= 1e-5 and grad_diff <= ATTENTION_BWD_TOL,
+        "steady_allocs_per_step": steady_allocs,
+        "workspace_peak_bytes": ws.peak_bytes,
+        "workspace_reuse_count": ws.reuse_count,
+    }
+
+
 def substrate_bench(
     sizes: Optional[List[int]] = None,
     world_size: int = 4,
@@ -387,5 +579,15 @@ def substrate_bench(
             _bench_zero_pipeline(rng, n, n_tensors, world_size, workers,
                                  repeats)
             for n in sizes
+        ]
+    if "attention" in sections:
+        seqs = QUICK_ATTENTION_SEQS if quick else ATTENTION_SEQS
+        result["attention"] = [
+            _bench_attention(rng, s, workers, repeats) for s in seqs
+        ]
+    if "model_step" in sections:
+        seqs = QUICK_MODEL_STEP_SEQS if quick else MODEL_STEP_SEQS
+        result["model_step"] = [
+            _bench_model_step(rng, s, workers, repeats) for s in seqs
         ]
     return result

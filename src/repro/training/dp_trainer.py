@@ -30,6 +30,7 @@ from repro.parallel.dp import shard_batch
 from repro.parallel.zero import ZeroShardedAdam
 from repro.telemetry import NULL_TELEMETRY, Telemetry
 from repro.tensors.arena import FlatArena
+from repro.tensors.workspace import ActivationWorkspace
 
 
 @dataclass(frozen=True)
@@ -53,6 +54,14 @@ class DataParallelTrainer:
         seed: model initialization seed.
         telemetry: span/metric sink shared with the communicator and the
             sharded optimizer (no-op by default).
+        attn_backend: attention core for the per-rank model — ``"dense"``
+            (bitwise seed-equivalent, default) or ``"streaming"``.
+        use_workspace: back the per-rank forward/backward with an
+            :class:`~repro.tensors.workspace.ActivationWorkspace`.  Safe
+            across the rank loop because each rank's gradients are
+            freshly allocated (never workspace-backed) — only the
+            activations between a rank's forward and backward live in
+            the reused buffers.
     """
 
     def __init__(
@@ -63,6 +72,8 @@ class DataParallelTrainer:
         clip_norm: float | None = None,
         seed: int = 0,
         telemetry: Telemetry | None = None,
+        attn_backend: str = "dense",
+        use_workspace: bool = False,
     ):
         if world_size < 1:
             raise ValueError("world_size must be >= 1")
@@ -70,7 +81,18 @@ class DataParallelTrainer:
         self.world_size = world_size
         self.clip_norm = clip_norm
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
-        self.model = TinyTransformer(spec, seed=seed)
+        self.workspace = (
+            ActivationWorkspace(telemetry=self.telemetry)
+            if use_workspace
+            else None
+        )
+        self.model = TinyTransformer(
+            spec,
+            seed=seed,
+            workspace=self.workspace,
+            attn_backend=attn_backend,
+            telemetry=self.telemetry,
+        )
         self.group = SimProcessGroup(world_size, telemetry=self.telemetry)
         self.optimizer = ZeroShardedAdam(
             self.model.params, world_size, config=adam or AdamConfig(),

@@ -22,6 +22,7 @@ from repro.data.synthetic import SyntheticPile
 from repro.numeric.transformer import TinyTransformer, TransformerParams
 from repro.optim.mixed_precision import LossScaler
 from repro.telemetry import NULL_TELEMETRY, Telemetry
+from repro.tensors.workspace import ActivationWorkspace
 
 
 @dataclass(frozen=True)
@@ -92,6 +93,11 @@ class STVTrainer:
         seed: data/model seed.
         telemetry: span/metric sink threaded down into the engine (no-op
             by default).
+        attn_backend: attention core for the model — ``"dense"``
+            (bitwise seed-equivalent, default) or ``"streaming"``.
+        use_workspace: back the model step with an
+            :class:`~repro.tensors.workspace.ActivationWorkspace` so
+            steady-state steps allocate no activation memory.
     """
 
     def __init__(
@@ -102,18 +108,31 @@ class STVTrainer:
         injector: InstabilityInjector | None = None,
         seed: int = 0,
         telemetry: Telemetry | None = None,
+        attn_backend: str = "dense",
+        use_workspace: bool = False,
     ):
         self.spec = spec or TransformerParams(
             vocab=256, max_seq=32, hidden=64, n_layers=2, n_heads=4
         )
         self.batch = batch
-        self.model = TinyTransformer(self.spec, seed=seed)
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.workspace = (
+            ActivationWorkspace(telemetry=self.telemetry)
+            if use_workspace
+            else None
+        )
+        self.model = TinyTransformer(
+            self.spec,
+            seed=seed,
+            workspace=self.workspace,
+            attn_backend=attn_backend,
+            telemetry=self.telemetry,
+        )
         if config is None:
             # The clip threshold sits well above the natural gradient norm
             # (~2-3 for this model), so — as in a healthy large-scale run —
             # clipping fires on injected spikes, not on routine steps.
             config = SuperOffloadConfig(clip_norm=8.0)
-        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.engine = SuperOffloadEngine(
             self.model,
             config,
