@@ -1,0 +1,55 @@
+"""Profiler cost: observation must be near-free and change nothing.
+
+The profiler's contract is that a profiled training run is the *same
+run* — same arithmetic, same results — plus a bounded slice of wall
+clock for span bookkeeping.  This harness measures both halves with
+:func:`repro.telemetry.profiler.profiler_overhead` (best-of-N interleaved
+timing, identical seeds) and asserts:
+
+* the profiled loss sequence is bitwise identical to the unprofiled one;
+* the wall-clock overhead stays under 5% (the CI ``profile-smoke`` bar).
+
+Timing noise note: best-of-repeats absorbs scheduler jitter, and the 5%
+bar is generous against the measured ~1-2% on an idle host.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.telemetry.profiler import profiler_overhead
+from benchmarks.conftest import print_table
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+OVERHEAD_BUDGET_PCT = 5.0
+
+
+def test_profiler_overhead_and_bitwise_identity():
+    result = profiler_overhead(iters=6, repeats=5)
+    print_table(
+        "BENCH_profiler — profiled vs unprofiled STV training",
+        ["baseline (ms)", "profiled (ms)", "overhead %", "bitwise"],
+        [[result.baseline_seconds * 1e3, result.profiled_seconds * 1e3,
+          result.overhead_pct,
+          "ok" if result.bitwise_identical else "MISMATCH"]],
+    )
+    out = REPO_ROOT / "BENCH_profiler.json"
+    out.write_text(json.dumps({
+        "benchmark": "profiler_overhead",
+        "baseline_seconds": result.baseline_seconds,
+        "profiled_seconds": result.profiled_seconds,
+        "overhead_pct": result.overhead_pct,
+        "bitwise_identical": result.bitwise_identical,
+        "budget_pct": OVERHEAD_BUDGET_PCT,
+    }, indent=2) + "\n")
+
+    assert result.bitwise_identical, (
+        "profiling changed the training results — the profiler must be "
+        "observation-only"
+    )
+    assert result.overhead_pct < OVERHEAD_BUDGET_PCT, (
+        f"profiler overhead {result.overhead_pct:.1f}% exceeds the "
+        f"{OVERHEAD_BUDGET_PCT}% budget"
+    )

@@ -8,6 +8,7 @@ Usage::
     python -m repro fig12 --chips 8      # Ulysses sequence lengths
     python -m repro trace --out /tmp/t   # telemetry: trace.json + events.jsonl
     python -m repro bench --out /tmp/b   # substrate perf: BENCH_substrate.json
+    python -m repro profile --out /tmp/p # step phases, overlap, utilization
     python -m repro all                  # everything (slow; skips file writers)
 
 Every command prints the same table its benchmark harness asserts on; the
@@ -342,6 +343,163 @@ def _cmd_trace(args: argparse.Namespace) -> None:
           f"({n_lines} lines)")
 
 
+def _cmd_profile(args: argparse.Namespace) -> None:
+    import json
+    from pathlib import Path
+
+    from repro.exec.pool import KernelPool
+    from repro.numeric.transformer import TransformerParams
+    from repro.telemetry import StepProfiler, profiler_overhead
+    from repro.telemetry.export import (
+        validate_chrome_trace,
+        write_chrome_trace,
+    )
+    from repro.telemetry.flight import FlightRecorder
+    from repro.telemetry.report import (
+        MEMORY_HEADERS,
+        OVERLAP_HEADERS,
+        PHASE_HEADERS,
+        SIM_HEADERS,
+        WORKER_HEADERS,
+        measured_trace,
+        memory_rows,
+        overlap_rows,
+        phase_rows,
+        sim_comparison_rows,
+        worker_rows,
+    )
+    from repro.tensors.pinned import PinnedBufferPool
+    from repro.training import (
+        DataParallelTrainer,
+        InstabilityInjector,
+        STVTrainer,
+    )
+
+    iters = 4 if args.quick else 16
+    spec = TransformerParams(vocab=64, max_seq=16, hidden=32, n_layers=2,
+                             n_heads=2)
+
+    # Run 1: the STV engine (rollback/cast/validate phases) under a
+    # workspace, with the flight recorder riding along.
+    profiler = StepProfiler()
+    flight = FlightRecorder(profiler.telemetry, capacity=512)
+    trainer = STVTrainer(
+        spec=spec, batch=4,
+        injector=InstabilityInjector(
+            warmup_iters=max(2, iters // 2), spike_probability=0.6,
+            spike_scale=80.0, overflow_probability=0.4, seed=0,
+        ),
+        seed=1, telemetry=profiler.telemetry, use_workspace=True,
+    )
+    ws = trainer.workspace
+    profiler.watch_memory("workspace", lambda: ws.peak_bytes)
+    trainer.run(iters)
+    stv_report = profiler.report()
+    print_table("repro profile — STV step phases", PHASE_HEADERS,
+                phase_rows(stv_report))
+    if stv_report.watermarks:
+        print_table("repro profile — STV memory high-water",
+                    MEMORY_HEADERS, memory_rows(stv_report))
+
+    # Run 2: pipelined ZeRO data-parallel on a dedicated kernel pool —
+    # the overlap audit and per-worker utilization.
+    workers = args.workers or 2
+    dp_profiler = StepProfiler()
+    pool = KernelPool(workers, telemetry=dp_profiler.telemetry)
+    pinned = PinnedBufferPool(capacity=8 << 20)
+    dp = DataParallelTrainer(
+        spec, world_size=2, clip_norm=1.0,
+        telemetry=dp_profiler.telemetry, use_workspace=True,
+        pipeline=True, bucket_elements=4096, pool=pool, pinned_pool=pinned,
+    )
+    dp_profiler.watch_memory(
+        "zero_arena", lambda: dp.arena.flat.nbytes
+    )
+    dp_profiler.watch_memory(
+        "pinned_staging", lambda: pinned.capacity - pinned.free_bytes
+    )
+    dp.train(max(2, iters // 2), batch=4)
+    dp_report = dp_profiler.report()
+    print_table("repro profile — DP (pipelined ZeRO) step phases",
+                PHASE_HEADERS, phase_rows(dp_report))
+    if dp_report.overlap:
+        print_table(
+            "repro profile — ZeRO bucket-pipeline overlap audit",
+            OVERLAP_HEADERS, overlap_rows(dp_report),
+        )
+        eff = dp_report.mean_overlap_efficiency
+        print(f"mean overlap efficiency: {eff:.2f} "
+              f"(0 = serial, 1 = perfect overlap)")
+    if dp_report.workers:
+        print_table("repro profile — KernelPool worker utilization",
+                    WORKER_HEADERS, worker_rows(dp_report))
+    print_table("repro profile — DP memory high-water", MEMORY_HEADERS,
+                memory_rows(dp_report))
+
+    sim_rows = None
+    if args.compare_sim:
+        from repro.models.config import MODEL_CONFIG_TABLE
+        from repro.systems import RunSetting, SuperOffloadSystem
+        from repro.training.cluster import gh200_cluster
+
+        est = SuperOffloadSystem().best_estimate(
+            RunSetting(MODEL_CONFIG_TABLE[5], gh200_cluster(1),
+                       global_batch=8)
+        )
+        sim_rows = sim_comparison_rows(dp_report, est.trace,
+                                       est.steady_window)
+        print_table(
+            "repro profile — measured vs simulated busy shares "
+            "(DP run vs SuperOffload sim, 5B)",
+            SIM_HEADERS, sim_rows,
+        )
+
+    # Overhead + bitwise check: the profiler must observe, never perturb.
+    overhead = profiler_overhead(
+        iters=2 if args.quick else 3, repeats=2 if args.quick else 3
+    )
+    print(f"\nprofiler overhead: {overhead.overhead_pct:.1f}% "
+          f"(baseline {overhead.baseline_seconds * 1e3:.1f} ms, "
+          f"profiled {overhead.profiled_seconds * 1e3:.1f} ms), "
+          f"losses bitwise identical: {overhead.bitwise_identical}")
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    trace_path = out / "trace.json"
+    mt = measured_trace(dp_report)
+    mt.validate()
+    document = write_chrome_trace(
+        trace_path, tracer=dp_profiler.tracer,
+        sim_traces={"measured-phases": mt},
+    )
+    validate_chrome_trace(json.loads(trace_path.read_text()))
+    profile_path = out / "PROFILE.json"
+    profile_path.write_text(json.dumps({
+        "stv_phase_seconds": stv_report.phase_totals,
+        "dp_phase_seconds": dp_report.phase_totals,
+        "overlap_efficiency": dp_report.mean_overlap_efficiency,
+        "worker_utilization": [
+            {"worker": w.worker, "chunks": w.chunks,
+             "busy_seconds": w.busy_seconds,
+             "queue_wait_seconds": w.queue_wait_seconds}
+            for w in dp_report.workers
+        ],
+        "memory_highwater_bytes": {
+            m.name: m.peak_bytes
+            for m in stv_report.watermarks + dp_report.watermarks
+        },
+        "sim_comparison": sim_rows,
+        "overhead_pct": overhead.overhead_pct,
+        "bitwise_identical": overhead.bitwise_identical,
+    }, indent=2) + "\n")
+    flight_path = out / "flight.jsonl"
+    n_flight = flight.dump(str(flight_path), reason="profile")
+    pool.shutdown()
+    print(f"\nwrote {trace_path} ({len(document['traceEvents'])} events; "
+          f"open at https://ui.perfetto.dev), {profile_path}, and "
+          f"{flight_path} ({n_flight} lines)")
+
+
 def _geomean_line(section: str, rows: List[dict]) -> str:
     """One summary line: the geometric-mean speedup across a section's rows."""
     import math
@@ -453,6 +611,22 @@ def _cmd_bench(args: argparse.Namespace) -> None:
         print()
         for line in summaries:
             print(line)
+    # Honest-reporting pass: any measured regression gets a WARN line so
+    # a below-1.0x row (the known small-size losses of parallel_step /
+    # zero_pipeline at 65k elements) never hides inside a healthy geomean.
+    warned = False
+    for section in ("zero_step", "rollback", "parallel_step",
+                    "zero_pipeline", "attention", "model_step"):
+        for r in result.get(section, []):
+            speedup = r.get("speedup")
+            if speedup is not None and speedup < 1.0:
+                size = r.get("elements", r.get("seq", "?"))
+                print(f"WARN: {section} size {size} speedup "
+                      f"{speedup:.2f}x < 1.0x (slower than baseline)")
+                warned = True
+    if warned:
+        print("WARN lines indicate sizes where the optimized path loses "
+              "to its baseline; see BENCH_substrate.json for details.")
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
     bench_path = out / "BENCH_substrate.json"
@@ -492,10 +666,11 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "timeline": _cmd_timeline,
     "trace": _cmd_trace,
     "bench": _cmd_bench,
+    "profile": _cmd_profile,
 }
 
 #: Commands that write files; excluded from ``repro all``.
-_FILE_WRITING = {"trace", "bench"}
+_FILE_WRITING = {"trace", "bench", "profile"}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -531,6 +706,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--sections", default=None,
         help="comma-separated subset of bench sections to run "
              "(default: all; e.g. --sections parallel_step,zero_pipeline)",
+    )
+    parser.add_argument(
+        "--compare-sim", action="store_true",
+        help="profile: also compare the measured phase shares against "
+             "the SuperOffload simulator's predicted timeline",
     )
     return parser
 

@@ -17,14 +17,27 @@ The pool never reorders results: :meth:`run` dispatches one task per
 chunk and joins them all before returning, and every routed kernel is
 elementwise over disjoint ranges, so execution order cannot change any
 result bit.
+
+Every submission is timestamped, so with telemetry attached the pool
+also records ``exec_queue_wait_ms{worker=i}`` — how long each chunk sat
+in the queue before a worker picked it up.  Together with the busy
+histograms this is the raw material for the profiler's per-worker
+utilization and straggler report.
+
+Shutdown is idempotent and safe at interpreter exit: pools with live
+threads register themselves for an :func:`atexit` drain, a second
+``shutdown`` is a no-op, and any submission racing a shutdown has its
+future failed with ``RuntimeError`` instead of hanging a waiter.
 """
 
 from __future__ import annotations
 
+import atexit
 import os
 import queue
 import threading
 import time
+import weakref
 from typing import Any, Callable, List, Optional, Sequence
 
 from repro.exec.plan import ChunkPlan
@@ -105,9 +118,17 @@ class KernelPool:
                 )
                 t.start()
                 self._threads.append(t)
+            _register_live_pool(self)
 
     def shutdown(self) -> None:
-        """Stop the worker threads (idempotent)."""
+        """Stop the worker threads (idempotent).
+
+        Safe to call twice, concurrently with submissions, and from the
+        :mod:`atexit` drain: queued work submitted before the shutdown
+        still runs to completion (workers exit only on their sentinel),
+        and anything that slips into the queue afterwards has its future
+        failed rather than left forever pending.
+        """
         with self._lock:
             if self._closed:
                 return
@@ -117,22 +138,37 @@ class KernelPool:
             self._queue.put(None)
         for t in threads:
             t.join(timeout=5.0)
+        self._drain_pending()
+
+    def _drain_pending(self) -> None:
+        """Fail any submissions that raced past the shutdown sentinels."""
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if item is None:
+                continue
+            _, _, future, _ = item
+            future._set_exception(RuntimeError("pool is shut down"))
 
     def _worker_loop(self, index: int) -> None:
         metrics = self._telemetry.metrics
         chunks = metrics.counter("exec_chunks_total", worker=index)
         busy = metrics.histogram("exec_busy_ms", worker=index)
+        queue_wait = metrics.histogram("exec_queue_wait_ms", worker=index)
         while True:
             item = self._queue.get()
             if item is None:
                 return
-            fn, args, future = item
+            fn, args, future, submitted = item
             start = time.perf_counter()
             try:
                 future._set_result(fn(*args))
             except BaseException as exc:  # propagate to the waiter
                 future._set_exception(exc)
             chunks.inc()
+            queue_wait.observe((start - submitted) * 1e3)
             busy.observe((time.perf_counter() - start) * 1e3)
 
     # -- execution ------------------------------------------------------
@@ -150,8 +186,18 @@ class KernelPool:
             except BaseException as exc:
                 future._set_exception(exc)
             return future
-        self._ensure_threads()
-        self._queue.put((fn, args, future))
+        try:
+            self._ensure_threads()
+        except RuntimeError as exc:
+            # Submitted after shutdown: fail the future instead of
+            # raising, so submit/wait call sites see one error path.
+            future._set_exception(exc)
+            return future
+        self._queue.put((fn, args, future, time.perf_counter()))
+        if self._closed:
+            # A shutdown raced this submission: the sentinels may already
+            # be past our item, so fail it instead of risking a hang.
+            self._drain_pending()
         return future
 
     def run(self, fn: Callable, plan: ChunkPlan, *args: Any) -> None:
@@ -192,6 +238,38 @@ class KernelPool:
                     first_exc = exc
         if first_exc is not None:
             raise first_exc
+
+
+# -- interpreter-exit drain --------------------------------------------
+
+#: Pools that have spawned threads; weak so a dropped pool can be
+#: collected (its daemon threads die with the process anyway).
+_live_pools: "weakref.WeakSet[KernelPool]" = weakref.WeakSet()
+_live_lock = threading.Lock()
+_atexit_registered = False
+
+
+def _register_live_pool(pool: KernelPool) -> None:
+    global _atexit_registered
+    with _live_lock:
+        _live_pools.add(pool)
+        if not _atexit_registered:
+            atexit.register(_drain_live_pools)
+            _atexit_registered = True
+
+
+def _drain_live_pools() -> None:
+    """atexit hook: shut every live pool down cleanly.
+
+    Worker threads are daemons, so the interpreter would exit without
+    this — but an abrupt exit strands queued futures and can interleave
+    kernel execution with module teardown.  The drain joins the workers
+    (finishing queued work first) and fails anything left over.
+    """
+    with _live_lock:
+        pools = list(_live_pools)
+    for pool in pools:
+        pool.shutdown()
 
 
 # -- the process-default pool ------------------------------------------

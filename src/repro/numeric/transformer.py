@@ -97,6 +97,7 @@ class TinyTransformer:
     ):
         self.spec = spec
         self.workspace = workspace
+        self.telemetry = telemetry
         self.attn = MultiHeadAttention(
             spec.n_heads,
             backend=attn_backend,
@@ -250,11 +251,14 @@ class TinyTransformer:
             (unscaled loss, gradients keyed like the parameters; gradients
             are of the *scaled* loss).
         """
-        logits, caches = self.forward(ids, params)
-        loss, dlogits = cross_entropy(logits, targets, self.workspace)
+        tracer = self.telemetry.tracer
+        with tracer.span("forward", category="compute"):
+            logits, caches = self.forward(ids, params)
+            loss, dlogits = cross_entropy(logits, targets, self.workspace)
         if loss_scale != 1.0:
             dlogits *= np.float32(loss_scale)
-        grads = self.backward(dlogits, caches)
+        with tracer.span("backward", category="compute"):
+            grads = self.backward(dlogits, caches)
         return loss, grads
 
     def backward(self, dlogits: np.ndarray, caches: List) -> Params:

@@ -278,19 +278,23 @@ class ZeroShardedAdam:
         tracer = self.telemetry.tracer
         with tracer.span("zero_step", category="optim",
                          world_size=self.world_size):
-            shards = self.group.reduce_scatter(per_rank_flat)
-            if self.zero.average_gradients:
-                for s in shards:
-                    s /= np.float32(self.world_size)
+            with tracer.span("grad_reduce", category="comm",
+                             op="reduce_scatter"):
+                shards = self.group.reduce_scatter(per_rank_flat)
+                if self.zero.average_gradients:
+                    for s in shards:
+                        s /= np.float32(self.world_size)
             for r, opt in enumerate(self._rank_optimizers):
                 with tracer.span("shard_adam", category="optim", rank=r):
                     opt.step({"shard": shards[r]})
-            self.group.all_gather_into(
-                [opt.params["shard"] for opt in self._rank_optimizers],
-                self.arena.flat,
-            )
-            # The unflatten stage the dict-copy dataflow needed.
-            self.arena.note_alias(self.arena.flat.nbytes)
+            with tracer.span("param_gather", category="comm",
+                             op="all_gather"):
+                self.group.all_gather_into(
+                    [opt.params["shard"] for opt in self._rank_optimizers],
+                    self.arena.flat,
+                )
+                # The unflatten stage the dict-copy dataflow needed.
+                self.arena.note_alias(self.arena.flat.nbytes)
 
     def _ensure_staging(self) -> List[np.ndarray]:
         """The two bucket staging buffers (lazily built, reused per step).
@@ -364,8 +368,23 @@ class ZeroShardedAdam:
         def submit_reduce(k: int):
             r, blo, bhi = buckets[k]
             glo = r * shard_len + blo
+            if not tracer.enabled:
+                # Disabled path submits the raw kernel: zero per-bucket
+                # tracing overhead when telemetry is off.
+                return pool.submit(
+                    kernels.reduce_chunk, glo, glo + (bhi - blo),
+                    staging[k % 2], glo, per_rank_flat, divisor,
+                )
+
+            def traced_reduce(lo, hi, out, base, flats, div,
+                              _k=k, _r=r):
+                with tracer.span("bucket_reduce", category="comm",
+                                 bucket=_k, rank=_r):
+                    return kernels.reduce_chunk(lo, hi, out, base,
+                                                flats, div)
+
             return pool.submit(
-                kernels.reduce_chunk, glo, glo + (bhi - blo),
+                traced_reduce, glo, glo + (bhi - blo),
                 staging[k % 2], glo, per_rank_flat, divisor,
             )
 
@@ -381,7 +400,8 @@ class ZeroShardedAdam:
             hyper = None
             prev_rank = -1
             for k, (r, blo, bhi) in enumerate(buckets):
-                pending.result()
+                with tracer.span("bucket_wait", category="stall", bucket=k):
+                    pending.result()
                 if k + 1 < len(buckets):
                     pending = submit_reduce(k + 1)
                 opt = self._rank_optimizers[r]

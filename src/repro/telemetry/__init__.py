@@ -76,6 +76,22 @@ class Telemetry:
 #: one method call per would-be span or metric update.
 NULL_TELEMETRY = Telemetry(enabled=False)
 
+
+def __getattr__(name: str):
+    # The profiler/flight/report layers sit above Telemetry and are
+    # re-exported lazily: importing them eagerly would be a cycle (they
+    # import this package) and a cost every NULL_TELEMETRY user pays.
+    if name in ("StepProfiler", "ProfileReport", "StepBreakdown",
+                "OverlapAudit", "WorkerUtilization", "PHASES",
+                "profiler_overhead", "OverheadResult"):
+        from repro.telemetry import profiler
+        return getattr(profiler, name)
+    if name == "FlightRecorder":
+        from repro.telemetry.flight import FlightRecorder
+        return FlightRecorder
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "Telemetry",
     "NULL_TELEMETRY",
@@ -88,4 +104,8 @@ __all__ = [
     "Gauge",
     "Histogram",
     "SUMMARY_HEADERS",
+    "StepProfiler",
+    "ProfileReport",
+    "profiler_overhead",
+    "FlightRecorder",
 ]

@@ -1,0 +1,184 @@
+"""Flight recorder: a bounded ring of recent telemetry, dumped on crash.
+
+Long training runs fail at hour N with nothing but a traceback; the
+paper's engineering sections (§4.6's rollback machinery in particular)
+exist because failures in the optimizer path are time-correlated with
+what the step was doing *just before*.  :class:`FlightRecorder` keeps the
+last ``capacity`` closed spans (via the tracer's close hooks — zero cost
+beyond the append) plus a metrics snapshot, and writes them as JSONL when
+asked — or automatically, when installed, on an unhandled exception or a
+termination signal.
+
+The dump is plain JSONL (one object per line, ``kind`` discriminated:
+``header`` / ``span`` / ``metric``) so it needs no reader library — the
+triage workflow is ``tail`` and ``grep``.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import sys
+import threading
+import types
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+from repro.telemetry import Telemetry
+from repro.telemetry.tracer import Span
+
+#: Schema marker on the header line, bumped on layout changes.
+FLIGHT_SCHEMA_VERSION = 1
+
+#: Signals the recorder hooks when ``install(on_signals=True)``.
+_DEFAULT_SIGNALS = ("SIGTERM", "SIGINT")
+
+
+class FlightRecorder:
+    """Ring buffer of recent spans with crash-triggered JSONL dumps.
+
+    Args:
+        telemetry: enabled telemetry to observe (its tracer gains a
+            close hook; the numeric path is untouched).
+        capacity: span ring size — old spans fall off the back.
+    """
+
+    def __init__(self, telemetry: Telemetry, capacity: int = 512):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.telemetry = telemetry
+        self.capacity = capacity
+        self._ring: Deque[Span] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._installed = False
+        self._dump_path: Optional[str] = None
+        self._prev_excepthook = None
+        self._prev_handlers: Dict[int, Any] = {}
+        telemetry.tracer.add_close_hook(self._on_span_close)
+
+    def _on_span_close(self, span: Span) -> None:
+        with self._lock:
+            self._ring.append(span)
+
+    @property
+    def spans(self) -> List[Span]:
+        """The retained spans, oldest first."""
+        with self._lock:
+            return list(self._ring)
+
+    # -- dumping --------------------------------------------------------
+
+    def _metric_lines(self) -> List[Dict[str, Any]]:
+        lines: List[Dict[str, Any]] = []
+        for kind, inst in self.telemetry.metrics:
+            row: Dict[str, Any] = {
+                "kind": "metric",
+                "metric_kind": kind,
+                "name": inst.name,
+                "labels": dict(inst.labels),
+            }
+            if kind == "histogram":
+                row["summary"] = inst.summary()
+            else:
+                row["value"] = inst.value
+            lines.append(row)
+        return lines
+
+    def dump(self, path: str, reason: str = "manual") -> int:
+        """Write header + retained spans + metric snapshot as JSONL.
+
+        Returns the number of lines written.  Best-effort by design:
+        callers in crash paths should not have a dump failure mask the
+        original error, so wrap calls in try/except there (``install``'s
+        hooks do).
+        """
+        lines: List[Dict[str, Any]] = [{
+            "kind": "header",
+            "schema": FLIGHT_SCHEMA_VERSION,
+            "reason": reason,
+            "capacity": self.capacity,
+            "retained": len(self._ring),
+        }]
+        for s in self.spans:
+            lines.append({
+                "kind": "span",
+                "name": s.name,
+                "category": s.category,
+                "start": s.start,
+                "finish": s.finish,
+                "depth": s.depth,
+                "thread": s.thread,
+                "attrs": {k: repr(v) if not isinstance(
+                    v, (str, int, float, bool, type(None))) else v
+                    for k, v in s.attrs.items()},
+            })
+        lines.extend(self._metric_lines())
+        with open(path, "w") as fh:
+            for row in lines:
+                fh.write(json.dumps(row) + "\n")
+        return len(lines)
+
+    # -- crash hooks ----------------------------------------------------
+
+    def install(
+        self,
+        path: str,
+        on_signals: bool = False,
+    ) -> None:
+        """Dump automatically on unhandled exceptions (and signals).
+
+        Wraps ``sys.excepthook`` (chaining to the previous hook so normal
+        traceback printing survives) and, with ``on_signals=True``, the
+        SIGTERM/SIGINT handlers — each dumps the ring to ``path`` tagged
+        with the trigger, then re-raises the default behaviour.  Signal
+        handlers can only be set from the main thread; ``on_signals`` is
+        silently skipped elsewhere.
+        """
+        if self._installed:
+            raise RuntimeError("flight recorder already installed")
+        self._installed = True
+        self._dump_path = path
+        self._prev_excepthook = sys.excepthook
+
+        def excepthook(exc_type, exc, tb):
+            try:
+                self.dump(path, reason=f"exception:{exc_type.__name__}")
+            except Exception:
+                pass
+            prev = self._prev_excepthook or sys.__excepthook__
+            prev(exc_type, exc, tb)
+
+        sys.excepthook = excepthook
+        if on_signals and threading.current_thread() is threading.main_thread():
+            for signame in _DEFAULT_SIGNALS:
+                signum = getattr(signal, signame, None)
+                if signum is None:
+                    continue
+
+                def handler(num, frame: Optional[types.FrameType],
+                            _name=signame):
+                    try:
+                        self.dump(path, reason=f"signal:{_name}")
+                    except Exception:
+                        pass
+                    prev = self._prev_handlers.get(num)
+                    if callable(prev):
+                        prev(num, frame)
+                    else:
+                        signal.signal(num, prev or signal.SIG_DFL)
+                        signal.raise_signal(num)
+
+                self._prev_handlers[signum] = signal.signal(signum, handler)
+
+    def uninstall(self) -> None:
+        """Restore the previous excepthook and signal handlers."""
+        if not self._installed:
+            return
+        self._installed = False
+        if self._prev_excepthook is not None:
+            sys.excepthook = self._prev_excepthook
+            self._prev_excepthook = None
+        if threading.current_thread() is threading.main_thread():
+            for signum, prev in self._prev_handlers.items():
+                signal.signal(signum, prev)
+        self._prev_handlers.clear()

@@ -114,13 +114,23 @@ class Histogram:
             return sum(self._values) / len(self._values)
 
     def percentile(self, p: float) -> Optional[float]:
-        """The ``p``-th percentile (0-100), ``None`` with no samples."""
+        """The ``p``-th percentile (0-100), ``None`` with no samples.
+
+        The endpoints never interpolate: ``p=0`` is exactly the minimum
+        and ``p=100`` exactly the maximum.  Interpolating there is not
+        just redundant — with an infinite endpoint (an ``inf`` duration,
+        say) the lerp evaluates ``inf - inf`` and returns NaN.
+        """
         if not 0.0 <= p <= 100.0:
             raise ValueError("percentile must be in [0, 100]")
         with self._lock:
             if not self._values:
                 return None
             ordered = sorted(self._values)
+        if p <= 0.0:
+            return ordered[0]
+        if p >= 100.0:
+            return ordered[-1]
         rank = (len(ordered) - 1) * p / 100.0
         lo = int(rank)
         hi = min(lo + 1, len(ordered) - 1)
@@ -188,6 +198,13 @@ class MetricsRegistry:
 
     def summary_rows(self) -> List[Sequence]:
         """One table row per instrument, matching :data:`SUMMARY_HEADERS`."""
+
+        def opt(value: Optional[float]):
+            # Same guard as Histogram.percentile: a sample-free (or
+            # otherwise undefined) statistic renders as an empty cell,
+            # never as an interpolated or formatted None.
+            return value if value is not None else ""
+
         rows: List[Sequence] = []
         for kind, inst in self:
             labels = _labels_text(inst.labels)
@@ -197,10 +214,8 @@ class MetricsRegistry:
             else:
                 s = inst.summary()
                 rows.append([inst.name, labels, kind, s["count"],
-                             s["mean"] if s["mean"] is not None else "",
-                             s["p50"] if s["p50"] is not None else "",
-                             s["p95"] if s["p95"] is not None else "",
-                             s["p99"] if s["p99"] is not None else ""])
+                             opt(s["mean"]), opt(s["p50"]), opt(s["p95"]),
+                             opt(s["p99"])])
         return rows
 
 

@@ -1,0 +1,198 @@
+"""Profile rendering: tables, measured-timeline export, sim cross-check.
+
+:class:`~repro.telemetry.profiler.ProfileReport` is numbers; this module
+turns it into the three consumable forms the ``repro profile`` command
+ships:
+
+* aligned text tables (via :mod:`repro.reporting`) for the terminal;
+* a :class:`~repro.sim.trace.Trace` built from the measured phase
+  segments, so the *real* step timeline rides the same schema — and the
+  same Chrome-trace exporter — as the simulator's predicted one;
+* a measured-vs-predicted comparison: both timelines reduced to per-
+  category busy shares and differenced, the cross-check that catches a
+  simulator whose cost model has drifted from the substrate it predicts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.trace import Interval, Trace
+from repro.telemetry.profiler import PHASES, ProfileReport
+
+#: Resource name the measured timeline occupies in exported traces.
+MEASURED_RESOURCE = "measured"
+
+#: Measured phase -> simulator category.  ``stall`` and ``idle`` map to
+#: ``None``: the simulator represents them as gaps, not intervals.
+PHASE_TO_SIM_CATEGORY: Dict[str, Optional[str]] = {
+    "forward": "compute",
+    "backward": "compute",
+    "grad_reduce": "collective",
+    "optimizer": "optimizer",
+    "validate": "optimizer",
+    "rollback": "optimizer",
+    "cast": "cast",
+    "stall": None,
+    "idle": None,
+}
+
+PHASE_HEADERS = ("phase", "seconds", "share_pct", "per_step_ms")
+OVERLAP_HEADERS = ("zero_step", "buckets", "achieved_ms", "serial_ms",
+                   "bound_ms", "bubble_ms", "efficiency")
+WORKER_HEADERS = ("worker", "chunks", "busy_ms", "queue_wait_ms",
+                  "utilization_pct")
+MEMORY_HEADERS = ("source", "peak_bytes", "peak_mib", "samples")
+SIM_HEADERS = ("category", "measured_pct", "predicted_pct", "delta_pp")
+
+
+def phase_rows(report: ProfileReport) -> List[Sequence]:
+    """One row per phase with any time, in canonical order."""
+    steps = max(report.step_count, 1)
+    rows: List[Sequence] = []
+    for phase in PHASES:
+        sec = report.phase_totals.get(phase, 0.0)
+        if sec <= 0.0 and phase != "idle":
+            continue
+        rows.append([
+            phase,
+            sec,
+            report.phase_share(phase) * 100.0,
+            sec / steps * 1e3,
+        ])
+    rows.append([
+        "total", report.wall_seconds, 100.0 if report.wall_seconds else 0.0,
+        report.wall_seconds / steps * 1e3,
+    ])
+    return rows
+
+
+def overlap_rows(report: ProfileReport) -> List[Sequence]:
+    """One row per pipelined ``zero_step`` audit."""
+    return [
+        [i, a.buckets, a.achieved_seconds * 1e3, a.serial_seconds * 1e3,
+         a.lower_bound_seconds * 1e3, a.bubble_seconds * 1e3, a.efficiency]
+        for i, a in enumerate(report.overlap)
+    ]
+
+
+def worker_rows(report: ProfileReport) -> List[Sequence]:
+    """One row per KernelPool worker, plus a straggler summary row."""
+    rows: List[Sequence] = [
+        [w.worker, w.chunks, w.busy_seconds * 1e3,
+         w.queue_wait_seconds * 1e3, w.utilization * 100.0]
+        for w in report.workers
+    ]
+    if len(report.workers) > 1:
+        busys = [w.busy_seconds for w in report.workers]
+        mean = sum(busys) / len(busys)
+        straggler = max(busys) / mean if mean > 0 else 1.0
+        rows.append(["straggler(max/mean)", "", straggler, "", ""])
+    return rows
+
+
+def memory_rows(report: ProfileReport) -> List[Sequence]:
+    """One row per watched memory source's high-water mark."""
+    return [
+        [m.name, int(m.peak_bytes), m.peak_bytes / (1 << 20), m.samples]
+        for m in report.watermarks
+    ]
+
+
+def measured_trace(report: ProfileReport) -> Trace:
+    """The measured step timeline in the simulator's Trace schema.
+
+    Each attributed segment of each step becomes one interval on the
+    single serial :data:`MEASURED_RESOURCE` stream (``idle`` segments are
+    gaps, matching the simulator's convention).  Segments partition each
+    step window and steps never overlap, so the trace always passes
+    :meth:`~repro.sim.trace.Trace.validate`.
+    """
+    trace = Trace()
+    for step in report.steps:
+        for seg in step.segments:
+            if seg.phase == "idle":
+                continue
+            sim_cat = PHASE_TO_SIM_CATEGORY.get(seg.phase)
+            trace.record(Interval(
+                resource=MEASURED_RESOURCE,
+                name=seg.phase,
+                category=sim_cat if sim_cat is not None else seg.phase,
+                start=seg.start,
+                finish=seg.finish,
+            ))
+    return trace
+
+
+def _category_shares(
+    trace: Trace, resource: str, window: Optional[Tuple[float, float]]
+) -> Dict[str, float]:
+    """Busy share per category over the window (fractions of the window)."""
+    if window is None:
+        window = (0.0, trace.makespan)
+    t0, t1 = window
+    span = t1 - t0
+    if span <= 0:
+        return {}
+    shares: Dict[str, float] = {}
+    for iv in trace.intervals_on(resource):
+        lo, hi = max(iv.start, t0), min(iv.finish, t1)
+        if hi > lo:
+            shares[iv.category] = shares.get(iv.category, 0.0) + (hi - lo) / span
+    return shares
+
+
+def sim_comparison_rows(
+    report: ProfileReport,
+    sim_trace: Trace,
+    sim_window: Optional[Tuple[float, float]] = None,
+    sim_resource: str = "gpu",
+) -> List[Sequence]:
+    """Measured vs predicted per-category busy shares, in pct points.
+
+    The measured side is the profile's phase totals folded through
+    :data:`PHASE_TO_SIM_CATEGORY`; the predicted side is the simulator
+    trace's category shares on ``sim_resource`` (plus every other sim
+    resource's optimizer/collective work folded in via the same category,
+    when it appears on the GPU row — the shares compare *shape*, not
+    absolute seconds, since sim time and wall time use different units).
+    An ``idle`` row compares the measured idle+stall share against the
+    simulated idle fraction.
+    """
+    wall = report.wall_seconds
+    measured: Dict[str, float] = {}
+    for phase, sec in report.phase_totals.items():
+        cat = PHASE_TO_SIM_CATEGORY.get(phase)
+        if cat is None:
+            continue
+        measured[cat] = measured.get(cat, 0.0) + (sec / wall if wall else 0.0)
+    # Predicted: aggregate category shares across every sim resource the
+    # categories appear on, normalized by the window — the sim splits one
+    # step across gpu/cpu/transfer streams while the measured substrate
+    # is one thread, so per-category *shape* is the comparable quantity.
+    predicted: Dict[str, float] = {}
+    for resource in sim_trace.resources():
+        for cat, share in _category_shares(
+            sim_trace, resource, sim_window
+        ).items():
+            predicted[cat] = predicted.get(cat, 0.0) + share
+    ptotal = sum(predicted.values())
+    if ptotal > 0:
+        predicted = {k: v / ptotal for k, v in predicted.items()}
+    mtotal = sum(measured.values())
+    if mtotal > 0:
+        measured = {k: v / mtotal for k, v in measured.items()}
+    rows: List[Sequence] = []
+    for cat in sorted(set(measured) | set(predicted)):
+        m = measured.get(cat, 0.0) * 100.0
+        p = predicted.get(cat, 0.0) * 100.0
+        rows.append([cat, m, p, m - p])
+    # Idle: measured residual vs the sim's GPU idle fraction.
+    m_idle = (
+        (report.phase_totals.get("idle", 0.0)
+         + report.phase_totals.get("stall", 0.0)) / wall * 100.0
+        if wall else 0.0
+    )
+    p_idle = sim_trace.idle_fraction(sim_resource, sim_window) * 100.0
+    rows.append(["idle(vs sim gpu)", m_idle, p_idle, m_idle - p_idle])
+    return rows

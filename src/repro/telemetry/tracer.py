@@ -122,6 +122,9 @@ class NullTracer:
         """Return the shared no-op span handle."""
         return _NULL_SPAN
 
+    def add_close_hook(self, hook: Callable[[Span], None]) -> None:
+        """Accepted for interface parity; never called (no spans close)."""
+
     def clear(self) -> None:
         """No state to clear."""
 
@@ -134,17 +137,32 @@ class Tracer:
             deterministic tests; defaults to :func:`time.perf_counter`).
             The first reading becomes the epoch — all span times are
             relative to it.
+        on_close: optional callback invoked with each span as it
+            finishes (on the closing thread, outside the tracer lock).
+            More hooks can be attached with :meth:`add_close_hook`; the
+            profiler and flight recorder both observe spans this way.
     """
 
     enabled = True
 
-    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.perf_counter,
+        on_close: Optional[Callable[[Span], None]] = None,
+    ):
         self._clock = clock
         self._epoch = clock()
         self._lock = threading.Lock()
         self._spans: List[Span] = []
         self._local = threading.local()
         self._thread_index: Dict[int, int] = {}
+        self._close_hooks: List[Callable[[Span], None]] = []
+        if on_close is not None:
+            self._close_hooks.append(on_close)
+
+    def add_close_hook(self, hook: Callable[[Span], None]) -> None:
+        """Attach another span-close observer (appended, never replaced)."""
+        self._close_hooks.append(hook)
 
     # ---- recording ------------------------------------------------------
 
@@ -178,6 +196,8 @@ class Tracer:
         self._local.depth = getattr(self._local, "depth", 1) - 1
         with self._lock:
             self._spans.append(span)
+        for hook in self._close_hooks:
+            hook(span)
 
     # ---- inspection -----------------------------------------------------
 

@@ -19,6 +19,7 @@ from typing import Dict, List
 import numpy as np
 
 from repro.data.synthetic import SyntheticPile
+from repro.exec.pool import KernelPool
 from repro.numeric.transformer import TinyTransformer, TransformerParams
 from repro.optim.adam import AdamConfig
 from repro.optim.mixed_precision import (
@@ -30,6 +31,7 @@ from repro.parallel.dp import shard_batch
 from repro.parallel.zero import ZeroShardedAdam
 from repro.telemetry import NULL_TELEMETRY, Telemetry
 from repro.tensors.arena import FlatArena
+from repro.tensors.pinned import PinnedBufferPool
 from repro.tensors.workspace import ActivationWorkspace
 
 
@@ -62,6 +64,14 @@ class DataParallelTrainer:
             freshly allocated (never workspace-backed) — only the
             activations between a rank's forward and backward live in
             the reused buffers.
+        pipeline: overlap the sharded optimizer's bucket reduce with the
+            shard Adam (forwarded to :class:`ZeroShardedAdam`; bitwise
+            identical to the serial step).
+        bucket_elements: pipelined bucket size (forwarded).
+        pool: kernel pool the overlapped step runs on (forwarded;
+            ``None`` uses the process default).
+        pinned_pool: pinned staging pool for the bucket double-buffer
+            (forwarded).
     """
 
     def __init__(
@@ -74,6 +84,10 @@ class DataParallelTrainer:
         telemetry: Telemetry | None = None,
         attn_backend: str = "dense",
         use_workspace: bool = False,
+        pipeline: bool = False,
+        bucket_elements: int = 1 << 18,
+        pool: "KernelPool | None" = None,
+        pinned_pool: "PinnedBufferPool | None" = None,
     ):
         if world_size < 1:
             raise ValueError("world_size must be >= 1")
@@ -96,7 +110,9 @@ class DataParallelTrainer:
         self.group = SimProcessGroup(world_size, telemetry=self.telemetry)
         self.optimizer = ZeroShardedAdam(
             self.model.params, world_size, config=adam or AdamConfig(),
-            telemetry=self.telemetry,
+            telemetry=self.telemetry, pipeline=pipeline,
+            bucket_elements=bucket_elements, pool=pool,
+            pinned_pool=pinned_pool,
         )
         # The sharded optimizer adopted the params into a flat arena;
         # allocate same-layout planes for the fp16 model copy and the

@@ -139,3 +139,59 @@ class TestDefaultPool:
         assert default_workers() == 3
         monkeypatch.setenv("REPRO_EXEC_WORKERS", "not-a-number")
         assert default_workers() >= 1
+
+
+class TestShutdownSafety:
+    def test_shutdown_is_idempotent(self):
+        p = KernelPool(2)
+        p.submit(lambda: 1).result()
+        p.shutdown()
+        p.shutdown()  # second call is a no-op, no deadlock
+
+    def test_shutdown_before_spawn_is_safe(self):
+        KernelPool(2).shutdown()
+
+    def test_queued_work_finishes_before_shutdown(self):
+        import time
+
+        p = KernelPool(1 + 1)  # 2 workers
+        futures = [p.submit(time.sleep, 0.01) for _ in range(8)]
+        p.shutdown()
+        for f in futures:
+            f.result(timeout=1.0)  # all ran, none stranded
+
+    def test_submission_racing_shutdown_fails_future(self):
+        p = KernelPool(2)
+        p.submit(lambda: 1).result()
+        p.shutdown()
+        # _closed is set; the late submit must fail its future rather
+        # than leave a waiter hanging behind the sentinels
+        fut = p.submit(lambda: 2)
+        with pytest.raises(RuntimeError, match="shut down"):
+            fut.result(timeout=1.0)
+
+    def test_live_pools_registered_for_atexit(self):
+        from repro.exec import pool as pool_mod
+
+        p = KernelPool(2)
+        p.submit(lambda: 1).result()
+        assert p in pool_mod._live_pools
+        assert pool_mod._atexit_registered
+        pool_mod._drain_live_pools()  # the atexit path, run eagerly
+        assert p._closed
+
+    def test_queue_wait_histogram_recorded(self):
+        telemetry = Telemetry()
+        p = KernelPool(2, telemetry=telemetry)
+        try:
+            for _ in range(4):
+                p.submit(lambda: None).result(timeout=1.0)
+            waits = sum(
+                telemetry.metrics.histogram(
+                    "exec_queue_wait_ms", worker=i
+                ).count
+                for i in range(2)
+            )
+            assert waits == 4
+        finally:
+            p.shutdown()

@@ -1,0 +1,106 @@
+"""Tests for the crash-dump flight recorder."""
+
+import json
+import sys
+
+import pytest
+
+from repro.telemetry import Telemetry
+from repro.telemetry.flight import FLIGHT_SCHEMA_VERSION, FlightRecorder
+
+
+def _lines(path):
+    return [json.loads(line) for line in path.read_text().splitlines()]
+
+
+def test_ring_keeps_only_the_last_spans():
+    tel = Telemetry()
+    recorder = FlightRecorder(tel, capacity=3)
+    for i in range(10):
+        with tel.tracer.span(f"s{i}", category="test"):
+            pass
+    assert [s.name for s in recorder.spans] == ["s7", "s8", "s9"]
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        FlightRecorder(Telemetry(), capacity=0)
+
+
+def test_dump_writes_header_spans_and_metrics(tmp_path):
+    tel = Telemetry()
+    recorder = FlightRecorder(tel, capacity=8)
+    with tel.tracer.span("optimizer_step", category="optim", bucket=2):
+        pass
+    tel.metrics.counter("steps_total").inc(5)
+    tel.metrics.histogram("loss").observe(1.5)
+    path = tmp_path / "flight.jsonl"
+    n = recorder.dump(str(path), reason="unit-test")
+    lines = _lines(path)
+    assert len(lines) == n
+    header = lines[0]
+    assert header["kind"] == "header"
+    assert header["schema"] == FLIGHT_SCHEMA_VERSION
+    assert header["reason"] == "unit-test"
+    assert header["retained"] == 1
+    spans = [l for l in lines if l["kind"] == "span"]
+    assert spans[0]["name"] == "optimizer_step"
+    assert spans[0]["attrs"] == {"bucket": 2}
+    metrics = {l["name"]: l for l in lines if l["kind"] == "metric"}
+    assert metrics["steps_total"]["value"] == 5
+    assert metrics["loss"]["summary"]["count"] == 1
+
+
+def test_dump_serializes_non_json_attrs(tmp_path):
+    tel = Telemetry()
+    recorder = FlightRecorder(tel)
+    with tel.tracer.span("s", category="test", obj=object()):
+        pass
+    path = tmp_path / "flight.jsonl"
+    recorder.dump(str(path))
+    (span,) = [l for l in _lines(path) if l["kind"] == "span"]
+    assert span["attrs"]["obj"].startswith("<object")
+
+
+def test_excepthook_dumps_then_chains(tmp_path):
+    tel = Telemetry()
+    recorder = FlightRecorder(tel, capacity=4)
+    with tel.tracer.span("last_thing", category="test"):
+        pass
+    path = tmp_path / "crash.jsonl"
+    seen = []
+    previous = sys.excepthook
+    sys.excepthook = lambda *a: seen.append(a)
+    try:
+        recorder.install(str(path))
+        try:
+            raise RuntimeError("boom")
+        except RuntimeError:
+            sys.excepthook(*sys.exc_info())
+    finally:
+        recorder.uninstall()
+        sys.excepthook = previous
+    assert len(seen) == 1  # the previous hook still ran
+    lines = _lines(path)
+    assert lines[0]["reason"] == "exception:RuntimeError"
+    assert any(l.get("name") == "last_thing" for l in lines)
+
+
+def test_install_twice_rejected(tmp_path):
+    recorder = FlightRecorder(Telemetry())
+    recorder.install(str(tmp_path / "a.jsonl"))
+    try:
+        with pytest.raises(RuntimeError):
+            recorder.install(str(tmp_path / "b.jsonl"))
+    finally:
+        recorder.uninstall()
+
+
+def test_uninstall_restores_excepthook(tmp_path):
+    recorder = FlightRecorder(Telemetry())
+    before = sys.excepthook
+    recorder.install(str(tmp_path / "a.jsonl"))
+    assert sys.excepthook is not before
+    recorder.uninstall()
+    assert sys.excepthook is before
+    recorder.uninstall()  # idempotent

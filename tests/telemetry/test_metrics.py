@@ -146,3 +146,42 @@ def test_percentile_monotone_in_p(values, percentiles):
     ordered_p = sorted(percentiles)
     results = [hist.percentile(p) for p in ordered_p]
     assert all(a <= b for a, b in zip(results, results[1:]))
+
+
+# ---- Percentile edges: empty, exact endpoints, infinite samples ----------
+
+
+def test_percentile_empty_returns_none():
+    hist = MetricsRegistry().histogram("h")
+    assert hist.percentile(0) is None
+    assert hist.percentile(50) is None
+    assert hist.percentile(100) is None
+
+
+def test_percentile_endpoints_are_exact_min_max():
+    hist = MetricsRegistry().histogram("h")
+    for v in (5.0, 1.0, 9.0, 3.0):
+        hist.observe(v)
+    assert hist.percentile(0) == 1.0
+    assert hist.percentile(100) == 9.0
+
+
+def test_percentile_endpoints_never_nan_with_inf():
+    import math
+
+    hist = MetricsRegistry().histogram("h")
+    hist.observe(1.0)
+    hist.observe(float("inf"))
+    # the naive lerp at p=100 evaluates inf - inf -> NaN
+    assert hist.percentile(100) == float("inf")
+    assert hist.percentile(0) == 1.0
+    p50 = hist.percentile(50)
+    assert p50 is not None and not math.isnan(p50)
+
+
+def test_summary_rows_blank_cells_for_empty_histogram():
+    registry = MetricsRegistry()
+    registry.histogram("empty")
+    (row,) = registry.summary_rows()
+    assert row[3] == 0          # count
+    assert row[4:] == ["", "", "", ""]  # mean/p50/p95/p99 render blank

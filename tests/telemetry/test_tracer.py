@@ -120,3 +120,30 @@ def test_null_tracer_records_nothing():
 def test_null_tracer_reuses_one_handle():
     tracer = NullTracer()
     assert tracer.span("a") is tracer.span("b") is _NULL_SPAN
+
+
+def test_close_hooks_fire_in_order():
+    tracer = Tracer(clock=FakeClock())
+    seen = []
+    tracer.add_close_hook(lambda s: seen.append(("a", s.name)))
+    tracer.add_close_hook(lambda s: seen.append(("b", s.name)))
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            pass
+    assert seen == [("a", "inner"), ("b", "inner"),
+                    ("a", "outer"), ("b", "outer")]
+
+
+def test_on_close_constructor_arg():
+    seen = []
+    tracer = Tracer(clock=FakeClock(), on_close=seen.append)
+    with tracer.span("s"):
+        pass
+    assert [s.name for s in seen] == ["s"]
+
+
+def test_null_tracer_accepts_close_hooks():
+    tracer = NullTracer()
+    tracer.add_close_hook(lambda s: (_ for _ in ()).throw(AssertionError))
+    with tracer.span("s"):
+        pass  # hook never fires

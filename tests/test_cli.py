@@ -111,3 +111,60 @@ def test_bench_writes_valid_json(tmp_path, capsys):
     assert steady["arena_bytes_copied_per_step"] == 0.0
     assert steady["arena_bytes_aliased_per_step"] > 0
 
+
+
+def test_profile_quick(tmp_path, capsys):
+    import json
+
+    assert main(["profile", "--quick", "--compare-sim", "--workers", "2",
+                 "--out", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "STV step phases" in out
+    assert "overlap audit" in out
+    assert "worker utilization" in out
+    assert "memory high-water" in out
+    assert "measured vs simulated" in out
+    assert "profiler overhead" in out
+
+    profile = json.loads((tmp_path / "PROFILE.json").read_text())
+    assert profile["bitwise_identical"] is True
+    assert 0.0 <= profile["overlap_efficiency"] <= 1.0
+    assert profile["stv_phase_seconds"]["forward"] > 0
+    assert profile["dp_phase_seconds"]["backward"] > 0
+    assert profile["memory_highwater_bytes"]["workspace"] > 0
+    assert profile["sim_comparison"]
+
+    from repro.telemetry.export import validate_chrome_trace
+    document = json.loads((tmp_path / "trace.json").read_text())
+    validate_chrome_trace(document)
+
+    flight = (tmp_path / "flight.jsonl").read_text().splitlines()
+    assert json.loads(flight[0])["kind"] == "header"
+
+
+def test_bench_warns_on_regression(capsys, monkeypatch):
+    # Force a below-1.0x row through a stubbed bench result so the WARN
+    # path is exercised deterministically.
+    import repro.training as training
+
+    def fake_bench(quick=False, workers=None, sections=None):
+        return {
+            "benchmark": "substrate_arena",
+            "world_size": 2,
+            "workers": 2,
+            "zero_step": [
+                {"elements": 65536, "dict_copy_ms": 1.0, "arena_ms": 2.0,
+                 "speedup": 0.5},
+                {"elements": 524288, "dict_copy_ms": 4.0, "arena_ms": 2.0,
+                 "speedup": 2.0},
+            ],
+        }
+
+    monkeypatch.setattr(training, "substrate_bench", fake_bench)
+    assert main(["bench", "--quick", "--out", "/tmp"]) == 0
+    out = capsys.readouterr().out
+    assert "WARN: zero_step size 65536 speedup 0.50x < 1.0x" in out
+    # only the regressing row warns, not the 2.0x one
+    row_warns = [l for l in out.splitlines()
+                 if l.startswith("WARN: zero_step")]
+    assert len(row_warns) == 1
