@@ -8,7 +8,9 @@ Usage::
     python -m repro fig12 --chips 8      # Ulysses sequence lengths
     python -m repro trace --out /tmp/t   # telemetry: trace.json + events.jsonl
     python -m repro bench --out /tmp/b   # substrate perf: BENCH_substrate.json
+    python -m repro bench --tuned        # A/B the host tuning profile
     python -m repro profile --out /tmp/p # step phases, overlap, utilization
+    python -m repro tune                 # autotune this host -> tune.json
     python -m repro all                  # everything (slow; skips file writers)
 
 Every command prints the same table its benchmark harness asserts on; the
@@ -500,6 +502,64 @@ def _cmd_profile(args: argparse.Namespace) -> None:
           f"{flight_path} ({n_flight} lines)")
 
 
+def _cmd_tune(args: argparse.Namespace) -> int:
+    """Search every tunable on this host; persist the winning profile."""
+    import json
+    from datetime import datetime, timezone
+    from pathlib import Path
+
+    from repro.tune import profile as tune_profile
+    # Deliberately lazy: search imports the exec/optim/numeric consumers,
+    # which import repro.tune — the package init must stay cycle-free.
+    from repro.tune import search
+
+    report = search.run_tuning(quick=args.quick, workers=args.workers)
+    rows = []
+    for o in report.outcomes:
+        if o.chosen is None:
+            chosen = "(default)"
+        elif o.band_hi is not None:
+            chosen = f"{o.chosen:,} for n<={o.band_hi:,}"
+        else:
+            chosen = f"{o.chosen:,}"
+        rows.append([o.name, o.kind, f"{o.default:,}", chosen,
+                     "ok" if o.bitwise_ok else "MISMATCH",
+                     o.note or "measured crossover/candidate win"])
+    print_table(
+        f"repro tune — search outcomes (host {report.profile.host}, "
+        f"{report.workers} workers)",
+        ["tunable", "kind", "default", "chosen", "identity", "note"],
+        rows,
+    )
+    if report.validation:
+        print_table(
+            "repro tune — tuned vs default on substrate workloads",
+            ["check", "size", "tuned (ms)", "default (ms)", "speedup",
+             "identity"],
+            [[c.name, f"{c.size:,}", round(c.tuned_ms, 3),
+              round(c.default_ms, 3), f"{c.speedup:.2f}x",
+              "ok" if c.bitwise else "MISMATCH"]
+             for c in report.validation],
+        )
+        print(f"\ngeomean tuned-vs-default speedup: {report.geomean:.3f}x "
+              f"over {len(report.validation)} checks; identity: "
+              f"{'all ok' if report.all_bitwise else 'FAILED'}")
+    report.profile.created = datetime.now(timezone.utc).isoformat(
+        timespec="seconds"
+    )
+    path = tune_profile.save(
+        report.profile, args.profile or tune_profile.HOME_PROFILE
+    )
+    print(f"wrote profile ({len(report.profile.entries)} entries) for "
+          f"host {report.profile.host} to {path}")
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    report_path = out / "TUNE_report.json"
+    report_path.write_text(json.dumps(report.to_doc(), indent=2) + "\n")
+    print(f"wrote {report_path}")
+    return 0 if report.all_bitwise else 3
+
+
 def _geomean_line(section: str, rows: List[dict]) -> str:
     """One summary line: the geometric-mean speedup across a section's rows."""
     import math
@@ -509,34 +569,147 @@ def _geomean_line(section: str, rows: List[dict]) -> str:
     return f"{section}: geomean speedup {gm:.2f}x over {len(rows)} sizes"
 
 
-def _cmd_bench(args: argparse.Namespace) -> None:
+#: Per bench section: the row key whose time the tuned profile steers
+#: (the optimized contestant) — the A/B column of ``bench --tuned``.
+_BENCH_TUNED_KEY = {
+    "zero_step": "arena_ms",
+    "rollback": "arena_ms",
+    "parallel_step": "parallel_ms",
+    "zero_pipeline": "pipeline_ms",
+    "attention": "streaming_step_ms",
+    "model_step": "workspace_ms",
+}
+
+
+def _attach_tuned_deltas(result: dict, default_result: dict) -> None:
+    """Fold the default-arm times into the tuned rows, in place."""
+    for section, key in _BENCH_TUNED_KEY.items():
+        rows = result.get(section)
+        base_rows = default_result.get(section)
+        if not isinstance(rows, list) or not isinstance(base_rows, list):
+            continue
+        for r, b in zip(rows, base_rows):
+            r["default_" + key] = b[key]
+            r["tuned_vs_default"] = (
+                b[key] / r[key] if r.get(key) else None
+            )
+
+
+def _load_bench_baseline(path) -> dict:
+    """{(section, size): speedup} from a committed BENCH_substrate.json."""
+    import json
+
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return {}
+    out = {}
+    for section in _BENCH_TUNED_KEY:
+        for r in doc.get(section, []) or []:
+            if not isinstance(r, dict) or "speedup" not in r:
+                continue
+            size = r.get("elements", r.get("seq"))
+            if size is not None:
+                out[(section, size)] = r["speedup"]
+    return out
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
     import json
     from pathlib import Path
 
     from repro.training import substrate_bench
+    from repro.tune import runtime as tune_runtime
 
     sections = args.sections.split(",") if args.sections else None
-    result = substrate_bench(
-        quick=args.quick, workers=args.workers, sections=sections
+    profile = None
+    if args.tuned:
+        from repro.tune import profile as tune_profile
+
+        profile_path = (Path(args.profile) if args.profile
+                        else tune_profile.default_path())
+        profile = tune_profile.load(profile_path)
+        if profile is None:
+            print(f"error: no tuning profile for this host at "
+                  f"{profile_path}; run 'repro tune' first", file=sys.stderr)
+            return 2
+        print(f"tuned run: {profile_path} (host {profile.host}, "
+              f"{len(profile.entries)} entries)\n")
+        with tune_runtime.overridden(profile):
+            result = substrate_bench(
+                quick=args.quick, workers=args.workers, sections=sections
+            )
+        # The A/B arm: the same sections with every tunable at its
+        # registry default, so each row carries tuned-vs-default.
+        with tune_runtime.overridden(None):
+            default_result = substrate_bench(
+                quick=args.quick, workers=args.workers, sections=sections
+            )
+        _attach_tuned_deltas(result, default_result)
+        result["tuned"] = True
+        result["tune_profile_host"] = profile.host
+        result["tune_plan"] = profile.plan()
+    else:
+        result = substrate_bench(
+            quick=args.quick, workers=args.workers, sections=sections
+        )
+
+    baseline_path = Path(args.baseline) if args.baseline else Path(
+        "BENCH_substrate.json"
     )
+    baseline = _load_bench_baseline(baseline_path)
+    regressions: List[str] = []
+
+    def extra_headers() -> List[str]:
+        cols = []
+        if args.tuned:
+            cols.append("vs default")
+        if baseline:
+            cols.append("d base")
+        return cols
+
+    def extra_values(section: str, r: dict) -> List[str]:
+        vals = []
+        if args.tuned:
+            tv = r.get("tuned_vs_default")
+            vals.append(f"{tv:.2f}x" if tv is not None else "-")
+        if baseline:
+            size = r.get("elements", r.get("seq"))
+            base = baseline.get((section, size))
+            if base is None:
+                vals.append("-")
+            else:
+                delta = r["speedup"] - base
+                vals.append(f"{delta:+.2f}")
+                if r["speedup"] < base - args.tolerance:
+                    regressions.append(
+                        f"{section} size {size}: {r['speedup']:.2f}x vs "
+                        f"baseline {base:.2f}x "
+                        f"(tolerance {args.tolerance:.2f})"
+                    )
+        return vals
+
     summaries = []
     if "zero_step" in result:
         print_table(
             "repro bench — arena vs dict-copy ZeRO step "
             f"(world {result['world_size']})",
-            ["elements", "dict-copy (ms)", "arena (ms)", "speedup"],
+            ["elements", "dict-copy (ms)", "arena (ms)", "speedup"]
+            + extra_headers(),
             [[f"{r['elements']:,}", r["dict_copy_ms"], r["arena_ms"],
-              f"{r['speedup']:.2f}x"] for r in result["zero_step"]],
+              f"{r['speedup']:.2f}x"] + extra_values("zero_step", r)
+             for r in result["zero_step"]],
         )
         summaries.append(_geomean_line("zero_step", result["zero_step"]))
     if "rollback" in result:
         print_table(
             "repro bench — STV bucket snapshot capture+restore",
             ["elements", "per-tensor (ms)", "arena memcpy (ms)", "speedup",
-             "range path"],
+             "range path"] + extra_headers(),
             [[f"{r['elements']:,}", r["per_tensor_ms"], r["arena_ms"],
               f"{r['speedup']:.2f}x",
               "yes" if r["arena_path_used"] else "no (below cutoff)"]
+             + extra_values("rollback", r)
              for r in result["rollback"]],
         )
         summaries.append(_geomean_line("rollback", result["rollback"]))
@@ -554,11 +727,12 @@ def _cmd_bench(args: argparse.Namespace) -> None:
             "repro bench — chunked-executor Adam step "
             f"({result['workers']} workers)",
             ["elements", "serial flat (ms)", "tiled (ms)", "executor (ms)",
-             "speedup", "vs tiled", "bitwise"],
+             "speedup", "vs tiled", "bitwise"] + extra_headers(),
             [[f"{r['elements']:,}", r["serial_ms"], r["tiled_ms"],
               r["parallel_ms"], f"{r['speedup']:.2f}x",
               f"{r['speedup_vs_tiled']:.2f}x",
               "ok" if r["bitwise_identical"] else "MISMATCH"]
+             + extra_values("parallel_step", r)
              for r in result["parallel_step"]],
         )
         summaries.append(
@@ -569,10 +743,11 @@ def _cmd_bench(args: argparse.Namespace) -> None:
             "repro bench — overlapped bucket ZeRO pipeline "
             f"({result['workers']} workers)",
             ["elements", "bucket", "serial (ms)", "pipeline (ms)", "speedup",
-             "bitwise"],
+             "bitwise"] + extra_headers(),
             [[f"{r['elements']:,}", f"{r['bucket_elements']:,}",
               r["serial_ms"], r["pipeline_ms"], f"{r['speedup']:.2f}x",
               "ok" if r["bitwise_identical"] else "MISMATCH"]
+             + extra_values("zero_pipeline", r)
              for r in result["zero_pipeline"]],
         )
         summaries.append(
@@ -584,13 +759,14 @@ def _cmd_bench(args: argparse.Namespace) -> None:
             f"({result['workers']} workers)",
             ["seq", "dense fwd (ms)", "stream fwd (ms)", "fwd speedup",
              "dense f+b (ms)", "stream f+b (ms)", "f+b speedup",
-             "mem ratio", "tol", "det"],
+             "mem ratio", "tol", "det"] + extra_headers(),
             [[r["seq"], r["dense_fwd_ms"], r["streaming_fwd_ms"],
               f"{r['fwd_speedup']:.2f}x", r["dense_step_ms"],
               r["streaming_step_ms"], f"{r['step_speedup']:.2f}x",
               f"{r['peak_transient_ratio']:.1f}x",
               "ok" if r["tolerance_ok"] else "FAIL",
               "ok" if r["bitwise_across_workers"] else "MISMATCH"]
+             + extra_values("attention", r)
              for r in result["attention"]],
         )
         summaries.append(_geomean_line("attention", result["attention"]))
@@ -599,11 +775,12 @@ def _cmd_bench(args: argparse.Namespace) -> None:
             "repro bench — workspace-backed streaming model step "
             f"({result['workers']} workers)",
             ["seq", "baseline (ms)", "workspace (ms)", "speedup",
-             "steady allocs", "peak bytes", "tol"],
+             "steady allocs", "peak bytes", "tol"] + extra_headers(),
             [[r["seq"], r["baseline_ms"], r["workspace_ms"],
               f"{r['speedup']:.2f}x", r["steady_allocs_per_step"],
               f"{r['workspace_peak_bytes']:,}",
               "ok" if r["tolerance_ok"] else "FAIL"]
+             + extra_values("model_step", r)
              for r in result["model_step"]],
         )
         summaries.append(_geomean_line("model_step", result["model_step"]))
@@ -627,11 +804,21 @@ def _cmd_bench(args: argparse.Namespace) -> None:
     if warned:
         print("WARN lines indicate sizes where the optimized path loses "
               "to its baseline; see BENCH_substrate.json for details.")
+    if regressions:
+        print(f"\nregressions vs {baseline_path}:")
+        for line in regressions:
+            print(f"  REGRESSION: {line}")
+    elif baseline:
+        print(f"\nno regressions vs {baseline_path} beyond "
+              f"tolerance {args.tolerance:.2f}")
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
     bench_path = out / "BENCH_substrate.json"
     bench_path.write_text(json.dumps(result, indent=2) + "\n")
     print(f"\nwrote {bench_path}")
+    if args.strict and regressions:
+        return 4
+    return 0
 
 
 def _cmd_timeline(args: argparse.Namespace) -> None:
@@ -649,7 +836,7 @@ def _cmd_timeline(args: argparse.Namespace) -> None:
                               width=96, window=est.steady_window))
 
 
-COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
+COMMANDS: Dict[str, Callable[[argparse.Namespace], "int | None"]] = {
     "table1": _cmd_table1,
     "fig4": _cmd_fig4,
     "fig6": _cmd_fig6,
@@ -667,10 +854,11 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "trace": _cmd_trace,
     "bench": _cmd_bench,
     "profile": _cmd_profile,
+    "tune": _cmd_tune,
 }
 
 #: Commands that write files; excluded from ``repro all``.
-_FILE_WRITING = {"trace", "bench", "profile"}
+_FILE_WRITING = {"trace", "bench", "profile", "tune"}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -712,6 +900,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="profile: also compare the measured phase shares against "
              "the SuperOffload simulator's predicted timeline",
     )
+    parser.add_argument(
+        "--tuned", action="store_true",
+        help="bench: run under the host tuning profile and A/B every "
+             "section against the registry defaults",
+    )
+    parser.add_argument(
+        "--profile", default=None,
+        help="tune/bench --tuned: tuning-profile path (tune default: "
+             "~/.repro/tune.json; bench default: $REPRO_TUNE_PROFILE > "
+             "./.repro/tune.json > ~/.repro/tune.json)",
+    )
+    parser.add_argument(
+        "--baseline", default=None,
+        help="bench: committed BENCH_substrate.json to diff speedups "
+             "against (default: ./BENCH_substrate.json if present)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="bench: exit non-zero when any section/size regresses below "
+             "the baseline speedup by more than --tolerance",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.05,
+        help="bench --strict: allowed absolute speedup drop vs the "
+             "baseline before a row counts as a regression (default 0.05)",
+    )
     return parser
 
 
@@ -726,9 +940,10 @@ def main(argv: List[str] | None = None) -> int:
         if args.artifact == "all"
         else [args.artifact]
     )
+    rc = 0
     for name in names:
-        COMMANDS[name](args)
-    return 0
+        rc = max(rc, COMMANDS[name](args) or 0)
+    return rc
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

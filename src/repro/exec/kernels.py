@@ -26,13 +26,16 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.numeric.lowprec import to_bf16
+from repro.tune.registry import default as _registry_default
 
 #: Elements per cache sub-tile inside a chunk.  Six fp32 streams (p, m,
 #: v, g + two scratch) at 32k elements is a ~768 KiB working set — sized
 #: to sit in L2/L3 so the fused passes re-hit cache instead of streaming
 #: DRAM (the whole-array fused variant measures *slower* than the tiled
 #: serial ancestor; this tiling is where the kernel's win comes from).
-CACHE_TILE = 32768
+#: The authored value lives in the tunable registry (``adam.cache_tile``);
+#: dispatchers resolve the host-tuned value and pass it to ``adam_chunk``.
+CACHE_TILE = _registry_default("adam.cache_tile")
 
 _scratch = threading.local()
 
@@ -92,6 +95,7 @@ def adam_chunk(
     v: np.ndarray,
     g: np.ndarray,
     hyper: AdamChunkHyper,
+    tile: int | None = None,
 ) -> None:
     """Fused AdamW over ``[lo, hi)`` of the (p, m, v, g) planes.
 
@@ -104,13 +108,18 @@ def adam_chunk(
         p *= 1 - lr*wd                  (when decaying)
         p -= lr * ((m/bc1) / d)
 
-    but with every temporary landed in per-thread scratch.
+    but with every temporary landed in per-thread scratch.  ``tile``
+    overrides :data:`CACHE_TILE` (the ``adam.cache_tile`` tunable —
+    dispatchers resolve it once and pass it down); the arithmetic is
+    purely elementwise, so any tiling is bitwise identical.
     """
     h = hyper
+    if tile is None:
+        tile = CACHE_TILE
     decaying = h.decay_keep != np.float32(1.0)
-    s1, s2 = _scratch_pair(min(CACHE_TILE, hi - lo))
-    for tlo in range(lo, hi, CACHE_TILE):
-        thi = min(hi, tlo + CACHE_TILE)
+    s1, s2 = _scratch_pair(min(tile, hi - lo))
+    for tlo in range(lo, hi, tile):
+        thi = min(hi, tlo + tile)
         gg = g[tlo:thi]
         mm = m[tlo:thi]
         vv = v[tlo:thi]

@@ -13,6 +13,13 @@ Small planes run inline: below ``min_parallel`` elements the dispatch
 round-trip (~tens of µs) exceeds the kernel itself, so the op executes
 as one serial fused chunk on the calling thread.  The cutoffs only move
 work between threads — results are bitwise identical either way.
+
+Each op's crossover is resolved through :mod:`repro.tune` at call time:
+an active host profile (``repro tune``) supplies the measured value, and
+the module constants below are the untuned fallback.  The constants stay
+module globals read per call, so monkeypatching them (as the determinism
+tests do to force parallel dispatch) keeps working with or without a
+profile.
 """
 
 from __future__ import annotations
@@ -21,20 +28,23 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro import tune
 from repro.exec import kernels
 from repro.exec.plan import DEFAULT_ALIGN, ChunkPlan
 from repro.exec.pool import KernelPool, get_pool
+from repro.tune.registry import default as _registry_default
 
 #: Below this many elements a fused multi-pass kernel (Adam) runs inline.
-MIN_PARALLEL_FUSED = 1 << 15
+MIN_PARALLEL_FUSED = _registry_default("adam.min_parallel")
 #: Below this many elements a single-pass kernel (scale/cast/copy) runs
 #: inline — one pass amortizes dispatch later than ten passes do.
-MIN_PARALLEL_SIMPLE = 1 << 17
+MIN_PARALLEL_SIMPLE = _registry_default("scale.min_parallel")
 
 
 def _run(
     pool: Optional[KernelPool],
     n: int,
+    tunable: str,
     min_parallel: int,
     align: int,
     fn,
@@ -43,7 +53,7 @@ def _run(
     if n <= 0:
         return
     pool = pool if pool is not None else get_pool()
-    if pool.workers <= 1 or n < min_parallel:
+    if pool.workers <= 1 or n < tune.value(tunable, min_parallel, size=n):
         fn(0, n, *args)
         return
     pool.run(fn, ChunkPlan.split(n, pool.workers, align), *args)
@@ -61,8 +71,9 @@ def parallel_adam_flat(
 ) -> None:
     """Fused AdamW over four parallel flat planes (see ``adam_chunk``)."""
     hyper = kernels.AdamChunkHyper.from_config(config, step)
-    _run(pool, p.size, MIN_PARALLEL_FUSED, align,
-         kernels.adam_chunk, p, m, v, g, hyper)
+    tile = tune.value("adam.cache_tile", kernels.CACHE_TILE, size=p.size)
+    _run(pool, p.size, "adam.min_parallel", MIN_PARALLEL_FUSED, align,
+         kernels.adam_chunk, p, m, v, g, hyper, tile)
 
 
 def parallel_scale(
@@ -71,8 +82,8 @@ def parallel_scale(
     pool: Optional[KernelPool] = None,
 ) -> None:
     """In-place flat multiply (gradient clip, accumulation averaging)."""
-    _run(pool, buf.size, MIN_PARALLEL_SIMPLE, DEFAULT_ALIGN,
-         kernels.scale_chunk, buf, coef)
+    _run(pool, buf.size, "scale.min_parallel", MIN_PARALLEL_SIMPLE,
+         DEFAULT_ALIGN, kernels.scale_chunk, buf, coef)
 
 
 def parallel_copy(
@@ -81,8 +92,8 @@ def parallel_copy(
     pool: Optional[KernelPool] = None,
 ) -> None:
     """Chunked flat memcpy (snapshot capture/restore)."""
-    _run(pool, dst.size, MIN_PARALLEL_SIMPLE, DEFAULT_ALIGN,
-         kernels.copy_chunk, dst, src)
+    _run(pool, dst.size, "copy.min_parallel", MIN_PARALLEL_SIMPLE,
+         DEFAULT_ALIGN, kernels.copy_chunk, dst, src)
 
 
 def parallel_cast(
@@ -94,11 +105,11 @@ def parallel_cast(
 ) -> None:
     """Chunked dtype-converting copy (the mixed-precision casts)."""
     if bf16:
-        _run(pool, dst.size, MIN_PARALLEL_SIMPLE, DEFAULT_ALIGN,
-             kernels.cast_bf16_chunk, dst, src)
+        _run(pool, dst.size, "cast.min_parallel", MIN_PARALLEL_SIMPLE,
+             DEFAULT_ALIGN, kernels.cast_bf16_chunk, dst, src)
     else:
-        _run(pool, dst.size, MIN_PARALLEL_SIMPLE, DEFAULT_ALIGN,
-             kernels.cast_chunk, dst, src, ignore_overflow)
+        _run(pool, dst.size, "cast.min_parallel", MIN_PARALLEL_SIMPLE,
+             DEFAULT_ALIGN, kernels.cast_chunk, dst, src, ignore_overflow)
 
 
 def parallel_scale_into(
@@ -108,8 +119,8 @@ def parallel_scale_into(
     pool: Optional[KernelPool] = None,
 ) -> None:
     """``dst = src * scale`` (first micro-batch gradient landing)."""
-    _run(pool, dst.size, MIN_PARALLEL_SIMPLE, DEFAULT_ALIGN,
-         kernels.scale_into_chunk, dst, src, scale)
+    _run(pool, dst.size, "scale_into.min_parallel", MIN_PARALLEL_SIMPLE,
+         DEFAULT_ALIGN, kernels.scale_into_chunk, dst, src, scale)
 
 
 def parallel_add_scaled(
@@ -119,8 +130,8 @@ def parallel_add_scaled(
     pool: Optional[KernelPool] = None,
 ) -> None:
     """``dst += src * scale`` (micro-batch gradient accumulation)."""
-    _run(pool, dst.size, MIN_PARALLEL_SIMPLE, DEFAULT_ALIGN,
-         kernels.add_scaled_chunk, dst, src, scale)
+    _run(pool, dst.size, "add_scaled.min_parallel", MIN_PARALLEL_SIMPLE,
+         DEFAULT_ALIGN, kernels.add_scaled_chunk, dst, src, scale)
 
 
 def parallel_reduce(
@@ -145,7 +156,9 @@ def parallel_reduce(
     if n <= 0:
         return
     pool = pool if pool is not None else get_pool()
-    if pool.workers <= 1 or n < MIN_PARALLEL_SIMPLE:
+    if pool.workers <= 1 or n < tune.value(
+        "reduce.min_parallel", MIN_PARALLEL_SIMPLE, size=n
+    ):
         kernels.reduce_chunk(lo, hi, dst, dst_base, sources, divisor)
         return
     plan = ChunkPlan.split(n, pool.workers, DEFAULT_ALIGN)

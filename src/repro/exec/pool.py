@@ -281,9 +281,11 @@ _default_lock = threading.Lock()
 def default_workers() -> int:
     """Worker count the default pool is built with.
 
-    ``REPRO_EXEC_WORKERS`` overrides; otherwise the available CPU count,
-    capped at 4 (the elementwise kernels are memory-bound — more threads
-    than memory channels just contend).
+    ``REPRO_EXEC_WORKERS`` overrides everything; next a host tuning
+    profile's ``pool.workers`` entry (``repro tune`` measures the count
+    past which the memory-bound kernels stop scaling); otherwise the
+    available CPU count, capped at 4 (the elementwise kernels are
+    memory-bound — more threads than memory channels just contend).
     """
     env = os.environ.get("REPRO_EXEC_WORKERS")
     if env:
@@ -291,6 +293,11 @@ def default_workers() -> int:
             return max(1, int(env))
         except ValueError:
             pass
+    from repro import tune  # late: only the lookup, never the tuner
+
+    tuned = tune.value("pool.workers", 0)
+    if tuned > 0:
+        return tuned
     try:
         cpus = len(os.sched_getaffinity(0))
     except AttributeError:  # pragma: no cover - non-Linux

@@ -84,7 +84,10 @@ class MultiHeadAttention:
         n_heads: number of attention heads; must divide the hidden size.
         backend: ``"dense"`` (reference) or ``"streaming"`` (blocked
             online-softmax, see :mod:`repro.numeric.flash`).
-        block_q, block_k: streaming tile sides (ignored for dense).
+        block_q, block_k: streaming tile sides (ignored for dense);
+            ``None`` resolves the host-tuned values via
+            :func:`repro.numeric.flash.resolve_blocks` at construction,
+            pinning them for the module's lifetime.
         pool: kernel pool for the streaming tile fan-out (``None`` uses
             the process default).
         workspace: optional
@@ -97,8 +100,8 @@ class MultiHeadAttention:
         self,
         n_heads: int,
         backend: str = "dense",
-        block_q: int = flash.DEFAULT_BLOCK_Q,
-        block_k: int = flash.DEFAULT_BLOCK_K,
+        block_q: int | None = None,
+        block_k: int | None = None,
         pool=None,
         workspace=None,
         telemetry: Telemetry = NULL_TELEMETRY,
@@ -111,8 +114,7 @@ class MultiHeadAttention:
             )
         self.n_heads = n_heads
         self.backend = backend
-        self.block_q = block_q
-        self.block_k = block_k
+        self.block_q, self.block_k = flash.resolve_blocks(block_q, block_k)
         self.pool = pool
         self.workspace = workspace
         self.telemetry = telemetry

@@ -43,14 +43,37 @@ from typing import NamedTuple, Optional, Tuple
 
 import numpy as np
 
+from repro import tune
 from repro.exec.pool import KernelPool, get_pool
+from repro.tune.registry import default as _registry_default
 
 #: Default tile sides.  128x128 fp32 score tiles are 64 KiB — small
 #: enough that scores, probabilities, and the two accumulator rows stay
 #: cache-resident through the exp/rescale passes, large enough that the
-#: per-tile BLAS calls amortize their dispatch.
-DEFAULT_BLOCK_Q = 128
-DEFAULT_BLOCK_K = 128
+#: per-tile BLAS calls amortize their dispatch.  The authored values live
+#: in the tunable registry (``flash.block_q`` / ``flash.block_k``);
+#: :func:`resolve_blocks` applies a host profile's measured sides.
+DEFAULT_BLOCK_Q = _registry_default("flash.block_q")
+DEFAULT_BLOCK_K = _registry_default("flash.block_k")
+
+
+def resolve_blocks(
+    block_q: Optional[int] = None, block_k: Optional[int] = None
+) -> Tuple[int, int]:
+    """Effective tile sides: explicit arguments win, then the active
+    tuning profile, then the defaults above.
+
+    Unlike the elementwise tunables, block sides change the online-
+    softmax reduction *order*, so two different resolutions agree only to
+    fp32 tolerance (still bitwise deterministic across worker counts for
+    a fixed resolution) — which is why callers resolve once at
+    construction and pin the result for the model's lifetime.
+    """
+    if block_q is None:
+        block_q = tune.value("flash.block_q", DEFAULT_BLOCK_Q)
+    if block_k is None:
+        block_k = tune.value("flash.block_k", DEFAULT_BLOCK_K)
+    return block_q, block_k
 
 # -- per-thread tile scratch -------------------------------------------
 
@@ -214,8 +237,8 @@ def streaming_attention_forward(
     k: np.ndarray,
     v: np.ndarray,
     causal: bool = True,
-    block_q: int = DEFAULT_BLOCK_Q,
-    block_k: int = DEFAULT_BLOCK_K,
+    block_q: Optional[int] = None,
+    block_k: Optional[int] = None,
     pool: Optional[KernelPool] = None,
     out: Optional[np.ndarray] = None,
     lse: Optional[np.ndarray] = None,
@@ -226,7 +249,8 @@ def streaming_attention_forward(
         q, k, v: contiguous per-head projections (same shape; ``k``/``v``
             may carry a different ``seq`` for cross-attention shapes).
         causal: mask keys beyond each query's position.
-        block_q, block_k: tile sides (need not divide the sequence).
+        block_q, block_k: tile sides (need not divide the sequence);
+            ``None`` resolves through :func:`resolve_blocks`.
         pool: kernel pool for the ``(batch, head, q_tile)`` fan-out;
             ``None`` uses the process default.
         out, lse: optional pre-allocated outputs (the workspace path).
@@ -237,6 +261,7 @@ def streaming_attention_forward(
     """
     if q.ndim != 4:
         raise ValueError(f"expected (b, h, s, d) inputs, got {q.shape}")
+    block_q, block_k = resolve_blocks(block_q, block_k)
     if block_q < 1 or block_k < 1:
         raise ValueError("block sizes must be positive")
     if causal and q.shape[2] > k.shape[2]:

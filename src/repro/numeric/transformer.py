@@ -28,7 +28,6 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.numeric import flash
 from repro.numeric.attention import MultiHeadAttention
 from repro.numeric.layers import (
     Dense,
@@ -90,8 +89,8 @@ class TinyTransformer:
         seed: int = 0,
         workspace: Optional[ActivationWorkspace] = None,
         attn_backend: str = "dense",
-        block_q: int = flash.DEFAULT_BLOCK_Q,
-        block_k: int = flash.DEFAULT_BLOCK_K,
+        block_q: Optional[int] = None,
+        block_k: Optional[int] = None,
         pool=None,
         telemetry: Telemetry = NULL_TELEMETRY,
     ):

@@ -25,6 +25,7 @@ from typing import Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
+from repro import tune
 from repro.exec.ops import parallel_adam_flat
 from repro.exec.pool import KernelPool
 from repro.optim.adam import AdamConfig, AdamParamState, adam_invert
@@ -286,6 +287,9 @@ class GraceAdam(AdamOptimizer):
         params: name -> fp32 master weights.
         config: hyperparameters.
         tile_size: elements per cache tile (the paper's TILE constant).
+            ``None`` resolves the ``grace.tile_size`` tunable — the
+            registry default, or the host-measured value when a tuning
+            profile is active.
         vector_length: SVE vector width in fp32 lanes; tiles are rounded
             down to a multiple of this to mirror whole-vector main loops,
             and executor chunk boundaries are aligned to it.
@@ -307,13 +311,15 @@ class GraceAdam(AdamOptimizer):
         self,
         params: Params,
         config: AdamConfig | None = None,
-        tile_size: int = 16384,
+        tile_size: int | None = None,
         vector_length: int = 16,
         n_threads: int = 72,
         pool: KernelPool | None = None,
         chunked: bool = True,
     ):
         super().__init__(params, config)
+        if tile_size is None:
+            tile_size = tune.value("grace.tile_size")
         if tile_size < 1 or vector_length < 1 or n_threads < 1:
             raise ValueError("tile_size, vector_length, n_threads must be >= 1")
         self.vector_length = vector_length

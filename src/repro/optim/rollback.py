@@ -19,9 +19,11 @@ from typing import Dict
 
 import numpy as np
 
+from repro import tune
 from repro.exec.ops import parallel_copy
 from repro.exec.pool import KernelPool
 from repro.optim.implementations import AdamOptimizer
+from repro.tune.registry import default as _registry_default
 
 Params = Dict[str, np.ndarray]
 
@@ -32,8 +34,9 @@ Params = Dict[str, np.ndarray]
 #: ``BENCH_substrate.json`` sat at 0.97x before this cutoff.  At and
 #: above the cutoff the per-tensor path's multi-MiB allocations churn
 #: mmap while the range path reuses one persistent scratch block, which
-#: is where its ~3x win lives.
-SMALL_SNAPSHOT_CUTOFF = 1 << 20
+#: is where its ~3x win lives.  A host tuning profile's
+#: ``rollback.snapshot_cutoff`` entry overrides this at capture time.
+SMALL_SNAPSHOT_CUTOFF = _registry_default("rollback.snapshot_cutoff")
 
 
 @dataclass
@@ -98,9 +101,11 @@ class SnapshotRollback:
         arena_m = getattr(opt, "arena_m", None)
         # Size-gate *before* the span bookkeeping: below the cutoff even
         # ``range_of``'s sort is measurable next to the tiny copies.
-        if (arena is not None and arena_m is not None
-                and sum(g.size for g in grads.values())
-                >= SMALL_SNAPSHOT_CUTOFF):
+        total = sum(g.size for g in grads.values())
+        cutoff = tune.value(
+            "rollback.snapshot_cutoff", SMALL_SNAPSHOT_CUTOFF, size=total
+        )
+        if arena is not None and arena_m is not None and total >= cutoff:
             span = arena.range_of(grads)
             if span is not None:
                 lo, hi = span

@@ -14,7 +14,6 @@ from typing import List, Tuple
 
 import numpy as np
 
-from repro.numeric import flash
 from repro.numeric.attention import MultiHeadAttention
 from repro.parallel.comm import SimProcessGroup
 
@@ -86,8 +85,8 @@ class UlyssesAttention:
         n_heads: int,
         group: SimProcessGroup,
         backend: str = "dense",
-        block_q: int = flash.DEFAULT_BLOCK_Q,
-        block_k: int = flash.DEFAULT_BLOCK_K,
+        block_q: int | None = None,
+        block_k: int | None = None,
         pool=None,
     ):
         if n_heads % group.world_size:

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import tune
 from repro.exec import kernels
 from repro.exec.pool import KernelPool, get_pool
 from repro.optim.adam import AdamConfig
@@ -120,7 +121,9 @@ class ZeroShardedAdam:
             ``zero_copy=True``).
         bucket_elements: pipelined bucket size in fp32 elements; buckets
             never cross a shard boundary, so the effective size is capped
-            at the shard length.
+            at the shard length.  ``None`` resolves the
+            ``zero.bucket_elements`` tunable (registry default, or the
+            host-measured value when a tuning profile is active).
         pool: kernel pool the overlapped reduces and chunked Adam run on
             (``None`` uses the process default).
         pinned_pool: optional pinned-memory pool the two staging buckets
@@ -137,7 +140,7 @@ class ZeroShardedAdam:
         telemetry: Telemetry | None = None,
         zero_copy: bool = True,
         pipeline: bool = False,
-        bucket_elements: int = 1 << 18,
+        bucket_elements: int | None = None,
         pool: KernelPool | None = None,
         pinned_pool: PinnedBufferPool | None = None,
     ):
@@ -145,6 +148,8 @@ class ZeroShardedAdam:
             raise ValueError("world_size must be >= 1")
         if pipeline and not zero_copy:
             raise ValueError("pipeline=True requires zero_copy=True")
+        if bucket_elements is None:
+            bucket_elements = tune.value("zero.bucket_elements")
         if bucket_elements < 1:
             raise ValueError("bucket_elements must be >= 1")
         self.params = params
@@ -272,7 +277,14 @@ class ZeroShardedAdam:
                     f"rank {r} flat gradient must be a 1-D fp32 array of "
                     f"length {total}"
                 )
-        if self.pipeline:
+        if self.pipeline and total >= tune.value(
+            "zero.min_pipeline", 0, size=total
+        ):
+            # Below the tuned crossover the double-buffer staging and
+            # submit round-trips cost more than the overlap saves; the
+            # serial dataflow is bitwise identical, so falling back is
+            # free.  Untuned, the crossover is 0: always pipeline,
+            # exactly the pre-tuner behaviour.
             self._step_flat_pipelined(per_rank_flat)
             return
         tracer = self.telemetry.tracer
@@ -364,6 +376,8 @@ class ZeroShardedAdam:
         staging = self._ensure_staging()
         buckets = self._buckets()
         shard_len = self._shard_len
+        tile = tune.value("adam.cache_tile", kernels.CACHE_TILE,
+                          size=self.bucket_elements)
 
         def submit_reduce(k: int):
             r, blo, bhi = buckets[k]
@@ -418,7 +432,7 @@ class ZeroShardedAdam:
                         0, bhi - blo,
                         opt.params["shard"][blo:bhi],
                         st.m[blo:bhi], st.v[blo:bhi],
-                        staging[k % 2][: bhi - blo], hyper,
+                        staging[k % 2][: bhi - blo], hyper, tile,
                     )
             # The all-gather of the serial dataflow: every shard is an
             # arena view, so the gather is pure aliasing — count the

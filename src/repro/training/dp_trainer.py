@@ -85,7 +85,7 @@ class DataParallelTrainer:
         attn_backend: str = "dense",
         use_workspace: bool = False,
         pipeline: bool = False,
-        bucket_elements: int = 1 << 18,
+        bucket_elements: int | None = None,
         pool: "KernelPool | None" = None,
         pinned_pool: "PinnedBufferPool | None" = None,
     ):

@@ -1,0 +1,67 @@
+"""Hardware-adaptive autotuning for the kernel substrate.
+
+Three small layers:
+
+- :mod:`repro.tune.registry` — the single source of truth for every
+  tunable constant (name, default, valid range, search candidates).
+- :mod:`repro.tune.profile` — versioned per-host ``tune.json``
+  persistence with graceful degradation to defaults.
+- :mod:`repro.tune.runtime` — the process-global active profile and the
+  ``tune.value(name, default)`` lookup threaded through the consumers.
+
+The empirical tuner itself lives in :mod:`repro.tune.search` and is
+deliberately NOT imported here: search imports the exec/optim/numeric
+consumers, and those consumers import this package for their lookups —
+importing search eagerly would close that cycle.  The CLI imports it
+lazily when ``repro tune`` runs.
+"""
+
+from repro.tune.profile import (
+    ENV_PROFILE,
+    HOME_PROFILE,
+    LOCAL_PROFILE,
+    TuneProfile,
+    default_path,
+    host_key,
+    load,
+    save,
+)
+from repro.tune.registry import (
+    SCHEMA_VERSION,
+    TUNABLES,
+    Tunable,
+    default,
+    get,
+    is_valid,
+    names,
+)
+from repro.tune.runtime import (
+    activate,
+    active,
+    overridden,
+    reset,
+    value,
+)
+
+__all__ = [
+    "ENV_PROFILE",
+    "HOME_PROFILE",
+    "LOCAL_PROFILE",
+    "SCHEMA_VERSION",
+    "TUNABLES",
+    "Tunable",
+    "TuneProfile",
+    "activate",
+    "active",
+    "default",
+    "default_path",
+    "get",
+    "host_key",
+    "is_valid",
+    "load",
+    "names",
+    "overridden",
+    "reset",
+    "save",
+    "value",
+]

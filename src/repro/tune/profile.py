@@ -1,0 +1,321 @@
+"""Persisted per-host tuning profiles with graceful degradation.
+
+A profile is a JSON document holding, per host, the tuned value for each
+registered tunable.  The on-disk schema::
+
+    {
+      "schema": 1,
+      "hosts": {
+        "<hostkey>": {
+          "created": "2026-08-08T12:00:00Z",
+          "cpu_count": 4,
+          "entries": {
+            "adam.min_parallel": 65536,
+            "flash.block_q": 64,
+            "copy.min_parallel": {"default": 131072,
+                                  "bands": [[65536, 131072]]}
+          }
+        }
+      }
+    }
+
+An entry is either a bare integer or a size-banded dict: ``bands`` is a
+list of ``[max_size, value]`` pairs sorted by ``max_size``; a lookup
+with ``size=n`` takes the first band with ``n <= max_size`` and the
+``default`` above the last band.  The tuner writes a scalar when it
+found a crossover, and a band when one dispatch arm won at *every*
+probed size — the band caps the claim at the largest size actually
+measured, so a quick-budget tune can never mis-steer sizes it skipped.
+
+Loading never crashes a training run.  A corrupt file, a stale schema,
+an unknown tunable name, or an out-of-range value degrades to "no
+profile" / "skip entry" with a single :mod:`warnings` warning per file —
+the substrate then runs on the registry defaults exactly as if no
+profile existed.  Resolution order for the autoloaded path:
+``$REPRO_TUNE_PROFILE`` > ``./.repro/tune.json`` > ``~/.repro/tune.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import tempfile
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.tune import registry
+
+#: Entry value in memory: scalar, or (default, ((max_size, value), ...)).
+Banded = Tuple[int, Tuple[Tuple[int, int], ...]]
+EntryValue = Union[int, Banded]
+
+HOME_PROFILE = Path("~/.repro/tune.json")
+LOCAL_PROFILE = Path(".repro/tune.json")
+ENV_PROFILE = "REPRO_TUNE_PROFILE"
+
+
+def host_key(cpu_count: Optional[int] = None) -> str:
+    """Stable identifier for the current host's tuning-relevant shape.
+
+    Tuned values transfer across hosts only if the core geometry does,
+    so the key folds in the machine architecture and the CPU count the
+    kernels can actually use (the affinity mask, not the box total).
+    """
+    if cpu_count is None:
+        cpu_count = _available_cpus()
+    return "{}-{}-cpu{}".format(
+        platform.system().lower() or "unknown",
+        platform.machine().lower() or "unknown",
+        cpu_count,
+    )
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+@dataclass
+class TuneProfile:
+    """Tuned values for one host, validated against the registry.
+
+    ``entries`` maps tunable name to a scalar or a banded value; every
+    value stored here has already passed :func:`registry.is_valid`, so
+    consumers can trust a lookup without re-checking ranges.
+    """
+
+    host: str = field(default_factory=host_key)
+    cpu_count: int = field(default_factory=_available_cpus)
+    created: str = ""
+    entries: Dict[str, EntryValue] = field(default_factory=dict)
+
+    def set(self, name: str, value: int) -> None:
+        """Record a tuned scalar, rejecting anything out of range."""
+        if not registry.is_valid(name, value):
+            raise ValueError(
+                f"{value!r} is not a valid value for tunable {name!r}"
+            )
+        self.entries[name] = value
+
+    def set_banded(
+        self,
+        name: str,
+        default: int,
+        bands: List[Tuple[int, int]],
+    ) -> None:
+        """Record a size-banded entry (``bands`` = [(max_size, value)])."""
+        if not registry.is_valid(name, default):
+            raise ValueError(
+                f"{default!r} is not a valid default for tunable {name!r}"
+            )
+        for max_size, value in bands:
+            if max_size <= 0 or not registry.is_valid(name, value):
+                raise ValueError(
+                    f"band ({max_size}, {value}) invalid for {name!r}"
+                )
+        ordered = tuple(sorted((int(m), int(v)) for m, v in bands))
+        self.entries[name] = (int(default), ordered)
+
+    def value(self, name: str, size: Optional[int] = None) -> Optional[int]:
+        """The tuned value for ``name`` (band-resolved), or ``None``."""
+        entry = self.entries.get(name)
+        if entry is None:
+            return None
+        if isinstance(entry, int):
+            return entry
+        default, bands = entry
+        if size is not None:
+            for max_size, value in bands:
+                if size <= max_size:
+                    return value
+        return default
+
+    def plan(self) -> Dict[str, int]:
+        """Deterministic name -> effective scalar for every tunable.
+
+        Banded entries contribute their above-band default.  Two loads
+        of the same file always produce the same plan — the determinism
+        the test suite pins down.
+        """
+        out: Dict[str, int] = {}
+        for name in registry.names():
+            tuned = self.value(name)
+            out[name] = registry.default(name) if tuned is None else tuned
+        return out
+
+    # -- (de)serialization ---------------------------------------------
+
+    def _entries_doc(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {}
+        for name in sorted(self.entries):
+            entry = self.entries[name]
+            if isinstance(entry, int):
+                doc[name] = entry
+            else:
+                default, bands = entry
+                doc[name] = {
+                    "default": default,
+                    "bands": [[m, v] for m, v in bands],
+                }
+        return doc
+
+    @staticmethod
+    def _entry_from_doc(name: str, raw: Any) -> Optional[EntryValue]:
+        """Parse one persisted entry; ``None`` if it fails validation."""
+        if registry.is_valid(name, raw):
+            return int(raw)
+        if isinstance(raw, dict):
+            default = raw.get("default")
+            bands = raw.get("bands")
+            if not registry.is_valid(name, default):
+                return None
+            if not isinstance(bands, list):
+                return None
+            parsed: List[Tuple[int, int]] = []
+            for band in bands:
+                if (
+                    not isinstance(band, (list, tuple))
+                    or len(band) != 2
+                    or isinstance(band[0], bool)
+                    or not isinstance(band[0], int)
+                    or band[0] <= 0
+                    or not registry.is_valid(name, band[1])
+                ):
+                    return None
+                parsed.append((band[0], band[1]))
+            return (int(default), tuple(sorted(parsed)))
+        return None
+
+
+def save(profile: TuneProfile, path: Union[str, Path]) -> Path:
+    """Merge ``profile`` into the file at ``path`` under its host key.
+
+    Other hosts' sections are preserved, so one ``tune.json`` can serve
+    a home directory shared across machines.  The write is atomic
+    (temp file + rename) so a crash mid-save can't corrupt an existing
+    profile.
+    """
+    path = Path(path).expanduser()
+    doc: Dict[str, Any] = {"schema": registry.SCHEMA_VERSION, "hosts": {}}
+    existing = _read_document(path, warn=False)
+    if existing is not None:
+        doc["hosts"].update(existing.get("hosts", {}))
+    doc["hosts"][profile.host] = {
+        "created": profile.created,
+        "cpu_count": profile.cpu_count,
+        "entries": profile._entries_doc(),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def load(
+    path: Union[str, Path], host: Optional[str] = None
+) -> Optional[TuneProfile]:
+    """The profile for ``host`` (default: this host), or ``None``.
+
+    Missing file, unreadable JSON, wrong schema version, or no section
+    for the host all return ``None``; individually invalid entries are
+    dropped.  Each degradation warns exactly once (``warnings`` module
+    deduplication) and never raises.
+    """
+    path = Path(path).expanduser()
+    doc = _read_document(path, warn=True)
+    if doc is None:
+        return None
+    host = host or host_key()
+    section = doc.get("hosts", {}).get(host)
+    if not isinstance(section, dict):
+        return None
+    raw_entries = section.get("entries")
+    if not isinstance(raw_entries, dict):
+        _warn(f"tune profile {path}: host {host!r} has no entries table")
+        return None
+    entries: Dict[str, EntryValue] = {}
+    dropped: List[str] = []
+    for name, raw in raw_entries.items():
+        if name not in registry.TUNABLES:
+            dropped.append(name)
+            continue
+        parsed = TuneProfile._entry_from_doc(name, raw)
+        if parsed is None:
+            dropped.append(name)
+            continue
+        entries[name] = parsed
+    if dropped:
+        _warn(
+            f"tune profile {path}: ignoring invalid entries {sorted(dropped)}"
+            " (unknown name or out-of-range value); defaults apply"
+        )
+    cpu_count = section.get("cpu_count")
+    if isinstance(cpu_count, bool) or not isinstance(cpu_count, int):
+        cpu_count = _available_cpus()
+    return TuneProfile(
+        host=host,
+        cpu_count=cpu_count,
+        created=str(section.get("created", "")),
+        entries=entries,
+    )
+
+
+def _read_document(path: Path, warn: bool) -> Optional[Dict[str, Any]]:
+    """The raw profile document, or ``None`` on any defect."""
+    if not path.is_file():
+        return None
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        if warn:
+            _warn(f"tune profile {path} is unreadable ({exc}); using defaults")
+        return None
+    if not isinstance(doc, dict):
+        if warn:
+            _warn(f"tune profile {path} is not a JSON object; using defaults")
+        return None
+    if doc.get("schema") != registry.SCHEMA_VERSION:
+        if warn:
+            _warn(
+                f"tune profile {path} has schema {doc.get('schema')!r}, "
+                f"expected {registry.SCHEMA_VERSION}; using defaults "
+                "(re-run 'repro tune' to regenerate)"
+            )
+        return None
+    return doc
+
+
+def default_path() -> Path:
+    """Where the autoloader looks: env var > repo-local > home."""
+    env = os.environ.get(ENV_PROFILE)
+    if env:
+        return Path(env).expanduser()
+    local = LOCAL_PROFILE
+    if local.is_file():
+        return local
+    return HOME_PROFILE.expanduser()
+
+
+class _TuneWarning(UserWarning):
+    """Category for profile degradation warnings (filterable)."""
+
+
+def _warn(message: str) -> None:
+    warnings.warn(message, _TuneWarning, stacklevel=3)

@@ -1,0 +1,132 @@
+"""The active tuning profile and the lookup consumers call.
+
+Consumers resolve every tunable through :func:`value`::
+
+    min_parallel = tune.value("scale.min_parallel", MIN_PARALLEL_SIMPLE)
+
+With no active profile this returns the passed default unchanged (or
+the registry default if the caller passes ``None``), so an untuned host
+behaves exactly as before profiles existed — including under tests that
+monkeypatch the consumer's module-level constant, since the constant is
+read at call time and handed in as the default.
+
+The active profile is process-global.  It is set explicitly
+(:func:`activate`), temporarily (:func:`overridden`, the A/B bench
+hook), or lazily on the first lookup by the autoloader, which reads
+``$REPRO_TUNE_PROFILE`` > ``./.repro/tune.json`` > ``~/.repro/tune.json``
+unless ``REPRO_TUNE=0`` disables autoloading.  ``REPRO_TUNE=0`` does
+*not* disable explicit activation — the test suite uses exactly that
+split to keep host profiles out of every test while still exercising
+tuned dispatch on purpose.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.tune import profile as profile_mod
+from repro.tune import registry
+from repro.tune.profile import TuneProfile
+
+_lock = threading.Lock()
+_active: Optional[TuneProfile] = None
+#: Tri-state: None = autoload not attempted; True/False = attempted.
+_autoload_done = False
+
+
+def value(
+    name: str, default: Optional[int] = None, size: Optional[int] = None
+) -> int:
+    """The effective value for tunable ``name``.
+
+    Args:
+        name: registered tunable name (``KeyError`` if unknown, so a
+            typo'd consumer fails loudly rather than silently untuned).
+        default: untuned fallback.  Pass the consumer's live constant
+            (module global, constructor argument) so monkeypatching and
+            explicit overrides keep working; ``None`` falls back to the
+            registry default.
+        size: problem size for band-resolved entries.
+    """
+    prof = _current()
+    if prof is not None:
+        tuned = prof.value(name, size=size)
+        if tuned is not None:
+            return tuned
+    if default is not None:
+        registry.get(name)  # validate the name even when untuned
+        return default
+    return registry.default(name)
+
+
+def active() -> Optional[TuneProfile]:
+    """The currently active profile, after autoload, or ``None``."""
+    return _current()
+
+
+def activate(prof: Optional[TuneProfile]) -> None:
+    """Install ``prof`` as the active profile (``None`` deactivates).
+
+    Explicit activation always wins over — and permanently disables —
+    the lazy autoloader, so ``activate(None)`` is a guaranteed "run
+    untuned from here on".
+    """
+    global _active, _autoload_done
+    with _lock:
+        _active = prof
+        _autoload_done = True
+
+
+def reset() -> None:
+    """Forget the active profile AND re-arm the autoloader (tests)."""
+    global _active, _autoload_done
+    with _lock:
+        _active = None
+        _autoload_done = False
+
+
+@contextmanager
+def overridden(prof: Optional[TuneProfile]) -> Iterator[None]:
+    """Run a block under ``prof`` (or untuned for ``None``), then restore.
+
+    The bench harness wraps each A/B arm in this; it is not re-entrant
+    across threads (the active profile is process-global) which is fine
+    for benchmarking — kernels themselves read tunables on the calling
+    thread before fanning out.
+    """
+    global _active, _autoload_done
+    with _lock:
+        saved = (_active, _autoload_done)
+        _active = prof
+        _autoload_done = True
+    try:
+        yield
+    finally:
+        with _lock:
+            _active, _autoload_done = saved
+
+
+def _current() -> Optional[TuneProfile]:
+    global _active, _autoload_done
+    if _autoload_done:
+        return _active
+    with _lock:
+        if not _autoload_done:
+            _active = _autoload()
+            _autoload_done = True
+        return _active
+
+
+def _autoload() -> Optional[TuneProfile]:
+    """One attempt to load the host profile from the default path.
+
+    ``REPRO_TUNE=0`` (or empty) disables the attempt entirely — the
+    kill-switch for bisecting "is the profile making this worse" and for
+    keeping developer-machine profiles out of test runs.
+    """
+    if os.environ.get("REPRO_TUNE", "1").strip().lower() in ("0", "off", ""):
+        return None
+    return profile_mod.load(profile_mod.default_path())

@@ -7,6 +7,23 @@ import pytest
 
 from repro.data.synthetic import SyntheticPile
 from repro.numeric.transformer import TinyTransformer, TransformerParams
+from repro.tune import runtime as tune_runtime
+
+
+@pytest.fixture(autouse=True)
+def _no_host_tune_profile(monkeypatch):
+    """Keep developer-machine tune.json profiles out of every test.
+
+    ``REPRO_TUNE=0`` disables the runtime's lazy autoload (a host
+    profile would silently change dispatch crossovers and block sizes
+    under test); explicit ``tune.activate(...)`` still works, which is
+    exactly what the tune tests use.  The runtime is reset on both sides
+    so no activation leaks between tests.
+    """
+    monkeypatch.setenv("REPRO_TUNE", "0")
+    tune_runtime.reset()
+    yield
+    tune_runtime.reset()
 
 
 @pytest.fixture

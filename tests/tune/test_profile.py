@@ -1,0 +1,179 @@
+"""Profile persistence: round-trips, merging, graceful degradation."""
+
+import json
+import warnings
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tune import profile as tp
+from repro.tune import registry
+
+
+def _entry_strategy(name: str):
+    """A valid scalar or banded entry for one tunable."""
+    t = registry.get(name)
+    values = st.sampled_from(list(t.choices) or [t.default])
+    scalar = values
+    band = st.tuples(
+        values,
+        st.lists(
+            st.tuples(st.integers(min_value=1, max_value=1 << 24), values),
+            min_size=1, max_size=3, unique_by=lambda b: b[0],
+        ),
+    )
+    return st.one_of(scalar, band)
+
+
+@st.composite
+def profiles(draw):
+    names = draw(st.lists(
+        st.sampled_from(sorted(registry.names())),
+        min_size=0, max_size=6, unique=True,
+    ))
+    prof = tp.TuneProfile(host="test-host-cpu4", cpu_count=4,
+                          created="2026-08-08T00:00:00+00:00")
+    for name in names:
+        entry = draw(_entry_strategy(name))
+        if isinstance(entry, int):
+            prof.set(name, entry)
+        else:
+            default, bands = entry
+            prof.set_banded(name, default, bands)
+    return prof
+
+
+@settings(max_examples=25, deadline=None)
+@given(profiles())
+def test_save_load_round_trip(tmp_path_factory, prof):
+    path = tmp_path_factory.mktemp("prof") / "tune.json"
+    tp.save(prof, path)
+    loaded = tp.load(path, host=prof.host)
+    assert loaded is not None
+    assert loaded.entries == prof.entries
+    assert loaded.cpu_count == prof.cpu_count
+    assert loaded.created == prof.created
+    # loading twice yields the identical effective plan (determinism)
+    again = tp.load(path, host=prof.host)
+    assert again.plan() == loaded.plan()
+
+
+def test_save_merges_hosts(tmp_path):
+    path = tmp_path / "tune.json"
+    a = tp.TuneProfile(host="host-a-cpu2", cpu_count=2)
+    a.set("adam.min_parallel", 1 << 16)
+    tp.save(a, path)
+    b = tp.TuneProfile(host="host-b-cpu8", cpu_count=8)
+    b.set("flash.block_q", 64)
+    tp.save(b, path)
+    assert tp.load(path, host="host-a-cpu2").entries == a.entries
+    assert tp.load(path, host="host-b-cpu8").entries == b.entries
+
+
+def test_save_overwrites_same_host(tmp_path):
+    path = tmp_path / "tune.json"
+    a = tp.TuneProfile(host="host-a-cpu2", cpu_count=2)
+    a.set("adam.min_parallel", 1 << 16)
+    tp.save(a, path)
+    a2 = tp.TuneProfile(host="host-a-cpu2", cpu_count=2)
+    a2.set("adam.min_parallel", 1 << 18)
+    tp.save(a2, path)
+    assert tp.load(path, host="host-a-cpu2").entries == a2.entries
+
+
+def test_missing_file_is_silent(tmp_path):
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert tp.load(tmp_path / "absent.json") is None
+
+
+def test_corrupt_json_single_warning(tmp_path):
+    path = tmp_path / "tune.json"
+    path.write_text("{not json at all")
+    with pytest.warns(tp._TuneWarning, match="unreadable"):
+        assert tp.load(path) is None
+
+
+def test_non_object_document_warns(tmp_path):
+    path = tmp_path / "tune.json"
+    path.write_text("[1, 2, 3]\n")
+    with pytest.warns(tp._TuneWarning, match="not a JSON object"):
+        assert tp.load(path) is None
+
+
+def test_stale_schema_warns_and_degrades(tmp_path):
+    path = tmp_path / "tune.json"
+    path.write_text(json.dumps({"schema": 999, "hosts": {}}))
+    with pytest.warns(tp._TuneWarning, match="schema"):
+        assert tp.load(path) is None
+
+
+def test_invalid_entries_dropped_with_one_warning(tmp_path):
+    path = tmp_path / "tune.json"
+    host = "h-cpu1"
+    path.write_text(json.dumps({
+        "schema": registry.SCHEMA_VERSION,
+        "hosts": {host: {"created": "", "cpu_count": 1, "entries": {
+            "adam.min_parallel": 1 << 16,      # valid -> kept
+            "adam.cache_tile": -5,             # out of range -> dropped
+            "unknown.tunable": 3,              # unknown -> dropped
+            "flash.block_q": "big",            # wrong type -> dropped
+        }}},
+    }))
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        loaded = tp.load(path, host=host)
+    assert loaded is not None
+    assert loaded.entries == {"adam.min_parallel": 1 << 16}
+    tune_warnings = [w for w in caught
+                     if issubclass(w.category, tp._TuneWarning)]
+    assert len(tune_warnings) == 1
+
+
+def test_banded_lookup_resolution():
+    prof = tp.TuneProfile(host="h", cpu_count=1)
+    prof.set_banded("adam.min_parallel", 1 << 15,
+                    [(1 << 16, 1 << 20), (1 << 18, 1 << 21)])
+    # inside first band
+    assert prof.value("adam.min_parallel", size=1 << 16) == 1 << 20
+    # between bands -> second band
+    assert prof.value("adam.min_parallel", size=(1 << 16) + 1) == 1 << 21
+    # above all bands -> the entry default
+    assert prof.value("adam.min_parallel", size=(1 << 18) + 1) == 1 << 15
+    # no size -> the entry default
+    assert prof.value("adam.min_parallel") == 1 << 15
+
+
+def test_set_rejects_out_of_range():
+    prof = tp.TuneProfile(host="h", cpu_count=1)
+    with pytest.raises(ValueError):
+        prof.set("flash.block_q", 7)
+    with pytest.raises(ValueError):
+        prof.set_banded("flash.block_q", 64, [(0, 64)])
+    with pytest.raises(ValueError):
+        prof.set_banded("flash.block_q", 64, [(100, 7)])
+
+
+def test_default_path_resolution(tmp_path, monkeypatch):
+    env_path = tmp_path / "env.json"
+    monkeypatch.setenv(tp.ENV_PROFILE, str(env_path))
+    assert tp.default_path() == env_path
+    monkeypatch.delenv(tp.ENV_PROFILE)
+    monkeypatch.chdir(tmp_path)
+    # no repo-local file -> home
+    assert tp.default_path() == tp.HOME_PROFILE.expanduser()
+    local = tmp_path / ".repro" / "tune.json"
+    local.parent.mkdir()
+    local.write_text("{}")
+    assert tp.default_path() == tp.LOCAL_PROFILE
+
+
+def test_atomic_save_preserves_on_readonly_parent(tmp_path):
+    # A failed save must not leave a truncated file behind.
+    path = tmp_path / "tune.json"
+    good = tp.TuneProfile(host="h-cpu1", cpu_count=1)
+    good.set("flash.block_q", 64)
+    tp.save(good, path)
+    before = path.read_text()
+    json.loads(before)  # well-formed
+    assert tp.load(path, host="h-cpu1").entries == good.entries

@@ -1,0 +1,125 @@
+"""The runtime lookup: fallback order, activation, autoload kill-switch."""
+
+import json
+
+import pytest
+
+from repro.tune import profile as tp
+from repro.tune import registry
+from repro.tune import runtime
+
+
+def _profile(**entries):
+    prof = tp.TuneProfile(host="test-host", cpu_count=2)
+    for name, value in entries.items():
+        prof.set(name.replace("__", "."), value)
+    return prof
+
+
+def test_value_untuned_returns_passed_default():
+    runtime.activate(None)
+    assert runtime.value("adam.min_parallel", 12345) == 12345
+
+
+def test_value_untuned_none_default_uses_registry():
+    runtime.activate(None)
+    assert runtime.value("adam.min_parallel") == registry.default(
+        "adam.min_parallel"
+    )
+
+
+def test_value_unknown_name_raises_even_untuned():
+    runtime.activate(None)
+    with pytest.raises(KeyError):
+        runtime.value("nonsense.knob", 1)
+
+
+def test_value_tuned_beats_passed_default():
+    runtime.activate(_profile(adam__min_parallel=1 << 18))
+    assert runtime.value("adam.min_parallel", 12345) == 1 << 18
+
+
+def test_value_tuned_profile_without_entry_falls_back():
+    runtime.activate(_profile(adam__min_parallel=1 << 18))
+    assert runtime.value("scale.min_parallel", 777) == 777
+
+
+def test_value_band_resolution_threads_size():
+    prof = tp.TuneProfile(host="h", cpu_count=1)
+    t = registry.get("adam.min_parallel")
+    prof.set_banded("adam.min_parallel", t.default, [(1 << 16, t.hi)])
+    runtime.activate(prof)
+    assert runtime.value("adam.min_parallel", 1, size=1 << 16) == t.hi
+    assert runtime.value("adam.min_parallel", 1, size=(1 << 16) + 1) == t.default
+
+
+def test_activate_none_disables_autoload(tmp_path, monkeypatch):
+    path = _write_host_profile(tmp_path, adam_min_parallel=1 << 18)
+    monkeypatch.setenv("REPRO_TUNE", "1")
+    monkeypatch.setenv(tp.ENV_PROFILE, str(path))
+    runtime.reset()
+    runtime.activate(None)
+    # Explicit deactivation wins over the autoloader.
+    assert runtime.value("adam.min_parallel", 5) == 5
+    assert runtime.active() is None
+
+
+def test_autoload_from_env_profile(tmp_path, monkeypatch):
+    path = _write_host_profile(tmp_path, adam_min_parallel=1 << 18)
+    monkeypatch.setenv("REPRO_TUNE", "1")
+    monkeypatch.setenv(tp.ENV_PROFILE, str(path))
+    runtime.reset()
+    assert runtime.value("adam.min_parallel", 5) == 1 << 18
+    assert runtime.active() is not None
+
+
+def test_kill_switch_blocks_autoload(tmp_path, monkeypatch):
+    path = _write_host_profile(tmp_path, adam_min_parallel=1 << 18)
+    monkeypatch.setenv("REPRO_TUNE", "0")
+    monkeypatch.setenv(tp.ENV_PROFILE, str(path))
+    runtime.reset()
+    assert runtime.value("adam.min_parallel", 5) == 5
+    # ... but explicit activation still works under the kill-switch.
+    runtime.activate(_profile(adam__min_parallel=1 << 17))
+    assert runtime.value("adam.min_parallel", 5) == 1 << 17
+
+
+def test_reset_rearms_autoload(tmp_path, monkeypatch):
+    path = _write_host_profile(tmp_path, adam_min_parallel=1 << 18)
+    monkeypatch.setenv("REPRO_TUNE", "1")
+    monkeypatch.setenv(tp.ENV_PROFILE, str(path))
+    runtime.activate(None)
+    assert runtime.value("adam.min_parallel", 5) == 5
+    runtime.reset()
+    assert runtime.value("adam.min_parallel", 5) == 1 << 18
+
+
+def test_overridden_nests_and_restores():
+    runtime.activate(_profile(adam__min_parallel=1 << 16))
+    with runtime.overridden(_profile(adam__min_parallel=1 << 18)):
+        assert runtime.value("adam.min_parallel") == 1 << 18
+        with runtime.overridden(None):
+            assert runtime.value("adam.min_parallel", 9) == 9
+        assert runtime.value("adam.min_parallel") == 1 << 18
+    assert runtime.value("adam.min_parallel") == 1 << 16
+
+
+def test_overridden_restores_on_exception():
+    runtime.activate(_profile(adam__min_parallel=1 << 16))
+    with pytest.raises(RuntimeError):
+        with runtime.overridden(None):
+            raise RuntimeError("boom")
+    assert runtime.value("adam.min_parallel") == 1 << 16
+
+
+def _write_host_profile(tmp_path, adam_min_parallel):
+    """A tune.json keyed under THIS host so the autoloader matches it."""
+    path = tmp_path / "tune.json"
+    path.write_text(json.dumps({
+        "schema": registry.SCHEMA_VERSION,
+        "hosts": {tp.host_key(): {
+            "created": "", "cpu_count": 1,
+            "entries": {"adam.min_parallel": adam_min_parallel},
+        }},
+    }))
+    return path
