@@ -10,6 +10,7 @@ Usage::
     python -m repro bench --out /tmp/b   # substrate perf: BENCH_substrate.json
     python -m repro bench --tuned        # A/B the host tuning profile
     python -m repro profile --out /tmp/p # step phases, overlap, utilization
+    python -m repro checkpoint           # interrupt/resume round-trip
     python -m repro tune                 # autotune this host -> tune.json
     python -m repro all                  # everything (slow; skips file writers)
 
@@ -362,12 +363,14 @@ def _cmd_profile(args: argparse.Namespace) -> None:
         OVERLAP_HEADERS,
         PHASE_HEADERS,
         SIM_HEADERS,
+        SPILL_SIM_HEADERS,
         WORKER_HEADERS,
         measured_trace,
         memory_rows,
         overlap_rows,
         phase_rows,
         sim_comparison_rows,
+        spill_sim_rows,
         worker_rows,
     )
     from repro.tensors.pinned import PinnedBufferPool
@@ -438,7 +441,52 @@ def _cmd_profile(args: argparse.Namespace) -> None:
     print_table("repro profile — DP memory high-water", MEMORY_HEADERS,
                 memory_rows(dp_report))
 
+    # Run 3: disk-offloaded pipelined ZeRO with an async checkpointer —
+    # the spill tier's phases (spill_wait/checkpoint), the overlap
+    # audit's spill columns, and the NVMe-model cross-check.
+    import tempfile
+
+    disk_profiler = StepProfiler()
+    disk_pool = KernelPool(workers, telemetry=disk_profiler.telemetry)
+    with tempfile.TemporaryDirectory(prefix="repro-profile-spill-") as sd:
+        disk = DataParallelTrainer(
+            spec, world_size=2, clip_norm=1.0,
+            telemetry=disk_profiler.telemetry, use_workspace=True,
+            pipeline=True, bucket_elements=4096, pool=disk_pool,
+            offload="disk", spill_dir=str(Path(sd) / "spill"),
+        )
+        disk.attach_checkpointer(str(Path(sd) / "ckpt"), every=2)
+        disk.train(max(2, iters // 2), batch=4)
+        disk.finish_checkpoints()
+        spill_bytes_read = disk.optimizer.spill.bytes_read
+        spill_bytes_written = disk.optimizer.spill.bytes_written
+        disk.optimizer.release_staging()
+        disk.optimizer.close_spill()
+    disk_pool.shutdown()
+    disk_report = disk_profiler.report()
+    print_table("repro profile — disk-offloaded ZeRO step phases",
+                PHASE_HEADERS, phase_rows(disk_report))
+    if disk_report.overlap:
+        print_table(
+            "repro profile — disk ZeRO overlap audit (spill columns)",
+            OVERLAP_HEADERS, overlap_rows(disk_report),
+        )
+        spill_effs = [a.spill_overlap_efficiency
+                      for a in disk_report.overlap
+                      if a.spill_overlap_efficiency is not None]
+        if spill_effs:
+            print(f"mean spill-read overlap efficiency: "
+                  f"{sum(spill_effs) / len(spill_effs):.2f} "
+                  f"(0 = every byte stalled, 1 = fully hidden)")
+    spill_read_s = sum(s.finish - s.start
+                       for s in disk_profiler.tracer.spans
+                       if s.name == "spill_read")
+    spill_write_s = sum(s.finish - s.start
+                        for s in disk_profiler.tracer.spans
+                        if s.name == "spill_write")
+
     sim_rows = None
+    spill_sim = None
     if args.compare_sim:
         from repro.models.config import MODEL_CONFIG_TABLE
         from repro.systems import RunSetting, SuperOffloadSystem
@@ -455,6 +503,16 @@ def _cmd_profile(args: argparse.Namespace) -> None:
             "(DP run vs SuperOffload sim, 5B)",
             SIM_HEADERS, sim_rows,
         )
+        spill_sim = spill_sim_rows(
+            spill_bytes_read, spill_bytes_written,
+            spill_read_s, spill_write_s,
+        )
+        if spill_sim:
+            print_table(
+                "repro profile — measured spill I/O vs the simulator's "
+                "NVMe link model",
+                SPILL_SIM_HEADERS, spill_sim,
+            )
 
     # Overhead + bitwise check: the profiler must observe, never perturb.
     overhead = profiler_overhead(
@@ -491,6 +549,20 @@ def _cmd_profile(args: argparse.Namespace) -> None:
             for m in stv_report.watermarks + dp_report.watermarks
         },
         "sim_comparison": sim_rows,
+        "spill_phase_seconds": disk_report.phase_totals,
+        "spill_bytes": {"read": spill_bytes_read,
+                        "written": spill_bytes_written},
+        "spill_io_seconds": {"read": spill_read_s,
+                             "write": spill_write_s},
+        "spill_overlap": [
+            {"buckets": a.buckets,
+             "spill_read_seconds": a.spill_read_seconds,
+             "spill_write_seconds": a.spill_write_seconds,
+             "spill_wait_seconds": a.spill_wait_seconds,
+             "spill_overlap_efficiency": a.spill_overlap_efficiency}
+            for a in disk_report.overlap
+        ],
+        "spill_sim_comparison": spill_sim,
         "overhead_pct": overhead.overhead_pct,
         "bitwise_identical": overhead.bitwise_identical,
     }, indent=2) + "\n")
@@ -500,6 +572,83 @@ def _cmd_profile(args: argparse.Namespace) -> None:
     print(f"\nwrote {trace_path} ({len(document['traceEvents'])} events; "
           f"open at https://ui.perfetto.dev), {profile_path}, and "
           f"{flight_path} ({n_flight} lines)")
+
+
+def _cmd_checkpoint(args: argparse.Namespace) -> int:
+    """Zero-stall checkpoint/resume round-trip, resident and disk-offloaded.
+
+    For each offload mode: train a reference run to completion, train a
+    second run halfway, drop it (the checkpoint directory is all that
+    survives — the crash-consistency tests also SIGKILL a subprocess
+    mid-step), resume from the manifest, and verify the resumed master
+    plane is bitwise identical to the uninterrupted run's.
+    """
+    import json
+    import tempfile
+    from pathlib import Path
+
+    import numpy as np
+
+    from repro.training.checkpoint import read_manifest, run_checkpointed
+
+    iters = 4 if args.quick else 8
+    rows = []
+    doc: Dict[str, dict] = {}
+    all_ok = True
+    for offload in ("none", "disk"):
+        with tempfile.TemporaryDirectory(prefix="repro-ckpt-") as td:
+            base = Path(td)
+            ref_kw = dict(iterations=iters, batch=4, world_size=2, every=1)
+            if offload == "disk":
+                ref_kw.update(offload="disk")
+            ref = run_checkpointed(
+                str(base / "ref"), spill_dir=str(base / "ref-spill")
+                if offload == "disk" else None, **ref_kw,
+            )
+            # Interrupted run: halfway, then a fresh process-equivalent
+            # resumes from the manifest alone.
+            run_checkpointed(
+                str(base / "ckpt"), spill_dir=str(base / "spill-a")
+                if offload == "disk" else None,
+                iterations=iters // 2, batch=4, world_size=2, every=1,
+                offload=offload,
+            )
+            manifest = read_manifest(str(base / "ckpt"))
+            resumed = run_checkpointed(
+                str(base / "ckpt"), spill_dir=str(base / "spill-b")
+                if offload == "disk" else None,
+                iterations=iters, batch=4, world_size=2, every=1,
+                offload=offload,
+            )
+            identical = bool(
+                np.array_equal(ref.arena.flat, resumed.arena.flat)
+            )
+            all_ok = all_ok and identical
+            rows.append([
+                offload, iters, manifest.step, manifest.slot,
+                ", ".join(manifest.planes),
+                "ok" if identical else "MISMATCH",
+            ])
+            doc[offload] = {
+                "iterations": iters,
+                "resumed_from_step": manifest.step,
+                "slot": manifest.slot,
+                "planes": list(manifest.planes),
+                "chunk_bytes": manifest.chunk_bytes,
+                "bitwise_identical": identical,
+            }
+    print_table(
+        "repro checkpoint — interrupt/resume round-trip "
+        "(resumed vs uninterrupted)",
+        ["offload", "iters", "resumed@step", "slot", "planes", "identity"],
+        rows,
+    )
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    ckpt_path = out / "CHECKPOINT.json"
+    ckpt_path.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"\nwrote {ckpt_path}")
+    return 0 if all_ok else 5
 
 
 def _cmd_tune(args: argparse.Namespace) -> int:
@@ -578,6 +727,8 @@ _BENCH_TUNED_KEY = {
     "zero_pipeline": "pipeline_ms",
     "attention": "streaming_step_ms",
     "model_step": "workspace_ms",
+    "spill": "overlap_ms",
+    "checkpoint": "async_stall_ms",
 }
 
 
@@ -784,6 +935,33 @@ def _cmd_bench(args: argparse.Namespace) -> int:
              for r in result["model_step"]],
         )
         summaries.append(_geomean_line("model_step", result["model_step"]))
+    if "spill" in result:
+        print_table(
+            "repro bench — disk-offloaded ZeRO: overlapped vs sync spill "
+            f"({result['workers']} workers)",
+            ["elements", "bucket", "resident (ms)", "sync (ms)",
+             "overlap (ms)", "speedup", "vs resident", "bitwise"]
+            + extra_headers(),
+            [[f"{r['elements']:,}", f"{r['bucket_elements']:,}",
+              r["resident_ms"], r["sync_ms"], r["overlap_ms"],
+              f"{r['speedup']:.2f}x", f"{r['offload_overhead']:.2f}x",
+              "ok" if r["bitwise_identical"] else "MISMATCH"]
+             + extra_values("spill", r)
+             for r in result["spill"]],
+        )
+        summaries.append(_geomean_line("spill", result["spill"]))
+    if "checkpoint" in result:
+        print_table(
+            "repro bench — async checkpoint stall vs blocking save",
+            ["elements", "blocking (ms)", "async stall (ms)", "speedup",
+             "saves", "bitwise"] + extra_headers(),
+            [[f"{r['elements']:,}", r["blocking_ms"], r["async_stall_ms"],
+              f"{r['speedup']:.2f}x", r["saves"],
+              "ok" if r["bitwise_identical"] else "MISMATCH"]
+             + extra_values("checkpoint", r)
+             for r in result["checkpoint"]],
+        )
+        summaries.append(_geomean_line("checkpoint", result["checkpoint"]))
     if summaries:
         print()
         for line in summaries:
@@ -793,7 +971,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     # zero_pipeline at 65k elements) never hides inside a healthy geomean.
     warned = False
     for section in ("zero_step", "rollback", "parallel_step",
-                    "zero_pipeline", "attention", "model_step"):
+                    "zero_pipeline", "attention", "model_step",
+                    "spill", "checkpoint"):
         for r in result.get(section, []):
             speedup = r.get("speedup")
             if speedup is not None and speedup < 1.0:
@@ -855,10 +1034,11 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], "int | None"]] = {
     "bench": _cmd_bench,
     "profile": _cmd_profile,
     "tune": _cmd_tune,
+    "checkpoint": _cmd_checkpoint,
 }
 
 #: Commands that write files; excluded from ``repro all``.
-_FILE_WRITING = {"trace", "bench", "profile", "tune"}
+_FILE_WRITING = {"trace", "bench", "profile", "tune", "checkpoint"}
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -31,6 +31,7 @@ from repro.optim.rollback import (
     RollbackStrategy,
     SnapshotRollback,
     make_rollback,
+    rollback_spill_planes,
 )
 
 __all__ = [
@@ -55,4 +56,5 @@ __all__ = [
     "SnapshotRollback",
     "AlgebraicRollback",
     "make_rollback",
+    "rollback_spill_planes",
 ]

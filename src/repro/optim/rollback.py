@@ -70,20 +70,35 @@ class SnapshotRollback:
     (per-tensor copies win there), and plain-dict optimizers always use
     the per-tensor path.
 
+    A capture may additionally *target the spill writer*: when a
+    :class:`~repro.tensors.spill.SpillArena` holding the
+    :func:`rollback_spill_planes` schema is provided, every arena-range
+    capture also streams its (p, m, v) ranges to disk asynchronously —
+    the snapshot becomes durable while the speculative step runs, at no
+    synchronous cost beyond the in-memory memcpy that was already there.
+    The write tickets are settled on :meth:`rollback` / :meth:`discard`,
+    both of which precede the next capture, so the scratch the writes
+    read from is stable for their whole lifetime.
+
     Args:
         optimizer: the optimizer whose state is protected.
         pool: kernel pool for the chunked memcpys (``None`` uses the
             process default).
+        spill: optional spill arena to stream captures to (must hold the
+            :func:`rollback_spill_planes` schema).
     """
 
     strategy = RollbackStrategy.SNAPSHOT
 
     def __init__(self, optimizer: AdamOptimizer,
-                 pool: KernelPool | None = None):
+                 pool: KernelPool | None = None,
+                 spill=None):
         self._optimizer = optimizer
         self._snapshot: dict | _ArenaSnapshot | None = None
         self._pool = pool
         self._scratch: np.ndarray | None = None
+        self._spill = spill
+        self._spill_tickets: list = []
 
     def _scratch_for(self, n: int) -> np.ndarray:
         """A persistent (3, n)-float32 scratch block for (p, m, v)."""
@@ -116,6 +131,16 @@ class SnapshotRollback:
                 parallel_copy(v, opt.arena_v.flat[lo:hi], pool=self._pool)
                 for a in (arena, arena_m, opt.arena_v):
                     a.note_copy((hi - lo) * 4)
+                if self._spill is not None:
+                    # Stream the snapshot to disk behind the speculative
+                    # step; tickets settle at rollback/discard, before
+                    # the scratch is ever reused.
+                    for plane, buf in (("p", p), ("m", m), ("v", v)):
+                        self._spill_tickets.append(
+                            self._spill.write_async(
+                                f"rollback.{plane}", lo, hi, buf
+                            )
+                        )
                 self._snapshot = _ArenaSnapshot(
                     lo, hi, p, m, v,
                     {name: opt.state[name].step for name in grads},
@@ -135,6 +160,7 @@ class SnapshotRollback:
         """Restore the captured state."""
         if self._snapshot is None:
             raise RuntimeError("rollback requested before capture")
+        self._settle_spill()
         opt = self._optimizer
         if isinstance(self._snapshot, _ArenaSnapshot):
             snap = self._snapshot
@@ -158,7 +184,21 @@ class SnapshotRollback:
 
     def discard(self) -> None:
         """Drop the snapshot once validation passes."""
+        self._settle_spill()
         self._snapshot = None
+
+    def _settle_spill(self) -> None:
+        for t in self._spill_tickets:
+            t.wait()
+        self._spill_tickets.clear()
+
+    def spilled_range(self) -> "tuple[int, int] | None":
+        """The flat [lo, hi) the last capture streamed to disk, if any."""
+        if self._spill is None or not isinstance(
+            self._snapshot, _ArenaSnapshot
+        ):
+            return None
+        return self._snapshot.lo, self._snapshot.hi
 
     def scratch_bytes(self, grads: Params) -> int:
         """Scratch memory a capture of ``grads`` would hold."""
@@ -200,6 +240,21 @@ class AlgebraicRollback:
     def scratch_bytes(self, grads: Params) -> int:
         """Algebraic rollback holds no scratch state."""
         return 0
+
+
+def rollback_spill_planes(optimizer: AdamOptimizer) -> Dict[str, int]:
+    """The spill-plane schema a durable snapshot target must hold.
+
+    Pass the result to :class:`~repro.tensors.spill.SpillArena` and hand
+    that arena to :class:`SnapshotRollback` — captures then stream their
+    (p, m, v) ranges to the ``rollback.p`` / ``rollback.m`` /
+    ``rollback.v`` planes.
+    """
+    arena = getattr(optimizer, "arena", None)
+    if arena is None:
+        raise ValueError("durable snapshots require an arena-backed optimizer")
+    total = arena.layout.total
+    return {"rollback.p": total, "rollback.m": total, "rollback.v": total}
 
 
 def make_rollback(

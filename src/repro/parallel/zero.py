@@ -26,6 +26,7 @@ from repro.telemetry import NULL_TELEMETRY, Telemetry
 from repro.tensors.arena import FlatArena
 from repro.tensors.errors import TensorValidationError
 from repro.tensors.pinned import PinnedBufferPool
+from repro.tensors.spill import SpillArena, SpillTicket, wait_all
 
 Params = Dict[str, np.ndarray]
 
@@ -129,6 +130,24 @@ class ZeroShardedAdam:
         pinned_pool: optional pinned-memory pool the two staging buckets
             are reserved from; reservations are released by
             :meth:`release_staging`.
+        offload: ``"none"`` (resident fp32 moments, default) or
+            ``"disk"`` — park the (m, v) moment planes in a
+            :class:`SpillArena` under ``spill_dir`` and stream each
+            bucket's extents through staging slots.  With
+            ``spill_prefetch`` the NVMe read of bucket ``k+1..k+depth``,
+            the reduce of bucket ``k+1``, and bucket ``k``'s shard Adam
+            overlap three ways; the result is bitwise identical to the
+            resident step because fp32 round-trips through disk are
+            byte-exact and the bucket order, reduce fold, and per-shard
+            step counters are unchanged.  Requires ``zero_copy=True``.
+        spill_dir: directory for the moment plane files (disk mode).
+        spill_prefetch: overlap the disk reads ahead of the bucket loop;
+            ``False`` is the honest non-overlapped baseline the bench
+            compares against.
+        spill_prefetch_depth: buckets read ahead; ``None`` resolves the
+            ``spill.prefetch_depth`` tunable.
+        spill_chunk_bytes: spill extent size; ``None`` resolves the
+            ``spill.chunk_bytes`` tunable.
     """
 
     def __init__(
@@ -143,11 +162,22 @@ class ZeroShardedAdam:
         bucket_elements: int | None = None,
         pool: KernelPool | None = None,
         pinned_pool: PinnedBufferPool | None = None,
+        offload: str = "none",
+        spill_dir: "str | None" = None,
+        spill_prefetch: bool = True,
+        spill_prefetch_depth: int | None = None,
+        spill_chunk_bytes: int | None = None,
     ):
         if world_size < 1:
             raise ValueError("world_size must be >= 1")
         if pipeline and not zero_copy:
             raise ValueError("pipeline=True requires zero_copy=True")
+        if offload not in ("none", "disk"):
+            raise ValueError("offload must be 'none' or 'disk'")
+        if offload == "disk" and not zero_copy:
+            raise ValueError("offload='disk' requires zero_copy=True")
+        if offload == "disk" and spill_dir is None:
+            raise ValueError("offload='disk' requires spill_dir")
         if bucket_elements is None:
             bucket_elements = tune.value("zero.bucket_elements")
         if bucket_elements < 1:
@@ -155,6 +185,7 @@ class ZeroShardedAdam:
         self.params = params
         self.world_size = world_size
         self.zero = zero or ZeroConfig()
+        self.config = config or AdamConfig()
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.group = SimProcessGroup(world_size, telemetry=self.telemetry)
         self.layout = partition_params(params, world_size)
@@ -170,17 +201,39 @@ class ZeroShardedAdam:
         self.arena: Optional[FlatArena] = None
         self._grad_arenas: Dict[int, FlatArena] = {}
         self._rank_optimizers: List[GraceAdam] = []
+        self.offload = offload
+        self.spill: Optional[SpillArena] = None
+        self.spill_prefetch = spill_prefetch
+        if spill_prefetch_depth is None:
+            spill_prefetch_depth = tune.value("spill.prefetch_depth")
+        self._prefetch_depth = max(1, spill_prefetch_depth)
+        self._disk_steps: List[int] = [0] * world_size
+        self._disk_slots: Dict[str, List[np.ndarray]] = {}
+        self._disk_slot_allocs: list = []
         if zero_copy:
             self.arena = FlatArena.adopt(
                 params, world_size, telemetry=self.telemetry
             )
-            # Rank r owns arena.shard(r) as a *view*: its Adam updates land
-            # directly in the master flat buffer.
-            for r in range(world_size):
-                self._rank_optimizers.append(
-                    GraceAdam({"shard": self.arena.shard(r)},
-                              config or AdamConfig())
+            if offload == "disk":
+                # The (m, v) planes never materialise in host memory:
+                # they live in extent-aligned files, zero-filled exactly
+                # like freshly allocated moments, and only bucket-sized
+                # windows are resident at a time.
+                total = self.layout.total
+                self.spill = SpillArena(
+                    spill_dir, {"m": total, "v": total},
+                    chunk_bytes=spill_chunk_bytes,
+                    pinned_pool=pinned_pool,
+                    telemetry=self.telemetry,
                 )
+            else:
+                # Rank r owns arena.shard(r) as a *view*: its Adam
+                # updates land directly in the master flat buffer.
+                for r in range(world_size):
+                    self._rank_optimizers.append(
+                        GraceAdam({"shard": self.arena.shard(r)},
+                                  self.config)
+                    )
         else:
             flat = self._flatten(params)
             # Rank r owns a private copy of flat[r*shard : (r+1)*shard].
@@ -277,6 +330,9 @@ class ZeroShardedAdam:
                     f"rank {r} flat gradient must be a 1-D fp32 array of "
                     f"length {total}"
                 )
+        if self.offload == "disk":
+            self._step_flat_disk(per_rank_flat)
+            return
         if self.pipeline and total >= tune.value(
             "zero.min_pipeline", 0, size=total
         ):
@@ -335,8 +391,49 @@ class ZeroShardedAdam:
         if self._pinned_pool is not None:
             for alloc in self._staging_allocs:
                 self._pinned_pool.release(alloc)
+            for alloc in self._disk_slot_allocs:
+                self._pinned_pool.release(alloc)
         self._staging_allocs.clear()
         self._staging.clear()
+        self._disk_slot_allocs.clear()
+        self._disk_slots.clear()
+
+    def close_spill(self) -> None:
+        """Drain and close the spill arena (disk mode; idempotent)."""
+        if self.spill is not None:
+            self.spill.close()
+
+    def _ensure_disk_slots(self, n_slots: int) -> Dict[str, List[np.ndarray]]:
+        """Per-plane staging slot rings for the disk-offloaded step.
+
+        Each of the ``n_slots`` slots per plane holds one bucket's
+        extents; slot bytes are reserved from the pinned pool when one
+        was provided (tagged ``spill_slot``), degrading to pageable
+        buffers when it is exhausted.
+        """
+        if self._disk_slots and len(self._disk_slots["m"]) != n_slots:
+            # Prefetch shape changed (e.g. toggled off): rebuild.
+            if self._pinned_pool is not None:
+                for alloc in self._disk_slot_allocs:
+                    self._pinned_pool.release(alloc)
+            self._disk_slot_allocs.clear()
+            self._disk_slots.clear()
+        if not self._disk_slots:
+            nbytes = self.bucket_elements * 4
+            for plane in ("m", "v"):
+                slots = []
+                for i in range(n_slots):
+                    slots.append(
+                        np.empty(self.bucket_elements, dtype=np.float32)
+                    )
+                    if self._pinned_pool is not None:
+                        alloc = self._pinned_pool.try_reserve(
+                            nbytes, tag=f"spill_slot_{plane}{i}"
+                        )
+                        if alloc is not None:
+                            self._disk_slot_allocs.append(alloc)
+                self._disk_slots[plane] = slots
+        return self._disk_slots
 
     def _buckets(self) -> List[Tuple[int, int, int]]:
         """(rank, shard-local lo, shard-local hi) in serial rank order.
@@ -444,6 +541,244 @@ class ZeroShardedAdam:
             )
             self.arena.note_alias(self.arena.flat.nbytes)
 
+    def _bump_disk_step(self, rank: int) -> "kernels.AdamChunkHyper":
+        """Advance rank ``rank``'s step counter (once per global step,
+        before its first bucket) and build the chunk hyperparameters."""
+        self._disk_steps[rank] += 1
+        return kernels.AdamChunkHyper.from_config(
+            self.config, self._disk_steps[rank]
+        )
+
+    def _step_flat_disk(self, per_rank_flat: Sequence[np.ndarray]) -> None:
+        """Disk-offloaded bucket dataflow with three-way overlap.
+
+        While the calling thread applies bucket ``k``'s fused Adam,
+        bucket ``k+1``'s reduce-scatter runs on the kernel pool *and* the
+        spill arena streams buckets ``k+1..k+depth``'s (m, v) extents in
+        from disk — the NVMe read, the collective, and the optimizer math
+        overlap the way §2.2's offload tier requires.  Moment writes for
+        bucket ``k`` drain on the arena's independent write stream, so
+        prefetches never queue behind the write backlog; a staging slot
+        is re-read only after its write-back ticket settles, and the step
+        only blocks (a ``spill_wait`` span) when the disk falls behind
+        compute.  Bitwise identity with the resident step holds
+        because fp32 disk round-trips are byte-exact and the bucket
+        order, reduce fold, Adam kernel, and step-counter discipline are
+        those of :meth:`_step_flat_pipelined`.
+        """
+        if not self.spill_prefetch:
+            self._step_flat_disk_sync(per_rank_flat)
+            return
+        tracer = self.telemetry.tracer
+        divisor = (np.float32(self.world_size)
+                   if self.zero.average_gradients else None)
+        pool = self._pool if self._pool is not None else get_pool()
+        staging = self._ensure_staging()
+        depth = self._prefetch_depth
+        n_slots = depth + 2
+        slots = self._ensure_disk_slots(n_slots)
+        buckets = self._buckets()
+        shard_len = self._shard_len
+        tile = tune.value("adam.cache_tile", kernels.CACHE_TILE,
+                          size=self.bucket_elements)
+        sp = self.spill
+        read_tickets: List[Optional[Tuple[SpillTicket, SpillTicket]]] = (
+            [None] * len(buckets)
+        )
+        write_tickets: List[SpillTicket] = []
+        # Reads and writes run on independent spill streams, so a slot's
+        # write-back must be explicitly settled before a prefetch reuses
+        # the slot buffer; a wait here is the disk genuinely falling
+        # behind compute and is accounted as spill_wait.
+        slot_writes: List[List[SpillTicket]] = [[] for _ in range(n_slots)]
+
+        def issue_read(j: int) -> None:
+            if j >= len(buckets):
+                return
+            r, blo, bhi = buckets[j]
+            glo = r * shard_len + blo
+            s = j % n_slots
+            wait_all(slot_writes[s])
+            read_tickets[j] = (
+                sp.read_async("m", glo, glo + (bhi - blo), slots["m"][s]),
+                sp.read_async("v", glo, glo + (bhi - blo), slots["v"][s]),
+            )
+
+        def submit_reduce(k: int):
+            r, blo, bhi = buckets[k]
+            glo = r * shard_len + blo
+            if not tracer.enabled:
+                return pool.submit(
+                    kernels.reduce_chunk, glo, glo + (bhi - blo),
+                    staging[k % 2], glo, per_rank_flat, divisor,
+                )
+
+            def traced_reduce(lo, hi, out, base, flats, div, _k=k, _r=r):
+                with tracer.span("bucket_reduce", category="comm",
+                                 bucket=_k, rank=_r):
+                    return kernels.reduce_chunk(lo, hi, out, base,
+                                                flats, div)
+
+            return pool.submit(
+                traced_reduce, glo, glo + (bhi - blo),
+                staging[k % 2], glo, per_rank_flat, divisor,
+            )
+
+        with tracer.span("zero_step", category="optim",
+                         world_size=self.world_size, pipelined=True,
+                         offload="disk", buckets=len(buckets)):
+            self.group.count_payload(
+                "reduce_scatter", sum(b.nbytes for b in per_rank_flat)
+            )
+            for j in range(min(depth, len(buckets))):
+                issue_read(j)
+            pending = submit_reduce(0)
+            hyper = None
+            prev_rank = -1
+            for k, (r, blo, bhi) in enumerate(buckets):
+                n = bhi - blo
+                glo = r * shard_len + blo
+                s = k % n_slots
+                with tracer.span("bucket_wait", category="stall", bucket=k):
+                    pending.result()
+                if k + 1 < len(buckets):
+                    pending = submit_reduce(k + 1)
+                tickets = read_tickets[k]
+                read_tickets[k] = None
+                for t in tickets:
+                    t.wait()
+                if r != prev_rank:
+                    hyper = self._bump_disk_step(r)
+                    prev_rank = r
+                m_slot = slots["m"][s]
+                v_slot = slots["v"][s]
+                with tracer.span("bucket_adam", category="optim",
+                                 rank=r, bucket=k):
+                    kernels.adam_chunk(
+                        0, n,
+                        self.arena.shard(r)[blo:bhi],
+                        m_slot[:n], v_slot[:n],
+                        staging[k % 2][:n], hyper, tile,
+                    )
+                tm = sp.write_async("m", glo, glo + n, m_slot)
+                tv = sp.write_async("v", glo, glo + n, v_slot)
+                write_tickets.extend((tm, tv))
+                slot_writes[s].extend((tm, tv))
+                issue_read(k + depth)
+            wait_all(write_tickets)
+            self.group.count_payload(
+                "all_gather", self.arena.flat.nbytes
+            )
+            self.arena.note_alias(self.arena.flat.nbytes)
+
+    def _step_flat_disk_sync(self, per_rank_flat: Sequence[np.ndarray]) -> None:
+        """Non-overlapped disk baseline: read, reduce, Adam, write, in
+        strict sequence per bucket.  Bitwise identical to the overlapped
+        path (same buckets, same kernels); every disk byte is an exposed
+        stall, which is exactly what the spill bench measures the
+        overlapped step against.
+        """
+        tracer = self.telemetry.tracer
+        divisor = (np.float32(self.world_size)
+                   if self.zero.average_gradients else None)
+        staging = self._ensure_staging()
+        slots = self._ensure_disk_slots(1)
+        buckets = self._buckets()
+        shard_len = self._shard_len
+        tile = tune.value("adam.cache_tile", kernels.CACHE_TILE,
+                          size=self.bucket_elements)
+        sp = self.spill
+        with tracer.span("zero_step", category="optim",
+                         world_size=self.world_size, offload="disk",
+                         buckets=len(buckets)):
+            self.group.count_payload(
+                "reduce_scatter", sum(b.nbytes for b in per_rank_flat)
+            )
+            hyper = None
+            prev_rank = -1
+            for k, (r, blo, bhi) in enumerate(buckets):
+                n = bhi - blo
+                glo = r * shard_len + blo
+                m_slot = slots["m"][0]
+                v_slot = slots["v"][0]
+                sp.read("m", glo, glo + n, m_slot)
+                sp.read("v", glo, glo + n, v_slot)
+                with tracer.span("bucket_reduce", category="comm",
+                                 bucket=k, rank=r):
+                    kernels.reduce_chunk(
+                        glo, glo + n, staging[0], glo,
+                        per_rank_flat, divisor,
+                    )
+                if r != prev_rank:
+                    hyper = self._bump_disk_step(r)
+                    prev_rank = r
+                with tracer.span("bucket_adam", category="optim",
+                                 rank=r, bucket=k):
+                    kernels.adam_chunk(
+                        0, n,
+                        self.arena.shard(r)[blo:bhi],
+                        m_slot[:n], v_slot[:n],
+                        staging[0][:n], hyper, tile,
+                    )
+                sp.write("m", glo, glo + n, m_slot)
+                sp.write("v", glo, glo + n, v_slot)
+            self.group.count_payload(
+                "all_gather", self.arena.flat.nbytes
+            )
+            self.arena.note_alias(self.arena.flat.nbytes)
+
+    def moment_planes(self) -> Dict[str, np.ndarray]:
+        """Fresh fp32 copies of the full (m, v) moment planes.
+
+        Uniform across resident and disk offload modes — the checkpoint
+        path uses this to snapshot optimizer state without caring where
+        the moments live.
+        """
+        total = self.layout.total
+        m = np.empty(total, dtype=np.float32)
+        v = np.empty(total, dtype=np.float32)
+        if self.offload == "disk":
+            self.spill.read("m", 0, total, m)
+            self.spill.read("v", 0, total, v)
+        else:
+            for r, opt in enumerate(self._rank_optimizers):
+                lo, hi = self.owned_slice(r)
+                st = opt.state["shard"]
+                m[lo:hi] = st.m
+                v[lo:hi] = st.v
+        return {"m": m, "v": v}
+
+    def load_moments(
+        self, m: np.ndarray, v: np.ndarray, steps: Sequence[int]
+    ) -> None:
+        """Restore the (m, v) planes and per-shard step counters
+        (checkpoint resume; the inverse of :meth:`moment_planes` +
+        :meth:`shard_steps`)."""
+        total = self.layout.total
+        if m.shape != (total,) or v.shape != (total,):
+            raise TensorValidationError(
+                f"moment planes must be 1-D of length {total}"
+            )
+        if len(steps) != self.world_size:
+            raise ValueError("one step counter per rank required")
+        if self.offload == "disk":
+            self.spill.write("m", 0, total, np.ascontiguousarray(m))
+            self.spill.write("v", 0, total, np.ascontiguousarray(v))
+            self._disk_steps = [int(s) for s in steps]
+        else:
+            for r, opt in enumerate(self._rank_optimizers):
+                lo, hi = self.owned_slice(r)
+                st = opt.state["shard"]
+                st.m[...] = m[lo:hi]
+                st.v[...] = v[lo:hi]
+                st.step = int(steps[r])
+
+    def shard_steps(self) -> List[int]:
+        """Per-rank Adam step counters (uniform after full steps)."""
+        if self.offload == "disk":
+            return list(self._disk_steps)
+        return [opt.state["shard"].step for opt in self._rank_optimizers]
+
     def _step_dict_copy(self, per_rank_grads: Sequence[Params]) -> None:
         """The historical flatten/unflatten dataflow (bench baseline)."""
         tracer = self.telemetry.tracer
@@ -464,6 +799,8 @@ class ZeroShardedAdam:
     @property
     def step_count(self) -> int:
         """Steps taken (uniform across shards)."""
+        if self.offload == "disk":
+            return self._disk_steps[0]
         return self._rank_optimizers[0].step_count
 
     def optimizer_state_bytes_per_rank(self) -> int:

@@ -48,6 +48,8 @@ PHASES = (
     "validate",
     "rollback",
     "stall",
+    "spill_wait",
+    "checkpoint",
     "idle",
 )
 
@@ -60,6 +62,9 @@ _NAME_PHASE = {
     "grad_reduce": "grad_reduce",
     "param_gather": "grad_reduce",
     "bucket_wait": "stall",
+    "spill_wait": "spill_wait",   # caller blocked on the spill worker
+    "ckpt_capture": "checkpoint",
+    "checkpoint": "checkpoint",
 }
 
 #: Span *categories* with a phase (used when the name is unmapped).
@@ -71,6 +76,7 @@ _CATEGORY_PHASE = {
     "comm": "grad_reduce",
     "collective": "grad_reduce",
     "stall": "stall",
+    "checkpoint": "checkpoint",
 }
 
 
@@ -135,6 +141,14 @@ class OverlapAudit:
             not-yet-reduced bucket.
         efficiency: 0 = no better than serial, 1 = at the lower bound;
             clamped to [0, 1].
+        spill_read_seconds: Σ ``spill_read`` I/O-thread span time inside
+            the window (disk-offloaded steps; 0.0 otherwise).
+        spill_write_seconds: Σ ``spill_write`` likewise.
+        spill_wait_seconds: Σ ``spill_wait`` — time the *calling* thread
+            actually blocked on the spill worker.
+        spill_overlap_efficiency: fraction of the spill I/O time hidden
+            behind compute, ``1 - wait / (read + write)`` clamped to
+            [0, 1]; ``None`` when the step did no spill I/O.
     """
 
     buckets: int
@@ -143,6 +157,10 @@ class OverlapAudit:
     lower_bound_seconds: float
     bubble_seconds: float
     efficiency: float
+    spill_read_seconds: float = 0.0
+    spill_write_seconds: float = 0.0
+    spill_wait_seconds: float = 0.0
+    spill_overlap_efficiency: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -351,6 +369,23 @@ class StepProfiler:
             bubble_s = sum(
                 s.duration for s in inside if s.name == "bucket_wait"
             )
+            # Spill I/O runs on the spill worker thread; its spans land
+            # inside the window because the collection above is
+            # deliberately thread-agnostic.  spill_wait spans are the
+            # calling thread's *exposed* share of that I/O.
+            spill_read_s = sum(
+                s.duration for s in inside if s.name == "spill_read"
+            )
+            spill_write_s = sum(
+                s.duration for s in inside if s.name == "spill_write"
+            )
+            spill_wait_s = sum(
+                s.duration for s in inside if s.name == "spill_wait"
+            )
+            spill_io = spill_read_s + spill_write_s
+            spill_eff: Optional[float] = None
+            if spill_io > 0:
+                spill_eff = min(1.0, max(0.0, 1.0 - spill_wait_s / spill_io))
             serial = reduce_s + adam_s
             lower = max(reduce_s, adam_s)
             achieved = z.duration
@@ -367,6 +402,10 @@ class StepProfiler:
                 lower_bound_seconds=lower,
                 bubble_seconds=bubble_s,
                 efficiency=min(1.0, max(0.0, efficiency)),
+                spill_read_seconds=spill_read_s,
+                spill_write_seconds=spill_write_s,
+                spill_wait_seconds=spill_wait_s,
+                spill_overlap_efficiency=spill_eff,
             ))
         return audits
 

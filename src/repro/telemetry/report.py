@@ -34,16 +34,23 @@ PHASE_TO_SIM_CATEGORY: Dict[str, Optional[str]] = {
     "rollback": "optimizer",
     "cast": "cast",
     "stall": None,
+    # spill_wait is exposed disk latency — a gap, like any other stall;
+    # checkpoint capture is optimizer-adjacent state movement.
+    "spill_wait": None,
+    "checkpoint": "optimizer",
     "idle": None,
 }
 
 PHASE_HEADERS = ("phase", "seconds", "share_pct", "per_step_ms")
 OVERLAP_HEADERS = ("zero_step", "buckets", "achieved_ms", "serial_ms",
-                   "bound_ms", "bubble_ms", "efficiency")
+                   "bound_ms", "bubble_ms", "efficiency", "spill_io_ms",
+                   "spill_wait_ms", "spill_hidden")
 WORKER_HEADERS = ("worker", "chunks", "busy_ms", "queue_wait_ms",
                   "utilization_pct")
 MEMORY_HEADERS = ("source", "peak_bytes", "peak_mib", "samples")
 SIM_HEADERS = ("category", "measured_pct", "predicted_pct", "delta_pp")
+SPILL_SIM_HEADERS = ("direction", "bytes", "measured_ms", "predicted_ms",
+                     "delta_pct")
 
 
 def phase_rows(report: ProfileReport) -> List[Sequence]:
@@ -71,9 +78,48 @@ def overlap_rows(report: ProfileReport) -> List[Sequence]:
     """One row per pipelined ``zero_step`` audit."""
     return [
         [i, a.buckets, a.achieved_seconds * 1e3, a.serial_seconds * 1e3,
-         a.lower_bound_seconds * 1e3, a.bubble_seconds * 1e3, a.efficiency]
+         a.lower_bound_seconds * 1e3, a.bubble_seconds * 1e3, a.efficiency,
+         (a.spill_read_seconds + a.spill_write_seconds) * 1e3,
+         a.spill_wait_seconds * 1e3,
+         ("-" if a.spill_overlap_efficiency is None
+          else a.spill_overlap_efficiency)]
         for i, a in enumerate(report.overlap)
     ]
+
+
+def spill_sim_rows(
+    bytes_read: int,
+    bytes_written: int,
+    read_seconds: float,
+    write_seconds: float,
+) -> List[Sequence]:
+    """Measured spill bandwidth vs the simulator's NVMe link model.
+
+    The predicted side is the same :class:`BandwidthModel` over the
+    :data:`~repro.hardware.registry.NVME` link that
+    ``systems/zero_infinity.py`` charges for optimizer-state traffic, so
+    a drifting disk model shows up as a growing delta here — the spill
+    counterpart of :func:`sim_comparison_rows`.
+    """
+    from repro.hardware.bandwidth import BandwidthModel
+    from repro.hardware.registry import NVME
+
+    link = BandwidthModel(NVME)
+    rows: List[Sequence] = []
+    for direction, nbytes, measured in (
+        ("read", bytes_read, read_seconds),
+        ("write", bytes_written, write_seconds),
+    ):
+        if nbytes <= 0:
+            continue
+        predicted = link.transfer_time(int(nbytes))
+        delta = (
+            (measured - predicted) / predicted * 100.0 if predicted else 0.0
+        )
+        rows.append(
+            [direction, int(nbytes), measured * 1e3, predicted * 1e3, delta]
+        )
+    return rows
 
 
 def worker_rows(report: ProfileReport) -> List[Sequence]:

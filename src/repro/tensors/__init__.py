@@ -19,6 +19,7 @@ from repro.tensors.errors import (
 from repro.tensors.memory import Allocation, MemoryPool
 from repro.tensors.pinned import PinnedBufferPool
 from repro.tensors.spec import TensorSpec
+from repro.tensors.spill import SpillArena, SpillTicket, wait_all
 from repro.tensors.workspace import ActivationWorkspace, take_like
 
 __all__ = [
@@ -40,6 +41,9 @@ __all__ = [
     "Allocation",
     "MemoryPool",
     "PinnedBufferPool",
+    "SpillArena",
+    "SpillTicket",
+    "wait_all",
     "DeviceOutOfMemoryError",
     "PinnedPoolExhaustedError",
 ]

@@ -3,6 +3,12 @@ the simulated-time throughput runner behind Figs. 10-13 and Table 2, and
 the real numeric STV trainer behind Fig. 14."""
 
 from repro.training.bench import substrate_bench
+from repro.training.checkpoint import (
+    AsyncCheckpointer,
+    CheckpointInfo,
+    read_manifest,
+    run_checkpointed,
+)
 from repro.training.cluster import gh200_cluster
 from repro.training.metrics import mfu, tflops
 from repro.training.dp_trainer import DataParallelTrainer, DPStepReport
@@ -26,4 +32,8 @@ __all__ = [
     "DataParallelTrainer",
     "DPStepReport",
     "substrate_bench",
+    "AsyncCheckpointer",
+    "CheckpointInfo",
+    "read_manifest",
+    "run_checkpointed",
 ]

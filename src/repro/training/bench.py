@@ -42,6 +42,7 @@ parallelism adds on top.
 
 from __future__ import annotations
 
+import tempfile
 import time
 from typing import Dict, List, Optional, Sequence
 
@@ -70,7 +71,7 @@ QUICK_SIZES = (1 << 16, 1 << 19)
 #: Sections ``substrate_bench`` can run (also the CLI's ``--sections``).
 ALL_SECTIONS = (
     "zero_step", "rollback", "steady_state", "parallel_step",
-    "zero_pipeline", "attention", "model_step",
+    "zero_pipeline", "attention", "model_step", "spill", "checkpoint",
 )
 
 #: Sequence lengths for the ``attention`` section.  The largest is the
@@ -94,6 +95,14 @@ QUICK_MODEL_STEP_SEQS = (128,)
 #: Staging bucket size (elements) the ``zero_pipeline`` section uses —
 #: 256 KiB of fp32, small enough that both double buffers sit in cache.
 PIPELINE_BUCKET_ELEMENTS = 1 << 16
+
+#: Bucket size (elements) and extent size for the ``spill`` section:
+#: 512 KiB ops are deep into the device's bandwidth plateau (direct I/O
+#: throughput falls off sharply below ~256 KiB per op) while keeping
+#: enough buckets in flight at the bench sizes for the prefetch ring to
+#: matter.
+SPILL_BUCKET_ELEMENTS = 1 << 17
+SPILL_CHUNK_BYTES = 1 << 19
 
 
 def _make_params(
@@ -348,6 +357,159 @@ def _bench_zero_pipeline(
     }
 
 
+def _bench_spill(
+    rng: np.random.Generator, n_total: int, n_tensors: int,
+    world_size: int, workers: int, repeats: int,
+) -> Dict[str, float]:
+    """Disk-offloaded ZeRO step: overlapped prefetch vs. the sync spill
+    baseline, with the resident step as the roofline.
+
+    Three bitwise-identical contestants step on identical gradients: the
+    resident serial ``step_flat`` (moments in memory), the disk-offloaded
+    step with ``spill_prefetch=False`` (every read/write an exposed
+    stall — the honest non-overlapped baseline), and the overlapped
+    disk step (reads prefetched, reduce on the pool, writes behind the
+    bucket loop).  The headline ``speedup`` is sync/overlap — what the
+    prefetch machinery buys at the same disk tier.
+    """
+    params_res = _make_params(rng, n_total, n_tensors)
+    params_sync = {k: v.copy() for k, v in params_res.items()}
+    params_ovl = {k: v.copy() for k, v in params_res.items()}
+    resident = ZeroShardedAdam(params_res, world_size)
+    pool = get_pool(workers)
+    dirs = [tempfile.TemporaryDirectory(prefix="repro-spill-")
+            for _ in range(2)]
+    sync = ZeroShardedAdam(
+        params_sync, world_size, offload="disk", spill_dir=dirs[0].name,
+        spill_prefetch=False, bucket_elements=SPILL_BUCKET_ELEMENTS,
+        spill_chunk_bytes=SPILL_CHUNK_BYTES,
+    )
+    ovl = ZeroShardedAdam(
+        params_ovl, world_size, offload="disk", spill_dir=dirs[1].name,
+        spill_prefetch=True, bucket_elements=SPILL_BUCKET_ELEMENTS,
+        spill_chunk_bytes=SPILL_CHUNK_BYTES, spill_prefetch_depth=4,
+        pool=pool,
+    )
+    flats: Dict[int, List[np.ndarray]] = {}
+    for i, opt in enumerate((resident, sync, ovl)):
+        flats[i] = []
+        for r in range(world_size):
+            ga = opt.grad_arena(r)
+            if i == 0:
+                for view in ga.views.values():
+                    view[...] = rng.standard_normal(
+                        view.shape, dtype=np.float32
+                    )
+            else:
+                ga.flat[...] = flats[0][r]
+            flats[i].append(ga.flat)
+    resident.step_flat(flats[0])        # warm up all three paths
+    sync.step_flat(flats[1])
+    ovl.step_flat(flats[2])
+    resident_s, sync_s, ovl_s = _time_interleaved(
+        [lambda: resident.step_flat(flats[0]),
+         lambda: sync.step_flat(flats[1]),
+         lambda: ovl.step_flat(flats[2])],
+        repeats,
+    )
+    identical = (
+        resident.step_count == sync.step_count == ovl.step_count
+        and np.array_equal(resident.arena.flat, sync.arena.flat)
+        and np.array_equal(resident.arena.flat, ovl.arena.flat)
+    )
+    spill_read = ovl.spill.bytes_read
+    spill_written = ovl.spill.bytes_written
+    for opt in (sync, ovl):
+        opt.release_staging()
+        opt.close_spill()
+    pool.shutdown()
+    for d in dirs:
+        d.cleanup()
+    return {
+        "elements": n_total,
+        "bytes": n_total * 4,
+        "workers": workers,
+        "bucket_elements": ovl.bucket_elements,
+        "prefetch_depth": ovl._prefetch_depth,
+        "resident_ms": resident_s * 1e3,
+        "sync_ms": sync_s * 1e3,
+        "overlap_ms": ovl_s * 1e3,
+        "speedup": sync_s / ovl_s,
+        "speedup_vs_resident": resident_s / ovl_s,
+        "offload_overhead": ovl_s / resident_s,
+        "spill_bytes_read": spill_read,
+        "spill_bytes_written": spill_written,
+        "bitwise_identical": identical,
+    }
+
+
+def _bench_checkpoint(
+    rng: np.random.Generator, n_total: int, repeats: int,
+) -> Dict[str, float]:
+    """Async checkpoint stall vs. a blocking save of the same snapshot.
+
+    Both sides snapshot identical (master, m, v) planes through the same
+    :class:`~repro.training.checkpoint.AsyncCheckpointer` machinery; the
+    blocking side waits each commit (data fsync + manifest rename) on
+    the training thread, the async side pays only the capture memcpy and
+    whatever slot backpressure the disk imposes.  The headline
+    ``speedup`` is blocking/async-stall — the step time a zero-stall
+    checkpoint gives back.  ``bitwise_identical`` is a restore round
+    trip against the live planes.
+    """
+    from repro.training.checkpoint import AsyncCheckpointer
+
+    planes = {
+        "master": rng.standard_normal(n_total).astype(np.float32),
+        "m": rng.standard_normal(n_total).astype(np.float32),
+        "v": rng.standard_normal(n_total).astype(np.float32),
+    }
+    schema = {k: v.size for k, v in planes.items()}
+    dirs = [tempfile.TemporaryDirectory(prefix="repro-ckpt-")
+            for _ in range(2)]
+    blocking_ck = AsyncCheckpointer(dirs[0].name, schema)
+    async_ck = AsyncCheckpointer(dirs[1].name, schema)
+    steps = {"blocking": 0, "async": 0}
+
+    def blocking_save():
+        blocking_ck.save(steps["blocking"], planes,
+                         meta={"iteration": steps["blocking"]}).wait()
+        steps["blocking"] += 1
+
+    def async_save():
+        async_ck.save(steps["async"], planes,
+                      meta={"iteration": steps["async"]})
+        steps["async"] += 1
+
+    blocking_save()                     # warm up (files, page cache)
+    async_save()
+    async_ck.wait()
+    blocking_s, async_s = _time_interleaved(
+        [blocking_save, async_save], max(repeats, 5)
+    )
+    async_ck.wait()                     # drain before the round trip
+    restored = {k: np.empty_like(v) for k, v in planes.items()}
+    info = async_ck.restore(restored)
+    identical = all(
+        np.array_equal(planes[k], restored[k]) for k in planes
+    )
+    commits = async_ck.saves_total + blocking_ck.saves_total
+    blocking_ck.close()
+    async_ck.close()
+    for d in dirs:
+        d.cleanup()
+    return {
+        "elements": n_total,
+        "bytes": 3 * n_total * 4,
+        "blocking_ms": blocking_s * 1e3,
+        "async_stall_ms": async_s * 1e3,
+        "speedup": blocking_s / async_s,
+        "last_committed_step": info.step,
+        "saves": commits,
+        "bitwise_identical": identical,
+    }
+
+
 def _bench_attention(
     rng: np.random.Generator, seq: int, workers: int, repeats: int,
     heads: int = 4, head_dim: int = 32, batch: int = 2,
@@ -589,5 +751,14 @@ def substrate_bench(
         seqs = QUICK_MODEL_STEP_SEQS if quick else MODEL_STEP_SEQS
         result["model_step"] = [
             _bench_model_step(rng, s, workers, repeats) for s in seqs
+        ]
+    if "spill" in sections:
+        result["spill"] = [
+            _bench_spill(rng, n, n_tensors, world_size, workers, repeats)
+            for n in sizes
+        ]
+    if "checkpoint" in sections:
+        result["checkpoint"] = [
+            _bench_checkpoint(rng, n, repeats) for n in sizes
         ]
     return result

@@ -72,6 +72,12 @@ class DataParallelTrainer:
             ``None`` uses the process default).
         pinned_pool: pinned staging pool for the bucket double-buffer
             (forwarded).
+        offload: ``"none"`` or ``"disk"`` — spill the optimizer's (m, v)
+            moment planes to ``spill_dir`` (forwarded to
+            :class:`ZeroShardedAdam`; bitwise identical to resident).
+        spill_dir: spill directory for ``offload="disk"`` (forwarded).
+        spill_prefetch: overlap the spill reads ahead of the bucket loop
+            (forwarded; ``False`` is the measured baseline).
     """
 
     def __init__(
@@ -88,6 +94,9 @@ class DataParallelTrainer:
         bucket_elements: int | None = None,
         pool: "KernelPool | None" = None,
         pinned_pool: "PinnedBufferPool | None" = None,
+        offload: str = "none",
+        spill_dir: "str | None" = None,
+        spill_prefetch: bool = True,
     ):
         if world_size < 1:
             raise ValueError("world_size must be >= 1")
@@ -112,7 +121,8 @@ class DataParallelTrainer:
             self.model.params, world_size, config=adam or AdamConfig(),
             telemetry=self.telemetry, pipeline=pipeline,
             bucket_elements=bucket_elements, pool=pool,
-            pinned_pool=pinned_pool,
+            pinned_pool=pinned_pool, offload=offload,
+            spill_dir=spill_dir, spill_prefetch=spill_prefetch,
         )
         # The sharded optimizer adopted the params into a flat arena;
         # allocate same-layout planes for the fp16 model copy and the
@@ -126,13 +136,97 @@ class DataParallelTrainer:
         # every rank holds the same gathered fp16 copy (stable views)
         self._fp16 = dict(self._fp16_arena.views)
         self.iteration = 0
+        self._checkpointer = None
+        self._ckpt_every = 1
+
+    def attach_checkpointer(
+        self,
+        directory: str,
+        every: int = 1,
+        pinned_pool: "PinnedBufferPool | None" = None,
+    ):
+        """Checkpoint (master, m, v, counters) every ``every`` steps.
+
+        The returned :class:`AsyncCheckpointer` streams snapshots to
+        ``directory`` through the spill writer while training continues;
+        only the capture memcpy runs on the step's critical path.
+        """
+        from repro.training.checkpoint import AsyncCheckpointer
+
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        total = self.arena.layout.total
+        self._checkpointer = AsyncCheckpointer(
+            directory,
+            {"master": total, "m": total, "v": total},
+            pinned_pool=pinned_pool,
+            telemetry=self.telemetry,
+        )
+        self._ckpt_every = every
+        return self._checkpointer
+
+    @property
+    def checkpointer(self):
+        """The attached :class:`AsyncCheckpointer`, or ``None``."""
+        return self._checkpointer
+
+    def resume_latest(self) -> bool:
+        """Restore the latest committed checkpoint, if any.
+
+        Returns ``True`` when a checkpoint was restored: the master
+        plane, the optimizer moments and step counters, and the
+        iteration counter come back exactly as committed, and the fp16
+        copy is refreshed from the master — the same cast the end of the
+        checkpointed step performed, so the continuation is bit-identical
+        to a run that was never interrupted.
+        """
+        if self._checkpointer is None:
+            raise RuntimeError("attach_checkpointer first")
+        info = self._checkpointer.latest()
+        if info is None:
+            return False
+        total = self.arena.layout.total
+        m = np.empty(total, dtype=np.float32)
+        v = np.empty(total, dtype=np.float32)
+        self._checkpointer.restore(
+            {"master": self.arena.flat, "m": m, "v": v}
+        )
+        self.optimizer.load_moments(m, v, info.meta["shard_steps"])
+        self.iteration = int(info.meta["iteration"])
+        with np.errstate(over="ignore"):
+            self._fp16_arena.flat[...] = self.arena.flat
+        return True
+
+    def _maybe_checkpoint(self) -> None:
+        if self._checkpointer is None:
+            return
+        if self.iteration % self._ckpt_every != 0:
+            return
+        planes = {"master": self.arena.flat}
+        planes.update(self.optimizer.moment_planes())
+        self._checkpointer.save(
+            self.iteration, planes,
+            meta={
+                "iteration": self.iteration,
+                "shard_steps": self.optimizer.shard_steps(),
+            },
+        )
+
+    def finish_checkpoints(self) -> None:
+        """Wait for every in-flight checkpoint commit (end of run)."""
+        if self._checkpointer is not None:
+            self._checkpointer.wait()
 
     def train_step(self, ids: np.ndarray, targets: np.ndarray) -> DPStepReport:
         """One synchronous data-parallel iteration over the global batch."""
         with self.telemetry.tracer.span(
             "train_step", category="step", iteration=self.iteration
         ):
-            return self._step(ids, targets)
+            report = self._step(ids, targets)
+            # Capture inside the step window so the profiler attributes
+            # the (only) synchronous checkpoint cost to its own phase.
+            self._maybe_checkpoint()
+        return report
 
     def _step(self, ids: np.ndarray, targets: np.ndarray) -> DPStepReport:
         tracer = self.telemetry.tracer
@@ -203,3 +297,27 @@ class DataParallelTrainer:
         pile = SyntheticPile(self.spec.vocab, seed=seed)
         gen = pile.batches(batch, self.spec.max_seq)
         return [self.train_step(*next(gen)) for _ in range(n_iterations)]
+
+    def train_to(
+        self, total_iterations: int, batch: int, seed: int = 0
+    ) -> List[DPStepReport]:
+        """Train until ``total_iterations`` steps have run *in total*.
+
+        The synthetic batch stream is deterministic in ``seed``, so a
+        resumed trainer fast-forwards past the ``self.iteration`` batches
+        its checkpointed past already consumed and continues on exactly
+        the data an uninterrupted run would have seen.
+        """
+        if total_iterations < self.iteration:
+            raise ValueError(
+                f"already at iteration {self.iteration} > "
+                f"{total_iterations}"
+            )
+        pile = SyntheticPile(self.spec.vocab, seed=seed)
+        gen = pile.batches(batch, self.spec.max_seq)
+        for _ in range(self.iteration):
+            next(gen)
+        return [
+            self.train_step(*next(gen))
+            for _ in range(total_iterations - self.iteration)
+        ]

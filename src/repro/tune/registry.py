@@ -160,6 +160,27 @@ _T = (
         "REPRO_EXEC_WORKERS always wins)",
         "repro.exec.pool",
     ),
+    # -- disk spill tier (repro.tensors.spill) -------------------------
+    Tunable(
+        "spill.chunk_bytes", 1 << 18, 1 << 12, 1 << 24,
+        (1 << 16, 1 << 17, 1 << 18, 1 << 19, 1 << 20),
+        "tile",
+        "spill extent size in bytes (staging chunk; multiple of 4 KiB)",
+        "repro.tensors.spill",
+    ),
+    Tunable(
+        "spill.prefetch_depth", 2, 0, 64, (1, 2, 4, 8),
+        "count",
+        "buckets of (m, v) extents read ahead by the disk-offloaded "
+        "ZeRO step",
+        "repro.parallel.zero",
+    ),
+    Tunable(
+        "spill.writer_queue", 16, 1, 1024, (4, 8, 16, 32, 64),
+        "count",
+        "bound on the spill arena's async I/O queue (backpressure depth)",
+        "repro.tensors.spill",
+    ),
 )
 
 #: name -> :class:`Tunable`, the registry the tuner and profile share.

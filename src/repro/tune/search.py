@@ -17,6 +17,11 @@ current host and measures, rather than assumes:
 * **worker count** (``pool.workers``) — pool sizes are raced on the
   fused Adam op; an entry is written only when some count beats the
   auto default by the margin.
+* **spill tier** (``spill.chunk_bytes``, ``spill.prefetch_depth``,
+  ``spill.writer_queue``) — each candidate drives a real disk-offloaded
+  ZeRO step against a tmpdir :class:`SpillArena`; the fastest candidate
+  replaces the default only when it wins by the margin *and* its master
+  flat matches a resident (non-offloaded) step bit for bit.
 
 Bitwise identity is the gate: an elementwise tunable's candidate is
 accepted only after its output is compared bit-for-bit against the
@@ -36,6 +41,7 @@ from __future__ import annotations
 
 import math
 import os
+import tempfile
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -700,6 +706,115 @@ def _tune_rollback_cutoff(
     return out
 
 
+def _spill_fixture(
+    rng: np.random.Generator, n: int, pool: KernelPool, path: str,
+    force: Optional[TuneProfile] = None, world: int = 2,
+):
+    """A disk-offloaded ZeRO fixture mirroring :func:`_pipe_fixture`.
+
+    Same parameter layout and rng consumption order as the resident
+    fixture, so a resident twin built from an equal-seeded generator is
+    the bitwise reference for every spill candidate.  ``force`` pins a
+    candidate profile over the construction-time tunable reads
+    (``spill.chunk_bytes`` / ``spill.prefetch_depth`` /
+    ``spill.writer_queue``).
+    """
+    params = {
+        f"p{i}": rng.standard_normal(n // 8, dtype=np.float32)
+        for i in range(8)
+    }
+    if force is not None:
+        with runtime.overridden(force):
+            opt = ZeroShardedAdam(
+                params, world, pipeline=True, pool=pool,
+                offload="disk", spill_dir=path,
+            )
+    else:
+        opt = ZeroShardedAdam(
+            params, world, pipeline=True, pool=pool,
+            offload="disk", spill_dir=path,
+        )
+    flats = []
+    for r in range(world):
+        ga = opt.grad_arena(r)
+        for view in ga.views.values():
+            view[...] = rng.standard_normal(view.shape, dtype=np.float32)
+        flats.append(ga.flat)
+    return opt, flats
+
+
+def _tune_spill(
+    pool: KernelPool, repeats: int, quick: bool, rng: np.random.Generator
+) -> List[TunableOutcome]:
+    """Race the spill-tier tunables on a real tmpdir disk fixture.
+
+    The three knobs are read at :class:`ZeroShardedAdam` construction
+    time, so each candidate gets its own fixture built under a pinned
+    single-entry profile; all fixtures (plus a resident twin) step the
+    same number of times over identical state, and the winner is gated
+    bitwise against the resident master flat.
+    """
+    outs: List[TunableOutcome] = []
+    n = (1 << 16) if quick else (1 << 18)
+    seed = 23
+    for name in (
+        "spill.chunk_bytes", "spill.prefetch_depth", "spill.writer_queue"
+    ):
+        t = registry.get(name)
+        out = TunableOutcome(t.name, t.default, None, t.kind)
+        candidates = sorted(set(t.choices) | {t.default})
+        with tempfile.TemporaryDirectory(
+            prefix="repro-tune-spill-"
+        ) as sd:
+            fixtures = [
+                _spill_fixture(
+                    np.random.default_rng(seed), n, pool,
+                    os.path.join(sd, f"c{i}"), _force(name, c),
+                )
+                for i, c in enumerate(candidates)
+            ]
+            resident_opt, resident_flats = _pipe_fixture(
+                np.random.default_rng(seed), n, pool, None, world=2
+            )
+            arms = [
+                _under(_force(name, c),
+                       (lambda o=o, f=f: o.step_flat(f)))
+                for c, (o, f) in zip(candidates, fixtures)
+            ]
+            for arm in arms:
+                arm()
+            times = _ab_time(arms, repeats)
+            # Every fixture stepped 1 + repeats times; march the
+            # resident twin to the same step count for the bitwise gate.
+            for _ in range(1 + repeats):
+                resident_opt.step_flat(resident_flats)
+            for c, s in zip(candidates, times):
+                out.measurements[f"ms@{c}"] = s * 1e3
+            best_i = int(np.argmin(times))
+            default_s = times[candidates.index(t.default)]
+            if candidates[best_i] != t.default and (
+                times[best_i] < default_s * (1.0 - MARGIN)
+            ):
+                out.bitwise_ok = np.array_equal(
+                    resident_opt.arena.flat, fixtures[best_i][0].arena.flat
+                )
+                if out.bitwise_ok:
+                    out.chosen = candidates[best_i]
+                else:
+                    out.note = (
+                        "candidate diverged from the resident step; "
+                        "keeping default"
+                    )
+            else:
+                out.note = "no candidate beat the default by the margin"
+            for opt, _ in fixtures:
+                opt.release_staging()
+                opt.close_spill()
+            resident_opt.release_staging()
+        outs.append(out)
+    return outs
+
+
 def _tune_workers(
     repeats: int, quick: bool, rng: np.random.Generator
 ) -> TunableOutcome:
@@ -754,6 +869,9 @@ _WORKLOAD_ENTRIES: Dict[str, Tuple[str, ...]] = {
     "zero_pipeline": ("zero.min_pipeline", "zero.bucket_elements"),
     "rollback": ("rollback.snapshot_cutoff",),
     "attention": ("flash.block_q", "flash.block_k"),
+    "spill": (
+        "spill.chunk_bytes", "spill.prefetch_depth", "spill.writer_queue",
+    ),
 }
 
 
@@ -907,6 +1025,45 @@ def validate_profile(
             "rollback", n, tuned_s * 1e3, default_s * 1e3, bitwise
         ))
 
+    # spill: disk-offloaded ZeRO step tuned vs default, bitwise vs a
+    # resident twin (the spill knobs are construction-time reads, so
+    # each arm owns a fixture built under its profile)
+    n = (1 << 16) if quick else (1 << 18)
+    with tempfile.TemporaryDirectory(prefix="repro-tune-spillval-") as sd:
+        with runtime.overridden(profile):
+            tuned_opt, tuned_flats = _spill_fixture(
+                np.random.default_rng(seed + 3), n, pool,
+                os.path.join(sd, "tuned"),
+            )
+        with runtime.overridden(None):
+            default_opt, default_flats = _spill_fixture(
+                np.random.default_rng(seed + 3), n, pool,
+                os.path.join(sd, "default"),
+            )
+        resident_opt, resident_flats = _pipe_fixture(
+            np.random.default_rng(seed + 3), n, pool, None, world=2
+        )
+        arms = [
+            _under(profile, lambda: tuned_opt.step_flat(tuned_flats)),
+            _under(None, lambda: default_opt.step_flat(default_flats)),
+            lambda: resident_opt.step_flat(resident_flats),
+        ]
+        for arm in arms:
+            arm()
+        tuned_s, default_s, _ = _ab_time(arms, repeats)
+        bitwise = (
+            np.array_equal(resident_opt.arena.flat, tuned_opt.arena.flat)
+            and np.array_equal(resident_opt.arena.flat,
+                               default_opt.arena.flat)
+        )
+        checks.append(ValidationCheck(
+            "spill", n, tuned_s * 1e3, default_s * 1e3, bitwise
+        ))
+        for o in (tuned_opt, default_opt):
+            o.release_staging()
+            o.close_spill()
+        resident_opt.release_staging()
+
     # attention: streaming fwd+bwd with tuned vs default block sides
     seq = 256 if quick else 1024
     batch, heads, dim = 2, 4, 32
@@ -974,6 +1131,7 @@ def run_tuning(
         outcomes.extend(_tune_flash_blocks(pool, repeats, quick, rng))
         outcomes.extend(_tune_zero_pipeline(pool, repeats, quick, rng))
         outcomes.append(_tune_rollback_cutoff(repeats, quick, rng))
+        outcomes.extend(_tune_spill(pool, repeats, quick, rng))
         outcomes.append(_tune_workers(repeats, quick, rng))
     pool.shutdown()
     profile = TuneProfile()

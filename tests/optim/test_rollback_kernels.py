@@ -12,8 +12,10 @@ from repro.optim import (
     adam_latency_seconds,
     adam_latency_table,
     make_rollback,
+    rollback_spill_planes,
 )
 from repro.optim.kernels import compute_model_for, paper_table3_reference
+from repro.tensors.spill import SpillArena
 
 
 def setup_opt(rng):
@@ -147,6 +149,83 @@ class TestSnapshotCutoff:
         rb.capture(grads)
         assert rb._scratch is first
         rb.discard()
+
+
+class TestDurableSnapshots:
+    """Arena-range captures optionally stream to a spill arena — the
+    snapshot becomes durable while the speculative step runs."""
+
+    def _arena_opt(self, rng, n):
+        from repro.tensors.arena import FlatArena
+
+        params = {"w": rng.standard_normal(n).astype(np.float32)}
+        FlatArena.adopt(params)
+        return GraceAdam(params, AdamConfig(lr=1e-2))
+
+    def test_capture_streams_planes_to_disk(self, rng, tmp_path,
+                                            monkeypatch):
+        import repro.optim.rollback as rollback_mod
+
+        monkeypatch.setattr(rollback_mod, "SMALL_SNAPSHOT_CUTOFF", 128)
+        opt = self._arena_opt(rng, 256)
+        grads = {"w": rng.standard_normal(256).astype(np.float32)}
+        opt.step(grads)  # non-trivial (p, m, v)
+        with SpillArena(
+            tmp_path / "rb", rollback_spill_planes(opt)
+        ) as spill:
+            rb = SnapshotRollback(opt, spill=spill)
+            want = (opt.params["w"].copy(), opt.state["w"].m.copy(),
+                    opt.state["w"].v.copy())
+            rb.capture(grads)
+            lo, hi = 0, 256
+            assert rb.spilled_range() == (lo, hi)
+            opt.step(grads)  # the speculative step the writes overlap
+            rb.rollback(grads)  # settles the spill tickets
+            for plane, ref in zip(("p", "m", "v"), want):
+                got = np.empty(hi - lo, dtype=np.float32)
+                spill.read(f"rollback.{plane}", lo, hi, got)
+                assert np.array_equal(got, ref), plane
+
+    def test_spilled_bytes_match_scratch(self, rng, tmp_path, monkeypatch):
+        import repro.optim.rollback as rollback_mod
+
+        monkeypatch.setattr(rollback_mod, "SMALL_SNAPSHOT_CUTOFF", 128)
+        opt = self._arena_opt(rng, 256)
+        grads = {"w": rng.standard_normal(256).astype(np.float32)}
+        with SpillArena(
+            tmp_path / "rb", rollback_spill_planes(opt)
+        ) as spill:
+            rb = SnapshotRollback(opt, spill=spill)
+            rb.capture(grads)
+            rb.discard()  # settles tickets too
+            assert spill.bytes_written == rb.scratch_bytes(grads)
+
+    def test_per_tensor_capture_does_not_spill(self, rng, tmp_path):
+        opt = self._arena_opt(rng, 64)  # below the cutoff
+        grads = {"w": rng.standard_normal(64).astype(np.float32)}
+        with SpillArena(
+            tmp_path / "rb", rollback_spill_planes(opt)
+        ) as spill:
+            rb = SnapshotRollback(opt, spill=spill)
+            rb.capture(grads)
+            rb.discard()
+            assert rb.spilled_range() is None
+            assert spill.bytes_written == 0
+
+    def test_schema_requires_arena(self):
+        class NoArena:
+            arena = None
+
+        with pytest.raises(ValueError, match="arena"):
+            rollback_spill_planes(NoArena())
+
+    def test_schema_covers_all_planes(self, rng):
+        opt = self._arena_opt(rng, 64)
+        schema = rollback_spill_planes(opt)
+        total = opt.arena.layout.total
+        assert schema == {
+            "rollback.p": total, "rollback.m": total, "rollback.v": total,
+        }
 
 
 def test_factory(rng):

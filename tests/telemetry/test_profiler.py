@@ -241,3 +241,92 @@ class TestOverhead:
                              telemetry=NULL_TELEMETRY)
         trainer.run(2)
         assert NULL_TELEMETRY.tracer.spans == ()
+
+
+class TestSpillPhases:
+    def test_spill_wait_maps_to_its_own_phase(self):
+        assert phase_of(_span("spill_wait", "stall", 0, 1)) == "spill_wait"
+        assert "spill_wait" in PHASES
+
+    def test_checkpoint_spans_map_to_checkpoint_phase(self):
+        assert phase_of(_span("ckpt_capture", "checkpoint", 0, 1)) == \
+            "checkpoint"
+        assert phase_of(_span("checkpoint", "checkpoint", 0, 1)) == \
+            "checkpoint"
+        assert "checkpoint" in PHASES
+
+    def test_spill_io_spans_are_not_step_phases(self):
+        """spill_read/spill_write run on the I/O thread; they feed the
+        overlap audit, never same-thread step attribution."""
+        assert phase_of(_span("spill_read", "spill_io", 0, 1)) is None
+        assert phase_of(_span("spill_write", "spill_io", 0, 1)) is None
+
+
+class TestSpillOverlapAudit:
+    def _disk_report(self, tmp_path, every=0):
+        from repro.exec.pool import KernelPool
+        from repro.training.dp_trainer import DataParallelTrainer
+
+        profiler = StepProfiler()
+        pool = KernelPool(2, telemetry=profiler.telemetry)
+        try:
+            dp = DataParallelTrainer(
+                TINY, world_size=2, telemetry=profiler.telemetry,
+                pipeline=True, bucket_elements=4096, pool=pool,
+                offload="disk", spill_dir=str(tmp_path / "spill"),
+            )
+            if every:
+                dp.attach_checkpointer(str(tmp_path / "ckpt"), every=every)
+            dp.train(2, batch=4)
+            dp.finish_checkpoints()
+            dp.optimizer.release_staging()
+            dp.optimizer.close_spill()
+            return profiler.report()
+        finally:
+            pool.shutdown()
+
+    def test_disk_steps_report_spill_io_and_efficiency(self, tmp_path):
+        report = self._disk_report(tmp_path)
+        assert len(report.overlap) == 2
+        for audit in report.overlap:
+            assert audit.spill_read_seconds > 0
+            assert audit.spill_write_seconds > 0
+            assert audit.spill_wait_seconds >= 0
+            assert 0.0 <= audit.spill_overlap_efficiency <= 1.0
+
+    def test_resident_steps_have_no_spill_audit(self):
+        from repro.exec.pool import KernelPool
+        from repro.training.dp_trainer import DataParallelTrainer
+
+        profiler = StepProfiler()
+        pool = KernelPool(2, telemetry=profiler.telemetry)
+        try:
+            dp = DataParallelTrainer(
+                TINY, world_size=2, telemetry=profiler.telemetry,
+                pipeline=True, bucket_elements=4096, pool=pool,
+            )
+            dp.train(1, batch=4)
+        finally:
+            pool.shutdown()
+        report = profiler.report()
+        for audit in report.overlap:
+            assert audit.spill_overlap_efficiency is None
+            assert audit.spill_read_seconds == 0.0
+
+    def test_checkpointed_run_shows_checkpoint_phase(self, tmp_path):
+        report = self._disk_report(tmp_path, every=1)
+        assert report.phase_totals.get("checkpoint", 0.0) > 0.0
+
+    def test_spill_sim_rows_cover_both_directions(self, tmp_path):
+        from repro.telemetry.report import SPILL_SIM_HEADERS, spill_sim_rows
+
+        rows = spill_sim_rows(1 << 20, 1 << 19, 0.004, 0.002)
+        assert [r[0] for r in rows] == ["read", "write"]
+        for _, nbytes, measured_ms, predicted_ms, delta in rows:
+            assert nbytes > 0
+            assert measured_ms > 0 and predicted_ms > 0
+            assert delta == pytest.approx(
+                (measured_ms - predicted_ms) / predicted_ms * 100.0
+            )
+        assert len(SPILL_SIM_HEADERS) == len(rows[0])
+        assert spill_sim_rows(0, 0, 0.0, 0.0) == []

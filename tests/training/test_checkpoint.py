@@ -1,0 +1,254 @@
+"""Tests for zero-stall async checkpointing: slot ping-pong, manifest
+atomicity (including a crash mid-manifest), restore fidelity, and the
+SIGKILL crash-consistency property the module docstring promises."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.tensors.errors import TensorValidationError
+from repro.training.checkpoint import (
+    MANIFEST,
+    AsyncCheckpointer,
+    read_manifest,
+    run_checkpointed,
+)
+
+PLANES = {"master": 256, "m": 256, "v": 256}
+
+
+def _snapshot(rng):
+    return {k: rng.standard_normal(n).astype(np.float32)
+            for k, n in PLANES.items()}
+
+
+class TestAsyncCheckpointer:
+    def test_save_restore_round_trip(self, tmp_path, rng):
+        snap = _snapshot(rng)
+        with AsyncCheckpointer(tmp_path, PLANES) as ck:
+            ck.save(3, snap, meta={"loss": 1.5}).wait()
+            out = {k: np.empty(n, dtype=np.float32)
+                   for k, n in PLANES.items()}
+            info = ck.restore(out)
+        assert info.step == 3
+        assert info.meta == {"loss": 1.5}
+        for k in PLANES:
+            assert np.array_equal(out[k], snap[k])
+
+    def test_slots_ping_pong_and_latest_wins(self, tmp_path, rng):
+        with AsyncCheckpointer(tmp_path, PLANES) as ck:
+            first = _snapshot(rng)
+            second = _snapshot(rng)
+            ck.save(1, first)
+            ck.save(2, second)
+            ck.wait()
+            info = ck.latest()
+            assert info.step == 2
+            assert info.slot == 0  # step parity
+            out = {k: np.empty(n, dtype=np.float32)
+                   for k, n in PLANES.items()}
+            ck.restore(out)
+            assert np.array_equal(out["master"], second["master"])
+            assert ck.saves_total == 2
+
+    def test_capture_frees_live_arrays_immediately(self, tmp_path, rng):
+        """The zero-stall contract: mutating the live planes after
+        save() returns must not corrupt the snapshot."""
+        snap = _snapshot(rng)
+        want = {k: v.copy() for k, v in snap.items()}
+        with AsyncCheckpointer(tmp_path, PLANES) as ck:
+            t = ck.save(0, snap)
+            for v in snap.values():
+                v[...] = -1.0  # trample while the write may be in flight
+            t.wait()
+            out = {k: np.empty(n, dtype=np.float32)
+                   for k, n in PLANES.items()}
+            ck.restore(out)
+        for k in PLANES:
+            assert np.array_equal(out[k], want[k])
+
+    def test_resume_keeps_recorded_chunk_bytes(self, tmp_path, rng):
+        with AsyncCheckpointer(tmp_path, PLANES, chunk_bytes=8192) as ck:
+            ck.save(0, _snapshot(rng)).wait()
+        with AsyncCheckpointer(tmp_path, PLANES, chunk_bytes=65536) as ck:
+            assert ck.chunk_bytes == 8192  # the manifest's layout wins
+
+    def test_schema_mismatch_rejected(self, tmp_path, rng):
+        with AsyncCheckpointer(tmp_path, PLANES) as ck:
+            ck.save(0, _snapshot(rng)).wait()
+        with pytest.raises(TensorValidationError, match="schema"):
+            AsyncCheckpointer(tmp_path, {"master": 128})
+
+    def test_bad_saves_rejected(self, tmp_path, rng):
+        with AsyncCheckpointer(tmp_path, PLANES) as ck:
+            with pytest.raises(ValueError):
+                ck.save(-1, _snapshot(rng))
+            with pytest.raises(TensorValidationError):
+                ck.save(0, {"master": np.zeros(256, dtype=np.float32)})
+            wrong = _snapshot(rng)
+            wrong["m"] = np.zeros(7, dtype=np.float32)
+            with pytest.raises(TensorValidationError):
+                ck.save(0, wrong)
+            with pytest.raises(FileNotFoundError):
+                ck.restore({k: np.empty(n, dtype=np.float32)
+                            for k, n in PLANES.items()})
+
+
+class TestManifestAtomicity:
+    def test_missing_manifest_is_none(self, tmp_path):
+        assert read_manifest(tmp_path) is None
+
+    def test_leftover_tmp_is_ignored(self, tmp_path, rng):
+        """A crash mid-manifest leaves ``manifest.json.tmp``; readers
+        must only ever consult the committed name."""
+        with AsyncCheckpointer(tmp_path, PLANES) as ck:
+            ck.save(5, _snapshot(rng)).wait()
+        (tmp_path / (MANIFEST + ".tmp")).write_text('{"torn":')
+        info = read_manifest(tmp_path)
+        assert info is not None and info.step == 5
+        # and a new checkpointer opens cleanly over the debris
+        with AsyncCheckpointer(tmp_path, PLANES) as ck:
+            assert ck.latest().step == 5
+
+    def test_unrecognised_manifest_raises(self, tmp_path):
+        (tmp_path / MANIFEST).write_text(json.dumps({"checkpoint": "other"}))
+        with pytest.raises(TensorValidationError):
+            read_manifest(tmp_path)
+
+
+class TestRunCheckpointed:
+    def _final(self, path):
+        with np.load(path) as doc:
+            return doc["master"].copy(), int(doc["iteration"])
+
+    @pytest.mark.parametrize("offload", ["none", "disk"])
+    def test_interrupt_resume_bit_identical(self, tmp_path, offload):
+        """The headline property: stop after half the steps, resume from
+        the manifest, and land bitwise on the uninterrupted run."""
+        kw = {}
+        if offload == "disk":
+            kw["spill_dir"] = str(tmp_path / "ref-spill")
+        run_checkpointed(tmp_path / "ref-ckpt", 4, batch=4,
+                         offload=offload, out=str(tmp_path / "ref.npz"),
+                         **kw)
+        kw2 = {}
+        if offload == "disk":
+            kw2["spill_dir"] = str(tmp_path / "spill-a")
+        run_checkpointed(tmp_path / "ckpt", 2, batch=4, offload=offload,
+                         **kw2)
+        kw3 = {}
+        if offload == "disk":
+            kw3["spill_dir"] = str(tmp_path / "spill-b")
+        run_checkpointed(tmp_path / "ckpt", 4, batch=4, offload=offload,
+                         out=str(tmp_path / "resumed.npz"), **kw3)
+        ref, ref_it = self._final(tmp_path / "ref.npz")
+        got, got_it = self._final(tmp_path / "resumed.npz")
+        assert got_it == ref_it == 4
+        assert np.array_equal(ref, got)
+
+    def test_resume_skips_completed_iterations(self, tmp_path):
+        run_checkpointed(tmp_path / "ckpt", 3, batch=4)
+        trainer = run_checkpointed(tmp_path / "ckpt", 3, batch=4)
+        assert trainer.iteration == 3
+
+
+def _ckpt_cmd(ckpt_dir, iters, out=None):
+    cmd = [
+        sys.executable, "-m", "repro.training.checkpoint",
+        "--dir", str(ckpt_dir), "--iters", str(iters), "--batch", "4",
+    ]
+    if out is not None:
+        cmd += ["--out", str(out)]
+    return cmd
+
+
+def _env():
+    env = dict(os.environ)
+    root = Path(__file__).resolve().parents[2]
+    env["PYTHONPATH"] = str(root / "src")
+    env["REPRO_TUNE"] = "0"
+    return env
+
+
+class TestCrashConsistency:
+    """SIGKILL a checkpointing subprocess at random points — including
+    the window where a manifest commit may be mid-flight — and assert
+    the resumed run finishes bit-identical to an uninterrupted one."""
+
+    @pytest.mark.slow
+    def test_sigkill_then_resume_is_bit_identical(self, tmp_path):
+        iters = 4
+        ref_out = tmp_path / "ref.npz"
+        proc = subprocess.run(
+            _ckpt_cmd(tmp_path / "ref", iters, ref_out),
+            env=_env(), capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        with np.load(ref_out) as doc:
+            ref = doc["master"].copy()
+
+        delays = np.random.default_rng(int(os.environ.get(
+            "REPRO_CRASH_SEED", "0"
+        ))).uniform(0.05, 2.0, size=3)
+        for i, delay in enumerate(delays):
+            ckpt = tmp_path / f"run{i}"
+            child = subprocess.Popen(
+                _ckpt_cmd(ckpt, iters), env=_env(),
+                stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+            )
+            time.sleep(float(delay))
+            child.kill()  # SIGKILL: no cleanup, no atexit, no flush
+            child.wait(timeout=60)
+            if child.returncode == 0:
+                continue  # finished before the kill landed
+            assert child.returncode == -signal.SIGKILL
+            out = tmp_path / f"out{i}.npz"
+            proc = subprocess.run(
+                _ckpt_cmd(ckpt, iters, out),
+                env=_env(), capture_output=True, text=True, timeout=120,
+            )
+            assert proc.returncode == 0, proc.stderr
+            with np.load(out) as doc:
+                got = doc["master"].copy()
+                assert int(doc["iteration"]) == iters
+            assert np.array_equal(ref, got), (
+                f"kill after {delay:.2f}s diverged from the clean run"
+            )
+
+    @pytest.mark.slow
+    def test_kill_mid_manifest_resumes_from_previous(self, tmp_path):
+        """Simulated torn commit: run to completion, then hand-craft the
+        crash artifact (a partial .tmp beside an older manifest) and
+        prove the resume path trusts only the committed manifest."""
+        ckpt = tmp_path / "ckpt"
+        proc = subprocess.run(
+            _ckpt_cmd(ckpt, 2), env=_env(),
+            capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        committed = json.loads((ckpt / MANIFEST).read_text())
+        # a later save tore halfway through writing the new manifest
+        (ckpt / (MANIFEST + ".tmp")).write_text(
+            json.dumps(committed)[: len(json.dumps(committed)) // 2]
+        )
+        out = tmp_path / "out.npz"
+        proc = subprocess.run(
+            _ckpt_cmd(ckpt, 4, out), env=_env(),
+            capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        ref_out = tmp_path / "ref.npz"
+        proc = subprocess.run(
+            _ckpt_cmd(tmp_path / "ref", 4, ref_out), env=_env(),
+            capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        with np.load(out) as a, np.load(ref_out) as b:
+            assert np.array_equal(a["master"], b["master"])

@@ -36,7 +36,18 @@ def test_expected_tunables_present():
         "reduce.min_parallel", "grace.tile_size", "flash.block_q",
         "flash.block_k", "rollback.snapshot_cutoff",
         "zero.bucket_elements", "zero.min_pipeline", "pool.workers",
+        "spill.chunk_bytes", "spill.prefetch_depth", "spill.writer_queue",
     } <= names
+
+
+def test_spill_workload_has_revert_entries():
+    """The end-to-end validation backstop must know which profile
+    entries steer the spill workload (the revert set)."""
+    from repro.tune.search import _WORKLOAD_ENTRIES
+
+    assert _WORKLOAD_ENTRIES["spill"] == (
+        "spill.chunk_bytes", "spill.prefetch_depth", "spill.writer_queue",
+    )
 
 
 def test_unknown_name_raises_with_known_names():
