@@ -209,6 +209,16 @@ class SpillArena:
                     fd = -1
                     direct_flag = 0  # one refusal disables it for the arena
                     self.direct = False
+                    # Earlier planes already opened O_DIRECT must be
+                    # reopened buffered: the fallback I/O path uses
+                    # sector-unaligned offsets, which a direct fd
+                    # rejects with EINVAL.  The arena is all-or-nothing.
+                    for prev, prev_fd in list(self._fds.items()):
+                        os.close(prev_fd)
+                        self._fds[prev] = os.open(
+                            self.directory / f"{prev}.plane",
+                            os.O_RDWR, 0o644,
+                        )
             if fd < 0:
                 fd = os.open(path, os.O_RDWR | os.O_CREAT, 0o644)
             os.ftruncate(fd, extents * chunk)  # zero-filled, extent-sized

@@ -17,11 +17,15 @@ from.  :class:`AsyncCheckpointer` builds that on :class:`SpillArena`:
   it, atomically renames it over ``manifest.json``, and fsyncs the
   directory.  The manifest is the commit point: a reader either sees the
   previous complete checkpoint or the new one, never a torn state.
-* **Ping-pong slots** — checkpoints alternate between two on-disk slots
-  by step parity, so in-flight writes never touch the slot the current
-  manifest points at.  :meth:`save` waits for the slot's previous commit
-  before reusing it (a ``spill_wait`` that only bites when the disk is
-  more than two checkpoints behind).
+* **Ping-pong slots** — consecutive saves alternate between two on-disk
+  slots (by save sequence, *not* step parity — steps 2 and 4 must not
+  share a slot), and a resumed checkpointer starts on the slot the
+  committed manifest does **not** point at.  Together with the FIFO
+  write stream — slot data writes only start after the prior save's
+  manifest rename has run — in-flight writes never touch the slot the
+  current manifest points at.  :meth:`save` waits for the slot's
+  previous commit before reusing it (a ``spill_wait`` that only bites
+  when the disk is more than two checkpoints behind).
 
 ``python -m repro.training.checkpoint`` runs a small checkpointed
 data-parallel training job and resumes it from the latest manifest if
@@ -141,6 +145,11 @@ class AsyncCheckpointer:
             for slot in (0, 1)
         }
         self._commits: Dict[int, Optional[SpillTicket]] = {0: None, 1: None}
+        # Next slot to write: never the one the committed manifest points
+        # at, alternating per save thereafter.  Keyed on save order, not
+        # step parity — a fixed checkpoint cadence with an even period
+        # would otherwise aim every save at the committed slot.
+        self._next_slot = 0 if existing is None else 1 - existing.slot
         self.saves_total = 0
         self._closed = False
 
@@ -174,7 +183,7 @@ class AsyncCheckpointer:
                 f"snapshot planes {sorted(planes)} != schema "
                 f"{sorted(self._planes)}"
             )
-        slot = step % 2
+        slot = self._next_slot
         previous = self._commits[slot]
         if previous is not None:
             previous.wait()  # slot must be committed before reuse
@@ -204,6 +213,9 @@ class AsyncCheckpointer:
         }
         ticket = self._spill.submit_task(lambda: self._commit(slot, manifest))
         self._commits[slot] = ticket
+        # Flip only once the save is fully enqueued: a validation error
+        # above leaves the slot unburned for the retry.
+        self._next_slot = 1 - slot
         self.saves_total += 1
         return ticket
 
@@ -250,8 +262,22 @@ class AsyncCheckpointer:
                 f"{sorted(self._planes)}"
             )
         for name, arr in planes.items():
-            flat = arr.reshape(-1)
-            self._spill.read(f"s{info.slot}.{name}", 0, flat.size, flat)
+            n = self._planes[name]
+            if arr.size != n:
+                raise TensorValidationError(
+                    f"plane {name!r} holds {arr.size} elements, "
+                    f"schema says {n}"
+                )
+            if arr.dtype == np.float32 and arr.flags["C_CONTIGUOUS"]:
+                self._spill.read(f"s{info.slot}.{name}", 0, n,
+                                 arr.reshape(-1))
+            else:
+                # reshape(-1) on a non-contiguous array is a copy: the
+                # spill read would fill the copy and leave the caller's
+                # array untouched.  Stage through a temp and assign back.
+                tmp = np.empty(n, dtype=np.float32)
+                self._spill.read(f"s{info.slot}.{name}", 0, n, tmp)
+                arr[...] = tmp.reshape(arr.shape)
         return info
 
     def wait(self) -> None:

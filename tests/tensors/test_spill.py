@@ -186,6 +186,40 @@ class TestDirectIO:
             sp.read("m", 10, 2048, out)
             assert np.array_equal(out, direct_out)
 
+    def test_partial_direct_fallback_reopens_earlier_planes(
+        self, tmp_path, rng, monkeypatch
+    ):
+        """Regression: if a later plane's O_DIRECT open fails, planes
+        already opened with the flag must be reopened buffered — the
+        fallback I/O path issues sector-unaligned transfers that a
+        leftover direct fd would reject with EINVAL."""
+        monkeypatch.setattr(os, "O_DIRECT", 0o40000, raising=False)
+        real_open = os.open
+        opens = []
+
+        def fake_open(path, flags, *a, **kw):
+            is_direct = bool(flags & os.O_DIRECT)
+            opens.append((os.path.basename(str(path)), is_direct))
+            if is_direct:
+                if sum(1 for _, d in opens if d) > 1:
+                    raise OSError(22, "Invalid argument")
+                # pretend the fs accepted O_DIRECT for the first plane
+                flags &= ~os.O_DIRECT
+            return real_open(path, flags, *a, **kw)
+
+        monkeypatch.setattr(os, "open", fake_open)
+        with SpillArena(tmp_path / "mix", {"a": 2048, "b": 2048}) as sp:
+            assert not sp.direct
+            # plane a: the direct open, then the buffered reopen
+            assert opens.count(("a.plane", True)) == 1
+            assert opens.count(("a.plane", False)) == 1
+            src = rng.standard_normal(900).astype(np.float32)
+            for name in ("a", "b"):  # unaligned I/O on every plane
+                sp.write(name, 123, 1023, src)
+                out = np.empty(900, dtype=np.float32)
+                sp.read(name, 123, 1023, out)
+                assert np.array_equal(out, src)
+
 
 class TestPinnedStaging:
     def test_staging_reserved_and_released(self, tmp_path):

@@ -51,12 +51,69 @@ class TestAsyncCheckpointer:
             ck.wait()
             info = ck.latest()
             assert info.step == 2
-            assert info.slot == 0  # step parity
+            assert info.slot == 1  # second save: slots follow save order
             out = {k: np.empty(n, dtype=np.float32)
                    for k, n in PLANES.items()}
             ck.restore(out)
             assert np.array_equal(out["master"], second["master"])
             assert ck.saves_total == 2
+
+    def test_same_parity_steps_still_alternate_slots(self, tmp_path, rng):
+        """Regression: an even checkpoint cadence (steps 0, 2, 4...) must
+        not aim every save at the slot the committed manifest points at —
+        slots key on the save sequence, not step parity."""
+        snaps = [_snapshot(rng) for _ in range(3)]
+        with AsyncCheckpointer(tmp_path, PLANES) as ck:
+            slots = []
+            for i, snap in enumerate(snaps):
+                ck.save(2 * i, snap).wait()
+                slots.append(ck.latest().slot)
+            assert slots == [0, 1, 0]
+            out = {k: np.empty(n, dtype=np.float32)
+                   for k, n in PLANES.items()}
+            info = ck.restore(out)
+        assert info.step == 4
+        for k in PLANES:
+            assert np.array_equal(out[k], snaps[-1][k])
+
+    def test_resumed_save_avoids_committed_slot(self, tmp_path, rng):
+        """A fresh checkpointer over an existing manifest must write its
+        first save to the *other* slot, whatever the step numbers say."""
+        with AsyncCheckpointer(tmp_path, PLANES) as ck:
+            ck.save(0, _snapshot(rng)).wait()
+            committed = ck.latest().slot
+        snap = _snapshot(rng)
+        with AsyncCheckpointer(tmp_path, PLANES) as ck:
+            ck.save(2, snap).wait()
+            info = ck.latest()
+            assert info.slot == 1 - committed
+            out = {k: np.empty(n, dtype=np.float32)
+                   for k, n in PLANES.items()}
+            ck.restore(out)
+        for k in PLANES:
+            assert np.array_equal(out[k], snap[k])
+
+    def test_restore_into_noncontiguous_arrays(self, tmp_path, rng):
+        """reshape(-1) on a non-contiguous destination is a copy; restore
+        must still land the data in the caller's arrays."""
+        snap = _snapshot(rng)
+        with AsyncCheckpointer(tmp_path, PLANES) as ck:
+            ck.save(0, snap).wait()
+            out = {k: np.full((n, 2), -1.0, dtype=np.float32)[:, 0]
+                   for k, n in PLANES.items()}
+            assert not any(o.flags["C_CONTIGUOUS"] for o in out.values())
+            ck.restore(out)
+        for k in PLANES:
+            assert np.array_equal(out[k], snap[k])
+
+    def test_restore_size_mismatch_rejected(self, tmp_path, rng):
+        with AsyncCheckpointer(tmp_path, PLANES) as ck:
+            ck.save(0, _snapshot(rng)).wait()
+            bad = {k: np.empty(n, dtype=np.float32)
+                   for k, n in PLANES.items()}
+            bad["m"] = np.empty(7, dtype=np.float32)
+            with pytest.raises(TensorValidationError):
+                ck.restore(bad)
 
     def test_capture_frees_live_arrays_immediately(self, tmp_path, rng):
         """The zero-stall contract: mutating the live planes after
@@ -153,16 +210,31 @@ class TestRunCheckpointed:
         assert got_it == ref_it == 4
         assert np.array_equal(ref, got)
 
+    def test_even_cadence_interrupt_resume_bit_identical(self, tmp_path):
+        """Regression for the step-parity slot bug: with ``every=2`` all
+        checkpoints land on even steps, so slots must alternate by save
+        order or every save would overwrite the committed slot."""
+        run_checkpointed(tmp_path / "ref-ckpt", 6, batch=4, every=2,
+                         out=str(tmp_path / "ref.npz"))
+        run_checkpointed(tmp_path / "ckpt", 4, batch=4, every=2)
+        run_checkpointed(tmp_path / "ckpt", 6, batch=4, every=2,
+                         out=str(tmp_path / "resumed.npz"))
+        ref, ref_it = self._final(tmp_path / "ref.npz")
+        got, got_it = self._final(tmp_path / "resumed.npz")
+        assert got_it == ref_it == 6
+        assert np.array_equal(ref, got)
+
     def test_resume_skips_completed_iterations(self, tmp_path):
         run_checkpointed(tmp_path / "ckpt", 3, batch=4)
         trainer = run_checkpointed(tmp_path / "ckpt", 3, batch=4)
         assert trainer.iteration == 3
 
 
-def _ckpt_cmd(ckpt_dir, iters, out=None):
+def _ckpt_cmd(ckpt_dir, iters, out=None, every=1):
     cmd = [
         sys.executable, "-m", "repro.training.checkpoint",
         "--dir", str(ckpt_dir), "--iters", str(iters), "--batch", "4",
+        "--every", str(every),
     ]
     if out is not None:
         cmd += ["--out", str(out)]
@@ -198,9 +270,10 @@ class TestCrashConsistency:
             "REPRO_CRASH_SEED", "0"
         ))).uniform(0.05, 2.0, size=3)
         for i, delay in enumerate(delays):
+            every = 1 + (i % 2)  # cover even cadences (same-parity steps)
             ckpt = tmp_path / f"run{i}"
             child = subprocess.Popen(
-                _ckpt_cmd(ckpt, iters), env=_env(),
+                _ckpt_cmd(ckpt, iters, every=every), env=_env(),
                 stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
             )
             time.sleep(float(delay))
@@ -211,7 +284,7 @@ class TestCrashConsistency:
             assert child.returncode == -signal.SIGKILL
             out = tmp_path / f"out{i}.npz"
             proc = subprocess.run(
-                _ckpt_cmd(ckpt, iters, out),
+                _ckpt_cmd(ckpt, iters, out, every=every),
                 env=_env(), capture_output=True, text=True, timeout=120,
             )
             assert proc.returncode == 0, proc.stderr
