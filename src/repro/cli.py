@@ -362,6 +362,7 @@ def _cmd_profile(args: argparse.Namespace) -> None:
         MEMORY_HEADERS,
         OVERLAP_HEADERS,
         PHASE_HEADERS,
+        PIPELINE_SIM_HEADERS,
         SIM_HEADERS,
         SPILL_SIM_HEADERS,
         WORKER_HEADERS,
@@ -369,6 +370,7 @@ def _cmd_profile(args: argparse.Namespace) -> None:
         memory_rows,
         overlap_rows,
         phase_rows,
+        pipeline_sim_rows,
         sim_comparison_rows,
         spill_sim_rows,
         worker_rows,
@@ -485,8 +487,32 @@ def _cmd_profile(args: argparse.Namespace) -> None:
                         for s in disk_profiler.tracer.spans
                         if s.name == "spill_write")
 
+    # Run 4: a plan-routed TP2xPP2 step — the 1F1B phase taxonomy
+    # (pp_send/pp_recv/pp_bubble) and the measured bubble fraction.
+    from repro.parallel.plan import ParallelPlan
+
+    pp_microbatches = 4
+    pp_plan = ParallelPlan(tp=2, pp=2)
+    pp_profiler = StepProfiler()
+    pp_trainer = DataParallelTrainer(
+        spec, world_size=1, telemetry=pp_profiler.telemetry,
+        plan=pp_plan, n_microbatches=pp_microbatches,
+    )
+    pp_trainer.train(max(2, iters // 2), batch=4)
+    pp_report = pp_profiler.report()
+    print_table(
+        f"repro profile — plan {pp_plan.describe()} step phases "
+        f"(m={pp_microbatches})",
+        PHASE_HEADERS, phase_rows(pp_report),
+    )
+    measured_bubble = pp_trainer.plan_model.measured_bubble_fraction()
+    print(f"measured 1F1B bubble fraction: {measured_bubble:.3f} "
+          f"(ideal (p-1)/(m+p-1) = "
+          f"{(pp_plan.pp - 1) / (pp_microbatches + pp_plan.pp - 1):.3f})")
+
     sim_rows = None
     spill_sim = None
+    pipeline_sim = None
     if args.compare_sim:
         from repro.models.config import MODEL_CONFIG_TABLE
         from repro.systems import RunSetting, SuperOffloadSystem
@@ -513,6 +539,28 @@ def _cmd_profile(args: argparse.Namespace) -> None:
                 "NVMe link model",
                 SPILL_SIM_HEADERS, spill_sim,
             )
+        # The 1F1B cross-check: the substrate's measured bubble vs the
+        # PipelinedTP timeline at the same (stages, microbatches).
+        from repro.systems import ExecutionChoice, PipelinedTP
+
+        pp_system = PipelinedTP(tp=pp_plan.tp, pp=pp_plan.pp)
+        pp_setting = RunSetting(
+            MODEL_CONFIG_TABLE[5], gh200_cluster(4),
+            global_batch=pp_microbatches,
+        )
+        predicted_bubble = pp_system.predicted_bubble_fraction(
+            pp_setting, ExecutionChoice(1, pp_microbatches,
+                                        checkpointing=False),
+        )
+        pipeline_sim = pipeline_sim_rows(
+            measured_bubble, predicted_bubble,
+            pp_plan.pp, pp_microbatches,
+        )
+        print_table(
+            "repro profile — measured vs simulated 1F1B bubble "
+            f"(plan {pp_plan.describe()}, m={pp_microbatches})",
+            PIPELINE_SIM_HEADERS, pipeline_sim,
+        )
 
     # Overhead + bitwise check: the profiler must observe, never perturb.
     overhead = profiler_overhead(
@@ -563,6 +611,14 @@ def _cmd_profile(args: argparse.Namespace) -> None:
             for a in disk_report.overlap
         ],
         "spill_sim_comparison": spill_sim,
+        "pp_phase_seconds": pp_report.phase_totals,
+        "pipeline_bubble": {
+            "plan": pp_plan.describe(),
+            "microbatches": pp_microbatches,
+            "measured": measured_bubble,
+            "ideal": (pp_plan.pp - 1) / (pp_microbatches + pp_plan.pp - 1),
+        },
+        "pipeline_sim_comparison": pipeline_sim,
         "overhead_pct": overhead.overhead_pct,
         "bitwise_identical": overhead.bitwise_identical,
     }, indent=2) + "\n")
@@ -762,6 +818,9 @@ def _load_bench_baseline(path) -> dict:
             size = r.get("elements", r.get("seq"))
             if size is not None:
                 out[(section, size)] = r["speedup"]
+    par = doc.get("parallelism")
+    if isinstance(par, dict) and "speedup" in par:
+        out[("parallelism", "grid")] = par["speedup"]
     return out
 
 
@@ -962,6 +1021,40 @@ def _cmd_bench(args: argparse.Namespace) -> int:
              for r in result["checkpoint"]],
         )
         summaries.append(_geomean_line("checkpoint", result["checkpoint"]))
+    if "parallelism" in result:
+        par = result["parallelism"]
+        print_table(
+            "repro bench — ParallelPlan substrate equivalence (world 4)",
+            ["plan", "m", "grad max diff", "equivalence",
+             "bubble meas/ideal"],
+            [[r["plan"], r["microbatches"],
+              f"{r['grad_max_abs_diff']:.1e}",
+              ("bitwise" if r["bitwise"]
+               else "ok (tol)" if r["tolerance_ok"] else "FAIL"),
+              ("-" if r["measured_bubble"] is None
+               else f"{r['measured_bubble']:.3f}/{r['ideal_bubble']:.3f}")]
+             for r in par["substrate"]],
+        )
+        print_table(
+            "repro bench — best parallel plan per (model, world)",
+            ["model", "world", "batch", "best plan", "best (s)",
+             "pure-DP (s)", "speedup", "composed beats DP"],
+            [[g["model"], g["world"], g["global_batch"], g["best_plan"],
+              f"{g['best_iter_s']:.3f}", f"{g['pure_dp_iter_s']:.3f}",
+              f"{g['speedup_vs_pure_dp']:.2f}x",
+              "yes" if g["composed_beats_pure_dp"] else "no"]
+             for g in par["grid"]],
+        )
+        summaries.append(
+            f"parallelism: best plan {par['best_plan']} is "
+            f"{par['speedup']:.2f}x over pure DP at the largest config"
+        )
+        base = baseline.get(("parallelism", "grid"))
+        if base is not None and par["speedup"] < base - args.tolerance:
+            regressions.append(
+                f"parallelism: {par['speedup']:.2f}x vs baseline "
+                f"{base:.2f}x (tolerance {args.tolerance:.2f})"
+            )
     if summaries:
         print()
         for line in summaries:

@@ -8,6 +8,20 @@ the tests assert they reproduce the single-rank computation exactly.
 
 from repro.parallel.comm import SimProcessGroup
 from repro.parallel.dp import average_gradients, shard_batch
+from repro.parallel.pipeline import (
+    PipelinedTransformer,
+    microbatched_loss_and_grads,
+    partition_layers,
+    split_microbatches,
+)
+from repro.parallel.plan import ParallelPlan, PlanGroups, PlanModel
+from repro.parallel.tensor import (
+    ColumnParallelLinear,
+    RowParallelLinear,
+    TensorParallelAttention,
+    TensorParallelMLP,
+    TensorParallelTransformer,
+)
 from repro.parallel.zero import ZeroConfig, ZeroShardedAdam, partition_params
 from repro.parallel.ulysses import UlyssesAttention, all_to_all_4d
 
@@ -15,6 +29,18 @@ __all__ = [
     "SimProcessGroup",
     "average_gradients",
     "shard_batch",
+    "PipelinedTransformer",
+    "microbatched_loss_and_grads",
+    "partition_layers",
+    "split_microbatches",
+    "ParallelPlan",
+    "PlanGroups",
+    "PlanModel",
+    "ColumnParallelLinear",
+    "RowParallelLinear",
+    "TensorParallelAttention",
+    "TensorParallelMLP",
+    "TensorParallelTransformer",
     "ZeroConfig",
     "ZeroShardedAdam",
     "partition_params",

@@ -14,6 +14,7 @@ the application buffers handed to the call, not modeled wire traffic
 
 from __future__ import annotations
 
+from collections import deque
 from typing import List, Sequence
 
 import numpy as np
@@ -37,6 +38,7 @@ class SimProcessGroup:
             raise ValueError("world_size must be >= 1")
         self.world_size = world_size
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._mailboxes: dict[tuple[int, int, int], deque] = {}
 
     def _check(self, per_rank: Sequence[np.ndarray]) -> None:
         if len(per_rank) != self.world_size:
@@ -129,6 +131,61 @@ class SimProcessGroup:
         """Every rank receives a copy of ``buf``."""
         self._count("broadcast", buf.nbytes * self.world_size)
         return [buf.copy() for _ in range(self.world_size)]
+
+    def _check_rank(self, rank: int, what: str) -> None:
+        if not 0 <= rank < self.world_size:
+            raise ValueError(
+                f"{what} rank {rank} out of range for world size {self.world_size}"
+            )
+
+    def send(self, buf: np.ndarray, src: int, dst: int, tag: int = 0) -> None:
+        """Point-to-point send from ``src`` to ``dst``.
+
+        The payload is copied into an in-order mailbox keyed by
+        ``(src, dst, tag)``; a matching :meth:`recv` dequeues it.  Used by
+        the 1F1B pipeline schedule to move activations forward and
+        gradients backward between stages; traffic is accounted like the
+        collectives (``op="send"``) and traced as a ``pp_send`` span so
+        the profiler can attribute pipeline communication.
+        """
+        self._check_rank(src, "send src")
+        self._check_rank(dst, "send dst")
+        if src == dst:
+            raise ValueError("send src and dst must differ")
+        payload = np.asarray(buf)
+        with self.telemetry.tracer.span(
+            "pp_send", category="pp_comm", src=src, dst=dst,
+            bytes=int(payload.nbytes),
+        ):
+            self._count("send", payload.nbytes)
+            self._mailboxes.setdefault((src, dst, tag), deque()).append(
+                payload.copy()
+            )
+
+    def recv(self, src: int, dst: int, tag: int = 0) -> np.ndarray:
+        """Point-to-point receive at ``dst`` of the oldest matching send.
+
+        Raises ``RuntimeError`` if no matching send is pending — in this
+        in-process simulation a premature recv is a deadlock, not a wait.
+        """
+        self._check_rank(src, "recv src")
+        self._check_rank(dst, "recv dst")
+        box = self._mailboxes.get((src, dst, tag))
+        if not box:
+            raise RuntimeError(
+                f"recv with no matching send (src={src}, dst={dst}, tag={tag})"
+            )
+        with self.telemetry.tracer.span(
+            "pp_recv", category="pp_comm", src=src, dst=dst,
+            bytes=int(box[0].nbytes),
+        ):
+            payload = box.popleft()
+            self._count("recv", payload.nbytes)
+            return payload
+
+    def pending_messages(self) -> int:
+        """Number of sent-but-unreceived point-to-point payloads."""
+        return sum(len(box) for box in self._mailboxes.values())
 
     def all_to_all(self, per_rank: Sequence[List[np.ndarray]]) -> List[List[np.ndarray]]:
         """Transpose the (sender, receiver) matrix of buffers.

@@ -144,6 +144,169 @@ class ScheduleSimulator:
             resource.reset()
 
 
+# -- 1F1B pipeline timelines -------------------------------------------------
+#
+# The plan-aware timeline: the same task-graph builder serves the
+# simulator's *predicted* pipeline schedule (modeled stage durations from
+# the systems' cost models) and the substrate's *measured* replay (wall
+# durations recorded by repro.parallel.pipeline's serial 1F1B executor,
+# re-laid-out as if the stages ran on parallel resources).  Comparing the
+# two bubble fractions is the pipeline counterpart of the phase-share
+# sim cross-check.
+
+
+def ideal_1f1b_bubble(n_stages: int, n_microbatches: int) -> float:
+    """The analytic 1F1B bubble fraction ``(p-1)/(m+p-1)``.
+
+    Exact for uniform stage durations; the simulated and measured
+    fractions converge to it as stages balance.
+    """
+    if n_stages < 1 or n_microbatches < 1:
+        raise ValueError("stages and microbatches must be >= 1")
+    return (n_stages - 1) / (n_microbatches + n_stages - 1)
+
+
+def stage_op_order(
+    n_stages: int, n_microbatches: int, stage: int
+) -> List[tuple]:
+    """The 1F1B op sequence ``[("F", j) | ("B", j), ...]`` for one stage.
+
+    Warmup runs ``min(m, p-1-stage)`` forwards, the steady phase
+    alternates one-forward-one-backward, and the drain retires the
+    remaining backwards — the classic schedule whose per-stage backward
+    order is ``0, 1, ..., m-1`` (the property the bitwise gradient
+    equivalence gate relies on).
+    """
+    p, m = n_stages, n_microbatches
+    if not 0 <= stage < p:
+        raise ValueError(f"stage {stage} out of range for {p} stages")
+    warmup = min(m, p - 1 - stage)
+    ops: List[tuple] = [("F", j) for j in range(warmup)]
+    nf, nb = warmup, 0
+    while nf < m:
+        ops.append(("F", nf))
+        nf += 1
+        ops.append(("B", nb))
+        nb += 1
+    while nb < m:
+        ops.append(("B", nb))
+        nb += 1
+    return ops
+
+
+def build_1f1b_tasks(
+    n_stages: int,
+    n_microbatches: int,
+    fwd_time,
+    bwd_time,
+    send_time: float = 0.0,
+    iteration: int = 0,
+    prefix: str = "pp",
+    deps_head: Sequence[Task] = (),
+) -> List[Task]:
+    """Topologically ordered tasks of one 1F1B pipeline iteration.
+
+    Resources: one ``{prefix}.stage{s}`` stream per stage plus one
+    ``{prefix}.link{s}`` stream per adjacent boundary (activations
+    forward and gradients backward share it).  Within a stage the 1F1B
+    op order is enforced by FIFO submission order.
+
+    Args:
+        fwd_time, bwd_time: seconds per op — a float, or a callable
+            ``(stage, microbatch) -> seconds`` (the measured replay).
+        send_time: per-hop point-to-point seconds.
+        deps_head: dependencies of each stage's first op (chains
+            iterations).
+    """
+    p, m = n_stages, n_microbatches
+    ft = fwd_time if callable(fwd_time) else (lambda s, j: fwd_time)
+    bt = bwd_time if callable(bwd_time) else (lambda s, j: bwd_time)
+    orders = [stage_op_order(p, m, s) for s in range(p)]
+    pointers = [0] * p
+    sent_f: Dict[tuple, Task] = {}
+    sent_b: Dict[tuple, Task] = {}
+    fwd_tasks: Dict[tuple, Task] = {}
+    tasks: List[Task] = []
+    remaining = sum(len(o) for o in orders)
+    while remaining:
+        progressed = False
+        for s in range(p):
+            if pointers[s] >= len(orders[s]):
+                continue
+            kind, j = orders[s][pointers[s]]
+            deps: List[Task] = list(deps_head) if pointers[s] == 0 else []
+            if kind == "F":
+                if s > 0:
+                    upstream = sent_f.get((s - 1, j))
+                    if upstream is None:
+                        continue
+                    deps.append(upstream)
+                task = Task(
+                    f"it{iteration}.{prefix}.fwd.s{s}.m{j}",
+                    f"{prefix}.stage{s}", ft(s, j),
+                    deps=tuple(deps), category="compute",
+                )
+                tasks.append(task)
+                fwd_tasks[(s, j)] = task
+                if s < p - 1:
+                    send = Task(
+                        f"it{iteration}.{prefix}.send_f.s{s}.m{j}",
+                        f"{prefix}.link{s}", send_time,
+                        deps=(task,), category="pp_comm",
+                    )
+                    tasks.append(send)
+                    sent_f[(s, j)] = send
+            else:
+                if s < p - 1:
+                    downstream = sent_b.get((s + 1, j))
+                    if downstream is None:
+                        continue
+                    deps.append(downstream)
+                deps.append(fwd_tasks[(s, j)])
+                task = Task(
+                    f"it{iteration}.{prefix}.bwd.s{s}.m{j}",
+                    f"{prefix}.stage{s}", bt(s, j),
+                    deps=tuple(deps), category="compute",
+                )
+                tasks.append(task)
+                if s > 0:
+                    send = Task(
+                        f"it{iteration}.{prefix}.send_b.s{s}.m{j}",
+                        f"{prefix}.link{s - 1}", send_time,
+                        deps=(task,), category="pp_comm",
+                    )
+                    tasks.append(send)
+                    sent_b[(s, j)] = send
+            pointers[s] += 1
+            remaining -= 1
+            progressed = True
+        if not progressed:
+            raise RuntimeError("1F1B emission deadlocked (builder bug)")
+    return tasks
+
+
+def pipeline_bubble_fraction(
+    trace: Trace, n_stages: int, prefix: str = "pp"
+) -> float:
+    """Aggregate stage idle share of a 1F1B trace.
+
+    ``1 - Σ_s busy_s / (p * span)`` over the window from the first stage
+    task's start to the last one's finish — the standard pipeline-bubble
+    definition, comparable across the predicted and measured timelines.
+    """
+    resources = [f"{prefix}.stage{s}" for s in range(n_stages)]
+    intervals = [iv for r in resources for iv in trace.intervals_on(r)]
+    if not intervals:
+        return 0.0
+    t0 = min(iv.start for iv in intervals)
+    t1 = max(iv.finish for iv in intervals)
+    span = t1 - t0
+    if span <= 0:
+        return 0.0
+    busy = sum(trace.busy_time(r, (t0, t1)) for r in resources)
+    return max(0.0, 1.0 - busy / (n_stages * span))
+
+
 def chain(tasks: Sequence[Task]) -> List[Task]:
     """Serialize ``tasks`` by adding each as a dependency of the next.
 

@@ -12,6 +12,7 @@ from repro.systems.base import (
 )
 from repro.systems.fsdp_offload import FSDPOffload
 from repro.systems.gpu_only import MegatronTP, PyTorchDDP, ZeRO2, ZeRO3
+from repro.systems.pipeline_tp import PipelinedTP
 from repro.systems.superoffload import SuperOffloadFeatures, SuperOffloadSystem
 from repro.systems.ulysses import (
     SuperOffloadUlysses,
@@ -36,6 +37,7 @@ def build_all_systems() -> Dict[str, TrainingSystem]:
         SuperOffloadSystem(),
         UlyssesSP(),
         SuperOffloadUlysses(),
+        PipelinedTP(),
     ]
     return {s.name: s for s in systems}
 
@@ -59,6 +61,7 @@ __all__ = [
     "TrainingSystem",
     "PyTorchDDP",
     "MegatronTP",
+    "PipelinedTP",
     "ZeRO2",
     "ZeRO3",
     "ZeROOffload",

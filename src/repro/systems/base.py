@@ -205,6 +205,17 @@ class TrainingSystem(abc.ABC):
         measure the steady-state period.
         """
 
+    def extra_resources(
+        self, setting: RunSetting, choice: ExecutionChoice
+    ) -> Tuple[str, ...]:
+        """Additional simulator streams this system's schedule uses.
+
+        The default systems run entirely on :data:`RESOURCES`; pipeline-
+        parallel systems declare their per-stage compute streams and
+        inter-stage links here so :meth:`estimate` registers them.
+        """
+        return ()
+
     # ---- shared pricing helpers ---------------------------------------------
 
     def _gpu_compute(self, setting: RunSetting) -> ComputeModel:
@@ -274,7 +285,9 @@ class TrainingSystem(abc.ABC):
                 f"{self.name}: {setting.config.name} with {choice} does not fit"
             )
         tasks = self.build_schedule(setting, choice, N_SIM_ITERS)
-        sim = ScheduleSimulator(RESOURCES)
+        sim = ScheduleSimulator(
+            RESOURCES + tuple(self.extra_resources(setting, choice))
+        )
         trace = sim.run(tasks)
         ends: Dict[int, float] = {}
         starts: Dict[int, float] = {}

@@ -1,0 +1,228 @@
+"""The composed TPxPPxDP performance model over the 1F1B timeline.
+
+Where :class:`~repro.systems.gpu_only.MegatronTP` folds everything onto
+the single ``"gpu"`` stream, this system lays each pipeline stage on its
+own simulated resource (``pp.stage{s}``) with inter-stage activation
+hops on ``pp.link{s}`` — the plan-aware timeline built by
+:func:`repro.sim.engine.build_1f1b_tasks`, the *same* task-graph builder
+the substrate's measured replay uses
+(:meth:`repro.parallel.pipeline.PipelinedTransformer.measured_bubble_fraction`).
+That shared builder is what makes the predicted and measured 1F1B bubble
+fractions directly comparable in ``repro profile --compare-sim``.
+
+Axes priced:
+
+* **TP** shrinks per-stage GEMMs (``hidden_factor``) and adds the
+  per-layer activation all-reduces on the flat (non-hierarchical) ring,
+  serialized into the stage time — Megatron's model, divided over the
+  stage's layer share.
+* **PP** divides layers across stages; the 1F1B bubble emerges from the
+  timeline itself rather than an analytic correction.
+* **DP** prices the gradient all-reduce over each rank's parameter shard
+  after the drain.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.models.estimators import activation_bytes
+from repro.sim import calibration
+from repro.sim.collectives import CollectiveModel
+from repro.sim.engine import (
+    ScheduleSimulator,
+    Task,
+    build_1f1b_tasks,
+    ideal_1f1b_bubble,
+    pipeline_bubble_fraction,
+)
+from repro.systems.base import (
+    ExecutionChoice,
+    InfeasibleError,
+    RunSetting,
+    TrainingSystem,
+)
+
+
+class PipelinedTP(TrainingSystem):
+    """Megatron-style TP inside 1F1B pipeline stages, DP across groups.
+
+    ``world = tp * pp * dp``; the grad-accumulation count of the
+    execution choice doubles as the 1F1B microbatch count ``m``, so the
+    bubble fraction the timeline exhibits is the classic
+    ``(p-1)/(m+p-1)`` under uniform stages.
+
+    Args:
+        tp: tensor-parallel degree inside each stage.
+        pp: pipeline stage count.
+    """
+
+    STATE_BYTES_PER_PARAM = 18  # 16 model states + fp16 working copies
+
+    #: the candidate-choice search sees the per-DP-group batch
+    data_parallel = False
+
+    def __init__(self, tp: int = 1, pp: int = 2) -> None:
+        if tp < 1 or pp < 1:
+            raise ValueError("tp and pp degrees must be >= 1")
+        super().__init__(
+            f"pipeline_tp{tp}x{pp}" if (tp, pp) != (1, 2) else "pipeline_tp",
+            f"TP{tp} x PP{pp} (1F1B)",
+        )
+        self.tp = tp
+        self.pp = pp
+
+    # -- geometry -----------------------------------------------------------
+
+    def _dp_degree(self, setting: RunSetting) -> int:
+        mp = self.tp * self.pp
+        if setting.world % mp:
+            raise InfeasibleError(
+                f"{self.name}: tp*pp = {mp} does not divide world "
+                f"{setting.world}"
+            )
+        return setting.world // mp
+
+    # -- memory model -------------------------------------------------------
+
+    def gpu_state_bytes(self, setting: RunSetting, choice: ExecutionChoice) -> float:
+        return self.STATE_BYTES_PER_PARAM * setting.psi / (self.tp * self.pp)
+
+    def cpu_state_bytes(self, setting: RunSetting, choice: ExecutionChoice) -> float:
+        return 0.0
+
+    def activation_state_bytes(
+        self, setting: RunSetting, choice: ExecutionChoice
+    ) -> float:
+        full = activation_bytes(
+            setting.config,
+            choice.micro_batch,
+            setting.seq,
+            checkpointing=choice.checkpointing,
+            flash_attention=setting.flash_attention,
+        )
+        # Stage 0 is the residency peak: its 1/pp layer share (TP-divided)
+        # holds up to min(m, pp) in-flight microbatch activations under
+        # 1F1B's warmup.
+        in_flight = min(choice.grad_accum, self.pp)
+        return full / (self.tp * self.pp) * in_flight
+
+    def candidate_choices(self, setting: RunSetting) -> List[ExecutionChoice]:
+        """Per-DP-group batch; grad_accum is the 1F1B microbatch count."""
+        per_group = max(1, setting.global_batch // self._dp_degree(setting))
+        choices: List[ExecutionChoice] = []
+        micro = per_group
+        while micro >= 1:
+            accum = max(1, per_group // micro)
+            choices.append(ExecutionChoice(micro, accum, checkpointing=False))
+            choices.append(ExecutionChoice(micro, accum, checkpointing=True))
+            if micro == 1:
+                break
+            micro //= 2
+        return choices
+
+    # -- timeline -----------------------------------------------------------
+
+    def extra_resources(
+        self, setting: RunSetting, choice: ExecutionChoice
+    ) -> Tuple[str, ...]:
+        stages = tuple(f"pp.stage{s}" for s in range(self.pp))
+        links = tuple(f"pp.link{s}" for s in range(self.pp - 1))
+        return stages + links
+
+    def _stage_times(
+        self, setting: RunSetting, choice: ExecutionChoice
+    ) -> Tuple[float, float, float]:
+        """(stage forward, stage backward, inter-stage hop) seconds per
+        microbatch, TP comm serialized into the stage time."""
+        cfg = setting.config
+        fwd_t, bwd_t = self.fwd_bwd_times(
+            setting, choice,
+            shard=1.0 / (self.tp * self.pp),
+            hidden_factor=1.0 / self.tp,
+        )
+        # Per-layer activation all-reduces on the flat ring (same pricing
+        # as MegatronTP), for this stage's 1/pp share of the layers; one
+        # per pass direction.
+        act_bytes = 2 * choice.micro_batch * setting.seq * cfg.hidden
+        if self.tp > 1:
+            tp_coll = CollectiveModel(setting.cluster, hierarchical=False)
+            per_layer = 2 * tp_coll.all_reduce(act_bytes, participants=self.tp)
+            stage_comm = per_layer * cfg.n_layers / self.pp
+        else:
+            stage_comm = 0.0
+        fwd = fwd_t + calibration.MICROBATCH_OVERHEAD + stage_comm / 2
+        bwd = bwd_t + stage_comm / 2
+        # The inter-stage hop moves one microbatch's boundary activation
+        # (fp16), TP-sharded, over the intra-node link.
+        if self.pp > 1:
+            link = setting.cluster.node.gpu_link.link
+            hop = (
+                calibration.COLLECTIVE_LATENCY
+                + (act_bytes / self.tp)
+                / (link.peak_bandwidth * calibration.COLLECTIVE_EFFICIENCY)
+            )
+        else:
+            hop = 0.0
+        return fwd, bwd, hop
+
+    def build_schedule(
+        self, setting: RunSetting, choice: ExecutionChoice, n_iters: int
+    ) -> List[Task]:
+        dp = self._dp_degree(setting)
+        gpu = self._gpu_compute(setting)
+        fwd, bwd, hop = self._stage_times(setting, choice)
+        # Gradient all-reduce over each rank's 1/(tp*pp) parameter shard;
+        # DP replicas of a stage live in different nodes (NIC-bound).
+        inter_bw = (setting.cluster.network.link.peak_bandwidth
+                    * calibration.COLLECTIVE_EFFICIENCY)
+        shard_psi = setting.psi / (self.tp * self.pp)
+        dp_ar_t = (
+            calibration.COLLECTIVE_LATENCY
+            + 2 * (dp - 1) / dp * (2 * shard_psi) / inter_bw
+            if dp > 1 else 0.0
+        )
+        step_t = gpu.adam_step_time(int(shard_psi), "gpu")
+        tasks: List[Task] = []
+        prev: List[Task] = []
+        for it in range(n_iters):
+            body = build_1f1b_tasks(
+                self.pp, choice.grad_accum, fwd, bwd,
+                send_time=hop, iteration=it, deps_head=tuple(prev),
+            )
+            tasks.extend(body)
+            last = body[-1]
+            deps: List[Task] = [last]
+            if dp > 1:
+                ar = Task(f"it{it}.dp_allreduce", "net", dp_ar_t,
+                          deps=(last,), category="collective")
+                tasks.append(ar)
+                deps = [ar]
+            # Per-stage shard update; priced once on the shared gpu stream
+            # (stages update concurrently in reality — one shard's cost).
+            step = Task(f"it{it}.step", "gpu", step_t,
+                        deps=tuple(deps), category="optimizer")
+            tasks.append(step)
+            prev = [step]
+        return tasks
+
+    # -- the cross-checked prediction ----------------------------------------
+
+    def predicted_bubble_fraction(
+        self, setting: RunSetting, choice: ExecutionChoice
+    ) -> float:
+        """Bubble fraction of one modeled 1F1B iteration.
+
+        This is the number ``repro profile --compare-sim`` holds against
+        the substrate's measured replay; under uniform stages it equals
+        :func:`~repro.sim.engine.ideal_1f1b_bubble`.
+        """
+        fwd, bwd, hop = self._stage_times(setting, choice)
+        tasks = build_1f1b_tasks(
+            self.pp, choice.grad_accum, fwd, bwd, send_time=hop
+        )
+        sim = ScheduleSimulator(self.extra_resources(setting, choice) or ("gpu",))
+        return pipeline_bubble_fraction(sim.run(tasks), self.pp)
+
+
+__all__ = ["PipelinedTP", "ideal_1f1b_bubble"]

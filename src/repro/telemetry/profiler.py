@@ -50,6 +50,9 @@ PHASES = (
     "stall",
     "spill_wait",
     "checkpoint",
+    "pp_send",
+    "pp_recv",
+    "pp_bubble",
     "idle",
 )
 
@@ -65,6 +68,14 @@ _NAME_PHASE = {
     "spill_wait": "spill_wait",   # caller blocked on the spill worker
     "ckpt_capture": "checkpoint",
     "checkpoint": "checkpoint",
+    # Pipeline parallelism: stage compute folds into forward/backward;
+    # the p2p hops and schedule stalls get their own phases so 1F1B
+    # bubble time no longer disappears into ``idle``.
+    "pp_fwd": "forward",
+    "pp_bwd": "backward",
+    "pp_send": "pp_send",
+    "pp_recv": "pp_recv",
+    "pp_bubble": "pp_bubble",
 }
 
 #: Span *categories* with a phase (used when the name is unmapped).
@@ -77,6 +88,8 @@ _CATEGORY_PHASE = {
     "collective": "grad_reduce",
     "stall": "stall",
     "checkpoint": "checkpoint",
+    "pp_comm": "pp_send",     # unnamed p2p traffic counts as send time
+    "pp_stall": "pp_bubble",
 }
 
 

@@ -38,6 +38,11 @@ PHASE_TO_SIM_CATEGORY: Dict[str, Optional[str]] = {
     # checkpoint capture is optimizer-adjacent state movement.
     "spill_wait": None,
     "checkpoint": "optimizer",
+    # Pipeline p2p hops ride the sim's ``pp_comm`` link intervals; the
+    # schedule bubble is a gap on the stage resources, like any stall.
+    "pp_send": "pp_comm",
+    "pp_recv": "pp_comm",
+    "pp_bubble": None,
     "idle": None,
 }
 
@@ -51,6 +56,8 @@ MEMORY_HEADERS = ("source", "peak_bytes", "peak_mib", "samples")
 SIM_HEADERS = ("category", "measured_pct", "predicted_pct", "delta_pp")
 SPILL_SIM_HEADERS = ("direction", "bytes", "measured_ms", "predicted_ms",
                      "delta_pct")
+PIPELINE_SIM_HEADERS = ("quantity", "measured_pct", "predicted_pct",
+                        "delta_pp")
 
 
 def phase_rows(report: ProfileReport) -> List[Sequence]:
@@ -120,6 +127,34 @@ def spill_sim_rows(
             [direction, int(nbytes), measured * 1e3, predicted * 1e3, delta]
         )
     return rows
+
+
+def pipeline_sim_rows(
+    measured_bubble: float,
+    predicted_bubble: float,
+    n_stages: int,
+    n_microbatches: int,
+) -> List[Sequence]:
+    """Measured vs predicted 1F1B bubble fraction, in pct points.
+
+    The measured side replays the substrate's per-op wall durations
+    through :func:`~repro.sim.engine.build_1f1b_tasks`
+    (:meth:`~repro.parallel.pipeline.PipelinedTransformer.measured_bubble_fraction`);
+    the predicted side is the same task graph under the simulator's
+    modeled stage times.  The ideal ``(p-1)/(m+p-1)`` row anchors both —
+    the pipeline counterpart of :func:`spill_sim_rows`.
+    """
+    from repro.sim.engine import ideal_1f1b_bubble
+
+    ideal = ideal_1f1b_bubble(n_stages, n_microbatches)
+    return [
+        ["bubble_fraction", measured_bubble * 100.0,
+         predicted_bubble * 100.0,
+         (measured_bubble - predicted_bubble) * 100.0],
+        [f"ideal (p={n_stages}, m={n_microbatches})",
+         measured_bubble * 100.0, ideal * 100.0,
+         (measured_bubble - ideal) * 100.0],
+    ]
 
 
 def worker_rows(report: ProfileReport) -> List[Sequence]:

@@ -33,6 +33,12 @@ asks for.  Five sections:
   :class:`~repro.tensors.workspace.ActivationWorkspace` vs. the
   allocate-everything dense baseline, asserting steady-state workspace
   allocations are zero.
+* ``parallelism`` — the :class:`~repro.parallel.plan.ParallelPlan` grid:
+  every TPxPPxDP factorization executed for real through
+  :class:`~repro.parallel.plan.PlanModel` (equivalence-checked against
+  the unsharded model) plus the simulator's best-plan sweep per (model
+  size, world size), recording the fastest plan and its speedup over
+  pure data parallelism.
 
 Both executor sections run on a real :class:`~repro.exec.pool.KernelPool`
 (``workers`` threads); on a single-core host the recorded speedup is the
@@ -72,7 +78,15 @@ QUICK_SIZES = (1 << 16, 1 << 19)
 ALL_SECTIONS = (
     "zero_step", "rollback", "steady_state", "parallel_step",
     "zero_pipeline", "attention", "model_step", "spill", "checkpoint",
+    "parallelism",
 )
+
+#: (model billions, superchip count) grid the ``parallelism`` section
+#: sweeps plans over.  Pure DP must stay *feasible* at every point so the
+#: best-plan comparison is a timing statement, not a memory one — 18
+#: bytes/param caps that at ~5B on a 96 GB GH200.
+PARALLELISM_GRID = ((2, 4), (3, 8), (5, 8))
+QUICK_PARALLELISM_GRID = ((5, 8),)
 
 #: Sequence lengths for the ``attention`` section.  The largest is the
 #: regression-guard size: the structural win (no ``S x S`` materialized,
@@ -671,6 +685,156 @@ def _bench_model_step(
     }
 
 
+def _bench_parallelism(
+    rng: np.random.Generator, repeats: int, quick: bool,
+) -> Dict:
+    """The ParallelPlan grid sweep: substrate equivalence + best plan.
+
+    Two halves, one plan vocabulary:
+
+    * **Substrate** — every ``TPxPPxDP`` factorization of a 4-way world
+      executes a real per-replica step through
+      :class:`~repro.parallel.plan.PlanModel` and is checked against the
+      unsharded :class:`TinyTransformer` on identical shards (TP paths
+      are tolerance-equivalent — see ``repro.parallel.tensor`` — and the
+      1F1B measured bubble is compared to the ideal ``(p-1)/(m+p-1)``).
+    * **Simulator** — for each (model size, world size) grid point every
+      plan is priced by :class:`~repro.systems.pipeline_tp.PipelinedTP`
+      over the GH200 cluster; the best plan and its speedup over pure DP
+      (``tp1.pp1``) are recorded.  The headline ``speedup`` is the
+      largest grid point's best-plan-over-pure-DP ratio — the number the
+      regression guard watches.
+    """
+    from repro.models.config import MODEL_CONFIG_TABLE
+    from repro.parallel.pipeline import (
+        microbatched_loss_and_grads,
+        split_microbatches,
+    )
+    from repro.parallel.plan import ParallelPlan, PlanModel
+    from repro.systems.base import InfeasibleError, RunSetting
+    from repro.systems.pipeline_tp import PipelinedTP
+    from repro.training.cluster import gh200_cluster
+
+    # -- substrate: every plan of a 4-way world vs the unsharded model --
+    spec = TransformerParams(
+        vocab=64, max_seq=16, hidden=32, n_layers=4, n_heads=4
+    )
+    batch = 8
+    model = TinyTransformer(spec, seed=0)
+    ids = rng.integers(0, spec.vocab, size=(batch, spec.max_seq))
+    targets = rng.integers(0, spec.vocab, size=(batch, spec.max_seq))
+    substrate_rows: List[Dict] = []
+    for plan in ParallelPlan.enumerate(4, spec):
+        replica = batch // plan.dp
+        m = min(replica, 4)
+        routed = PlanModel(model, plan, n_microbatches=m)
+        # Per-replica shards: the DP axis is pure batch splitting, so
+        # per-shard equivalence is the full equivalence statement.
+        shard_ids, shard_targets = split_microbatches(ids, targets, plan.dp)
+        loss_diff = grad_diff = 0.0
+        bubble = None
+        for s_ids, s_targets in zip(shard_ids, shard_targets):
+            # The per-plan reference: pipelined plans accumulate over m
+            # microbatches, so they compare against the *microbatched*
+            # sequential step (bitwise-identical by the 1F1B contract);
+            # unpipelined plans compare against the plain step.
+            if plan.pp > 1:
+                ref_loss, ref_grads = microbatched_loss_and_grads(
+                    model, s_ids, s_targets, m
+                )
+            else:
+                ref_loss, ref_grads = model.loss_and_grads(s_ids, s_targets)
+            loss, grads = routed.loss_and_grads(s_ids, s_targets)
+            loss_diff = max(loss_diff, abs(loss - ref_loss))
+            grad_diff = max(
+                grad_diff,
+                max(float(np.abs(ref_grads[k] - grads[k]).max())
+                    for k in ref_grads),
+            )
+        if plan.pp > 1:
+            bubble = routed.measured_bubble_fraction()
+        substrate_rows.append({
+            "plan": plan.describe(),
+            "microbatches": m if plan.pp > 1 else 1,
+            "loss_abs_diff": loss_diff,
+            "grad_max_abs_diff": grad_diff,
+            # TP reorders reductions (k-dim partials, shape-dependent
+            # BLAS blocking); pure-PP plans are bitwise.
+            "bitwise": grad_diff == 0.0 and loss_diff == 0.0,
+            "tolerance_ok": loss_diff <= 1e-6 and grad_diff <= 1e-6,
+            "measured_bubble": bubble,
+            "ideal_bubble": (
+                (plan.pp - 1) / (m + plan.pp - 1) if plan.pp > 1 else None
+            ),
+        })
+
+    # -- simulator: best plan per (model size, world size) -------------
+    grid = QUICK_PARALLELISM_GRID if quick else PARALLELISM_GRID
+    grid_rows: List[Dict] = []
+    for billions, world in grid:
+        cfg = MODEL_CONFIG_TABLE[billions]
+        setting = RunSetting(
+            cfg, gh200_cluster(world), global_batch=4 * world, seq=1024
+        )
+        plan_rows: List[Dict] = []
+        for plan in ParallelPlan.enumerate(world):
+            if cfg.hidden % plan.tp or cfg.n_heads % plan.tp:
+                continue
+            if plan.pp > cfg.n_layers:
+                continue
+            system = PipelinedTP(tp=plan.tp, pp=plan.pp)
+            try:
+                est = system.best_estimate(setting)
+            except InfeasibleError:
+                continue
+            plan_rows.append({
+                "plan": plan.describe(),
+                "iter_s": est.iter_time,
+                "tflops_per_gpu": est.tflops_per_gpu,
+                "microbatches": est.choice.grad_accum,
+                "predicted_bubble": (
+                    system.predicted_bubble_fraction(setting, est.choice)
+                    if plan.pp > 1 else 0.0
+                ),
+            })
+        plan_rows.sort(key=lambda r: r["iter_s"])
+        best = plan_rows[0]
+        pure_dp = next(
+            r for r in plan_rows if r["plan"] == "tp1.pp1.dp%d.sp1" % world
+        )
+        composed = [
+            r for r in plan_rows
+            if r["plan"].split(".")[0] != "tp1"
+            and r["plan"].split(".")[1] != "pp1"
+        ]
+        grid_rows.append({
+            "model": cfg.name,
+            "world": world,
+            "global_batch": setting.global_batch,
+            "seq": setting.seq,
+            "plans": plan_rows,
+            "best_plan": best["plan"],
+            "best_iter_s": best["iter_s"],
+            "pure_dp_iter_s": pure_dp["iter_s"],
+            "speedup_vs_pure_dp": pure_dp["iter_s"] / best["iter_s"],
+            # The acceptance bar: a TPxPP-composed plan outrunning pure
+            # DP (its gradient all-reduce moves tp*pp times the bytes).
+            "composed_beats_pure_dp": bool(
+                composed and composed[0]["iter_s"] < pure_dp["iter_s"]
+            ),
+        })
+
+    largest = grid_rows[-1]
+    return {
+        "substrate": substrate_rows,
+        "grid": grid_rows,
+        "all_tolerance_ok": all(r["tolerance_ok"] for r in substrate_rows),
+        # headline: the largest grid point's best plan over pure DP
+        "speedup": largest["speedup_vs_pure_dp"],
+        "best_plan": largest["best_plan"],
+    }
+
+
 def substrate_bench(
     sizes: Optional[List[int]] = None,
     world_size: int = 4,
@@ -761,4 +925,6 @@ def substrate_bench(
         result["checkpoint"] = [
             _bench_checkpoint(rng, n, repeats) for n in sizes
         ]
+    if "parallelism" in sections:
+        result["parallelism"] = _bench_parallelism(rng, repeats, quick)
     return result

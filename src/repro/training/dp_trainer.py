@@ -28,6 +28,7 @@ from repro.optim.mixed_precision import (
 )
 from repro.parallel.comm import SimProcessGroup
 from repro.parallel.dp import shard_batch
+from repro.parallel.plan import ParallelPlan, PlanModel
 from repro.parallel.zero import ZeroShardedAdam
 from repro.telemetry import NULL_TELEMETRY, Telemetry
 from repro.tensors.arena import FlatArena
@@ -78,6 +79,14 @@ class DataParallelTrainer:
         spill_dir: spill directory for ``offload="disk"`` (forwarded).
         spill_prefetch: overlap the spill reads ahead of the bucket loop
             (forwarded; ``False`` is the measured baseline).
+        plan: optional :class:`~repro.parallel.plan.ParallelPlan` routing
+            each replica's forward/backward through the model-parallel
+            axes (TP/PP/SP) via :class:`~repro.parallel.plan.PlanModel`.
+            Its ``dp`` degree must equal ``world_size`` — this trainer's
+            rank loop *is* the data-parallel axis.  ``None`` keeps the
+            plain unsharded step.
+        n_microbatches: 1F1B microbatch count when ``plan.pp > 1``
+            (defaults to the ``pp.microbatches`` tunable).
     """
 
     def __init__(
@@ -97,9 +106,24 @@ class DataParallelTrainer:
         offload: str = "none",
         spill_dir: "str | None" = None,
         spill_prefetch: bool = True,
+        plan: "ParallelPlan | None" = None,
+        n_microbatches: int | None = None,
     ):
         if world_size < 1:
             raise ValueError("world_size must be >= 1")
+        if plan is not None:
+            if plan.dp != world_size:
+                raise ValueError(
+                    f"plan {plan.describe()} has dp={plan.dp}; the trainer's "
+                    f"world_size ({world_size}) is the data-parallel axis"
+                )
+            if plan.pp > 1 and use_workspace:
+                raise ValueError(
+                    "use_workspace is incompatible with pipeline "
+                    "parallelism (in-flight microbatches would alias "
+                    "workspace buffers)"
+                )
+            plan.validate_model(spec)
         self.spec = spec
         self.world_size = world_size
         self.clip_norm = clip_norm
@@ -117,6 +141,18 @@ class DataParallelTrainer:
             telemetry=self.telemetry,
         )
         self.group = SimProcessGroup(world_size, telemetry=self.telemetry)
+        self.plan = plan
+        # Each replica's forward/backward runs through the plan's
+        # model-parallel axes; the rank loop below stays the DP axis.
+        self.plan_model = (
+            PlanModel(self.model, plan, n_microbatches=n_microbatches,
+                      backend=attn_backend)
+            if plan is not None and (plan.tp > 1 or plan.pp > 1)
+            else None
+        )
+        self._route = (
+            self.plan_model if self.plan_model is not None else self.model
+        )
         self.optimizer = ZeroShardedAdam(
             self.model.params, world_size, config=adam or AdamConfig(),
             telemetry=self.telemetry, pipeline=pipeline,
@@ -242,7 +278,7 @@ class DataParallelTrainer:
         with tracer.span("fwd_bwd", category="compute",
                          ranks=self.world_size):
             for rank_ids, rank_targets in shards:
-                loss, grads = self.model.loss_and_grads(
+                loss, grads = self._route.loss_and_grads(
                     rank_ids, rank_targets, params=widened
                 )
                 losses.append(loss)

@@ -21,6 +21,7 @@ from repro.core.stv import StepReport
 from repro.data.synthetic import SyntheticPile
 from repro.numeric.transformer import TinyTransformer, TransformerParams
 from repro.optim.mixed_precision import LossScaler
+from repro.parallel.plan import ParallelPlan, PlanModel
 from repro.telemetry import NULL_TELEMETRY, Telemetry
 from repro.tensors.workspace import ActivationWorkspace
 
@@ -98,6 +99,12 @@ class STVTrainer:
         use_workspace: back the model step with an
             :class:`~repro.tensors.workspace.ActivationWorkspace` so
             steady-state steps allocate no activation memory.
+        plan: optional :class:`~repro.parallel.plan.ParallelPlan` routing
+            the engine's forward/backward through the model-parallel axes
+            (TP/PP/SP) via :class:`~repro.parallel.plan.PlanModel`.  The
+            ``dp`` degree must be 1 — this trainer runs a single replica.
+        n_microbatches: 1F1B microbatch count when ``plan.pp > 1``
+            (defaults to the ``pp.microbatches`` tunable).
     """
 
     def __init__(
@@ -110,10 +117,25 @@ class STVTrainer:
         telemetry: Telemetry | None = None,
         attn_backend: str = "dense",
         use_workspace: bool = False,
+        plan: "ParallelPlan | None" = None,
+        n_microbatches: int | None = None,
     ):
         self.spec = spec or TransformerParams(
             vocab=256, max_seq=32, hidden=64, n_layers=2, n_heads=4
         )
+        if plan is not None:
+            if plan.dp != 1:
+                raise ValueError(
+                    f"plan {plan.describe()} has dp={plan.dp}; the STV "
+                    "trainer runs a single data-parallel replica"
+                )
+            if plan.pp > 1 and use_workspace:
+                raise ValueError(
+                    "use_workspace is incompatible with pipeline "
+                    "parallelism (in-flight microbatches would alias "
+                    "workspace buffers)"
+                )
+            plan.validate_model(self.spec)
         self.batch = batch
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.workspace = (
@@ -133,8 +155,18 @@ class STVTrainer:
             # (~2-3 for this model), so — as in a healthy large-scale run —
             # clipping fires on injected spikes, not on routine steps.
             config = SuperOffloadConfig(clip_norm=8.0)
+        self.plan = plan
+        # The engine sees the plan-routed wrapper: its fwd/bwd calls run
+        # TP/PP-sharded, while arenas, casts, STV, and rollback plumbing
+        # keep operating on the wrapped model's params via delegation.
+        self.plan_model = (
+            PlanModel(self.model, plan, n_microbatches=n_microbatches,
+                      backend=attn_backend)
+            if plan is not None and (plan.tp > 1 or plan.pp > 1)
+            else None
+        )
         self.engine = SuperOffloadEngine(
-            self.model,
+            self.plan_model if self.plan_model is not None else self.model,
             config,
             loss_scaler=LossScaler(init_scale=2.0**12, growth_interval=64),
             telemetry=self.telemetry,

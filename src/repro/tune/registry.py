@@ -160,6 +160,29 @@ _T = (
         "REPRO_EXEC_WORKERS always wins)",
         "repro.exec.pool",
     ),
+    # -- model parallelism (repro.parallel.tensor / .pipeline) ---------
+    Tunable(
+        "tp.gather_crossover", 1 << 16, 1, 1 << 26, _pow2(12, 20),
+        "crossover",
+        "gathered output elements below which the column-parallel "
+        "all-gather takes the broadcast-assemble path (both paths are "
+        "bitwise-identical; the tunable shapes modeled traffic)",
+        "repro.parallel.tensor",
+    ),
+    Tunable(
+        "pp.microbatches", 4, 1, 64, (1, 2, 4, 8, 16),
+        "count",
+        "default 1F1B microbatch count per pipeline step (bubble "
+        "fraction is (p-1)/(m+p-1); more microbatches shrink it)",
+        "repro.parallel.pipeline",
+    ),
+    Tunable(
+        "pp.stage_balance", 0, 0, 8, (0, 1, 2),
+        "count",
+        "layers shifted off the final pipeline stage (which also owns "
+        "the LM head) onto earlier stages to balance stage times",
+        "repro.parallel.pipeline",
+    ),
     # -- disk spill tier (repro.tensors.spill) -------------------------
     Tunable(
         "spill.chunk_bytes", 1 << 18, 1 << 12, 1 << 24,

@@ -1,0 +1,260 @@
+"""1F1B pipeline parallelism: bitwise equivalence and bubble accounting.
+
+Layer-range splitting changes no arithmetic and the schedule retires
+backward microbatches in a fixed order, so — unlike the TP paths — the
+pipelined step is *bitwise* identical to the unpipelined microbatched
+reference for every (stage count, microbatch count), including the
+degenerate ``m == 1`` and ``m == stages`` corners.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.numeric.transformer import TinyTransformer, TransformerParams
+from repro.parallel.comm import SimProcessGroup
+from repro.parallel.pipeline import (
+    PipelinedTransformer,
+    microbatched_loss_and_grads,
+    partition_layers,
+    simulated_bubble_fraction,
+    split_microbatches,
+)
+from repro.sim.engine import ideal_1f1b_bubble, stage_op_order
+from repro.telemetry import Telemetry
+
+SPEC = TransformerParams(vocab=64, max_seq=16, hidden=32, n_layers=4,
+                         n_heads=4)
+
+
+def _batch(seed=0, batch=8):
+    rng = np.random.default_rng(seed)
+    return (rng.integers(0, SPEC.vocab, size=(batch, SPEC.max_seq)),
+            rng.integers(0, SPEC.vocab, size=(batch, SPEC.max_seq)))
+
+
+# -- partitioner --------------------------------------------------------
+
+
+def test_partition_layers_even():
+    assert partition_layers(4, 2) == [(0, 2), (2, 4)]
+    assert partition_layers(4, 4) == [(0, 1), (1, 2), (2, 3), (3, 4)]
+    assert partition_layers(4, 1) == [(0, 4)]
+
+
+def test_partition_layers_remainder_to_early_stages():
+    parts = partition_layers(7, 3)
+    sizes = [e - s for s, e in parts]
+    assert sizes == [3, 2, 2]
+    assert parts[0][0] == 0 and parts[-1][1] == 7
+    # contiguous cover
+    for (_, a_end), (b_start, _) in zip(parts, parts[1:]):
+        assert a_end == b_start
+
+
+def test_partition_layers_balance_shifts_off_last_stage():
+    base = partition_layers(4, 2, balance=0)
+    shifted = partition_layers(4, 2, balance=1)
+    assert (base[1][1] - base[1][0]) - (shifted[1][1] - shifted[1][0]) == 1
+    assert shifted[0] == (0, 3) and shifted[1] == (3, 4)
+
+
+def test_partition_layers_errors():
+    with pytest.raises(ValueError, match="cannot split"):
+        partition_layers(2, 3)
+    with pytest.raises(ValueError):
+        partition_layers(4, 1, balance=1)
+    with pytest.raises(ValueError):
+        partition_layers(4, 2, balance=5)
+
+
+def test_split_microbatches_errors():
+    ids, targets = _batch()
+    with pytest.raises(ValueError):
+        split_microbatches(ids, targets, 0)
+    with pytest.raises(ValueError):
+        split_microbatches(ids, targets, 3)  # 8 % 3
+    with pytest.raises(ValueError):
+        split_microbatches(ids[:4], targets, 2)
+
+
+def test_split_microbatches_partitions_in_order():
+    ids, targets = _batch()
+    mids, mtargets = split_microbatches(ids, targets, 4)
+    assert len(mids) == 4
+    np.testing.assert_array_equal(np.concatenate(mids), ids)
+    np.testing.assert_array_equal(np.concatenate(mtargets), targets)
+
+
+# -- send/recv p2p ------------------------------------------------------
+
+
+def test_send_recv_roundtrip_with_accounting():
+    telemetry = Telemetry()
+    group = SimProcessGroup(2, telemetry=telemetry)
+    payload = np.arange(6, dtype=np.float32).reshape(2, 3)
+    group.send(payload, src=0, dst=1, tag=7)
+    assert group.pending_messages() == 1
+    got = group.recv(src=0, dst=1, tag=7)
+    np.testing.assert_array_equal(got, payload)
+    assert group.pending_messages() == 0
+    metrics = telemetry.metrics
+    assert metrics.counter("collective_calls_total", op="send").value == 1
+    assert metrics.counter(
+        "collective_bytes_total", op="send"
+    ).value == payload.nbytes
+    assert metrics.counter(
+        "collective_bytes_total", op="recv"
+    ).value == payload.nbytes
+    cats = {s.name: s.category for s in telemetry.tracer.spans}
+    assert cats["pp_send"] == "pp_comm" and cats["pp_recv"] == "pp_comm"
+
+
+def test_tagged_mailboxes_are_fifo_per_tag():
+    group = SimProcessGroup(2)
+    group.send(np.float32([1.0]), src=0, dst=1, tag=0)
+    group.send(np.float32([2.0]), src=0, dst=1, tag=0)
+    group.send(np.float32([9.0]), src=0, dst=1, tag=1)
+    assert group.pending_messages() == 3
+    assert group.recv(src=0, dst=1, tag=1)[0] == 9.0
+    assert group.recv(src=0, dst=1, tag=0)[0] == 1.0
+    assert group.recv(src=0, dst=1, tag=0)[0] == 2.0
+
+
+def test_recv_without_send_is_a_clear_error():
+    group = SimProcessGroup(2)
+    with pytest.raises(RuntimeError, match="no matching send"):
+        group.recv(src=0, dst=1)
+
+
+def test_send_validates_ranks():
+    group = SimProcessGroup(2)
+    buf = np.zeros(1, dtype=np.float32)
+    with pytest.raises(ValueError, match="must differ"):
+        group.send(buf, src=0, dst=0)
+    with pytest.raises(ValueError, match="out of range"):
+        group.send(buf, src=0, dst=5)
+
+
+# -- the bitwise gate: 1F1B vs unpipelined microbatched reference -------
+
+
+@pytest.mark.parametrize("n_stages", [1, 2, 4])
+@pytest.mark.parametrize("m", [1, 2, 4, 8])
+def test_1f1b_bitwise_vs_microbatched(n_stages, m):
+    model = TinyTransformer(SPEC, seed=3)
+    ids, targets = _batch(seed=11)
+    ref_loss, ref_grads = microbatched_loss_and_grads(model, ids, targets, m)
+    pipe = PipelinedTransformer(model, SimProcessGroup(n_stages))
+    loss, grads = pipe.loss_and_grads(ids, targets, n_microbatches=m)
+    assert loss == ref_loss
+    assert set(grads) == set(ref_grads)
+    for k in ref_grads:
+        np.testing.assert_array_equal(grads[k], ref_grads[k], err_msg=k)
+
+
+def test_microbatched_m1_bitwise_vs_plain():
+    model = TinyTransformer(SPEC, seed=3)
+    ids, targets = _batch(seed=2)
+    ref_loss, ref_grads = model.loss_and_grads(ids, targets)
+    loss, grads = microbatched_loss_and_grads(model, ids, targets, 1)
+    assert loss == ref_loss
+    for k in ref_grads:
+        np.testing.assert_array_equal(grads[k], ref_grads[k], err_msg=k)
+
+
+def test_1f1b_with_loss_scale_bitwise():
+    model = TinyTransformer(SPEC, seed=3)
+    ids, targets = _batch(seed=4)
+    ref_loss, ref_grads = microbatched_loss_and_grads(
+        model, ids, targets, 4, loss_scale=16.0
+    )
+    pipe = PipelinedTransformer(model, SimProcessGroup(2))
+    loss, grads = pipe.loss_and_grads(
+        ids, targets, n_microbatches=4, loss_scale=16.0
+    )
+    assert loss == ref_loss
+    for k in ref_grads:
+        np.testing.assert_array_equal(grads[k], ref_grads[k], err_msg=k)
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 2**16), n_stages=st.sampled_from([2, 4]),
+       m=st.sampled_from([2, 4, 8]))
+def test_1f1b_property_random_batches(seed, n_stages, m):
+    model = TinyTransformer(SPEC, seed=0)
+    ids, targets = _batch(seed=seed)
+    ref_loss, ref_grads = microbatched_loss_and_grads(model, ids, targets, m)
+    loss, grads = PipelinedTransformer(
+        model, SimProcessGroup(n_stages)
+    ).loss_and_grads(ids, targets, n_microbatches=m)
+    assert loss == ref_loss
+    for k in ref_grads:
+        np.testing.assert_array_equal(grads[k], ref_grads[k], err_msg=k)
+
+
+def test_pipeline_rejects_workspace_models():
+    from repro.tensors.workspace import ActivationWorkspace
+
+    model = TinyTransformer(SPEC, seed=0, workspace=ActivationWorkspace())
+    with pytest.raises(ValueError, match="workspace"):
+        PipelinedTransformer(model, SimProcessGroup(2))
+
+
+# -- schedule / bubble accounting ---------------------------------------
+
+
+def test_stage_op_order_invariants():
+    for p in (1, 2, 4):
+        for m in (1, 2, 4, 8):
+            for s in range(p):
+                ops = stage_op_order(p, m, s)
+                fwd = [j for kind, j in ops if kind == "F"]
+                bwd = [j for kind, j in ops if kind == "B"]
+                assert fwd == list(range(m))
+                # backwards retire in microbatch order — the bitwise
+                # accumulation property
+                assert bwd == list(range(m))
+                warmup = min(m, p - 1 - s)
+                assert [k for k, _ in ops[:warmup]] == ["F"] * warmup
+
+
+@pytest.mark.parametrize("p,m", [(2, 4), (4, 8), (4, 4), (3, 1), (2, 1)])
+def test_uniform_simulated_bubble_matches_ideal(p, m):
+    frac = simulated_bubble_fraction(p, m, fwd_time=1.0, bwd_time=2.0)
+    assert frac == pytest.approx(ideal_1f1b_bubble(p, m), abs=1e-9)
+
+
+def test_ideal_bubble_formula():
+    assert ideal_1f1b_bubble(1, 4) == 0.0
+    assert ideal_1f1b_bubble(4, 1) == pytest.approx(0.75)
+    assert ideal_1f1b_bubble(2, 8) == pytest.approx(1 / 9)
+    with pytest.raises(ValueError):
+        ideal_1f1b_bubble(0, 4)
+
+
+def test_measured_bubble_close_to_ideal():
+    model = TinyTransformer(SPEC, seed=3)
+    ids, targets = _batch(seed=9)
+    pipe = PipelinedTransformer(model, SimProcessGroup(2))
+    # The measured fraction replays real wall-clock op durations, which
+    # are noisy on a loaded machine; keep the least-perturbed of a few
+    # steps and compare against the analytic fraction with a wide band.
+    best = 1.0
+    for _ in range(3):
+        pipe.loss_and_grads(ids, targets, n_microbatches=8)
+        measured = pipe.measured_bubble_fraction()
+        assert 0.0 <= measured < 1.0
+        best = min(best, abs(measured - ideal_1f1b_bubble(2, 8)))
+    assert best < 0.35
+
+
+def test_pipeline_emits_pp_spans():
+    telemetry = Telemetry()
+    model = TinyTransformer(SPEC, seed=3, telemetry=telemetry)
+    pipe = PipelinedTransformer(model, SimProcessGroup(2,
+                                                       telemetry=telemetry))
+    ids, targets = _batch(seed=1)
+    pipe.loss_and_grads(ids, targets, n_microbatches=2)
+    names = {s.name for s in telemetry.tracer.spans}
+    assert {"pp_fwd", "pp_bwd", "pp_send", "pp_recv"} <= names

@@ -1,0 +1,235 @@
+"""ParallelPlan geometry, validation, and the plan-routed PlanModel.
+
+PlanModel equivalence follows the per-axis numerics contract: pure-PP
+routing is bitwise against the microbatched reference (layer splitting
+changes no arithmetic), while any ``tp > 1`` path inherits the
+documented TP tolerance (OpenBLAS blocks matmuls by operand shape).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.numeric.transformer import TinyTransformer, TransformerParams
+from repro.parallel.pipeline import microbatched_loss_and_grads
+from repro.parallel.plan import ParallelPlan, PlanModel
+
+SPEC = TransformerParams(vocab=64, max_seq=16, hidden=32, n_layers=4,
+                         n_heads=4)
+
+
+def _batch(seed=0, batch=8):
+    rng = np.random.default_rng(seed)
+    return (rng.integers(0, SPEC.vocab, size=(batch, SPEC.max_seq)),
+            rng.integers(0, SPEC.vocab, size=(batch, SPEC.max_seq)))
+
+
+# -- plan geometry ------------------------------------------------------
+
+
+def test_world_size_and_describe():
+    plan = ParallelPlan(tp=2, pp=2, dp=2, sp=1)
+    assert plan.world_size == 8
+    assert plan.describe() == "tp2.pp2.dp2.sp1"
+    assert ParallelPlan().world_size == 1
+
+
+def test_degree_validation():
+    with pytest.raises(ValueError, match="tp degree"):
+        ParallelPlan(tp=0)
+    with pytest.raises(TypeError):
+        ParallelPlan(pp=2.0)
+    with pytest.raises(TypeError):
+        ParallelPlan(dp=True)
+
+
+@settings(max_examples=30, deadline=None)
+@given(tp=st.integers(1, 4), pp=st.integers(1, 3), dp=st.integers(1, 3),
+       sp=st.integers(1, 2))
+def test_coords_rank_roundtrip(tp, pp, dp, sp):
+    plan = ParallelPlan(tp=tp, pp=pp, dp=dp, sp=sp)
+    seen = set()
+    for rank in range(plan.world_size):
+        c = plan.coords(rank)
+        assert plan.rank_of(*c) == rank
+        seen.add(c)
+    assert len(seen) == plan.world_size
+
+
+def test_tp_varies_fastest():
+    plan = ParallelPlan(tp=2, pp=2, dp=2)
+    # ranks 0 and 1 differ only in the tp coordinate — a contiguous
+    # block, the Megatron nesting order.
+    assert plan.coords(0)[:3] == plan.coords(1)[:3]
+    assert plan.coords(0)[3] == 0 and plan.coords(1)[3] == 1
+
+
+def test_coords_rank_errors():
+    plan = ParallelPlan(tp=2, dp=2)
+    with pytest.raises(ValueError, match="out of range"):
+        plan.coords(4)
+    with pytest.raises(ValueError, match="out of range"):
+        plan.rank_of(2, 0, 0, 0)
+
+
+# -- enumeration --------------------------------------------------------
+
+
+def test_enumerate_covers_all_factorizations():
+    plans = ParallelPlan.enumerate(4)
+    assert all(p.world_size == 4 for p in plans)
+    labels = {p.describe() for p in plans}
+    assert "tp1.pp1.dp4.sp1" in labels
+    assert "tp2.pp2.dp1.sp1" in labels
+    assert "tp4.pp1.dp1.sp1" in labels
+    # tp * pp * dp == 4 has 6 ordered factorizations
+    assert len(plans) == 6
+
+
+def test_enumerate_filters_by_spec():
+    # 3 heads: tp=2 and tp=4 cannot shard attention.
+    spec = TransformerParams(vocab=60, max_seq=8, hidden=24, n_layers=4,
+                             n_heads=3)
+    plans = ParallelPlan.enumerate(4, spec)
+    assert all(p.tp == 1 for p in plans)
+
+
+def test_enumerate_filters_pp_by_layers():
+    spec = TransformerParams(vocab=64, max_seq=8, hidden=16, n_layers=2,
+                             n_heads=2)
+    plans = ParallelPlan.enumerate(4, spec)
+    assert all(p.pp <= 2 for p in plans)
+
+
+# -- validate_model error surface ---------------------------------------
+
+
+def test_validate_model_messages_name_plan_and_axis():
+    plan = ParallelPlan(tp=4)
+    spec = TransformerParams(vocab=64, max_seq=8, hidden=6, n_layers=2,
+                             n_heads=2)
+    with pytest.raises(ValueError) as e:
+        plan.validate_model(spec)
+    msg = str(e.value)
+    assert "tp4.pp1.dp1.sp1" in msg and "hidden width" in msg
+
+
+def test_validate_model_pp_vs_layers():
+    with pytest.raises(ValueError, match="pipeline stages"):
+        ParallelPlan(pp=8).validate_model(SPEC)
+
+
+def test_validate_model_batch_axes():
+    plan = ParallelPlan(dp=3)
+    with pytest.raises(ValueError, match="global batch"):
+        plan.validate_model(SPEC, global_batch=8)
+    with pytest.raises(ValueError, match="per-replica batch"):
+        ParallelPlan(dp=2, pp=2).validate_model(
+            SPEC, global_batch=8, n_microbatches=3
+        )
+
+
+def test_validate_model_sp_divides_per_tp_heads():
+    plan = ParallelPlan(tp=2, sp=4)
+    with pytest.raises(ValueError, match="per-TP-rank attention heads"):
+        plan.validate_model(SPEC)  # 4 heads / tp2 = 2, not divisible by 4
+
+
+# -- PlanModel routing --------------------------------------------------
+
+
+def test_plan_model_identity_plan_passes_through():
+    model = TinyTransformer(SPEC, seed=0)
+    pm = PlanModel(model, ParallelPlan(dp=4))
+    ids, targets = _batch()
+    ref_loss, ref_grads = model.loss_and_grads(ids, targets)
+    loss, grads = pm.loss_and_grads(ids, targets)
+    assert loss == ref_loss
+    for k in ref_grads:
+        np.testing.assert_array_equal(grads[k], ref_grads[k])
+
+
+def test_plan_model_pp_only_is_bitwise():
+    model = TinyTransformer(SPEC, seed=1)
+    pm = PlanModel(model, ParallelPlan(pp=2), n_microbatches=4)
+    ids, targets = _batch(seed=5)
+    ref_loss, ref_grads = microbatched_loss_and_grads(model, ids, targets, 4)
+    loss, grads = pm.loss_and_grads(ids, targets)
+    assert loss == ref_loss
+    for k in ref_grads:
+        np.testing.assert_array_equal(grads[k], ref_grads[k], err_msg=k)
+
+
+@pytest.mark.parametrize("plan", [
+    ParallelPlan(tp=2),
+    ParallelPlan(tp=2, pp=2),
+    ParallelPlan(tp=4, pp=2),
+])
+def test_plan_model_tp_paths_within_tolerance(plan):
+    model = TinyTransformer(SPEC, seed=1)
+    pm = PlanModel(model, plan, n_microbatches=2)
+    ids, targets = _batch(seed=6)
+    ref_loss, ref_grads = (
+        microbatched_loss_and_grads(model, ids, targets, 2)
+        if plan.pp > 1 else model.loss_and_grads(ids, targets)
+    )
+    loss, grads = pm.loss_and_grads(ids, targets)
+    assert abs(loss - ref_loss) <= 1e-6
+    assert set(grads) == set(ref_grads)
+    for k in ref_grads:
+        np.testing.assert_allclose(grads[k], ref_grads[k], atol=1e-5,
+                                   err_msg=k)
+
+
+def test_plan_model_params_override_rebuilds_exactly():
+    model = TinyTransformer(SPEC, seed=2)
+    pm = PlanModel(model, ParallelPlan(pp=2), n_microbatches=2)
+    ids, targets = _batch(seed=7)
+    override = {k: v * np.float32(0.5) for k, v in model.params.items()}
+    ref_model = TinyTransformer(SPEC, seed=2)
+    ref_model.params = {k: v.copy() for k, v in override.items()}
+    ref_loss, ref_grads = microbatched_loss_and_grads(
+        ref_model, ids, targets, 2
+    )
+    loss, grads = pm.loss_and_grads(ids, targets, params=override)
+    assert loss == ref_loss
+    for k in ref_grads:
+        np.testing.assert_array_equal(grads[k], ref_grads[k], err_msg=k)
+    # the wrapped model's own params are restored afterwards
+    base_loss, _ = pm.loss_and_grads(ids, targets)
+    plain_loss, _ = microbatched_loss_and_grads(model, ids, targets, 2)
+    assert base_loss == plain_loss
+
+
+def test_plan_model_rejects_workspace_with_pp():
+    from repro.tensors.workspace import ActivationWorkspace
+
+    model = TinyTransformer(SPEC, seed=0, workspace=ActivationWorkspace())
+    with pytest.raises(ValueError, match="workspace"):
+        PlanModel(model, ParallelPlan(pp=2))
+
+
+def test_plan_model_delegates_attributes():
+    model = TinyTransformer(SPEC, seed=0)
+    pm = PlanModel(model, ParallelPlan(tp=2))
+    assert pm.spec is model.spec
+    assert pm.params is model.params
+
+
+def test_measured_bubble_requires_pipeline_axis():
+    model = TinyTransformer(SPEC, seed=0)
+    pm = PlanModel(model, ParallelPlan(tp=2))
+    with pytest.raises(RuntimeError, match="no pipeline axis"):
+        pm.measured_bubble_fraction()
+
+
+def test_measured_bubble_after_override_step():
+    # The params-override path steps a rebuilt executor; the fraction
+    # must come from that one, not the stale original.
+    model = TinyTransformer(SPEC, seed=3)
+    pm = PlanModel(model, ParallelPlan(pp=2), n_microbatches=4)
+    ids, targets = _batch(seed=8)
+    override = {k: v.copy() for k, v in model.params.items()}
+    pm.loss_and_grads(ids, targets, params=override)
+    frac = pm.measured_bubble_fraction()
+    assert 0.0 <= frac < 1.0

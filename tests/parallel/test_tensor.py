@@ -1,0 +1,244 @@
+"""Tensor-parallel sharded linears vs the unsharded reference.
+
+The equivalence contract (documented in ``repro.parallel.tensor``):
+TP paths are *tolerance*-equivalent, not bitwise — OpenBLAS picks its
+kernel blocking by operand shape, so even a column-sharded matmul can
+differ from the full one in the last ulp, and row-parallel partial sums
+reorder the k-dimension reduction outright.  The property suites here
+pin that tolerance across shapes, world sizes 1/2/4, and adversarial
+(odd, non-dividing) extents, which must be *rejected with clear errors*
+rather than silently mis-sharded.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.numeric.layers import gelu
+from repro.numeric.transformer import TinyTransformer, TransformerParams
+from repro.parallel.comm import SimProcessGroup
+from repro.parallel.tensor import (
+    ColumnParallelLinear,
+    RowParallelLinear,
+    TensorParallelAttention,
+    TensorParallelMLP,
+    TensorParallelTransformer,
+    gather_last_dim,
+    shard_extent,
+)
+
+TOL = 1e-5
+
+
+# -- shard_extent: the divisibility gate -------------------------------
+
+
+def test_shard_extent_divides():
+    assert shard_extent(12, 4, "hidden") == 3
+    assert shard_extent(8, 1, "hidden") == 8
+
+
+@pytest.mark.parametrize("total,world", [(7, 2), (33, 4), (10, 3)])
+def test_shard_extent_rejects_odd_sizes(total, world):
+    with pytest.raises(ValueError) as e:
+        shard_extent(total, world, "hidden width")
+    msg = str(e.value)
+    assert "hidden width" in msg and str(total) in msg and str(world) in msg
+
+
+def test_attention_rejects_non_dividing_heads():
+    spec = TransformerParams(vocab=32, max_seq=8, hidden=24, n_layers=1,
+                             n_heads=3)
+    model = TinyTransformer(spec, seed=0)
+    with pytest.raises(ValueError, match="attention heads"):
+        TensorParallelTransformer(model, SimProcessGroup(2))
+
+
+def test_transformer_rejects_non_dividing_vocab():
+    spec = TransformerParams(vocab=30, max_seq=8, hidden=16, n_layers=1,
+                             n_heads=2)
+    model = TinyTransformer(spec, seed=0)
+    with pytest.raises(ValueError, match="not divisible"):
+        TensorParallelTransformer(model, SimProcessGroup(4))
+
+
+# -- hypothesis property: sharded linears match dense ------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    world=st.sampled_from([1, 2, 4]),
+    m=st.integers(1, 6),
+    k_factor=st.integers(1, 5),
+    n_factor=st.integers(1, 5),
+    seed=st.integers(0, 2**16),
+)
+def test_column_parallel_matches_dense(world, m, k_factor, n_factor, seed):
+    rng = np.random.default_rng(seed)
+    k, n = 4 * k_factor, world * n_factor
+    x = rng.standard_normal((m, k), dtype=np.float32)
+    w = rng.standard_normal((k, n), dtype=np.float32)
+    b = rng.standard_normal(n, dtype=np.float32)
+    layer = ColumnParallelLinear(w, b, SimProcessGroup(world))
+    outs, caches = layer.forward([x] * world)
+    for y in outs:
+        np.testing.assert_allclose(y, x @ w + b, atol=TOL)
+    dy = rng.standard_normal((m, n), dtype=np.float32)
+    dxs, dws, dbs = layer.backward([dy] * world, caches)
+    for dx in dxs:
+        np.testing.assert_allclose(dx, dy @ w.T, atol=TOL)
+    np.testing.assert_allclose(layer.full_weight_grad(dws), x.T @ dy,
+                               atol=TOL)
+    np.testing.assert_allclose(layer.full_bias_grad(dbs), dy.sum(axis=0),
+                               atol=TOL)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    world=st.sampled_from([1, 2, 4]),
+    m=st.integers(1, 6),
+    k_factor=st.integers(1, 5),
+    n_factor=st.integers(1, 5),
+    seed=st.integers(0, 2**16),
+)
+def test_row_parallel_matches_dense(world, m, k_factor, n_factor, seed):
+    rng = np.random.default_rng(seed)
+    k, n = world * k_factor, 4 * n_factor
+    x = rng.standard_normal((m, k), dtype=np.float32)
+    w = rng.standard_normal((k, n), dtype=np.float32)
+    b = rng.standard_normal(n, dtype=np.float32)
+    layer = RowParallelLinear(w, b, SimProcessGroup(world))
+    per = k // world
+    x_slices = [x[:, r * per:(r + 1) * per] for r in range(world)]
+    outs, caches = layer.forward(x_slices)
+    for y in outs:
+        np.testing.assert_allclose(y, x @ w + b, atol=TOL)
+    dy = rng.standard_normal((m, n), dtype=np.float32)
+    dxs, dws, db = layer.backward([dy] * world, caches)
+    np.testing.assert_allclose(np.concatenate(dxs, axis=-1), dy @ w.T,
+                               atol=TOL)
+    np.testing.assert_allclose(layer.full_weight_grad(dws), x.T @ dy,
+                               atol=TOL)
+    np.testing.assert_allclose(db, dy.sum(axis=0), atol=TOL)
+
+
+def test_gather_last_dim_crossover_invariant():
+    rng = np.random.default_rng(0)
+    shards = [rng.standard_normal((3, 4), dtype=np.float32)
+              for _ in range(4)]
+    group = SimProcessGroup(4)
+    small = gather_last_dim(shards, group, crossover=1)
+    large = gather_last_dim(shards, group, crossover=1 << 30)
+    full = np.concatenate(shards, axis=-1)
+    for a, b in zip(small, large):
+        np.testing.assert_array_equal(a, b)
+        np.testing.assert_array_equal(a, full)
+
+
+# -- composed blocks ----------------------------------------------------
+
+
+@pytest.mark.parametrize("world", [1, 2, 4])
+def test_tp_mlp_matches_dense(world):
+    rng = np.random.default_rng(7)
+    h, f = 16, 64
+    x = rng.standard_normal((5, h), dtype=np.float32)
+    w1 = rng.standard_normal((h, f), dtype=np.float32)
+    b1 = rng.standard_normal(f, dtype=np.float32)
+    w2 = rng.standard_normal((f, h), dtype=np.float32)
+    b2 = rng.standard_normal(h, dtype=np.float32)
+    mlp = TensorParallelMLP(w1, b1, w2, b2, SimProcessGroup(world))
+    outs, caches = mlp.forward([x] * world)
+    ref = gelu(x @ w1 + b1) @ w2 + b2
+    for y in outs:
+        np.testing.assert_allclose(y, ref, atol=TOL)
+    dy = rng.standard_normal((5, h), dtype=np.float32)
+    dxs, sharded, db2 = mlp.backward([dy] * world, caches)
+    dw1, db1, dw2, db2_full = mlp.full_grads(sharded, db2)
+    # Reference grads through the same dense ops.
+    h1 = x @ w1 + b1
+    from repro.numeric.layers import gelu_grad
+
+    dact = dy @ w2.T
+    dh1 = gelu_grad(h1) * dact
+    np.testing.assert_allclose(dw2, gelu(h1).T @ dy, atol=TOL)
+    np.testing.assert_allclose(db2_full, dy.sum(axis=0), atol=TOL)
+    np.testing.assert_allclose(dw1, x.T @ dh1, atol=TOL)
+    np.testing.assert_allclose(db1, dh1.sum(axis=0), atol=TOL)
+    for dx in dxs:
+        np.testing.assert_allclose(dx, dh1 @ w1.T, atol=TOL)
+
+
+@pytest.mark.parametrize("world", [1, 2, 4])
+def test_tp_attention_matches_single_rank(world):
+    spec = TransformerParams(vocab=32, max_seq=8, hidden=32, n_layers=1,
+                             n_heads=4)
+    model = TinyTransformer(spec, seed=0)
+    p = model.params
+    rng = np.random.default_rng(1)
+    x = rng.standard_normal((2, spec.max_seq, spec.hidden),
+                            dtype=np.float32)
+
+    def run(tp):
+        attn = TensorParallelAttention(
+            spec.hidden, spec.n_heads, p["h0.qkv.w"], p["h0.qkv.b"],
+            p["h0.proj.w"], p["h0.proj.b"], SimProcessGroup(tp),
+        )
+        outs, caches = attn.forward([x] * tp)
+        return outs[0]
+
+    np.testing.assert_allclose(run(world), run(1), atol=TOL)
+
+
+# -- the full sharded transformer --------------------------------------
+
+
+@pytest.mark.parametrize("world", [1, 2, 4])
+def test_tp_transformer_matches_unsharded(world):
+    spec = TransformerParams(vocab=64, max_seq=16, hidden=32, n_layers=2,
+                             n_heads=4)
+    model = TinyTransformer(spec, seed=1)
+    rng = np.random.default_rng(3)
+    ids = rng.integers(0, spec.vocab, size=(4, spec.max_seq))
+    targets = rng.integers(0, spec.vocab, size=(4, spec.max_seq))
+    ref_loss, ref_grads = model.loss_and_grads(ids, targets)
+    tp = TensorParallelTransformer(model, SimProcessGroup(world))
+    loss, grads = tp.loss_and_grads(ids, targets)
+    assert abs(loss - ref_loss) <= 1e-6
+    assert set(grads) == set(ref_grads)
+    for k in ref_grads:
+        np.testing.assert_allclose(grads[k], ref_grads[k], atol=1e-6,
+                                   err_msg=k)
+
+
+def test_tp_transformer_loss_scale():
+    spec = TransformerParams(vocab=32, max_seq=8, hidden=16, n_layers=1,
+                             n_heads=2)
+    model = TinyTransformer(spec, seed=2)
+    rng = np.random.default_rng(5)
+    ids = rng.integers(0, spec.vocab, size=(2, spec.max_seq))
+    targets = rng.integers(0, spec.vocab, size=(2, spec.max_seq))
+    _, ref = model.loss_and_grads(ids, targets, loss_scale=8.0)
+    tp = TensorParallelTransformer(model, SimProcessGroup(2))
+    _, got = tp.loss_and_grads(ids, targets, loss_scale=8.0)
+    for k in ref:
+        np.testing.assert_allclose(got[k], ref[k], atol=1e-4, err_msg=k)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 2**16), world=st.sampled_from([2, 4]))
+def test_tp_transformer_property_random_batches(seed, world):
+    spec = TransformerParams(vocab=32, max_seq=8, hidden=16, n_layers=1,
+                             n_heads=4)
+    model = TinyTransformer(spec, seed=0)
+    rng = np.random.default_rng(seed)
+    ids = rng.integers(0, spec.vocab, size=(2, spec.max_seq))
+    targets = rng.integers(0, spec.vocab, size=(2, spec.max_seq))
+    ref_loss, ref_grads = model.loss_and_grads(ids, targets)
+    loss, grads = TensorParallelTransformer(
+        model, SimProcessGroup(world)
+    ).loss_and_grads(ids, targets)
+    assert abs(loss - ref_loss) <= 1e-6
+    for k in ref_grads:
+        np.testing.assert_allclose(grads[k], ref_grads[k], atol=1e-5,
+                                   err_msg=k)

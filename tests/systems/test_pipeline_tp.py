@@ -1,0 +1,96 @@
+"""The composed TPxPP performance model (PipelinedTP)."""
+
+import pytest
+
+from repro.models.config import MODEL_CONFIG_TABLE
+from repro.sim.engine import ideal_1f1b_bubble
+from repro.systems import (
+    ExecutionChoice,
+    InfeasibleError,
+    PipelinedTP,
+    RunSetting,
+    build_all_systems,
+)
+from repro.training.cluster import gh200_cluster
+
+
+def _setting(billions=5, world=4, batch=16):
+    return RunSetting(
+        MODEL_CONFIG_TABLE[billions], gh200_cluster(world),
+        global_batch=batch, seq=1024,
+    )
+
+
+def test_registered_in_build_all_systems():
+    systems = build_all_systems()
+    assert "pipeline_tp" in systems
+    assert isinstance(systems["pipeline_tp"], PipelinedTP)
+
+
+def test_degree_validation():
+    with pytest.raises(ValueError):
+        PipelinedTP(tp=0)
+    with pytest.raises(ValueError):
+        PipelinedTP(pp=0)
+
+
+def test_name_encodes_degrees():
+    assert PipelinedTP(tp=1, pp=2).name == "pipeline_tp"
+    assert PipelinedTP(tp=2, pp=4).name == "pipeline_tp2x4"
+
+
+def test_infeasible_when_mp_does_not_divide_world():
+    system = PipelinedTP(tp=2, pp=2)  # mp = 4
+    with pytest.raises(InfeasibleError, match="does not divide world"):
+        system.best_estimate(_setting(world=6))
+
+
+def test_best_estimate_produces_a_feasible_plan():
+    est = PipelinedTP(tp=2, pp=2).best_estimate(_setting())
+    assert est.iter_time > 0
+    assert est.tflops_per_gpu > 0
+    assert est.choice.grad_accum >= 1
+
+
+def test_predicted_bubble_matches_ideal_under_uniform_stages():
+    system = PipelinedTP(tp=1, pp=4)
+    setting = _setting(world=4, batch=8)
+    for m in (1, 2, 4, 8):
+        frac = system.predicted_bubble_fraction(
+            setting, ExecutionChoice(1, m, checkpointing=False)
+        )
+        ideal = ideal_1f1b_bubble(4, m)
+        # the inter-stage hop adds a small, strictly non-negative skew
+        assert frac >= ideal - 1e-9
+        assert frac - ideal < 0.05
+
+
+def test_more_microbatches_shrink_the_bubble():
+    system = PipelinedTP(tp=1, pp=4)
+    setting = _setting(world=4, batch=8)
+    fracs = [
+        system.predicted_bubble_fraction(
+            setting, ExecutionChoice(1, m, checkpointing=False)
+        )
+        for m in (1, 2, 4, 8)
+    ]
+    assert fracs == sorted(fracs, reverse=True)
+    assert fracs[-1] < fracs[0]
+
+
+def test_state_bytes_shrink_with_model_parallel_degree():
+    setting = _setting()
+    choice = ExecutionChoice(1, 4, checkpointing=False)
+    full = PipelinedTP(tp=1, pp=1).gpu_state_bytes(setting, choice)
+    quartered = PipelinedTP(tp=2, pp=2).gpu_state_bytes(setting, choice)
+    assert quartered == pytest.approx(full / 4)
+
+
+def test_extra_resources_cover_stages_and_links():
+    system = PipelinedTP(tp=2, pp=3)
+    resources = system.extra_resources(
+        _setting(world=6), ExecutionChoice(1, 4, checkpointing=False)
+    )
+    assert set(resources) == {
+        "pp.stage0", "pp.stage1", "pp.stage2", "pp.link0", "pp.link1",
+    }
