@@ -12,6 +12,7 @@ Usage::
     python -m repro profile --out /tmp/p # step phases, overlap, utilization
     python -m repro checkpoint           # interrupt/resume round-trip
     python -m repro tune                 # autotune this host -> tune.json
+    python -m repro serve --sessions 8   # int8 continuous-batching demo
     python -m repro all                  # everything (slow; skips file writers)
 
 Every command prints the same table its benchmark harness asserts on; the
@@ -510,6 +511,50 @@ def _cmd_profile(args: argparse.Namespace) -> None:
           f"(ideal (p-1)/(m+p-1) = "
           f"{(pp_plan.pp - 1) / (pp_microbatches + pp_plan.pp - 1):.3f})")
 
+    # Run 5: quantized serving decode — a continuous-batching burst with
+    # a page budget tight enough to force eviction, so the serve-step
+    # taxonomy (prefill/decode/kv_evict/dequant) shows real time.
+    import tempfile as _tmp
+
+    import numpy as np
+
+    from repro.numeric.transformer import TinyTransformer
+    from repro.serving import (
+        ContinuousBatchingScheduler,
+        InferenceEngine,
+        SessionRegistry,
+    )
+
+    serve_profiler = StepProfiler()
+    serve_spec = TransformerParams(vocab=128, max_seq=64, hidden=64,
+                                   n_layers=2, n_heads=4)
+    serve_model = TinyTransformer(serve_spec, seed=5)
+    serve_rng = np.random.default_rng(5)
+    with _tmp.TemporaryDirectory(prefix="repro-profile-kv-") as kvdir:
+        with InferenceEngine(
+            serve_model, max_pages=12, spill=str(Path(kvdir) / "kv"),
+            telemetry=serve_profiler.telemetry,
+        ) as engine:
+            registry = SessionRegistry()
+            n_sessions = 4 if args.quick else 8
+            for _ in range(n_sessions):
+                registry.create(
+                    serve_rng.integers(0, serve_spec.vocab, size=12),
+                    max_new_tokens=8 if args.quick else 16, eos_id=None,
+                )
+            ContinuousBatchingScheduler(
+                engine, registry, max_batch=4
+            ).run_until_done()
+    kv_evicted = int(
+        serve_profiler.telemetry.metrics.counter("kv_pages_evicted").value
+    )
+    serve_report = serve_profiler.report()
+    print_table(
+        f"repro profile — serving decode step phases "
+        f"({n_sessions} sessions, {kv_evicted} pages evicted)",
+        PHASE_HEADERS, phase_rows(serve_report),
+    )
+
     sim_rows = None
     spill_sim = None
     pipeline_sim = None
@@ -611,6 +656,8 @@ def _cmd_profile(args: argparse.Namespace) -> None:
             for a in disk_report.overlap
         ],
         "spill_sim_comparison": spill_sim,
+        "serving_phase_seconds": serve_report.phase_totals,
+        "kv_pages_evicted": kv_evicted,
         "pp_phase_seconds": pp_report.phase_totals,
         "pipeline_bubble": {
             "plan": pp_plan.describe(),
@@ -821,6 +868,15 @@ def _load_bench_baseline(path) -> dict:
     par = doc.get("parallelism")
     if isinstance(par, dict) and "speedup" in par:
         out[("parallelism", "grid")] = par["speedup"]
+    inf = doc.get("inference")
+    if isinstance(inf, dict):
+        for r in inf.get("qmatmul", []) or []:
+            if isinstance(r, dict) and "speedup" in r:
+                size = r.get("elements")
+                if size is not None:
+                    out[("inference", size)] = r["speedup"]
+        if "speedup" in inf:
+            out[("inference", "geomean")] = inf["speedup"]
     return out
 
 
@@ -1055,6 +1111,46 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 f"parallelism: {par['speedup']:.2f}x vs baseline "
                 f"{base:.2f}x (tolerance {args.tolerance:.2f})"
             )
+    if "inference" in result:
+        inf = result["inference"]
+        print_table(
+            "repro bench — fused int8 qmatmul vs dense-dequant "
+            f"({result['workers']} workers)",
+            ["shape", "dense-deq (ms)", "fused (ms)", "fp32 (ms)",
+             "speedup", "vs fp32", "mem", "tol", "bound", "det"]
+            + extra_headers(),
+            [[r["shape"], r["dense_dequant_ms"], r["fused_ms"],
+              r["fp32_resident_ms"], f"{r['speedup']:.2f}x",
+              f"{r['vs_fp32']:.2f}x", f"{r['mem_ratio']:.2f}x",
+              "ok" if r["tolerance_ok"] else "FAIL",
+              "ok" if r["bound_ok"] else "FAIL",
+              "ok" if r["deterministic"] else "MISMATCH"]
+             + extra_values("inference", r)
+             for r in inf["qmatmul"]],
+        )
+        print_table(
+            "repro bench — continuous-batching serving sweep "
+            "(int8 + paged KV)",
+            ["sessions", "tokens", "req/s", "tok/s", "p50 (ms)",
+             "p95 (ms)", "ttft (ms)", "mem"],
+            [[r["sessions"], r["tokens"],
+              f"{r['request_rate_per_s']:.1f}",
+              f"{r['tokens_per_sec']:.0f}", f"{r['p50_token_ms']:.2f}",
+              f"{r['p95_token_ms']:.2f}", f"{r['ttft_ms']:.1f}",
+              f"{r['memory_ratio']:.2f}x"]
+             for r in inf["serving"]],
+        )
+        summaries.append(
+            f"inference: geomean qmatmul speedup {inf['speedup']:.2f}x; "
+            f"{inf['tokens_per_sec']:.0f} tok/s peak, "
+            f"p95 {inf['p95_token_ms']:.2f} ms/token"
+        )
+        base = baseline.get(("inference", "geomean"))
+        if base is not None and inf["speedup"] < base - args.tolerance:
+            regressions.append(
+                f"inference: geomean {inf['speedup']:.2f}x vs baseline "
+                f"{base:.2f}x (tolerance {args.tolerance:.2f})"
+            )
     if summaries:
         print()
         for line in summaries:
@@ -1063,16 +1159,23 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     # a below-1.0x row (the known small-size losses of parallel_step /
     # zero_pipeline at 65k elements) never hides inside a healthy geomean.
     warned = False
-    for section in ("zero_step", "rollback", "parallel_step",
-                    "zero_pipeline", "attention", "model_step",
-                    "spill", "checkpoint"):
-        for r in result.get(section, []):
-            speedup = r.get("speedup")
-            if speedup is not None and speedup < 1.0:
-                size = r.get("elements", r.get("seq", "?"))
-                print(f"WARN: {section} size {size} speedup "
-                      f"{speedup:.2f}x < 1.0x (slower than baseline)")
-                warned = True
+    warn_rows = [
+        (section, r)
+        for section in ("zero_step", "rollback", "parallel_step",
+                        "zero_pipeline", "attention", "model_step",
+                        "spill", "checkpoint")
+        for r in result.get(section, [])
+    ] + [
+        ("inference", r)
+        for r in (result.get("inference") or {}).get("qmatmul", [])
+    ]
+    for section, r in warn_rows:
+        speedup = r.get("speedup")
+        if speedup is not None and speedup < 1.0:
+            size = r.get("elements", r.get("seq", "?"))
+            print(f"WARN: {section} size {size} speedup "
+                  f"{speedup:.2f}x < 1.0x (slower than baseline)")
+            warned = True
     if warned:
         print("WARN lines indicate sizes where the optimized path loses "
               "to its baseline; see BENCH_substrate.json for details.")
@@ -1090,6 +1193,72 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(f"\nwrote {bench_path}")
     if args.strict and regressions:
         return 4
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Streaming-serve smoke: concurrent clients over the int8 engine.
+
+    Builds a small randomly-initialized model, quantizes it into the
+    engine, and drives ``--sessions`` concurrent client threads through
+    the continuous-batching streaming server — the CLI face of
+    :class:`repro.serving.StreamingServer`.  Prints one line per session
+    plus the aggregate token metrics the bench records.
+    """
+    import threading
+
+    import numpy as np
+
+    from repro.numeric.transformer import TinyTransformer, TransformerParams
+    from repro.serving import InferenceEngine, StreamingServer
+
+    if args.quick:
+        spec = TransformerParams(vocab=128, max_seq=64, hidden=64,
+                                 n_layers=2, n_heads=4)
+    else:
+        spec = TransformerParams(vocab=512, max_seq=160, hidden=128,
+                                 n_layers=4, n_heads=8)
+    sessions = args.sessions
+    prompt_len = min(args.prompt_tokens, spec.max_seq - 1)
+    max_new = min(args.max_new_tokens, spec.max_seq - prompt_len)
+    model = TinyTransformer(spec, seed=0)
+    engine = InferenceEngine(model)
+    ratio = engine.memory_ratio
+    rng = np.random.default_rng(0)
+    results: Dict[int, List[int]] = {}
+    with StreamingServer(engine, max_batch=sessions) as server:
+        def client(i: int, prompt: np.ndarray) -> None:
+            sid = server.submit(prompt, max_new)
+            results[i] = list(server.stream(sid))
+
+        threads = [
+            threading.Thread(
+                target=client,
+                args=(i, rng.integers(0, spec.vocab, size=prompt_len)),
+            )
+            for i in range(sessions)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        met = server.metrics()
+    for i in sorted(results):
+        toks = results[i]
+        head = " ".join(str(t) for t in toks[:8])
+        more = f" ... (+{len(toks) - 8})" if len(toks) > 8 else ""
+        print(f"session {i}: {len(toks)} tokens: {head}{more}")
+    print(f"\n{met['sessions']} sessions, {met['tokens']} tokens in "
+          f"{met['wall_s']:.2f}s — {met['tokens_per_sec']:.0f} tok/s, "
+          f"p50 {met['p50_token_ms']:.2f} ms, "
+          f"p95 {met['p95_token_ms']:.2f} ms, "
+          f"ttft {met['ttft_ms']:.1f} ms; "
+          f"int8 model {ratio:.2f}x smaller than fp32")
+    short = [i for i, toks in results.items() if not toks]
+    if short:
+        print(f"error: sessions {short} produced no tokens",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -1128,10 +1297,13 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], "int | None"]] = {
     "profile": _cmd_profile,
     "tune": _cmd_tune,
     "checkpoint": _cmd_checkpoint,
+    "serve": _cmd_serve,
 }
 
-#: Commands that write files; excluded from ``repro all``.
-_FILE_WRITING = {"trace", "bench", "profile", "tune", "checkpoint"}
+#: Commands that write files (or run a live server); excluded from
+#: ``repro all``.
+_FILE_WRITING = {"trace", "bench", "profile", "tune", "checkpoint",
+                 "serve"}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1193,6 +1365,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--strict", action="store_true",
         help="bench: exit non-zero when any section/size regresses below "
              "the baseline speedup by more than --tolerance",
+    )
+    parser.add_argument(
+        "--sessions", type=int, default=8,
+        help="serve: concurrent streaming client sessions (default 8)",
+    )
+    parser.add_argument(
+        "--prompt-tokens", type=int, default=16,
+        help="serve: prompt length per session (default 16)",
+    )
+    parser.add_argument(
+        "--max-new-tokens", type=int, default=32,
+        help="serve: generation budget per session (default 32)",
     )
     parser.add_argument(
         "--tolerance", type=float, default=0.05,

@@ -235,3 +235,104 @@ def reduce_chunk(
             out += src[lo:hi]
     if divisor is not None:
         np.divide(out, divisor, out=out)
+
+
+# -- fused int8 dequant-matmul ---------------------------------------------
+
+#: Authored default of the qmatmul output-column tile width; the live
+#: value is resolved through ``tune.value("quant.dequant_tile", ...)`` by
+#: the dispatcher in :mod:`repro.exec.ops`.
+DEQUANT_TILE = _registry_default("quant.dequant_tile")
+
+_qscratch = threading.local()
+
+
+def _qmatmul_scratch(tag: str, shape: tuple[int, int]) -> np.ndarray:
+    """Per-thread exact-shape fp32 scratch (same idiom as flash tiles)."""
+    store = getattr(_qscratch, "bufs", None)
+    if store is None:
+        store = {}
+        _qscratch.bufs = store
+    key = (tag, shape)
+    buf = store.get(key)
+    if buf is None:
+        buf = np.empty(shape, dtype=np.float32)
+        store[key] = buf
+    return buf
+
+
+def qmatmul_xgroups(x: np.ndarray, group_size: int) -> np.ndarray | None:
+    """Contiguous ``(n_full_groups, m, group_size)`` regrouping of ``x``.
+
+    Precomputed once per qmatmul call (the activations are tiny next to
+    the weight plane) and shared by every column chunk, so the batched
+    per-group matmul inside :func:`qmatmul_chunk` reads contiguous
+    operands.  Returns ``None`` when no full group fits (``k <
+    group_size``); the chunk kernel then runs the ragged tail path only.
+    """
+    m, k = x.shape
+    n_full = k // group_size
+    if n_full == 0:
+        return None
+    xg = x[:, :n_full * group_size].reshape(m, n_full, group_size)
+    return np.ascontiguousarray(xg.transpose(1, 0, 2))
+
+
+def qmatmul_chunk(
+    lo: int,
+    hi: int,
+    out: np.ndarray,
+    x: np.ndarray,
+    qweight: np.ndarray,
+    scales: np.ndarray,
+    group_size: int,
+    bias: np.ndarray | None = None,
+    xg: np.ndarray | None = None,
+) -> None:
+    """``out[:, lo:hi] = x @ dequant(qweight)[:, lo:hi] (+ bias)``, fused.
+
+    The per-group scale is constant down a column within its group, so
+    it commutes out of the contraction::
+
+        x @ (q * s)  ==  sum_g (x_g @ float32(q_g)) * s_g
+
+    That turns the dequant from a per-element broadcast *multiply* over
+    the whole weight plane (the dense reference's dominant cost) into a
+    pure int8->fp32 *cast* into an L2-sized ``(k, hi - lo)`` scratch
+    tile, one batched matmul over the groups, and a scale application on
+    the tiny ``(groups, m, hi - lo)`` partial stack.  The full fp32
+    weight is never materialized, and the int8 plane is read once —
+    ~1 byte/element of weight traffic instead of the ~9 (read int8,
+    write fp32, re-read fp32) the dense-dequant reference pays.
+
+    Determinism contract: the group partial-sum order is fixed by the
+    quantization geometry and the column span ``[lo, hi)`` fully owns
+    its output slice, so results are bitwise identical no matter how
+    tiles are assigned to workers (the dispatcher keeps tile *shapes*
+    independent of worker count).
+    """
+    m, k = x.shape
+    width = hi - lo
+    out_view = out[:, lo:hi]
+    if xg is None:
+        xg = qmatmul_xgroups(x, group_size)
+    n_full = k // group_size
+    kf = n_full * group_size
+    if n_full:
+        wtile = _qmatmul_scratch("w", (kf, width))
+        np.copyto(wtile, qweight[:kf, lo:hi], casting="unsafe")
+        part = _qmatmul_scratch("part", (n_full, m, width))
+        np.matmul(xg, wtile.reshape(n_full, group_size, width), out=part)
+        np.multiply(part, scales[:n_full, None, lo:hi], out=part)
+        np.sum(part, axis=0, out=out_view)
+    else:
+        out_view[:] = 0.0
+    if kf < k:  # ragged tail group (group_size does not divide k)
+        wtail = _qmatmul_scratch("wt", (k - kf, width))
+        np.copyto(wtail, qweight[kf:, lo:hi], casting="unsafe")
+        ptail = _qmatmul_scratch("pt", (m, width))
+        np.matmul(x[:, kf:], wtail, out=ptail)
+        np.multiply(ptail, scales[n_full, lo:hi][None, :], out=ptail)
+        out_view += ptail
+    if bias is not None:
+        out_view += bias[lo:hi]

@@ -24,6 +24,7 @@ profile.
 
 from __future__ import annotations
 
+import os
 from typing import Optional, Sequence
 
 import numpy as np
@@ -132,6 +133,105 @@ def parallel_add_scaled(
     """``dst += src * scale`` (micro-batch gradient accumulation)."""
     _run(pool, dst.size, "add_scaled.min_parallel", MIN_PARALLEL_SIMPLE,
          DEFAULT_ALIGN, kernels.add_scaled_chunk, dst, src, scale)
+
+
+#: Below this many *weight* elements (k * n) the fused qmatmul runs as
+#: one inline chunk.  The guard is on the weight plane, not the output:
+#: a decode step has a tiny (m, n) output but still streams the whole
+#: int8 plane, and that traffic is what the column fan-out divides.
+QMATMUL_MIN_PARALLEL = 1 << 16
+
+
+def _usable_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def parallel_qmatmul(
+    x: np.ndarray,
+    qt,
+    bias: Optional[np.ndarray] = None,
+    out: Optional[np.ndarray] = None,
+    pool: Optional[KernelPool] = None,
+    tile: Optional[int] = None,
+) -> np.ndarray:
+    """Fused quantized matmul ``x @ dequant(qt) (+ bias)``.
+
+    ``qt`` is a :class:`~repro.numeric.lowprec.QuantizedTensor`; the
+    int8 plane is dequantized group-by-group inside
+    :func:`~repro.exec.kernels.qmatmul_chunk`, never materializing the
+    fp32 weight.  Fan-out is over fixed-width output-column tiles
+    (``quant.dequant_tile``), so the tile decomposition — and therefore
+    every partial-sum order — is independent of the pool's worker count:
+    results are bitwise identical for any number of workers.
+
+    Args:
+        x: ``(..., k)`` activations (flattened to 2-D internally).
+        qt: quantized ``(k, n)`` weight plane.
+        bias: optional ``(n,)`` fp32 bias, added after the last group.
+        out: optional preallocated ``(..., n)`` fp32 output (e.g. an
+            ActivationWorkspace buffer).
+        pool: kernel pool; defaults to the shared process pool.
+        tile: column tile width override (tests); defaults to the tuned
+            ``quant.dequant_tile``.
+
+    Returns:
+        fp32 ``(..., n)`` output (``out`` when given).
+    """
+    k, n = qt.shape
+    if x.shape[-1] != k:
+        raise ValueError(f"x has {x.shape[-1]} features, weight expects {k}")
+    lead = x.shape[:-1]
+    x2 = np.ascontiguousarray(x, dtype=np.float32).reshape(-1, k)
+    m = x2.shape[0]
+    if out is None:
+        out = np.empty(lead + (n,), dtype=np.float32)
+    out2 = out.reshape(m, n)
+    tile = tile if tile is not None else tune.value(
+        "quant.dequant_tile", kernels.DEQUANT_TILE, size=k * n
+    )
+    spans = [(c0, min(c0 + tile, n)) for c0 in range(0, n, tile)]
+    xg = kernels.qmatmul_xgroups(x2, qt.group_size)
+    pool = pool if pool is not None else get_pool()
+    # Fan-out capped at the CPUs we can actually occupy: on a box with
+    # fewer cores than pool workers the extra threads only add dispatch
+    # and contention (results are bitwise identical either way).
+    fan_out = min(pool.workers, _usable_cpus())
+    if fan_out <= 1 or len(spans) == 1 or k * n < QMATMUL_MIN_PARALLEL:
+        for lo, hi in spans:
+            kernels.qmatmul_chunk(
+                lo, hi, out2, x2, qt.qweight, qt.scales, qt.group_size,
+                bias, xg,
+            )
+    else:
+        pool.wait_all([
+            pool.submit(
+                kernels.qmatmul_chunk, lo, hi, out2, x2,
+                qt.qweight, qt.scales, qt.group_size, bias, xg,
+            )
+            for lo, hi in spans
+        ])
+    return out
+
+
+def qmatmul_reference(
+    x: np.ndarray,
+    qt,
+    bias: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Dense-dequant reference: reconstruct the full fp32 weight, then
+    one plain matmul.  Same quantized operand, unfused data path — the
+    tolerance twin the property tests (and the bench A/B) compare
+    :func:`parallel_qmatmul` against.
+    """
+    w = qt.dequantize()
+    y = np.matmul(np.asarray(x, dtype=np.float32), w)
+    if bias is not None:
+        y = y + bias
+    return np.asarray(y, dtype=np.float32)
 
 
 def parallel_reduce(

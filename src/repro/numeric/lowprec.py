@@ -4,9 +4,23 @@ FP16 is native in numpy; bfloat16 is emulated by truncating the fp32
 mantissa (round-to-nearest-even on the upper 16 bits), the same convention
 hardware uses.  These helpers are the numeric twin of the casting cost
 models in :mod:`repro.hardware.casting`.
+
+The int8 half of the module is the inference weight format: symmetric
+per-group block quantization (AWQ-style).  A 2-D fp32 plane ``(in, out)``
+is cut into groups of ``group_size`` rows; each (group, column) cell gets
+one fp32 scale ``amax / 127`` and the weights become ``round(w / scale)``
+clipped to ``[-127, 127]``.  Reconstruction error is bounded per element
+by ``scale / 2`` (half a quantization step), which
+:func:`quantization_error_bound` exposes and the property tests assert.
+Degenerate groups — all zeros, or containing any non-finite value —
+quantize to exact zeros with scale 1.0, so the format never divides by
+zero and NaN/inf never leak into the int8 plane.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Tuple
 
 import numpy as np
 
@@ -36,11 +50,229 @@ def to_bf16(x: np.ndarray) -> np.ndarray:
 
 
 def cast_roundtrip_error(x: np.ndarray, dtype: str = "fp16") -> float:
-    """Max absolute error of one fp32 -> low precision -> fp32 round trip."""
+    """Max absolute error of one fp32 -> low precision -> fp32 round trip.
+
+    Non-finite inputs are excluded from the maximum: NaN round trips to
+    NaN and ±inf to ±inf, and ``nan - nan`` / ``inf - inf`` would
+    otherwise poison the whole reduction with NaN.  An input with no
+    finite elements round trips exactly, so its error is 0.0.
+    """
     if dtype == "fp16":
         back = from_fp16(to_fp16(x))
     elif dtype == "bf16":
         back = to_bf16(x)
     else:
         raise ValueError(f"unsupported low precision dtype {dtype!r}")
-    return float(np.max(np.abs(np.asarray(x, dtype=np.float32) - back)))
+    as_f32 = np.asarray(x, dtype=np.float32)
+    finite = np.isfinite(as_f32)
+    if not finite.any():
+        return 0.0
+    with np.errstate(invalid="ignore", over="ignore"):
+        err = np.abs(as_f32 - back)
+    return float(np.max(err[finite]))
+
+
+# -- int8 block quantization ------------------------------------------------
+
+#: Quantized magnitudes span [-127, 127]; -128 is never produced, so the
+#: format is symmetric and negation of a tensor negates its codes.
+QMAX = 127
+
+
+def group_count(rows: int, group_size: int) -> int:
+    """Number of row groups covering ``rows`` (last group may be short)."""
+    if group_size <= 0:
+        raise ValueError(f"group_size must be positive, got {group_size}")
+    return (rows + group_size - 1) // group_size
+
+
+def quantize_int8_blocked(
+    w: np.ndarray, group_size: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Symmetric per-group int8 quantization of a 2-D fp32 plane.
+
+    Rows (the matmul contraction axis) are cut into groups of
+    ``group_size``; each (group, column) cell is scaled independently by
+    ``amax / 127``.  Groups that are all zero or contain a non-finite
+    value get scale 1.0 and all-zero codes — no division by zero, and
+    NaN/inf never reach the int8 plane.
+
+    Args:
+        w: ``(rows, cols)`` fp32 weight plane (the last group may be
+            shorter than ``group_size``; non-dividing sizes are fine).
+        group_size: rows per quantization group.
+
+    Returns:
+        (qweight int8 ``(rows, cols)``, scales fp32 ``(n_groups, cols)``).
+    """
+    w = np.ascontiguousarray(w, dtype=np.float32)
+    if w.ndim != 2:
+        raise ValueError(f"expected a 2-D plane, got shape {w.shape}")
+    rows, cols = w.shape
+    n_groups = group_count(rows, group_size)
+    qweight = np.empty((rows, cols), dtype=np.int8)
+    scales = np.empty((n_groups, cols), dtype=np.float32)
+    for g in range(n_groups):
+        lo, hi = g * group_size, min((g + 1) * group_size, rows)
+        block = w[lo:hi]
+        finite = np.isfinite(block).all(axis=0)
+        with np.errstate(invalid="ignore"):
+            amax = np.max(np.abs(block), axis=0)
+        ok = finite & (amax > 0.0)
+        scale = np.where(ok, amax / np.float32(QMAX), np.float32(1.0))
+        scales[g] = scale
+        with np.errstate(invalid="ignore", over="ignore"):
+            q = np.rint(block / scale[None, :])
+        q = np.where(ok[None, :], q, 0.0)
+        np.clip(q, -QMAX, QMAX, out=q)
+        qweight[lo:hi] = q.astype(np.int8)
+    return qweight, scales
+
+
+def dequantize_int8_blocked(
+    qweight: np.ndarray,
+    scales: np.ndarray,
+    group_size: int,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Reconstruct the fp32 plane (the dense-dequant reference path)."""
+    rows, cols = qweight.shape
+    if out is None:
+        out = np.empty((rows, cols), dtype=np.float32)
+    for g in range(group_count(rows, group_size)):
+        lo, hi = g * group_size, min((g + 1) * group_size, rows)
+        np.multiply(
+            qweight[lo:hi], scales[g][None, :], out=out[lo:hi],
+            casting="unsafe",
+        )
+    return out
+
+
+def quantization_error_bound(
+    scales: np.ndarray, group_size: int, rows: int
+) -> np.ndarray:
+    """Per-element reconstruction error bound, shaped ``(rows, cols)``.
+
+    Rounding to the nearest code moves a value by at most half a step:
+    ``|w - scale * round(w / scale)| <= scale / 2`` (clipping never
+    engages because ``|w / scale| <= 127`` by construction).  Degenerate
+    groups reconstruct exactly (their stored codes are 0 and the true
+    finite values were 0), so ``scale / 2`` is a valid bound there too.
+    """
+    idx = np.arange(rows) // group_size
+    return scales[idx] * np.float32(0.5)
+
+
+@dataclass(frozen=True)
+class QuantizedTensor:
+    """One int8-quantized weight plane plus its per-group scales.
+
+    ``qweight`` and ``scales`` are typically *views* into a
+    :class:`QuantizedStore`'s contiguous buffers; the dataclass only
+    carries the geometry needed by the fused matmul kernel.
+    """
+
+    qweight: np.ndarray  # (rows, cols) int8
+    scales: np.ndarray   # (n_groups, cols) fp32
+    group_size: int
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self.qweight.shape
+
+    @property
+    def nbytes(self) -> int:
+        return self.qweight.nbytes + self.scales.nbytes
+
+    def dequantize(self, out: np.ndarray | None = None) -> np.ndarray:
+        """Dense fp32 reconstruction (reference path; O(rows*cols))."""
+        return dequantize_int8_blocked(
+            self.qweight, self.scales, self.group_size, out
+        )
+
+    def dequantize_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Reconstruct a row subset (the quantized-embedding gather)."""
+        rows = np.asarray(rows)
+        return (
+            self.qweight[rows].astype(np.float32)
+            * self.scales[rows // self.group_size]
+        )
+
+    def error_bound(self) -> np.ndarray:
+        """Per-element ``|w - dequant|`` bound (see module docstring)."""
+        return quantization_error_bound(
+            self.scales, self.group_size, self.qweight.shape[0]
+        )
+
+
+class QuantizedStore:
+    """Packed storage for a set of quantized planes.
+
+    FlatArena-style: all int8 codes live in one contiguous byte buffer
+    and all scales in one contiguous fp32 buffer, so a quantized model is
+    two allocations regardless of layer count and the memory footprint
+    is exact (``nbytes``).  Planes are registered up front via
+    :meth:`pack` and read back as zero-copy views via :meth:`get`.
+    """
+
+    def __init__(self, group_size: int):
+        if group_size <= 0:
+            raise ValueError(f"group_size must be positive, got {group_size}")
+        self.group_size = group_size
+        self._geometry: Dict[str, Tuple[int, int, int, int]] = {}
+        self._codes = np.empty(0, dtype=np.int8)
+        self._scales = np.empty(0, dtype=np.float32)
+        self.source_bytes = 0  # fp32 footprint of everything quantized
+
+    @classmethod
+    def pack(
+        cls, planes: Iterable[Tuple[str, np.ndarray]], group_size: int
+    ) -> "QuantizedStore":
+        """Quantize and pack named fp32 planes into one store."""
+        store = cls(group_size)
+        planes = list(planes)
+        quantized = []
+        code_total = scale_total = 0
+        for name, w in planes:
+            if name in store._geometry:
+                raise ValueError(f"duplicate plane {name!r}")
+            q, s = quantize_int8_blocked(w, group_size)
+            store._geometry[name] = (
+                code_total, scale_total, q.shape[0], q.shape[1]
+            )
+            quantized.append((q, s))
+            code_total += q.size
+            scale_total += s.size
+            store.source_bytes += w.size * 4
+        store._codes = np.empty(code_total, dtype=np.int8)
+        store._scales = np.empty(scale_total, dtype=np.float32)
+        for (name, _), (q, s) in zip(planes, quantized):
+            c0, s0, rows, cols = store._geometry[name]
+            store._codes[c0:c0 + q.size] = q.ravel()
+            store._scales[s0:s0 + s.size] = s.ravel()
+        return store
+
+    def get(self, name: str) -> QuantizedTensor:
+        """Zero-copy view of one packed plane."""
+        c0, s0, rows, cols = self._geometry[name]
+        n_groups = group_count(rows, self.group_size)
+        return QuantizedTensor(
+            self._codes[c0:c0 + rows * cols].reshape(rows, cols),
+            self._scales[s0:s0 + n_groups * cols].reshape(n_groups, cols),
+            self.group_size,
+        )
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._geometry
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._geometry)
+
+    @property
+    def nbytes(self) -> int:
+        return self._codes.nbytes + self._scales.nbytes
+
+    @property
+    def compression_ratio(self) -> float:
+        """fp32 bytes of the quantized planes / packed bytes."""
+        return self.source_bytes / self.nbytes if self.nbytes else 1.0

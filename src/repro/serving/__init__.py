@@ -1,0 +1,32 @@
+"""Continuous-batching inference serving on the quantized substrate.
+
+The stack the ROADMAP's "quantized weights + streaming inference
+server" workload asks for, in three pieces that mirror a production
+serving system scaled to the numeric substrate:
+
+* :mod:`repro.serving.session` — sessions and their registry: one
+  :class:`Session` per request, carrying the prompt, the generated
+  tokens, and per-token latency timestamps.
+* :mod:`repro.serving.engine` — the :class:`InferenceEngine`: int8
+  block-quantized weights (:mod:`repro.numeric.lowprec`) driven through
+  the fused ``qmatmul``, a paged KV-cache
+  (:mod:`repro.tensors.kvcache`), and a mixed prefill+decode batched
+  step over the transformer.
+* :mod:`repro.serving.scheduler` / :mod:`repro.serving.server` — the
+  continuous-batching loop (admit, step, retire) and the thread-based
+  streaming front end behind ``repro serve``.
+"""
+
+from repro.serving.engine import InferenceEngine
+from repro.serving.scheduler import ContinuousBatchingScheduler
+from repro.serving.server import StreamingServer
+from repro.serving.session import Session, SessionRegistry, aggregate_metrics
+
+__all__ = [
+    "ContinuousBatchingScheduler",
+    "InferenceEngine",
+    "Session",
+    "SessionRegistry",
+    "StreamingServer",
+    "aggregate_metrics",
+]

@@ -1,0 +1,273 @@
+"""The batched inference engine: quantized weights + paged KV-cache.
+
+One :meth:`InferenceEngine.step` advances a *mixed* batch — prompts
+being prefilled (many tokens) and live sessions decoding (one token
+each) in the same forward.  All sessions' new tokens are stacked into a
+single ``(T, hidden)`` matrix so every linear runs once per layer over
+the whole batch (through the fused int8 ``qmatmul`` when quantized);
+only attention is per-session, against that session's paged K/V history.
+
+Weights are packed once at construction into a
+:class:`~repro.numeric.lowprec.QuantizedStore` — token embedding, QKV,
+projection, both MLP planes, and the LM head all go int8; LayerNorm
+gains/biases, the positional table, and linear biases stay fp32 (they
+are a rounding error of the footprint).  ``memory_ratio`` reports the
+resulting whole-model compression against fp32.
+
+Tracing: each step opens a ``serve_step`` window (the serving twin of
+``train_step``); per-session attention work is wrapped in ``prefill`` /
+``decode`` spans, quantized linears in ``dequant`` spans, and the cache
+emits ``kv_evict`` / ``kv_restore`` — so a profiled serving run
+partitions into exactly the phase taxonomy ``repro profile`` prints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import tune
+from repro.exec.ops import parallel_qmatmul
+from repro.exec.pool import KernelPool, get_pool
+from repro.numeric.layers import LayerNorm, gelu
+from repro.numeric.lowprec import QuantizedStore
+from repro.numeric.transformer import TinyTransformer
+from repro.telemetry import NULL_TELEMETRY, Telemetry
+from repro.tensors.kvcache import PagedKVCache, paged_attention
+from repro.tune.registry import default as _registry_default
+
+#: Authored default quantization group size; live value resolved through
+#: ``tune.value("quant.group_size", ...)`` when the engine packs weights.
+GROUP_SIZE = _registry_default("quant.group_size")
+
+#: A step's work list: ``(session id, new token ids)`` — the whole
+#: prompt for a prefill, a single token for a decode.
+WorkItem = Tuple[int, np.ndarray]
+
+
+class InferenceEngine:
+    """Continuous-batching forward over a (optionally) quantized model.
+
+    Args:
+        model: the source :class:`TinyTransformer` (its fp32 parameters
+            are read once; the engine does not mutate the model).
+        quantized: pack weight planes to int8 and run linears through
+            the fused ``qmatmul`` (False = fp32 reference engine, same
+            batching and cache, used as the bench A/B twin).
+        group_size: int8 quantization group; defaults to the tuned
+            ``quant.group_size``.
+        max_pages / page_tokens / spill / spill_pages: paged KV-cache
+            geometry (see :class:`PagedKVCache`).
+        pool: kernel pool for the qmatmul column fan-out.
+        telemetry: tracing/metrics sink shared with the cache.
+    """
+
+    def __init__(
+        self,
+        model: TinyTransformer,
+        quantized: bool = True,
+        group_size: Optional[int] = None,
+        max_pages: Optional[int] = None,
+        page_tokens: Optional[int] = None,
+        spill: Optional[str] = None,
+        spill_pages: Optional[int] = None,
+        pool: Optional[KernelPool] = None,
+        telemetry: Telemetry = NULL_TELEMETRY,
+    ):
+        self.model = model
+        self.spec = model.spec
+        self.params = model.params
+        self.pool = pool
+        self.telemetry = telemetry
+        self.quantized = quantized
+        self.group_size = (
+            group_size if group_size is not None
+            else tune.value("quant.group_size", GROUP_SIZE)
+        )
+        spec = self.spec
+        self.store: Optional[QuantizedStore] = None
+        if quantized:
+            names = ["tok_emb", "head.w"]
+            for i in range(spec.n_layers):
+                names += [
+                    f"h{i}.qkv.w", f"h{i}.proj.w",
+                    f"h{i}.fc1.w", f"h{i}.fc2.w",
+                ]
+            self.store = QuantizedStore.pack(
+                [(n, self.params[n]) for n in names], self.group_size
+            )
+        self.cache = PagedKVCache(
+            spec.n_layers,
+            spec.n_heads,
+            spec.hidden // spec.n_heads,
+            page_tokens=page_tokens,
+            max_pages=max_pages,
+            spill=spill,
+            spill_pages=spill_pages,
+            telemetry=telemetry,
+        )
+        self._steps = 0
+
+    # -- memory accounting ----------------------------------------------
+
+    @property
+    def fp32_bytes(self) -> int:
+        """fp32 footprint of the full parameter set."""
+        return sum(p.nbytes for p in self.params.values())
+
+    @property
+    def model_bytes(self) -> int:
+        """Actual parameter bytes the engine holds resident."""
+        if self.store is None:
+            return self.fp32_bytes
+        packed = {*self.store.names()}
+        leftover = sum(
+            p.nbytes for n, p in self.params.items() if n not in packed
+        )
+        return self.store.nbytes + leftover
+
+    @property
+    def memory_ratio(self) -> float:
+        """Whole-model compression vs fp32 (>= 1.0; ~3.7x at group 64)."""
+        return self.fp32_bytes / self.model_bytes
+
+    # -- quantized primitives -------------------------------------------
+
+    def _linear(self, name: str, x: np.ndarray) -> np.ndarray:
+        bias = self.params[f"{name}.b"]
+        if self.store is not None:
+            with self.telemetry.tracer.span("dequant", category="quant"):
+                return parallel_qmatmul(
+                    x, self.store.get(f"{name}.w"), bias, pool=self.pool
+                )
+        return x @ self.params[f"{name}.w"] + bias
+
+    def _embed(self, ids: np.ndarray) -> np.ndarray:
+        if self.store is not None:
+            return self.store.get("tok_emb").dequantize_rows(ids)
+        return self.params["tok_emb"][ids]
+
+    # -- the batched step ------------------------------------------------
+
+    def step(self, items: Sequence[WorkItem]) -> List[Tuple[int, int]]:
+        """One mixed prefill+decode forward over ``items``.
+
+        Every item's new tokens are embedded into one stacked ``(T,
+        hidden)`` matrix; linears run batched, attention runs
+        per-session against the paged cache (appending the new K/V
+        first, so prefill and decode are one code path).  The LM head
+        runs only on each session's final row.
+
+        Returns:
+            ``(session, next_token)`` per item, greedy argmax.  Token
+            choice is bitwise-deterministic for a fixed work list and
+            worker count — and across worker counts, because every
+            matmul's tile decomposition is worker-independent.
+        """
+        if not items:
+            return []
+        tracer = self.telemetry.tracer
+        self._steps += 1
+        with tracer.span("serve_step", category="step",
+                         iteration=self._steps):
+            return self._step_inner(items)
+
+    def _step_inner(
+        self, items: Sequence[WorkItem]
+    ) -> List[Tuple[int, int]]:
+        tracer = self.telemetry.tracer
+        spec = self.spec
+        heads = spec.n_heads
+        h = spec.hidden
+        d = h // heads
+        p = self.params
+        sizes = [len(ids) for _, ids in items]
+        offsets = np.concatenate([[0], np.cumsum(sizes)])
+        total = int(offsets[-1])
+        pasts = []
+        x = np.empty((total, h), dtype=np.float32)
+        for (sid, ids), off, t in zip(items, offsets, sizes):
+            ids = np.asarray(ids).reshape(-1)
+            past = self.cache.tokens(sid)
+            if past + t > spec.max_seq:
+                raise ValueError(
+                    f"session {sid} at {past}+{t} tokens exceeds "
+                    f"max_seq {spec.max_seq}"
+                )
+            pasts.append(past)
+            x[off:off + t] = self._embed(ids) + p["pos_emb"][past:past + t]
+        for i in range(spec.n_layers):
+            ln1, _ = LayerNorm.forward(
+                x, p[f"h{i}.ln1.g"], p[f"h{i}.ln1.b"], None
+            )
+            qkv = self._linear(f"h{i}.qkv", ln1)
+            attn_out = np.empty((total, h), dtype=np.float32)
+            for (sid, _), off, t, past in zip(
+                items, offsets, sizes, pasts
+            ):
+                phase = "prefill" if t > 1 else "decode"
+                with tracer.span(phase, category="serve"):
+                    sl = slice(int(off), int(off) + t)
+                    q, k, v = (
+                        np.ascontiguousarray(
+                            a.reshape(t, heads, d).transpose(1, 0, 2)
+                        )
+                        for a in np.split(qkv[sl], 3, axis=-1)
+                    )
+                    self.cache.append(sid, i, k, v)
+                    o = paged_attention(
+                        q, self.cache.iter_pages(sid, i), past
+                    )
+                    attn_out[sl] = o.transpose(1, 0, 2).reshape(t, h)
+            x += self._linear(f"h{i}.proj", attn_out)
+            ln2, _ = LayerNorm.forward(
+                x, p[f"h{i}.ln2.g"], p[f"h{i}.ln2.b"], None
+            )
+            fc1 = self._linear(f"h{i}.fc1", ln2)
+            x += self._linear(f"h{i}.fc2", gelu(fc1, None))
+        last_rows = (offsets[1:] - 1).astype(np.int64)
+        lnf, _ = LayerNorm.forward(
+            x[last_rows], p["ln_f.g"], p["ln_f.b"], None
+        )
+        logits = self._linear("head", lnf)
+        tokens = np.argmax(logits, axis=-1)
+        return [
+            (sid, int(tok)) for (sid, _), tok in zip(items, tokens)
+        ]
+
+    def release(self, session: int) -> None:
+        """Retire a session's KV pages (scheduler calls on completion)."""
+        self.cache.release(session)
+
+    def close(self) -> None:
+        self.cache.close()
+
+    def __enter__(self) -> "InferenceEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def generate(
+    engine: InferenceEngine,
+    prompt: np.ndarray,
+    max_new_tokens: int,
+    session: int = 0,
+    eos_id: Optional[int] = None,
+) -> List[int]:
+    """Single-session greedy generation (the serving-free reference).
+
+    Drives the same engine step with a one-item work list: one prefill,
+    then one decode per token.  Used by the tests to check that
+    continuous batching does not change what a lone session generates.
+    """
+    out: List[int] = []
+    (_, tok), = engine.step([(session, np.asarray(prompt))])
+    out.append(tok)
+    while len(out) < max_new_tokens and tok != eos_id:
+        (_, tok), = engine.step([(session, np.array([tok]))])
+        out.append(tok)
+    engine.release(session)
+    return out

@@ -1,0 +1,126 @@
+"""The continuous-batching loop: admit, step, retire.
+
+Classic iteration-level scheduling (Orca-style): every engine step mixes
+freshly admitted prompts (prefill) with live sessions (decode) in one
+batch, so short requests never wait behind long generations and the
+batch refills the moment a session retires.  Admission is gated on the
+KV-cache budget — a session is only admitted if its *whole* footprint
+(prompt + generation budget) fits alongside the full footprints already
+reserved by live sessions, so a cache without a spill tier can never
+overflow mid-generation no matter how far every admitted decode grows.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.serving.engine import InferenceEngine
+from repro.serving.session import ACTIVE, DONE, Session, SessionRegistry
+
+#: One emission: (session, token id, session finished?).
+Emission = Tuple[Session, int, bool]
+
+
+class ContinuousBatchingScheduler:
+    """Per-step admission and retirement over an :class:`InferenceEngine`.
+
+    Args:
+        engine: the batched forward.
+        registry: where requests queue (the server submits into it).
+        max_batch: cap on concurrently active sessions per step.
+    """
+
+    def __init__(
+        self,
+        engine: InferenceEngine,
+        registry: SessionRegistry,
+        max_batch: int = 8,
+    ):
+        self.engine = engine
+        self.registry = registry
+        self.max_batch = max_batch
+        self.active: List[Session] = []
+
+    @property
+    def busy(self) -> bool:
+        return bool(self.active) or self.registry.waiting > 0
+
+    def _footprint(self, session: Session) -> int:
+        """Pages the session will hold at its full generation budget."""
+        cache = self.engine.cache
+        budget = min(session.total_tokens, self.engine.spec.max_seq)
+        return cache.pages_for(budget) * cache.n_layers
+
+    def _admit(self) -> List[Session]:
+        admitted: List[Session] = []
+        cache = self.engine.cache
+        # Reserve every live session's *full* footprint, not its current
+        # holdings: decodes grow pages every step, so gating on held
+        # pages alone would over-admit and hit KVCacheFull mid-stream.
+        reserved = (
+            sum(self._footprint(s) for s in self.active)
+            if cache.bounded else 0
+        )
+        while len(self.active) + len(admitted) < self.max_batch:
+            picked = self.registry.take_waiting(1)
+            if not picked:
+                break
+            s = picked[0]
+            if cache.bounded and \
+                    reserved + self._footprint(s) > cache.max_pages:
+                # Does not fit yet: put it back and stop admitting (FIFO
+                # order — later, smaller requests must not starve it).
+                self.registry.requeue(s)
+                break
+            reserved += self._footprint(s)
+            s.state = ACTIVE
+            admitted.append(s)
+        return admitted
+
+    def step(self) -> List[Emission]:
+        """Admit waiting sessions, run one engine step, retire finished.
+
+        Returns one emission per stepped session; an empty list means
+        there was nothing to do.
+        """
+        admitted = self._admit()
+        items = [(s.sid, s.prompt) for s in admitted]
+        items += [
+            (s.sid, np.array([s.generated[-1]])) for s in self.active
+        ]
+        stepping = admitted + self.active
+        if not items:
+            return []
+        results = dict(self.engine.step(items))
+        out: List[Emission] = []
+        survivors: List[Session] = []
+        for s in stepping:
+            tok = results[s.sid]
+            s.record_token(tok)
+            room = self.engine.cache.tokens(s.sid) < \
+                self.engine.spec.max_seq
+            finished = (
+                len(s.generated) >= s.max_new_tokens
+                or (s.eos_id is not None and tok == s.eos_id)
+                or not room
+            )
+            if finished:
+                s.state = DONE
+                s.finished_at = time.perf_counter()
+                self.engine.release(s.sid)
+            else:
+                survivors.append(s)
+            out.append((s, tok, finished))
+        self.active = survivors
+        return out
+
+    def run_until_done(self, max_steps: Optional[int] = None) -> int:
+        """Drain the queue synchronously; returns steps executed."""
+        steps = 0
+        while self.busy and (max_steps is None or steps < max_steps):
+            self.step()
+            steps += 1
+        return steps

@@ -1,0 +1,151 @@
+"""Thread-based streaming front end over the continuous-batching loop.
+
+One background thread owns the engine and runs scheduler steps; client
+threads :meth:`~StreamingServer.submit` prompts and consume
+:meth:`~StreamingServer.stream` generators that block on a per-session
+queue — tokens flow out as each engine step lands, many sessions
+concurrently.  ``repro serve`` is a thin CLI shell around this class.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Dict, Iterator, Optional
+
+import numpy as np
+
+from repro.serving.engine import InferenceEngine
+from repro.serving.scheduler import ContinuousBatchingScheduler
+from repro.serving.session import SessionRegistry, aggregate_metrics
+
+#: Queue sentinel closing a stream.
+_EOS = object()
+
+
+class StreamingServer:
+    """Serve streaming generations from many concurrent clients.
+
+    Args:
+        engine: the batched inference engine (server takes ownership:
+            :meth:`close` closes it).
+        max_batch: concurrent sessions per engine step.
+
+    Usage::
+
+        server = StreamingServer(InferenceEngine(model))
+        server.start()
+        sid = server.submit(prompt, max_new_tokens=32)
+        for token in server.stream(sid):
+            ...
+        server.close()
+    """
+
+    def __init__(self, engine: InferenceEngine, max_batch: int = 8):
+        self.engine = engine
+        self.registry = SessionRegistry()
+        self.scheduler = ContinuousBatchingScheduler(
+            engine, self.registry, max_batch=max_batch
+        )
+        self._queues: Dict[int, "queue.SimpleQueue"] = {}
+        self._wake = threading.Condition()
+        self._stop = False
+        self._thread: Optional[threading.Thread] = None
+        self._error: Optional[BaseException] = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> "StreamingServer":
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _loop(self) -> None:
+        try:
+            while True:
+                with self._wake:
+                    while not self._stop and not self.scheduler.busy:
+                        self._wake.wait(timeout=0.1)
+                    if self._stop and not self.scheduler.busy:
+                        return
+                for session, token, done in self.scheduler.step():
+                    q = self._queues.get(session.sid)
+                    if q is not None:
+                        q.put(token)
+                        if done:
+                            q.put(_EOS)
+        except BaseException as exc:  # propagate to blocked clients
+            self._error = exc
+            for q in self._queues.values():
+                q.put(_EOS)
+
+    def close(self, drain: bool = True) -> None:
+        """Stop the loop (after draining in-flight work) and close."""
+        with self._wake:
+            if not drain:
+                # Abandon queued/live sessions: clients see EOS.
+                self.registry.take_waiting(self.registry.waiting)
+                self.scheduler.active = []
+            self._stop = True
+            self._wake.notify_all()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        if not drain:
+            for q in self._queues.values():
+                q.put(_EOS)
+        self.engine.close()
+
+    def __enter__(self) -> "StreamingServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- client API ------------------------------------------------------
+
+    def submit(
+        self,
+        prompt: np.ndarray,
+        max_new_tokens: int,
+        eos_id: Optional[int] = None,
+    ) -> int:
+        """Queue a generation request; returns the session id."""
+        prompt = np.asarray(prompt, dtype=np.int64).reshape(-1)
+        limit = self.engine.spec.max_seq
+        if len(prompt) >= limit:
+            raise ValueError(
+                f"prompt of {len(prompt)} tokens leaves no room to "
+                f"generate (max_seq {limit})"
+            )
+        max_new_tokens = min(max_new_tokens, limit - len(prompt))
+        session = self.registry.create(prompt, max_new_tokens, eos_id)
+        self._queues[session.sid] = queue.SimpleQueue()
+        with self._wake:
+            self._wake.notify_all()
+        return session.sid
+
+    def stream(self, sid: int) -> Iterator[int]:
+        """Yield generated tokens for a session; ends at completion."""
+        q = self._queues[sid]
+        while True:
+            item = q.get()
+            if item is _EOS:
+                if self._error is not None:
+                    raise RuntimeError(
+                        "serving loop failed"
+                    ) from self._error
+                return
+            yield item
+
+    def result(self, sid: int) -> list:
+        """Convenience: block until done, return all tokens."""
+        return list(self.stream(sid))
+
+    def metrics(self) -> Dict[str, float]:
+        """Aggregate fleet metrics (see :func:`aggregate_metrics`)."""
+        return aggregate_metrics(self.registry.sessions())

@@ -1,0 +1,158 @@
+"""Sessions: one streaming generation request, and their registry.
+
+A :class:`Session` is the unit the continuous-batching scheduler admits,
+steps, and retires.  It records everything the serving metrics need —
+submit/first-token/finish timestamps and one timestamp per emitted token
+— so tokens/sec and p95 per-token latency fall out of the registry
+without any extra bookkeeping in the hot loop.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+#: Session lifecycle states.
+WAITING, ACTIVE, DONE = "waiting", "active", "done"
+
+
+@dataclass
+class Session:
+    """One generation request.
+
+    Attributes:
+        sid: registry-assigned id (also the KV-cache session key).
+        prompt: 1-D int token ids.
+        max_new_tokens: generation budget.
+        eos_id: optional stop token.
+        state: ``waiting`` -> ``active`` -> ``done``.
+        generated: tokens emitted so far.
+        submitted_at / first_token_at / finished_at: perf-counter
+            timestamps.
+        token_times: one perf-counter stamp per generated token.
+    """
+
+    sid: int
+    prompt: np.ndarray
+    max_new_tokens: int
+    eos_id: Optional[int] = None
+    state: str = WAITING
+    generated: List[int] = field(default_factory=list)
+    submitted_at: float = field(default_factory=time.perf_counter)
+    first_token_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    token_times: List[float] = field(default_factory=list)
+
+    @property
+    def total_tokens(self) -> int:
+        """Prompt plus budget: the KV footprint admission must reserve."""
+        return len(self.prompt) + self.max_new_tokens
+
+    @property
+    def done(self) -> bool:
+        return self.state == DONE
+
+    def record_token(self, token: int) -> None:
+        now = time.perf_counter()
+        if self.first_token_at is None:
+            self.first_token_at = now
+        self.generated.append(int(token))
+        self.token_times.append(now)
+
+    def token_latencies(self) -> List[float]:
+        """Seconds between consecutive emissions (first is vs submit)."""
+        if not self.token_times:
+            return []
+        stamps = [self.submitted_at] + self.token_times
+        return [b - a for a, b in zip(stamps, stamps[1:])]
+
+
+class SessionRegistry:
+    """Thread-safe id assignment and lifecycle index for sessions."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._next = 0
+        self._all: Dict[int, Session] = {}
+        self._waiting: List[int] = []
+
+    def create(
+        self,
+        prompt: np.ndarray,
+        max_new_tokens: int,
+        eos_id: Optional[int] = None,
+    ) -> Session:
+        prompt = np.asarray(prompt, dtype=np.int64).reshape(-1)
+        with self._lock:
+            sid = self._next
+            self._next += 1
+            s = Session(sid, prompt, max_new_tokens, eos_id)
+            self._all[sid] = s
+            self._waiting.append(sid)
+        return s
+
+    def get(self, sid: int) -> Session:
+        return self._all[sid]
+
+    def take_waiting(self, limit: int) -> List[Session]:
+        """Pop up to ``limit`` waiting sessions, FIFO."""
+        with self._lock:
+            picked, self._waiting = (
+                self._waiting[:limit], self._waiting[limit:]
+            )
+            return [self._all[sid] for sid in picked]
+
+    def requeue(self, session: Session) -> None:
+        """Return an un-admittable session to the head of the queue."""
+        with self._lock:
+            self._waiting.insert(0, session.sid)
+
+    @property
+    def waiting(self) -> int:
+        with self._lock:
+            return len(self._waiting)
+
+    def sessions(self) -> Tuple[Session, ...]:
+        with self._lock:
+            return tuple(self._all.values())
+
+
+def aggregate_metrics(sessions) -> Dict[str, float]:
+    """Fleet metrics over finished (or partially finished) sessions.
+
+    Returns tokens generated, wall seconds (first submit to last
+    emission), aggregate tokens/sec, and the p50/p95 per-token latency
+    in milliseconds across every inter-token gap of every session.
+    """
+    sessions = [s for s in sessions if s.token_times]
+    if not sessions:
+        return {
+            "sessions": 0, "tokens": 0, "wall_s": 0.0,
+            "tokens_per_sec": 0.0, "p50_token_ms": 0.0,
+            "p95_token_ms": 0.0, "ttft_ms": 0.0,
+        }
+    tokens = sum(len(s.generated) for s in sessions)
+    start = min(s.submitted_at for s in sessions)
+    end = max(s.token_times[-1] for s in sessions)
+    wall = max(end - start, 1e-9)
+    lat = np.array(
+        [g for s in sessions for g in s.token_latencies()], dtype=np.float64
+    )
+    ttft = np.array(
+        [s.first_token_at - s.submitted_at for s in sessions
+         if s.first_token_at is not None],
+        dtype=np.float64,
+    )
+    return {
+        "sessions": len(sessions),
+        "tokens": tokens,
+        "wall_s": wall,
+        "tokens_per_sec": tokens / wall,
+        "p50_token_ms": float(np.percentile(lat, 50) * 1e3),
+        "p95_token_ms": float(np.percentile(lat, 95) * 1e3),
+        "ttft_ms": float(np.mean(ttft) * 1e3) if ttft.size else 0.0,
+    }

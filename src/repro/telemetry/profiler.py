@@ -53,6 +53,10 @@ PHASES = (
     "pp_send",
     "pp_recv",
     "pp_bubble",
+    "prefill",
+    "decode",
+    "kv_evict",
+    "dequant",
     "idle",
 )
 
@@ -76,6 +80,14 @@ _NAME_PHASE = {
     "pp_send": "pp_send",
     "pp_recv": "pp_recv",
     "pp_bubble": "pp_bubble",
+    # Serving: the decode-step taxonomy.  Quantized linears claim their
+    # time as ``dequant`` (they nest inside prefill/decode, and the
+    # innermost span wins); cache eviction/restore is ``kv_evict``.
+    "prefill": "prefill",
+    "decode": "decode",
+    "dequant": "dequant",
+    "kv_evict": "kv_evict",
+    "kv_restore": "kv_evict",
 }
 
 #: Span *categories* with a phase (used when the name is unmapped).
@@ -90,6 +102,8 @@ _CATEGORY_PHASE = {
     "checkpoint": "checkpoint",
     "pp_comm": "pp_send",     # unnamed p2p traffic counts as send time
     "pp_stall": "pp_bubble",
+    "quant": "dequant",
+    "kvcache": "kv_evict",
 }
 
 
@@ -329,14 +343,17 @@ class StepProfiler:
     # -- analysis ------------------------------------------------------
 
     def _step_spans(self) -> List[Span]:
+        # ``serve_step`` is the inference twin of ``train_step``: same
+        # window semantics, different phase population.
         return [
             s for s in self.tracer.spans
-            if s.name == "train_step" and s.category == "step"
-            and s.finish is not None
+            if s.name in ("train_step", "serve_step")
+            and s.category == "step" and s.finish is not None
         ]
 
     def step_breakdowns(self) -> List[StepBreakdown]:
-        """Phase attribution for every recorded ``train_step``."""
+        """Phase attribution for every recorded step window
+        (``train_step`` or ``serve_step``)."""
         spans = self.tracer.spans
         out: List[StepBreakdown] = []
         for step in self._step_spans():

@@ -1,0 +1,436 @@
+"""Paged KV-cache for the streaming inference path.
+
+Serving keeps one K/V history per (session, layer); a thousand ragged
+sessions malloc'd individually would fragment the heap and make the
+memory budget unauditable.  This module stores histories as fixed-size
+**pages** — ``kv.page_tokens`` tokens each, one buffer of shape
+``(2, heads, page_tokens, head_dim)`` per page — served from an
+:class:`~repro.tensors.workspace.ActivationWorkspace`.  Every page shares
+one (shape, dtype) key, so retired sessions' pages are recycled into new
+sessions via the workspace free list and steady-state serving performs
+zero allocations once the page pool is warm.
+
+Capacity is a hard page budget (``max_pages``).  Under pressure the
+least-recently-touched resident page is evicted: with a
+:class:`~repro.tensors.spill.SpillArena` backing tier attached the page's
+bytes survive to disk and are transparently restored on next touch
+(``kv_pages_evicted`` / ``kv_pages_restored`` counters,
+``kv_bytes_resident`` gauge); without one, eviction would lose live
+context, so the cache refuses admission instead
+(:class:`KVCacheFull` — the scheduler's backpressure signal).
+
+:func:`paged_attention` is the decode-side consumer: an online-softmax
+sweep over a session's page list (the same running max/sum rescaling as
+:mod:`repro.numeric.flash`), so attention never needs the history
+contiguous — or even fully resident until touched.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import tune
+from repro.telemetry import NULL_TELEMETRY, Telemetry
+from repro.tensors.spill import SpillArena
+from repro.tensors.workspace import ActivationWorkspace
+from repro.tune.registry import default as _registry_default
+
+#: Authored default tokens-per-page; live value resolved via
+#: ``tune.value("kv.page_tokens", ...)`` at cache construction.
+PAGE_TOKENS = _registry_default("kv.page_tokens")
+
+
+class KVCacheFull(RuntimeError):
+    """Raised when a page is needed, the budget is exhausted, and no
+    spill tier exists to evict into.  Admission control should prevent
+    this (see :meth:`PagedKVCache.can_admit`)."""
+
+
+@dataclass(eq=False)
+class _Page:
+    """One fixed-size KV page (identity-hashed; lives in the LRU)."""
+
+    session: int
+    layer: int
+    index: int                        # ordinal within the (session, layer) run
+    buf: Optional[np.ndarray] = None  # (2, heads, page_tokens, head_dim)
+    slot: Optional[int] = None        # spill slot while evicted
+    pinned: bool = field(default=False, repr=False)
+
+    @property
+    def resident(self) -> bool:
+        return self.buf is not None
+
+
+class PagedKVCache:
+    """Fixed-page KV storage with LRU eviction and optional disk spill.
+
+    Args:
+        n_layers, n_heads, head_dim: attention geometry of the model.
+        page_tokens: tokens per page; defaults to the tuned
+            ``kv.page_tokens``.
+        max_pages: resident page budget (``None`` = unbounded).
+        workspace: page allocator; a private one is created if omitted.
+            The cache owns its pages across steps, so **never** call
+            ``new_step()`` on this workspace — pages are returned only
+            through :meth:`release` and eviction.
+        spill: optional spill backing.  Pass a directory path to let the
+            cache build its own arena, sized ``spill_pages`` pages.
+        spill_pages: spill-tier capacity in pages (default: 4x
+            ``max_pages``; required if ``max_pages`` is None).
+        telemetry: sink for the eviction counters and residency gauge.
+    """
+
+    def __init__(
+        self,
+        n_layers: int,
+        n_heads: int,
+        head_dim: int,
+        page_tokens: Optional[int] = None,
+        max_pages: Optional[int] = None,
+        workspace: Optional[ActivationWorkspace] = None,
+        spill: Optional[str] = None,
+        spill_pages: Optional[int] = None,
+        telemetry: Telemetry = NULL_TELEMETRY,
+    ):
+        self.n_layers = n_layers
+        self.n_heads = n_heads
+        self.head_dim = head_dim
+        self.page_tokens = (
+            page_tokens if page_tokens is not None
+            else tune.value("kv.page_tokens", PAGE_TOKENS)
+        )
+        self.max_pages = max_pages
+        self.workspace = workspace if workspace is not None \
+            else ActivationWorkspace()
+        self.telemetry = telemetry
+        self._page_shape = (2, n_heads, self.page_tokens, head_dim)
+        self._page_elems = 2 * n_heads * self.page_tokens * head_dim
+        self._page_bytes = self._page_elems * 4
+        self._pages: Dict[Tuple[int, int], List[_Page]] = {}
+        self._tokens: Dict[Tuple[int, int], int] = {}  # per (session, layer)
+        self._live: Dict[int, None] = {}    # session registry, FIFO order
+        self._lru: Dict[_Page, None] = {}   # insertion-ordered: LRU first
+        self._resident = 0
+        self._arena: Optional[SpillArena] = None
+        self._free_slots: List[int] = []
+        if spill is not None:
+            if spill_pages is None:
+                if max_pages is None:
+                    raise ValueError(
+                        "spill_pages is required when max_pages is None"
+                    )
+                spill_pages = 4 * max_pages
+            self._arena = SpillArena(
+                spill, {"kv": spill_pages * self._page_elems},
+                telemetry=telemetry,
+            )
+            self._free_slots = list(range(spill_pages))
+
+    # -- bookkeeping ----------------------------------------------------
+
+    @property
+    def resident_pages(self) -> int:
+        return self._resident
+
+    @property
+    def resident_bytes(self) -> int:
+        return self._resident * self._page_bytes
+
+    def sessions(self) -> Tuple[int, ...]:
+        return tuple(self._live)
+
+    def tokens(self, session: int, layer: int = 0) -> int:
+        """Tokens appended for ``(session, layer)``."""
+        return self._tokens.get((session, layer), 0)
+
+    def pages_for(self, tokens: int) -> int:
+        """Pages one layer of a ``tokens``-long session occupies."""
+        return (tokens + self.page_tokens - 1) // self.page_tokens
+
+    @property
+    def bounded(self) -> bool:
+        """True when admission must respect ``max_pages`` (no spill
+        tier to absorb overflow)."""
+        return self._arena is None and self.max_pages is not None
+
+    def can_admit(self, tokens: int) -> bool:
+        """Whether a new ``tokens``-long prompt fits without overflow.
+
+        With a spill tier attached the answer is always yes (pages can
+        be evicted to disk); without one, admission must keep the total
+        footprint of *live* sessions under ``max_pages``.  Note this
+        counts pages *currently held* — schedulers admitting several
+        growing sessions must reserve each one's full footprint
+        themselves (see ``ContinuousBatchingScheduler._admit``).
+        """
+        if not self.bounded:
+            return True
+        held = sum(len(run) for run in self._pages.values())
+        return held + self.pages_for(tokens) * self.n_layers \
+            <= self.max_pages
+
+    def _touch(self, page: _Page) -> None:
+        self._lru.pop(page, None)
+        self._lru[page] = None
+
+    def _gauge(self) -> None:
+        self.telemetry.metrics.gauge("kv_bytes_resident").set(
+            self.resident_bytes
+        )
+
+    # -- eviction / restore ---------------------------------------------
+
+    def _evict_one(self) -> None:
+        victim = next(
+            (p for p in self._lru if p.resident and not p.pinned), None
+        )
+        if victim is None:
+            raise KVCacheFull(
+                f"all {self._resident} resident pages are pinned"
+            )
+        if self._arena is None:
+            raise KVCacheFull(
+                f"page budget {self.max_pages} exhausted and no spill "
+                "tier attached (admission control should gate on "
+                "can_admit)"
+            )
+        if not self._free_slots:
+            raise KVCacheFull("spill tier is out of slots")
+        with self.telemetry.tracer.span("kv_evict", category="kvcache"):
+            slot = self._free_slots.pop()
+            lo = slot * self._page_elems
+            self._arena.write(
+                "kv", lo, lo + self._page_elems, victim.buf.reshape(-1)
+            )
+            victim.slot = slot
+            self.workspace.give(victim.buf)
+            victim.buf = None
+            self._resident -= 1
+        self.telemetry.metrics.counter("kv_pages_evicted").inc()
+        self._gauge()
+
+    def _take_page_buf(self) -> np.ndarray:
+        if self.max_pages is not None:
+            while self._resident >= self.max_pages:
+                self._evict_one()
+        buf = self.workspace.take(self._page_shape, np.float32)
+        self._resident += 1
+        self._gauge()
+        return buf
+
+    def _ensure_resident(self, page: _Page) -> None:
+        self._touch(page)
+        if page.resident:
+            return
+        with self.telemetry.tracer.span("kv_restore", category="kvcache"):
+            buf = self._take_page_buf()
+            lo = page.slot * self._page_elems
+            self._arena.read("kv", lo, lo + self._page_elems,
+                             buf.reshape(-1))
+            self._free_slots.append(page.slot)
+            page.slot = None
+            page.buf = buf
+        self.telemetry.metrics.counter("kv_pages_restored").inc()
+
+    # -- append / view ---------------------------------------------------
+
+    def append(
+        self, session: int, layer: int, k: np.ndarray, v: np.ndarray
+    ) -> None:
+        """Append ``t`` new tokens of K/V for one (session, layer).
+
+        ``k`` and ``v`` are ``(heads, t, head_dim)``.  Every layer of a
+        session must append the same number of tokens per step; the
+        session token count advances when layer 0 appends.
+        """
+        if k.shape != v.shape or k.shape[0] != self.n_heads \
+                or k.shape[2] != self.head_dim:
+            raise ValueError(f"bad KV shape {k.shape}")
+        run = self._pages.setdefault((session, layer), [])
+        done = self._tokens.get((session, layer), 0)
+        t = k.shape[1]
+        try:
+            pos = 0
+            while pos < t:
+                page_idx, offset = divmod(done + pos, self.page_tokens)
+                if page_idx == len(run):
+                    run.append(_Page(session, layer, page_idx))
+                page = run[page_idx]
+                # Pin only the page being written: earlier pages of this
+                # same append are already safe on disk if evicted.
+                page.pinned = True
+                try:
+                    if page.buf is None and page.slot is None:
+                        page.buf = self._take_page_buf()
+                        self._touch(page)
+                    else:
+                        self._ensure_resident(page)
+                    step = min(self.page_tokens - offset, t - pos)
+                    page.buf[0, :, offset:offset + step] = \
+                        k[:, pos:pos + step]
+                    page.buf[1, :, offset:offset + step] = \
+                        v[:, pos:pos + step]
+                    pos += step
+                finally:
+                    page.pinned = False
+        except KVCacheFull:
+            # Roll back pages this append allocated so a rejected
+            # admission leaves no footprint behind.
+            keep = self.pages_for(done)
+            for page in run[keep:]:
+                self._lru.pop(page, None)
+                if page.resident:
+                    self.workspace.give(page.buf)
+                    page.buf = None
+                    self._resident -= 1
+                elif page.slot is not None:
+                    self._free_slots.append(page.slot)
+                    page.slot = None
+            del run[keep:]
+            if not run:
+                self._pages.pop((session, layer), None)
+            self._gauge()
+            raise
+        self._tokens[(session, layer)] = done + t
+        self._live.setdefault(session, None)
+
+    def view(
+        self, session: int, layer: int
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Resident (k, v) views per page, trimmed to valid tokens.
+
+        Touching a spilled page restores it from disk first.  Views stay
+        valid until the next operation that can evict (append on a full
+        cache, another view).
+        """
+        run = self._pages.get((session, layer), [])
+        total = self._tokens.get((session, layer), 0)
+        out: List[Tuple[np.ndarray, np.ndarray]] = []
+        for page in run:
+            page.pinned = True
+        try:
+            for page in run:
+                valid = min(
+                    self.page_tokens,
+                    total - page.index * self.page_tokens,
+                )
+                if valid <= 0:
+                    continue
+                self._ensure_resident(page)
+                out.append(
+                    (page.buf[0, :, :valid], page.buf[1, :, :valid])
+                )
+        finally:
+            for page in run:
+                page.pinned = False
+        return out
+
+    def iter_pages(self, session: int, layer: int):
+        """Yield (k, v) page views lazily, restoring one page at a time.
+
+        Unlike :meth:`view`, only the *yielded* page is guaranteed
+        resident — earlier pages may be evicted as the sweep advances —
+        so a history larger than the resident budget can still be
+        attended (the online-softmax consumer reads each page exactly
+        once, in order).
+        """
+        run = self._pages.get((session, layer), [])
+        total = self._tokens.get((session, layer), 0)
+        for page in run:
+            valid = min(
+                self.page_tokens, total - page.index * self.page_tokens
+            )
+            if valid <= 0:
+                continue
+            page.pinned = True
+            try:
+                self._ensure_resident(page)
+                yield (page.buf[0, :, :valid], page.buf[1, :, :valid])
+            finally:
+                page.pinned = False
+
+    def release(self, session: int) -> None:
+        """Retire a session: recycle its pages and spill slots."""
+        for layer in range(self.n_layers):
+            run = self._pages.pop((session, layer), [])
+            for page in run:
+                self._lru.pop(page, None)
+                if page.resident:
+                    self.workspace.give(page.buf)
+                    page.buf = None
+                    self._resident -= 1
+                elif page.slot is not None:
+                    self._free_slots.append(page.slot)
+                    page.slot = None
+            self._tokens.pop((session, layer), None)
+        self._live.pop(session, None)
+        self._gauge()
+
+    def close(self) -> None:
+        if self._arena is not None:
+            self._arena.close()
+            self._arena = None
+
+    def __enter__(self) -> "PagedKVCache":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def paged_attention(
+    q: np.ndarray,
+    pages: List[Tuple[np.ndarray, np.ndarray]],
+    past_len: int,
+) -> np.ndarray:
+    """Causal attention of new queries against a paged K/V history.
+
+    Online-softmax sweep (running max / running sum, same rescaling as
+    :mod:`repro.numeric.flash`) over the page list, so the history is
+    consumed page-by-page and never concatenated.  Query row ``i``
+    (global position ``past_len + i``) sees keys ``0 .. past_len + i``.
+
+    Args:
+        q: ``(heads, tq, head_dim)`` new-token queries.
+        pages: iterable of ``(k, v)`` views — a :meth:`PagedKVCache.view`
+            list or the lazy :meth:`PagedKVCache.iter_pages` generator;
+            token counts must sum to ``past_len + tq``.
+        past_len: tokens already in the history before this step's
+            append.
+
+    Returns:
+        ``(heads, tq, head_dim)`` fp32 attention output.
+    """
+    heads, tq, d = q.shape
+    scale = np.float32(1.0 / math.sqrt(d))
+    fill = np.float32(np.finfo(np.float32).min / 2)
+    m = np.full((heads, tq), fill, dtype=np.float32)
+    l = np.zeros((heads, tq), dtype=np.float32)
+    acc = np.zeros((heads, tq, d), dtype=np.float32)
+    base = 0
+    rows = past_len + np.arange(tq, dtype=np.int64)[:, None]
+    for k, v in pages:
+        pt = k.shape[1]
+        s = np.matmul(q, k.transpose(0, 2, 1)) * scale
+        cols = base + np.arange(pt, dtype=np.int64)[None, :]
+        masked = cols > rows
+        if masked.any():
+            s = np.where(masked[None, :, :], fill, s)
+        block_max = s.max(axis=-1)
+        m_new = np.maximum(m, block_max)
+        alpha = np.exp(m - m_new)
+        p = np.exp(s - m_new[..., None])
+        l = l * alpha + p.sum(axis=-1)
+        acc = acc * alpha[..., None] + np.matmul(p, v)
+        m = m_new
+        base += pt
+    if base != past_len + tq:
+        raise ValueError(
+            f"pages hold {base} tokens, expected {past_len + tq}"
+        )
+    return acc / l[..., None]

@@ -78,8 +78,27 @@ QUICK_SIZES = (1 << 16, 1 << 19)
 ALL_SECTIONS = (
     "zero_step", "rollback", "steady_state", "parallel_step",
     "zero_pipeline", "attention", "model_step", "spill", "checkpoint",
-    "parallelism",
+    "parallelism", "inference",
 )
+
+#: (m, k, n) shapes the fused qmatmul A/B sweeps — small-M, weight-heavy
+#: matmuls, the shape serving decodes actually run (M is the number of
+#: concurrently decoding sessions).  The fused win is the memory-bound
+#: decode regime: it needs M < group_size, since the scale-pull-out
+#: rewrite trades the (k, n) dequant multiply for ops on (k/gs, M, n)
+#: partials.  Prefill-sized M amortizes the dense path's dequant and is
+#: served fine by it.
+QMATMUL_SHAPES = ((8, 1024, 4096), (16, 1024, 4096), (8, 2048, 2048))
+QUICK_QMATMUL_SHAPES = ((8, 512, 1024), (16, 512, 2048))
+
+#: Concurrent streaming-session counts the serving sweep offers (the
+#: request-rate axis of the tokens/sec / p95 table).
+SERVING_LEVELS = (8, 16)
+QUICK_SERVING_LEVELS = (8,)
+
+#: qmatmul vs dense-dequant agreement bound (same int8 operand, fp32
+#: partial sums reassociated by the group loop — tolerance, not bitwise).
+QMATMUL_TOL = 1e-4
 
 #: (model billions, superchip count) grid the ``parallelism`` section
 #: sweeps plans over.  Pure DP must stay *feasible* at every point so the
@@ -835,6 +854,170 @@ def _bench_parallelism(
     }
 
 
+def _bench_qmatmul(
+    rng: np.random.Generator, m: int, k: int, n: int, workers: int,
+    repeats: int,
+) -> Dict[str, float]:
+    """Fused int8 qmatmul vs its dense-dequant reference (and fp32).
+
+    All three contestants produce the same logical product.  The fused
+    path dequantizes group-by-group inside the tile loop (~1 byte of
+    weight traffic per element); the dense-dequant reference
+    materializes the fp32 weight first (~9 bytes: read int8, write
+    fp32, re-read fp32) — that traffic gap is the ``speedup`` column.
+    ``vs_fp32`` is the honest extra column against a *resident* fp32
+    weight, i.e. what quantization costs (or wins) when memory is not
+    the constraint.  Correctness columns: max deviation from the
+    reference, the analytic per-group error bound check against the
+    exact fp32 product, and bitwise determinism across worker counts.
+    """
+    from repro.exec.ops import parallel_qmatmul
+    from repro.exec.pool import KernelPool
+    from repro.numeric.lowprec import QuantizedTensor, quantize_int8_blocked
+    from repro.tune.registry import default as registry_default
+
+    group = registry_default("quant.group_size")
+    w = (0.05 * rng.standard_normal((k, n))).astype(np.float32)
+    x = rng.standard_normal((m, k), dtype=np.float32)
+    bias = rng.standard_normal(n, dtype=np.float32)
+    qweight, scales = quantize_int8_blocked(w, group)
+    qt = QuantizedTensor(qweight, scales, group)
+    pool = get_pool(workers)
+    out_f = np.empty((m, n), dtype=np.float32)
+    out_d = np.empty((m, n), dtype=np.float32)
+    out_w = np.empty((m, n), dtype=np.float32)
+    wbuf = np.empty((k, n), dtype=np.float32)
+
+    def fused():
+        parallel_qmatmul(x, qt, bias, out=out_f, pool=pool)
+
+    def dense_dequant():
+        qt.dequantize(out=wbuf)
+        np.matmul(x, wbuf, out=out_d)
+        np.add(out_d, bias, out=out_d)
+
+    def fp32_resident():
+        np.matmul(x, w, out=out_w)
+        np.add(out_w, bias, out=out_w)
+
+    fused_s, dense_s, fp32_s = _time_interleaved(
+        [fused, dense_dequant, fp32_resident], repeats
+    )
+    max_err = float(np.max(np.abs(out_f - out_d)))
+    scale_ref = float(np.max(np.abs(out_d))) or 1.0
+    # Analytic bound vs the exact fp32 product: |x| @ (scale/2).
+    exact = x @ w + bias
+    bound = np.abs(x) @ qt.error_bound()
+    bound_ok = bool(
+        np.all(np.abs(out_f - exact) <= bound * (1 + 1e-4) + 1e-5)
+    )
+    serial = KernelPool(1)
+    out_1 = parallel_qmatmul(x, qt, bias, pool=serial)
+    return {
+        "shape": f"{m}x{k}x{n}",
+        "elements": m * k * n,
+        "group_size": group,
+        "fused_ms": fused_s * 1e3,
+        "dense_dequant_ms": dense_s * 1e3,
+        "fp32_resident_ms": fp32_s * 1e3,
+        "speedup": dense_s / fused_s,
+        "vs_fp32": fp32_s / fused_s,
+        "mem_ratio": w.nbytes / qt.nbytes,
+        "max_rel_err": max_err / scale_ref,
+        "tolerance_ok": max_err <= QMATMUL_TOL * scale_ref,
+        "bound_ok": bound_ok,
+        "deterministic": bool(np.array_equal(out_f, out_1)),
+    }
+
+
+def _bench_serving(
+    sessions: int, workers: int, quick: bool
+) -> Dict[str, float]:
+    """Throughput/latency of the streaming server at one concurrency.
+
+    ``sessions`` client threads each submit one prompt and consume the
+    token stream; the continuous-batching loop mixes their prefills and
+    decodes freely.  Tokens/sec is aggregate across the fleet; p50/p95
+    are per-token latency over every inter-token gap of every stream.
+    """
+    import threading
+
+    from repro.serving import InferenceEngine, StreamingServer
+
+    spec = TransformerParams(
+        vocab=128 if quick else 512,
+        max_seq=64 if quick else 160,
+        hidden=64 if quick else 128,
+        n_layers=2 if quick else 4,
+        n_heads=4 if quick else 8,
+    )
+    model = TinyTransformer(spec, seed=0)
+    prompt_len = 8 if quick else 16
+    max_new = 8 if quick else 32
+    engine = InferenceEngine(model, pool=get_pool(workers))
+    ratio = engine.memory_ratio
+    rng = np.random.default_rng(1)
+    prompts = [
+        rng.integers(0, spec.vocab, size=prompt_len)
+        for _ in range(sessions)
+    ]
+    counts: List[int] = [0] * sessions
+    with StreamingServer(engine, max_batch=sessions) as server:
+        def client(i: int) -> None:
+            sid = server.submit(prompts[i], max_new)
+            counts[i] = len(server.result(sid))
+
+        threads = [
+            threading.Thread(target=client, args=(i,))
+            for i in range(sessions)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        met = server.metrics()
+    if any(c != max_new for c in counts):
+        raise RuntimeError(f"short streams: {counts}")
+    return {
+        "sessions": sessions,
+        "prompt_tokens": prompt_len,
+        "max_new_tokens": max_new,
+        "tokens": met["tokens"],
+        "request_rate_per_s": met["sessions"] / met["wall_s"],
+        "tokens_per_sec": met["tokens_per_sec"],
+        "p50_token_ms": met["p50_token_ms"],
+        "p95_token_ms": met["p95_token_ms"],
+        "ttft_ms": met["ttft_ms"],
+        "memory_ratio": ratio,
+    }
+
+
+def _bench_inference(
+    rng: np.random.Generator, workers: int, repeats: int, quick: bool
+) -> Dict:
+    """The ``inference`` section: qmatmul A/B plus the serving sweep."""
+    import math
+
+    shapes = QUICK_QMATMUL_SHAPES if quick else QMATMUL_SHAPES
+    levels = QUICK_SERVING_LEVELS if quick else SERVING_LEVELS
+    qrows = [
+        _bench_qmatmul(rng, m, k, n, workers, repeats)
+        for (m, k, n) in shapes
+    ]
+    srows = [_bench_serving(s, workers, quick) for s in levels]
+    gm = math.exp(
+        sum(math.log(r["speedup"]) for r in qrows) / len(qrows)
+    )
+    return {
+        "qmatmul": qrows,
+        "serving": srows,
+        "speedup": gm,
+        "tokens_per_sec": max(r["tokens_per_sec"] for r in srows),
+        "p95_token_ms": min(r["p95_token_ms"] for r in srows),
+        "memory_ratio": srows[0]["memory_ratio"],
+    }
+
+
 def substrate_bench(
     sizes: Optional[List[int]] = None,
     world_size: int = 4,
@@ -927,4 +1110,7 @@ def substrate_bench(
         ]
     if "parallelism" in sections:
         result["parallelism"] = _bench_parallelism(rng, repeats, quick)
+    if "inference" in sections:
+        result["inference"] = _bench_inference(rng, workers, repeats,
+                                               quick)
     return result

@@ -183,6 +183,30 @@ _T = (
         "the LM head) onto earlier stages to balance stage times",
         "repro.parallel.pipeline",
     ),
+    # -- quantized inference path (repro.numeric.lowprec / exec.ops) ---
+    Tunable(
+        "quant.group_size", 128, 8, 1024, (32, 64, 128, 256),
+        "tile",
+        "rows per int8 quantization group (scale granularity: smaller "
+        "groups cost more scale bytes and smaller batched-matmul "
+        "partials but tighten the error bound)",
+        "repro.numeric.lowprec",
+    ),
+    Tunable(
+        "quant.dequant_tile", 256, 16, 8192, (64, 128, 256, 512, 1024),
+        "tile",
+        "output-column tile width of the fused qmatmul (per-thread "
+        "dequant slab is group_size x this; sized to stay cache-resident)",
+        "repro.exec.ops",
+    ),
+    # -- paged KV cache (repro.tensors.kvcache) ------------------------
+    Tunable(
+        "kv.page_tokens", 16, 4, 4096, (8, 16, 32, 64),
+        "tile",
+        "tokens per KV-cache page (eviction/spill granularity; larger "
+        "pages amortize bookkeeping, smaller ones pack ragged sessions)",
+        "repro.tensors.kvcache",
+    ),
     # -- disk spill tier (repro.tensors.spill) -------------------------
     Tunable(
         "spill.chunk_bytes", 1 << 18, 1 << 12, 1 << 24,

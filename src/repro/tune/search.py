@@ -515,6 +515,182 @@ def _tune_flash_blocks(
     return [out_q, out_k]
 
 
+# -- int8 inference -----------------------------------------------------
+
+#: qmatmul-vs-reference agreement bound for candidate group sizes (the
+#: same scaled-max criterion the bench's ``tolerance_ok`` uses).
+QMATMUL_TOL = 1e-4
+
+#: paged-vs-dense attention agreement bound for candidate page sizes
+#: (page boundaries reorder the online softmax, like flash blocks).
+KV_ATTN_TOL = 1e-5
+
+
+def _tune_quant(
+    pool: KernelPool, repeats: int, quick: bool, rng: np.random.Generator
+) -> List[TunableOutcome]:
+    """Race int8 group sizes and dequant tile widths on a decode matmul.
+
+    Group size changes the quantization itself (different scales,
+    different codes) and tile width changes the BLAS operand shapes
+    (which may reassociate dot products), so both gates are fp32
+    tolerance against the dense-dequant reference plus bitwise
+    determinism across worker counts at the candidate value.
+    """
+    from repro.exec.ops import parallel_qmatmul, qmatmul_reference
+    from repro.numeric.lowprec import (
+        QuantizedTensor,
+        quantize_int8_blocked,
+    )
+
+    tg = registry.get("quant.group_size")
+    tt = registry.get("quant.dequant_tile")
+    out_g = TunableOutcome(tg.name, tg.default, None, tg.kind)
+    out_t = TunableOutcome(tt.name, tt.default, None, tt.kind)
+    m, k, n = (8, 512, 1024) if quick else (8, 1024, 4096)
+    w = (0.05 * rng.standard_normal((k, n))).astype(np.float32)
+    x = rng.standard_normal((m, k), dtype=np.float32)
+    bias = rng.standard_normal(n, dtype=np.float32)
+    out = np.empty((m, n), dtype=np.float32)
+
+    gcands = [c for c in tg.choices if c <= k]
+    qts = {
+        c: QuantizedTensor(*quantize_int8_blocked(w, c), c)
+        for c in gcands
+    }
+    arms = [
+        (lambda c=c: parallel_qmatmul(x, qts[c], bias, out=out, pool=pool))
+        for c in gcands
+    ]
+    for arm in arms:
+        arm()
+    times = _ab_time(arms, repeats)
+    for c, s in zip(gcands, times):
+        out_g.measurements[f"ms@{c}"] = s * 1e3
+    best_i = int(np.argmin(times))
+    best = gcands[best_i]
+    default_s = (times[gcands.index(tg.default)]
+                 if tg.default in gcands else min(times))
+    if best != tg.default and times[best_i] < default_s * (1.0 - MARGIN):
+        got = parallel_qmatmul(x, qts[best], bias, pool=pool)
+        ref = qmatmul_reference(x, qts[best], bias)
+        scale = float(np.abs(ref).max()) + 1e-12
+        tol_ok = float(np.abs(got - ref).max()) / scale <= QMATMUL_TOL
+        inline = parallel_qmatmul(x, qts[best], bias, pool=KernelPool(1))
+        det_ok = bool(np.array_equal(got, inline))
+        out_g.bitwise_ok = det_ok
+        if tol_ok and det_ok:
+            out_g.chosen = best
+        else:
+            out_g.note = (
+                "candidate failed tolerance/determinism; keeping default"
+            )
+    else:
+        out_g.note = "no group size beat the default"
+
+    qt0 = qts.get(tg.default, qts[gcands[-1]])
+    tcands = [c for c in tt.choices if c <= n]
+    tarms = [
+        (lambda c=c: parallel_qmatmul(
+            x, qt0, bias, out=out, pool=pool, tile=c
+        ))
+        for c in tcands
+    ]
+    for arm in tarms:
+        arm()
+    ttimes = _ab_time(tarms, repeats)
+    for c, s in zip(tcands, ttimes):
+        out_t.measurements[f"ms@{c}"] = s * 1e3
+    tbest_i = int(np.argmin(ttimes))
+    tbest = tcands[tbest_i]
+    tdefault_s = (ttimes[tcands.index(tt.default)]
+                  if tt.default in tcands else min(ttimes))
+    if tbest != tt.default and ttimes[tbest_i] < tdefault_s * (1.0 - MARGIN):
+        got = parallel_qmatmul(x, qt0, bias, pool=pool, tile=tbest)
+        ref = qmatmul_reference(x, qt0, bias)
+        scale = float(np.abs(ref).max()) + 1e-12
+        tol_ok = float(np.abs(got - ref).max()) / scale <= QMATMUL_TOL
+        inline = parallel_qmatmul(
+            x, qt0, bias, pool=KernelPool(1), tile=tbest
+        )
+        out_t.bitwise_ok = bool(np.array_equal(got, inline))
+        if tol_ok and out_t.bitwise_ok:
+            out_t.chosen = tbest
+        else:
+            out_t.note = (
+                "candidate failed tolerance/determinism; keeping default"
+            )
+    else:
+        out_t.note = "no tile beat the default"
+    return [out_g, out_t]
+
+
+def _tune_kv(
+    pool: KernelPool, repeats: int, quick: bool, rng: np.random.Generator
+) -> TunableOutcome:
+    """Race KV page sizes on a single-session decode loop.
+
+    Page boundaries reorder the online-softmax accumulation (same
+    contract as the flash block sides), so the gate is fp32 tolerance
+    of the final decode step against a dense softmax over the same
+    history.
+    """
+    from repro.tensors.kvcache import PagedKVCache, paged_attention
+
+    t = registry.get("kv.page_tokens")
+    out = TunableOutcome(t.name, t.default, None, t.kind)
+    heads, head_dim = 4, 16
+    steps = 32 if quick else 64
+    keys = rng.standard_normal((heads, steps, head_dim)) \
+        .astype(np.float32)
+    vals = rng.standard_normal((heads, steps, head_dim)) \
+        .astype(np.float32)
+    queries = rng.standard_normal((heads, steps, head_dim)) \
+        .astype(np.float32)
+    candidates = [c for c in t.choices if c <= steps]
+
+    def decode_loop(page_tokens: int) -> np.ndarray:
+        with PagedKVCache(
+            1, heads, head_dim, page_tokens=page_tokens
+        ) as cache:
+            last = None
+            for i in range(steps):
+                cache.append(0, 0, keys[:, i:i + 1], vals[:, i:i + 1])
+                last = paged_attention(
+                    queries[:, i:i + 1], cache.iter_pages(0, 0), i
+                )
+            return last
+
+    arms = [(lambda c=c: decode_loop(c)) for c in candidates]
+    for arm in arms:
+        arm()
+    times = _ab_time(arms, repeats)
+    for c, s in zip(candidates, times):
+        out.measurements[f"ms@{c}"] = s * 1e3
+    best_i = int(np.argmin(times))
+    best = candidates[best_i]
+    default_s = (times[candidates.index(t.default)]
+                 if t.default in candidates else min(times))
+    if best != t.default and times[best_i] < default_s * (1.0 - MARGIN):
+        got = decode_loop(best)
+        # Dense reference for the final decode step: full softmax over
+        # the whole history, no paging.
+        logits = np.einsum(
+            "hqd,hkd->hqk", queries[:, -1:], keys
+        ) / np.sqrt(head_dim)
+        probs = np.exp(logits - logits.max(axis=-1, keepdims=True))
+        probs /= probs.sum(axis=-1, keepdims=True)
+        ref = np.einsum("hqk,hkd->hqd", probs, vals)
+        out.bitwise_ok = True
+        if float(np.abs(got - ref).max()) <= KV_ATTN_TOL:
+            out.chosen = best
+        else:
+            out.note = "candidate failed tolerance; keeping default"
+    else:
+        out.note = "no page size beat the default"
+    return out
+
+
 # -- ZeRO / rollback / workers ------------------------------------------
 
 
@@ -872,6 +1048,9 @@ _WORKLOAD_ENTRIES: Dict[str, Tuple[str, ...]] = {
     "spill": (
         "spill.chunk_bytes", "spill.prefetch_depth", "spill.writer_queue",
     ),
+    "inference": (
+        "quant.group_size", "quant.dequant_tile", "kv.page_tokens",
+    ),
 }
 
 
@@ -1094,6 +1273,65 @@ def validate_profile(
         "attention", seq, tuned_s * 1e3, default_s * 1e3,
         tol_ok and det_ok,
     ))
+
+    # inference: a continuous-batching serving burst tuned vs default.
+    # The quant/kv knobs are construction-time reads (group size at
+    # QuantizedStore.pack, page size at cache build), so each arm owns
+    # an engine built under its profile.  The ok-gate is completion (all
+    # sessions reach their budget) plus qmatmul tolerance under the
+    # tuned group size — token ids may legitimately differ between
+    # group sizes, so they are not compared.
+    from repro.numeric.lowprec import QuantizedTensor, quantize_int8_blocked
+    from repro.numeric.transformer import TinyTransformer, TransformerParams
+    from repro.serving import (
+        ContinuousBatchingScheduler,
+        InferenceEngine,
+        SessionRegistry,
+    )
+
+    spec = TransformerParams(vocab=128, max_seq=64, hidden=64,
+                             n_layers=2, n_heads=4)
+    model = TinyTransformer(spec, seed=7)
+    n_sessions, max_new = (4, 8) if quick else (8, 16)
+    prompts = [
+        rng.integers(0, spec.vocab, size=12) for _ in range(n_sessions)
+    ]
+    completed = []
+
+    def burst(prof: Optional[TuneProfile]) -> None:
+        with runtime.overridden(prof):
+            with InferenceEngine(model, pool=pool) as engine:
+                sessions = SessionRegistry()
+                for p in prompts:
+                    sessions.create(p, max_new)
+                ContinuousBatchingScheduler(
+                    engine, sessions, max_batch=4
+                ).run_until_done()
+                completed.append(all(
+                    len(s.generated) == max_new
+                    for s in sessions.sessions()
+                ))
+
+    arms = [lambda: burst(profile), lambda: burst(None)]
+    for arm in arms:
+        arm()
+    completed_ok = all(completed)
+    tuned_s, default_s = _ab_time(arms, repeats)
+    with runtime.overridden(profile):
+        gs = runtime.value(
+            "quant.group_size", registry.default("quant.group_size")
+        )
+        wq = (0.05 * rng.standard_normal((256, 512))).astype(np.float32)
+        xq = rng.standard_normal((8, 256), dtype=np.float32)
+        qt = QuantizedTensor(*quantize_int8_blocked(wq, gs), gs)
+        got_q = ops.parallel_qmatmul(xq, qt, pool=pool)
+        ref_q = ops.qmatmul_reference(xq, qt)
+        qscale = float(np.abs(ref_q).max()) + 1e-12
+        tol_q = float(np.abs(got_q - ref_q).max()) / qscale <= QMATMUL_TOL
+    checks.append(ValidationCheck(
+        "inference", n_sessions, tuned_s * 1e3, default_s * 1e3,
+        completed_ok and tol_q,
+    ))
     pool.shutdown()
     return checks
 
@@ -1129,6 +1367,8 @@ def run_tuning(
         outcomes.append(_tune_adam_tile(pool, repeats, quick, rng))
         outcomes.append(_tune_grace_tile(repeats, quick, rng))
         outcomes.extend(_tune_flash_blocks(pool, repeats, quick, rng))
+        outcomes.extend(_tune_quant(pool, repeats, quick, rng))
+        outcomes.append(_tune_kv(pool, repeats, quick, rng))
         outcomes.extend(_tune_zero_pipeline(pool, repeats, quick, rng))
         outcomes.append(_tune_rollback_cutoff(repeats, quick, rng))
         outcomes.extend(_tune_spill(pool, repeats, quick, rng))

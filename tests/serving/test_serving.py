@@ -1,0 +1,243 @@
+"""Tests for the continuous-batching inference stack.
+
+The contracts under test:
+
+- the quantized engine's mixed prefill+decode step produces the same
+  tokens whether sessions run solo or continuously batched together
+  (iteration-level scheduling never changes what a session generates);
+- the engine's incremental decode agrees with the model's full
+  ``forward`` over the same prefix (fp32 engine, exact match of argmax);
+- the scheduler gates admission on the KV budget and requeues FIFO;
+- the streaming server delivers every token to concurrent client
+  threads and surfaces loop errors instead of hanging;
+- quantization shrinks the resident model >= 3x.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.numeric.transformer import TinyTransformer, TransformerParams
+from repro.serving import (
+    ContinuousBatchingScheduler,
+    InferenceEngine,
+    SessionRegistry,
+    StreamingServer,
+    aggregate_metrics,
+)
+from repro.serving.engine import generate
+
+SPEC = TransformerParams(
+    vocab=64, max_seq=48, hidden=32, n_layers=2, n_heads=4
+)
+
+
+def _model():
+    return TinyTransformer(SPEC, seed=0)
+
+
+def _prompts(rng, n, lo=3, hi=9):
+    return [
+        rng.integers(0, SPEC.vocab, size=rng.integers(lo, hi))
+        for _ in range(n)
+    ]
+
+
+# -- engine correctness --------------------------------------------------
+
+
+def test_decode_matches_full_forward_fp32():
+    """Incremental decode == argmax of the model's dense forward."""
+    rng = np.random.default_rng(0)
+    model = _model()
+    prompt = rng.integers(0, SPEC.vocab, size=6)
+    with InferenceEngine(model, quantized=False) as engine:
+        got = generate(engine, prompt, max_new_tokens=8)
+    ids = list(prompt)
+    want = []
+    for _ in range(8):
+        logits, _ = model.forward(np.asarray([ids]))
+        tok = int(np.argmax(logits[0, -1]))
+        want.append(tok)
+        ids.append(tok)
+    assert got == want
+
+
+def test_quantized_engine_close_to_fp32():
+    """int8 weights perturb logits, not (usually) the argmax path.
+
+    Greedy decoding can diverge once a single argmax flips, so the
+    check is the first decoded token plus the whole-model compression —
+    exact token equality across quantization is not a contract.
+    """
+    rng = np.random.default_rng(1)
+    prompt = rng.integers(0, SPEC.vocab, size=6)
+    with InferenceEngine(_model(), quantized=False) as fp32:
+        t_fp32 = generate(fp32, prompt, max_new_tokens=1)
+    with InferenceEngine(_model(), quantized=True) as q8:
+        t_q8 = generate(q8, prompt, max_new_tokens=1)
+        assert q8.memory_ratio >= 3.0
+    assert t_q8 == t_fp32
+
+
+def test_batched_equals_solo_generation():
+    """Continuous batching never changes a session's token stream."""
+    rng = np.random.default_rng(2)
+    prompts = _prompts(rng, 5)
+    solo = []
+    for p in prompts:
+        with InferenceEngine(_model(), quantized=True) as engine:
+            solo.append(generate(engine, p, max_new_tokens=6))
+    with InferenceEngine(_model(), quantized=True) as engine:
+        registry = SessionRegistry()
+        sessions = [registry.create(p, 6) for p in prompts]
+        sched = ContinuousBatchingScheduler(engine, registry, max_batch=3)
+        sched.run_until_done()
+    assert [s.generated for s in sessions] == solo
+
+
+def test_engine_deterministic_across_runs():
+    rng = np.random.default_rng(3)
+    prompt = rng.integers(0, SPEC.vocab, size=5)
+    runs = []
+    for _ in range(2):
+        with InferenceEngine(_model(), quantized=True) as engine:
+            runs.append(generate(engine, prompt, max_new_tokens=10))
+    assert runs[0] == runs[1]
+
+
+def test_step_rejects_overlong_session():
+    with InferenceEngine(_model(), quantized=False) as engine:
+        ids = np.zeros(SPEC.max_seq + 1, dtype=np.int64)
+        with pytest.raises(ValueError):
+            engine.step([(0, ids)])
+
+
+# -- scheduler -----------------------------------------------------------
+
+
+def test_scheduler_admission_respects_kv_budget():
+    """A session that cannot fit waits; FIFO order is preserved."""
+    rng = np.random.default_rng(4)
+    model = _model()
+    # Budget: each session needs pages_for(prompt + budget) pages.
+    with InferenceEngine(
+        model, quantized=True, page_tokens=4, max_pages=12
+    ) as engine:
+        registry = SessionRegistry()
+        big = registry.create(rng.integers(0, SPEC.vocab, size=8), 8)
+        small = registry.create(rng.integers(0, SPEC.vocab, size=4), 4)
+        sched = ContinuousBatchingScheduler(engine, registry, max_batch=8)
+        sched.step()
+        # Footprint is pages_for(tokens) x n_layers: big reserves
+        # 4 x 2 = 8 pages, small 2 x 2 = 4 — together they fill the
+        # 12-page budget exactly, so both are admitted in step one.
+        assert big.state != "waiting"
+        sched.run_until_done()
+        assert big.done and small.done
+        assert len(big.generated) == 8 and len(small.generated) == 4
+        # all pages recycled after retirement
+        assert engine.cache.sessions() == ()
+
+
+def test_scheduler_requeue_keeps_fifo():
+    rng = np.random.default_rng(5)
+    with InferenceEngine(
+        _model(), quantized=True, page_tokens=4, max_pages=8
+    ) as engine:
+        registry = SessionRegistry()
+        first = registry.create(rng.integers(0, SPEC.vocab, size=8), 8)
+        second = registry.create(rng.integers(0, SPEC.vocab, size=2), 2)
+        sched = ContinuousBatchingScheduler(engine, registry, max_batch=8)
+        emissions = sched.step()
+        # first fills the whole budget (16 tokens x 2 layers = 8
+        # pages); second (1 page x 2 layers) is blocked behind it.
+        assert [s.sid for s, _, _ in emissions] == [first.sid]
+        assert second.state == "waiting"
+        sched.run_until_done()
+        assert second.done
+        # second only started after first retired some pages
+        assert second.token_times[0] > first.token_times[0]
+
+
+def test_metrics_aggregation():
+    rng = np.random.default_rng(6)
+    with InferenceEngine(_model(), quantized=True) as engine:
+        registry = SessionRegistry()
+        for p in _prompts(rng, 3):
+            registry.create(p, 4)
+        ContinuousBatchingScheduler(
+            engine, registry, max_batch=4
+        ).run_until_done()
+        m = aggregate_metrics(registry.sessions())
+    assert m["sessions"] == 3
+    assert m["tokens"] == 12
+    assert m["tokens_per_sec"] > 0
+    assert m["p95_token_ms"] >= m["p50_token_ms"] >= 0
+    assert m["ttft_ms"] > 0
+
+
+# -- streaming server ----------------------------------------------------
+
+
+def test_server_streams_concurrent_clients():
+    """8 client threads all receive their full token streams."""
+    rng = np.random.default_rng(7)
+    prompts = _prompts(rng, 8)
+    solo = []
+    for p in prompts:
+        with InferenceEngine(_model(), quantized=True) as engine:
+            solo.append(generate(engine, p, max_new_tokens=5))
+    results = [None] * len(prompts)
+    with StreamingServer(
+        InferenceEngine(_model(), quantized=True), max_batch=4
+    ) as server:
+        def client(i):
+            sid = server.submit(prompts[i], max_new_tokens=5)
+            results[i] = list(server.stream(sid))
+
+        threads = [
+            threading.Thread(target=client, args=(i,))
+            for i in range(len(prompts))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    assert results == solo
+
+
+def test_server_rejects_overlong_prompt():
+    with StreamingServer(
+        InferenceEngine(_model(), quantized=True)
+    ) as server:
+        with pytest.raises(ValueError):
+            server.submit(np.zeros(SPEC.max_seq, dtype=np.int64), 4)
+
+
+def test_server_clamps_generation_to_max_seq():
+    with StreamingServer(
+        InferenceEngine(_model(), quantized=True)
+    ) as server:
+        prompt = np.zeros(SPEC.max_seq - 2, dtype=np.int64)
+        sid = server.submit(prompt, max_new_tokens=100)
+        assert len(server.result(sid)) == 2
+
+
+def test_server_propagates_engine_errors():
+    """A crashed loop raises in the client instead of hanging it."""
+    engine = InferenceEngine(_model(), quantized=True)
+
+    def boom(items):
+        raise RuntimeError("kaboom")
+
+    engine.step = boom
+    server = StreamingServer(engine, max_batch=2)
+    server.start()
+    try:
+        sid = server.submit(np.array([1, 2, 3]), max_new_tokens=4)
+        with pytest.raises(RuntimeError):
+            list(server.stream(sid))
+    finally:
+        server.close(drain=False)

@@ -1,0 +1,229 @@
+"""Property tests for the paged KV-cache and paged attention.
+
+The contracts under test:
+
+- append/view round-trip: the concatenated page views always equal the
+  full K/V history, for any append chunking and page size;
+- eviction + spill restore is lossless (decode-after-evict reads the
+  same bytes back from disk), and a failed admission rolls back cleanly;
+- ``paged_attention`` over the page list matches a dense causal softmax
+  over the same history;
+- steady-state serving allocates nothing: after warm-up, page churn is
+  fed entirely by the workspace free list;
+- LRU eviction picks the least-recently-touched unpinned page and the
+  telemetry counters/gauges track it.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.telemetry import Telemetry
+from repro.tensors.kvcache import (
+    KVCacheFull,
+    PagedKVCache,
+    paged_attention,
+)
+
+HEADS, DIM = 2, 4
+
+
+def _kv(rng, t):
+    return (
+        rng.standard_normal((HEADS, t, DIM)).astype(np.float32),
+        rng.standard_normal((HEADS, t, DIM)).astype(np.float32),
+    )
+
+
+def _history(cache, session, layer):
+    views = cache.view(session, layer)
+    if not views:
+        return None, None
+    return (
+        np.concatenate([k for k, _ in views], axis=1),
+        np.concatenate([v for _, v in views], axis=1),
+    )
+
+
+# -- append / view round-trip -------------------------------------------
+
+
+@given(
+    page_tokens=st.integers(1, 7),
+    chunks=st.lists(st.integers(1, 9), min_size=1, max_size=6),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=30, deadline=None)
+def test_append_view_roundtrip(page_tokens, chunks, seed):
+    rng = np.random.default_rng(seed)
+    ks, vs = [], []
+    with PagedKVCache(1, HEADS, DIM, page_tokens=page_tokens) as cache:
+        for t in chunks:
+            k, v = _kv(rng, t)
+            cache.append(0, 0, k, v)
+            ks.append(k)
+            vs.append(v)
+        total = sum(chunks)
+        assert cache.tokens(0) == total
+        assert cache.pages_for(total) == -(-total // page_tokens)
+        got_k, got_v = _history(cache, 0, 0)
+    assert np.array_equal(got_k, np.concatenate(ks, axis=1))
+    assert np.array_equal(got_v, np.concatenate(vs, axis=1))
+
+
+def test_layers_and_sessions_are_independent():
+    rng = np.random.default_rng(0)
+    with PagedKVCache(2, HEADS, DIM, page_tokens=4) as cache:
+        data = {}
+        for session in (7, 9):
+            for layer in (0, 1):
+                k, v = _kv(rng, 5)
+                cache.append(session, layer, k, v)
+                data[(session, layer)] = (k, v)
+        for (session, layer), (k, v) in data.items():
+            got_k, got_v = _history(cache, session, layer)
+            assert np.array_equal(got_k, k)
+            assert np.array_equal(got_v, v)
+        assert sorted(cache.sessions()) == [7, 9]
+        cache.release(7)
+        assert cache.sessions() == (9,)
+        assert cache.view(7, 0) == []
+
+
+# -- eviction, spill, rollback ------------------------------------------
+
+
+def test_evict_restore_lossless(tmp_path):
+    """History larger than the resident budget survives via disk."""
+    rng = np.random.default_rng(1)
+    telemetry = Telemetry()
+    with PagedKVCache(
+        1, HEADS, DIM, page_tokens=2, max_pages=2,
+        spill=str(tmp_path / "kv"), telemetry=telemetry,
+    ) as cache:
+        k, v = _kv(rng, 12)  # 6 pages >> budget of 2
+        cache.append(0, 0, k, v)
+        assert cache.resident_pages <= 2
+        evicted = telemetry.metrics.counter("kv_pages_evicted").value
+        assert evicted >= 4
+        # iter_pages restores one page at a time without exceeding budget
+        got_k = np.concatenate(
+            [pk.copy() for pk, _ in cache.iter_pages(0, 0)], axis=1
+        )
+        assert np.array_equal(got_k, k)
+        assert telemetry.metrics.counter("kv_pages_restored").value > 0
+        assert (
+            telemetry.metrics.gauge("kv_bytes_resident").value
+            <= 2 * cache.resident_bytes / max(cache.resident_pages, 1) * 2
+        )
+
+
+def test_full_cache_rejects_and_rolls_back():
+    rng = np.random.default_rng(2)
+    with PagedKVCache(1, HEADS, DIM, page_tokens=2, max_pages=3) as cache:
+        k, v = _kv(rng, 4)
+        cache.append(0, 0, k, v)  # 2 pages
+        assert not cache.can_admit(5)  # needs 3 more pages; only 1 left
+        before = cache.resident_pages
+        with pytest.raises(KVCacheFull):
+            cache.append(1, 0, *_kv(rng, 5))
+        # rollback: the failed admission left no footprint
+        assert cache.resident_pages == before
+        assert cache.tokens(1) == 0
+        assert 1 not in cache.sessions()
+        # the survivor is intact
+        got_k, _ = _history(cache, 0, 0)
+        assert np.array_equal(got_k, k)
+
+
+def test_pinned_pages_never_evicted(tmp_path):
+    """The page being written survives eviction pressure mid-append."""
+    rng = np.random.default_rng(3)
+    with PagedKVCache(
+        1, HEADS, DIM, page_tokens=2, max_pages=2,
+        spill=str(tmp_path / "kv"),
+    ) as cache:
+        k, v = _kv(rng, 10)
+        cache.append(0, 0, k, v)  # forces evictions while appending
+        got_k = np.concatenate(
+            [pk.copy() for pk, _ in cache.iter_pages(0, 0)], axis=1
+        )
+        assert np.array_equal(got_k, k)
+
+
+# -- paged attention -----------------------------------------------------
+
+
+def _dense_causal(q, k, v, past_len):
+    heads, tq, d = q.shape
+    s = np.einsum("hqd,hkd->hqk", q, k) / np.sqrt(d)
+    rows = past_len + np.arange(tq)[:, None]
+    cols = np.arange(k.shape[1])[None, :]
+    s = np.where(cols > rows, -np.inf, s)
+    p = np.exp(s - s.max(axis=-1, keepdims=True))
+    p /= p.sum(axis=-1, keepdims=True)
+    return np.einsum("hqk,hkd->hqd", p, v).astype(np.float32)
+
+
+@given(
+    page_tokens=st.integers(1, 5),
+    past=st.integers(0, 9),
+    tq=st.integers(1, 4),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=30, deadline=None)
+def test_paged_attention_matches_dense(page_tokens, past, tq, seed):
+    rng = np.random.default_rng(seed)
+    k, v = _kv(rng, past + tq)
+    q = rng.standard_normal((HEADS, tq, DIM)).astype(np.float32)
+    with PagedKVCache(1, HEADS, DIM, page_tokens=page_tokens) as cache:
+        cache.append(0, 0, k, v)
+        got = paged_attention(q, cache.iter_pages(0, 0), past)
+    ref = _dense_causal(q, k, v, past)
+    assert float(np.abs(got - ref).max()) <= 1e-5
+
+
+def test_paged_attention_validates_token_total():
+    rng = np.random.default_rng(4)
+    k, v = _kv(rng, 4)
+    q = rng.standard_normal((HEADS, 1, DIM)).astype(np.float32)
+    with PagedKVCache(1, HEADS, DIM, page_tokens=2) as cache:
+        cache.append(0, 0, k, v)
+        with pytest.raises(ValueError):
+            paged_attention(q, cache.view(0, 0), past_len=9)
+
+
+def test_decode_after_evict_attends_full_history(tmp_path):
+    """Attention over a history bigger than the resident budget."""
+    rng = np.random.default_rng(5)
+    total = 16
+    k, v = _kv(rng, total)
+    with PagedKVCache(
+        1, HEADS, DIM, page_tokens=2, max_pages=3,
+        spill=str(tmp_path / "kv"),
+    ) as cache:
+        for i in range(total):
+            cache.append(0, 0, k[:, i:i + 1], v[:, i:i + 1])
+        q = rng.standard_normal((HEADS, 1, DIM)).astype(np.float32)
+        got = paged_attention(q, cache.iter_pages(0, 0), total - 1)
+    ref = _dense_causal(q, k[:, :total], v[:, :total], total - 1)
+    assert float(np.abs(got - ref).max()) <= 1e-5
+
+
+# -- steady state --------------------------------------------------------
+
+
+def test_steady_state_zero_allocations():
+    """After warm-up, session churn reuses pages from the free list."""
+    rng = np.random.default_rng(6)
+    with PagedKVCache(1, HEADS, DIM, page_tokens=4) as cache:
+        def one_session(session):
+            for _ in range(3):
+                cache.append(session, 0, *_kv(rng, 3))
+            cache.release(session)
+
+        one_session(0)  # warm-up
+        allocs = cache.workspace.alloc_count
+        for s in range(1, 6):
+            one_session(s)
+        assert cache.workspace.alloc_count == allocs
